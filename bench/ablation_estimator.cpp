@@ -1,0 +1,82 @@
+// Ablation: 2-D MUSIC grid search vs shift-invariance (ESPRIT/JADE).
+//
+// Compares the two joint AoA/ToF estimators on identical captures:
+// per-packet direct-path AoA accuracy (closest estimate, LoS links of the
+// office deployment) and wall-clock cost per packet. MUSIC is the paper's
+// choice; ESPRIT is the search-free alternative from the literature it
+// cites [42, 43].
+//
+//   ./ablation_estimator [seed]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "common/angles.hpp"
+#include "csi/sanitize.hpp"
+#include "music/esprit.hpp"
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  ExperimentConfig config;
+  config.packets_per_group = 6;
+  const ExperimentRunner runner(link, office_deployment(), config);
+  const JointMusicEstimator music(link);
+  const JointEspritEstimator esprit(link);
+
+  std::vector<double> music_err, esprit_err;
+  double music_ns = 0.0, esprit_ns = 0.0;
+  std::size_t packets = 0;
+
+  Rng rng(seed);
+  for (const Vec2 target : runner.deployment().targets) {
+    const auto captures = runner.simulate_captures(target, rng);
+    const auto truth = runner.ground_truth(target);
+    for (std::size_t a = 0; a < captures.size(); ++a) {
+      if (!truth[a].line_of_sight) continue;
+      for (const auto& packet : captures[a].packets) {
+        const CMatrix clean = sanitize_tof(packet.csi, link).csi;
+        ++packets;
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto me = music.estimate(clean);
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto ee = esprit.estimate(clean);
+        const auto t2 = std::chrono::steady_clock::now();
+        music_ns += std::chrono::duration<double, std::nano>(t1 - t0).count();
+        esprit_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+
+        auto closest = [&](const std::vector<PathEstimate>& est) {
+          double best = 180.0;
+          for (const auto& e : est) {
+            best = std::min(best, std::abs(rad_to_deg(e.aoa_rad) -
+                                           rad_to_deg(
+                                               truth[a].direct_aoa_rad)));
+          }
+          return best;
+        };
+        music_err.push_back(closest(me));
+        esprit_err.push_back(closest(ee));
+      }
+    }
+  }
+
+  std::printf("# Joint estimator ablation (LoS office links, per packet), "
+              "seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  bench::print_summary("MUSIC 2-D grid", music_err, "deg");
+  bench::print_summary("ESPRIT shift-inv", esprit_err, "deg");
+  std::printf("\nper-packet cost: MUSIC %.2f ms, ESPRIT %.3f ms (%zu "
+              "packets)\n",
+              music_ns / static_cast<double>(packets) / 1e6,
+              esprit_ns / static_cast<double>(packets) / 1e6, packets);
+  std::printf("\n# both share the eigendecomposition cost; ESPRIT skips "
+              "the grid sweep and needs no grid-resolution tuning\n");
+  return 0;
+}

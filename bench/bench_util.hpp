@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction benches: consistent table
+// and CDF printing so every bench emits the same row format the paper's
+// figures plot.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace spotfi::bench {
+
+/// Prints "name: median=… p80=… mean=… n=…" summary row.
+inline void print_summary(const std::string& name,
+                          std::span<const double> errors,
+                          const char* unit = "m") {
+  RunningStats s;
+  for (double e : errors) s.add(e);
+  std::printf("%-28s median=%6.2f %s   p80=%6.2f %s   mean=%6.2f %s   n=%zu\n",
+              name.c_str(), median(errors), unit, percentile(errors, 80.0),
+              unit, s.mean(), unit, errors.size());
+}
+
+/// Prints a CDF as rows "p value" for the given series.
+inline void print_cdf(const std::string& name, std::span<const double> errors,
+                      std::size_t points = 11) {
+  std::printf("CDF %s\n", name.c_str());
+  for (const auto& pt : empirical_cdf(errors, points)) {
+    std::printf("  %5.2f  %8.3f\n", pt.probability, pt.value);
+  }
+}
+
+/// Prints several series side by side at shared probability levels —
+/// the figure-friendly format.
+inline void print_cdf_table(std::span<const std::string> names,
+                            std::span<const std::vector<double>> series,
+                            std::size_t points = 11) {
+  std::printf("%-6s", "p");
+  for (const auto& n : names) std::printf("  %14s", n.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        100.0 * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::printf("%-6.2f", p / 100.0);
+    for (const auto& s : series) std::printf("  %14.3f", percentile(s, p));
+    std::printf("\n");
+  }
+}
+
+}  // namespace spotfi::bench

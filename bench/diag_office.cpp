@@ -1,0 +1,55 @@
+// Diagnostic (not a paper figure): per-target breakdown of the office
+// run — localization error, per-AP selection error and likelihood, and
+// the objective value at the truth vs at the estimate. Separates
+// front-end failures (bad AoA picks) from back-end failures (solver
+// landing in the wrong basin despite good picks).
+//
+//   ./diag_office [deployment: office|nlos|corridor] [seed] [packets]
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <cstdlib>
+
+#include "common/angles.hpp"
+#include "localize/spotfi_localizer.hpp"
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::string which = argc >= 2 ? argv[1] : "office";
+  const std::uint64_t seed =
+      argc >= 3 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 1;
+  ExperimentConfig config;
+  config.packets_per_group =
+      argc >= 4 ? static_cast<std::size_t>(std::atoi(argv[3])) : 15;
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const Deployment deployment = which == "corridor" ? corridor_deployment()
+                                : which == "nlos"   ? high_nlos_deployment()
+                                                    : office_deployment();
+  const ExperimentRunner runner(link, deployment, config);
+
+  Rng rng(seed);
+  std::printf("%-14s %7s | per-AP selection error [deg] (likelihood)\n",
+              "target", "err[m]");
+  for (const Vec2 target : runner.deployment().targets) {
+    const TargetRun run = runner.run_target(target, rng);
+    std::printf("(%5.1f,%5.1f) %7.2f |", target.x, target.y, run.error_m);
+    for (std::size_t a = 0; a < run.round.ap_results.size(); ++a) {
+      const auto& obs = run.round.ap_results[a].observation;
+      const double sel_err = std::abs(
+          rad_to_deg(obs.direct_aoa_rad) -
+          rad_to_deg(run.ap_truth[a].direct_aoa_rad));
+      std::printf(" %5.1f(%6.1f)", sel_err, obs.likelihood);
+    }
+    // Objective at truth vs estimate with the fitted path-loss model.
+    const SpotFiLocalizer localizer(runner.config().server.localizer);
+    std::vector<ApObservation> obs;
+    for (const auto& r : run.round.ap_results) obs.push_back(r.observation);
+    const double cost_truth =
+        localizer.objective(obs, target, run.round.location.path_loss);
+    std::printf("  J(est)=%7.3f J(truth)=%7.3f\n", run.round.location.cost,
+                cost_truth);
+  }
+  return 0;
+}

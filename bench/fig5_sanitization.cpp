@@ -1,0 +1,84 @@
+// Figure 5(a)/(b): ToF sanitization (Algorithm 1) in action.
+//
+// Synthesizes two packets from the same link with different sampling time
+// offsets, prints the unwrapped CSI phase of antenna 1 before (Fig. 5(a),
+// phases diverge: different STO slopes) and after (Fig. 5(b), the
+// modified phases coincide) sanitization, and reports the RMS difference.
+//
+//   ./fig5_sanitization [seed]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "csi/phase.hpp"
+#include "csi/sanitize.hpp"
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const Deployment deployment = office_deployment();
+  MultipathConfig mp_cfg;
+  mp_cfg.carrier_hz = link.carrier_hz;
+  const auto paths = enumerate_paths(deployment.plan, deployment.scatterers,
+                                     deployment.aps[0], {6.0, 3.5}, mp_cfg);
+
+  // Two packets with very different STOs; no common-phase randomness so
+  // the offset beta matches too and the curves can be compared directly.
+  auto make_packet = [&](double sto, std::uint64_t s) {
+    ImpairmentConfig imp;
+    imp.sto_base_s = sto;
+    imp.sto_jitter_s = 0.0;
+    imp.random_common_phase = false;
+    imp.indirect_phase_jitter_rad = 0.0;
+    imp.indirect_gain_jitter_db = 0.0;
+    imp.indirect_tof_jitter_s = 0.0;
+    imp.indirect_aoa_jitter_rad = 0.0;
+    const CsiSynthesizer synth(link, imp);
+    Rng rng(s);
+    return synth.synthesize(paths, 0.0, rng);
+  };
+  const CsiPacket pkt1 = make_packet(40e-9, seed);
+  const CsiPacket pkt2 = make_packet(170e-9, seed + 1);
+
+  const RMatrix raw1 = unwrapped_phase(pkt1.csi);
+  const RMatrix raw2 = unwrapped_phase(pkt2.csi);
+  const RMatrix mod1 = unwrapped_phase(sanitize_tof(pkt1.csi, link).csi);
+  const RMatrix mod2 = unwrapped_phase(sanitize_tof(pkt2.csi, link).csi);
+
+  std::printf("# Fig 5(a)/(b): unwrapped CSI phase (antenna 1), packets "
+              "with STO 40 ns vs 170 ns, seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  std::printf("%-5s %12s %12s | %12s %12s\n", "sub", "raw pkt1", "raw pkt2",
+              "sanit pkt1", "sanit pkt2");
+  for (std::size_t n = 0; n < link.n_subcarriers; n += 3) {
+    std::printf("%-5zu %12.3f %12.3f | %12.3f %12.3f\n", n, raw1(0, n),
+                raw2(0, n), mod1(0, n), mod2(0, n));
+  }
+
+  auto rms_diff = [&](const RMatrix& a, const RMatrix& b) {
+    // Compare modulo a constant offset (carrier phase is arbitrary).
+    double mean = 0.0;
+    for (std::size_t m = 0; m < a.rows(); ++m) {
+      for (std::size_t n = 0; n < a.cols(); ++n) mean += a(m, n) - b(m, n);
+    }
+    mean /= static_cast<double>(a.size());
+    double rss = 0.0;
+    for (std::size_t m = 0; m < a.rows(); ++m) {
+      for (std::size_t n = 0; n < a.cols(); ++n) {
+        const double d = a(m, n) - b(m, n) - mean;
+        rss += d * d;
+      }
+    }
+    return std::sqrt(rss / static_cast<double>(a.size()));
+  };
+  std::printf("\nRMS phase difference between packets (offset removed):\n");
+  std::printf("  raw       : %8.3f rad\n", rms_diff(raw1, raw2));
+  std::printf("  sanitized : %8.3f rad\n", rms_diff(mod1, mod2));
+  std::printf("\n# paper: sanitized phase responses coincide across "
+              "packets despite different STOs\n");
+  return 0;
+}

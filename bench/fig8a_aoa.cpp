@@ -1,0 +1,90 @@
+// Figure 8(a): CDF of AoA estimation error, LoS vs NLoS, SpotFi's joint
+// super-resolution vs the MUSIC-AoA baseline.
+//
+// As in the paper, the selection process is factored out: for every
+// (target, AP) link the error is the distance between the ground-truth
+// direct-path AoA and the *closest* estimate the algorithm produced.
+// Paper's result: SpotFi median < 5 deg (LoS) and < 10 deg (NLoS);
+// MUSIC-AoA 7.4 deg and 15.2 deg.
+//
+//   ./fig8a_aoa [seed]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "common/angles.hpp"
+#include "csi/sanitize.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace spotfi;
+
+/// Error of the estimate closest to the ground-truth AoA [deg].
+double closest_aoa_error_deg(std::span<const PathEstimate> estimates,
+                             double truth_rad) {
+  double best = 180.0;
+  for (const auto& est : estimates) {
+    best = std::min(best, std::abs(rad_to_deg(est.aoa_rad) -
+                                   rad_to_deg(truth_rad)));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  ExperimentConfig config;
+  config.packets_per_group = 10;
+  const ExperimentRunner runner(link, office_deployment(), config);
+  const JointMusicEstimator joint(link);
+  const MusicAoaEstimator classic(link);
+
+  std::vector<double> spotfi_los, spotfi_nlos, music_los, music_nlos;
+  Rng rng(seed);
+  for (const Vec2 target : runner.deployment().targets) {
+    const auto captures = runner.simulate_captures(target, rng);
+    const auto truth = runner.ground_truth(target);
+    for (std::size_t a = 0; a < captures.size(); ++a) {
+      // Per-packet: the error of the closest estimate among that packet's
+      // multipath estimates (selection factored out, paper Sec. 4.4.1).
+      for (const auto& packet : captures[a].packets) {
+        const CMatrix clean = sanitize_tof(packet.csi, link).csi;
+        const double je =
+            closest_aoa_error_deg(joint.estimate(clean),
+                                  truth[a].direct_aoa_rad);
+        const double ce = closest_aoa_error_deg(
+            classic.estimate(packet.csi), truth[a].direct_aoa_rad);
+        if (truth[a].line_of_sight) {
+          spotfi_los.push_back(je);
+          music_los.push_back(ce);
+        } else {
+          spotfi_nlos.push_back(je);
+          music_nlos.push_back(ce);
+        }
+      }
+    }
+  }
+
+  std::printf("# Fig 8(a): AoA estimation error (closest estimate), office "
+              "deployment, seed=%llu\n",
+              static_cast<unsigned long long>(seed));
+  bench::print_summary("SpotFi LoS", spotfi_los, "deg");
+  bench::print_summary("MUSIC-AoA LoS", music_los, "deg");
+  bench::print_summary("SpotFi NLoS", spotfi_nlos, "deg");
+  bench::print_summary("MUSIC-AoA NLoS", music_nlos, "deg");
+  std::printf("\n");
+  const std::vector<std::string> names{"SpotFi-LoS", "MUSIC-LoS",
+                                       "SpotFi-NLoS", "MUSIC-NLoS"};
+  const std::vector<std::vector<double>> series{spotfi_los, music_los,
+                                                spotfi_nlos, music_nlos};
+  bench::print_cdf_table(names, series);
+  std::printf("\n# paper: SpotFi median <5 deg LoS / <10 deg NLoS; "
+              "MUSIC-AoA 7.4 / 15.2 deg\n");
+  return 0;
+}

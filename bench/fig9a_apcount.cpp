@@ -1,0 +1,62 @@
+// Figure 9(a): localization error vs. WiFi deployment density.
+//
+// Emulates different AP densities by localizing with random subsets of
+// the office APs. Paper's result: medians ~0.6 / 0.8 / 1.9 m with 5 / 4 /
+// 3 APs — a big jump from 3 to 4, diminishing returns after.
+//
+//   ./fig9a_apcount [seed] [subsets_per_count]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const std::size_t subsets_per_count =
+      argc >= 3 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const Deployment deployment = office_deployment();
+  const std::size_t n_aps = deployment.aps.size();
+
+  std::printf("# Fig 9(a): localization error vs number of APs, office "
+              "deployment, %zu random subsets per count, seed=%llu\n",
+              subsets_per_count, static_cast<unsigned long long>(seed));
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> series;
+  Rng subset_rng(seed ^ 0xabcdef);
+  for (const std::size_t count : {3u, 4u, 5u}) {
+    std::vector<double> errors;
+    for (std::size_t s = 0; s < subsets_per_count; ++s) {
+      // Random AP subset of the requested size.
+      std::vector<std::size_t> indices(n_aps);
+      std::iota(indices.begin(), indices.end(), std::size_t{0});
+      for (std::size_t i = n_aps - 1; i > 0; --i) {
+        std::swap(indices[i], indices[subset_rng.uniform_index(i + 1)]);
+      }
+      indices.resize(count);
+
+      ExperimentConfig config;
+      config.packets_per_group = 15;
+      config.ap_indices = indices;
+      const ExperimentRunner runner(link, deployment, config);
+      Rng rng(seed + s);
+      for (const Vec2 target : deployment.targets) {
+        errors.push_back(runner.run_target(target, rng).error_m);
+      }
+    }
+    bench::print_summary(std::to_string(count) + " APs", errors);
+    names.push_back(std::to_string(count) + "APs");
+    series.push_back(std::move(errors));
+  }
+  std::printf("\n");
+  bench::print_cdf_table(names, series);
+  std::printf("\n# paper: medians ~1.9 / 0.8 / 0.6 m with 3 / 4 / 5 APs\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Performance microbenchmarks for the signal-processing primitives:
+// Hermitian eigendecomposition, smoothed-CSI construction, ToF
+// sanitization, the joint 2-D MUSIC spectrum sweep, and full per-packet
+// estimation. These quantify why the Kronecker-factorized spectrum makes
+// whole-testbed experiments feasible on one core.
+#include <benchmark/benchmark.h>
+
+#include "channel/csi_synthesis.hpp"
+#include "common/angles.hpp"
+#include "csi/sanitize.hpp"
+#include "csi/smoothing.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "music/estimators.hpp"
+
+namespace {
+
+using namespace spotfi;
+
+CMatrix test_csi() {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  ImpairmentConfig imp;
+  const CsiSynthesizer synth(link, imp);
+  std::vector<PathComponent> paths;
+  const double aoas[] = {-50.0, -10.0, 15.0, 45.0, 70.0};
+  const double tofs[] = {20e-9, 60e-9, 110e-9, 170e-9, 240e-9};
+  for (int l = 0; l < 5; ++l) {
+    PathComponent p;
+    p.aoa_rad = deg_to_rad(aoas[l]);
+    p.tof_s = tofs[l];
+    p.gain_db = -50.0 - 2.0 * l;
+    paths.push_back(p);
+  }
+  Rng rng(7);
+  return synth.synthesize(paths, 0.0, rng).csi;
+}
+
+void BM_HermitianEig30(benchmark::State& state) {
+  const CMatrix x = smoothed_csi(test_csi());
+  const CMatrix cov = x.gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eigh(cov));
+  }
+}
+BENCHMARK(BM_HermitianEig30);
+
+void BM_SmoothedCsi(benchmark::State& state) {
+  const CMatrix csi = test_csi();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smoothed_csi(csi));
+  }
+}
+BENCHMARK(BM_SmoothedCsi);
+
+void BM_SanitizeTof(benchmark::State& state) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const CMatrix csi = test_csi();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sanitize_tof(csi, link));
+  }
+}
+BENCHMARK(BM_SanitizeTof);
+
+void BM_JointSpectrum(benchmark::State& state) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const JointMusicEstimator estimator(link);
+  const CMatrix csi = test_csi();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.spectrum(csi));
+  }
+}
+BENCHMARK(BM_JointSpectrum);
+
+void BM_JointEstimatePacket(benchmark::State& state) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const JointMusicEstimator estimator(link);
+  const CMatrix csi = test_csi();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(csi));
+  }
+}
+BENCHMARK(BM_JointEstimatePacket);
+
+void BM_MusicAoaPacket(benchmark::State& state) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const MusicAoaEstimator estimator(link);
+  const CMatrix csi = test_csi();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.estimate(csi));
+  }
+}
+BENCHMARK(BM_MusicAoaPacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// End-to-end pipeline performance: per-AP packet-group processing
+// (Algorithm 2 lines 2-10), the localization solve (line 12), and one
+// full 6-AP localization round — the numbers behind "SpotFi is
+// lightweight" (Sec. 4.4.4 wants small packet counts partly for latency).
+#include <benchmark/benchmark.h>
+
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace spotfi;
+
+struct Fixture {
+  LinkConfig link = LinkConfig::intel5300_40mhz();
+  ExperimentRunner runner{link, office_deployment(), make_config()};
+  std::vector<ApCapture> captures;
+  std::vector<ApObservation> observations;
+
+  static ExperimentConfig make_config() {
+    ExperimentConfig config;
+    config.packets_per_group = 10;
+    return config;
+  }
+
+  Fixture() {
+    Rng rng(3);
+    captures = runner.simulate_captures({6.0, 3.5}, rng);
+    const SpotFiServer server(link, runner.config().server);
+    const auto round = server.localize(captures, rng);
+    for (const auto& r : round.ap_results) {
+      observations.push_back(r.observation);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ApProcessorGroup10(benchmark::State& state) {
+  auto& f = fixture();
+  const ApProcessor processor(f.link, f.captures[0].pose, {});
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(processor.process(f.captures[0].packets, rng));
+  }
+}
+BENCHMARK(BM_ApProcessorGroup10);
+
+void BM_LocalizeSolve(benchmark::State& state) {
+  auto& f = fixture();
+  LocalizerConfig cfg;
+  cfg.area_min = f.runner.deployment().area_min;
+  cfg.area_max = f.runner.deployment().area_max;
+  const SpotFiLocalizer localizer(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localizer.locate(f.observations));
+  }
+}
+BENCHMARK(BM_LocalizeSolve);
+
+void BM_FullRound6Aps(benchmark::State& state) {
+  auto& f = fixture();
+  const SpotFiServer server(f.link, f.runner.config().server);
+  Rng rng(13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.localize(f.captures, rng));
+  }
+}
+BENCHMARK(BM_FullRound6Aps);
+
+void BM_ChannelSynthesis(benchmark::State& state) {
+  auto& f = fixture();
+  Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.runner.simulate_captures({6.0, 3.5}, rng));
+  }
+}
+BENCHMARK(BM_ChannelSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

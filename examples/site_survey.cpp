@@ -1,0 +1,70 @@
+// Site survey: map localization accuracy across a deployment.
+//
+// Sweeps a grid of probe locations over the chosen deployment, localizes
+// each with a short packet burst, and renders an ASCII accuracy map —
+// the planning workflow an operator would run before rolling SpotFi out
+// on a floor ("where do I need another AP?"). Cells under 0.5 m print
+// '#', under 1 m '+', under 2 m '.', worse ' '.
+//
+//   ./site_survey [office|nlos|corridor] [packets] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "testbed/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::string which = argc >= 2 ? argv[1] : "office";
+  ExperimentConfig config;
+  config.packets_per_group =
+      argc >= 3 ? static_cast<std::size_t>(std::atoi(argv[2])) : 8;
+  const std::uint64_t seed =
+      argc >= 4 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 1;
+
+  const Deployment deployment = which == "corridor" ? corridor_deployment()
+                                : which == "nlos"   ? high_nlos_deployment()
+                                                    : office_deployment();
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  const ExperimentRunner runner(link, deployment, config);
+
+  const double step_x = (deployment.area_max.x - deployment.area_min.x) / 12.0;
+  const double step_y = (deployment.area_max.y - deployment.area_min.y) / 7.0;
+  std::printf("site survey — %s deployment, %zu packets per probe, "
+              "cell %.1f x %.1f m, seed=%llu\n\n",
+              deployment.name.c_str(), config.packets_per_group, step_x,
+              step_y, static_cast<unsigned long long>(seed));
+
+  Rng rng(seed);
+  std::vector<double> errors;
+  std::vector<std::string> map_rows;
+  for (double y = deployment.area_max.y - step_y / 2.0;
+       y > deployment.area_min.y; y -= step_y) {
+    std::string row;
+    for (double x = deployment.area_min.x + step_x / 2.0;
+         x < deployment.area_max.x; x += step_x) {
+      const Vec2 probe{x, y};
+      const TargetRun run = runner.run_target(probe, rng);
+      errors.push_back(run.error_m);
+      row += run.error_m < 0.5   ? '#'
+             : run.error_m < 1.0 ? '+'
+             : run.error_m < 2.0 ? '.'
+                                 : ' ';
+    }
+    map_rows.push_back(row);
+  }
+
+  std::printf("accuracy map ('#' <0.5 m, '+' <1 m, '.' <2 m, ' ' worse); "
+              "top row is y = %.1f m:\n\n", deployment.area_max.y);
+  for (const auto& row : map_rows) std::printf("   |%s|\n", row.c_str());
+  std::printf("\nAPs at:");
+  for (const auto& ap : deployment.aps) {
+    std::printf(" (%.1f, %.1f)", ap.position.x, ap.position.y);
+  }
+  std::printf("\n\nsurvey summary: median %.2f m, p80 %.2f m over %zu "
+              "probes\n",
+              median(errors), percentile(errors, 80.0), errors.size());
+  return 0;
+}

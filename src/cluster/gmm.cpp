@@ -1,0 +1,131 @@
+#include "cluster/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/constants.hpp"
+
+namespace spotfi {
+namespace {
+
+/// log N(x | mean, diag(var)).
+double log_gaussian(std::span<const double> x, const GmmComponent& c) {
+  double acc = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    const double diff = x[d] - c.mean[d];
+    acc += -0.5 * std::log(2.0 * kPi * c.variance[d]) -
+           0.5 * diff * diff / c.variance[d];
+  }
+  return acc;
+}
+
+double log_sum_exp(std::span<const double> v) {
+  const double m = *std::max_element(v.begin(), v.end());
+  if (!std::isfinite(m)) return m;
+  double s = 0.0;
+  for (double x : v) s += std::exp(x - m);
+  return m + std::log(s);
+}
+
+}  // namespace
+
+GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
+                  const GmmConfig& config) {
+  SPOTFI_EXPECTS(points.rows() >= 1, "fit_gmm needs at least one point");
+  SPOTFI_EXPECTS(k >= 1, "fit_gmm needs at least one component");
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+
+  // Initialize from k-means: means = centroids, variances = per-cluster
+  // scatter, weights = cluster fractions.
+  const KMeansResult km = kmeans(points, k, rng);
+  const std::size_t k_eff = km.centroids.rows();
+
+  GmmResult result;
+  result.components.resize(k_eff);
+  std::vector<std::size_t> counts(k_eff, 0);
+  for (std::size_t c = 0; c < k_eff; ++c) {
+    auto& comp = result.components[c];
+    comp.mean.assign(km.centroids.row(c).begin(), km.centroids.row(c).end());
+    comp.variance.assign(dim, config.variance_floor);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = km.assignment[i];
+    ++counts[c];
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = points(i, d) - result.components[c].mean[d];
+      result.components[c].variance[d] += diff * diff;
+    }
+  }
+  for (std::size_t c = 0; c < k_eff; ++c) {
+    const double cnt = std::max<double>(1.0, static_cast<double>(counts[c]));
+    for (auto& v : result.components[c].variance) {
+      v = std::max(v / cnt, config.variance_floor);
+    }
+    result.components[c].weight =
+        static_cast<double>(std::max<std::size_t>(counts[c], 1)) /
+        static_cast<double>(n);
+  }
+
+  // EM iterations with log-space responsibilities.
+  RMatrix resp(n, k_eff);
+  RVector logp(k_eff);
+  double prev_ll = -std::numeric_limits<double>::max();
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // E step.
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < k_eff; ++c) {
+        logp[c] = std::log(std::max(result.components[c].weight, 1e-300)) +
+                  log_gaussian(points.row(i), result.components[c]);
+      }
+      const double lse = log_sum_exp(logp);
+      ll += lse;
+      for (std::size_t c = 0; c < k_eff; ++c) {
+        resp(i, c) = std::exp(logp[c] - lse);
+      }
+    }
+    result.log_likelihood = ll;
+    // M step.
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      double nk = 0.0;
+      for (std::size_t i = 0; i < n; ++i) nk += resp(i, c);
+      auto& comp = result.components[c];
+      if (nk < 1e-12) {
+        comp.weight = 1e-12;
+        continue;  // component died; keep its parameters frozen
+      }
+      comp.weight = nk / static_cast<double>(n);
+      for (std::size_t d = 0; d < dim; ++d) {
+        double mean = 0.0;
+        for (std::size_t i = 0; i < n; ++i) mean += resp(i, c) * points(i, d);
+        comp.mean[d] = mean / nk;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        double var = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = points(i, d) - comp.mean[d];
+          var += resp(i, c) * diff * diff;
+        }
+        comp.variance[d] = std::max(var / nk, config.variance_floor);
+      }
+    }
+    if (ll - prev_ll < config.log_likelihood_tolerance && iter > 0) break;
+    prev_ll = ll;
+  }
+
+  // Hard assignment by maximum responsibility.
+  result.assignment.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < k_eff; ++c) {
+      if (resp(i, c) > resp(i, best)) best = c;
+    }
+    result.assignment[i] = best;
+  }
+  return result;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,124 @@
+#include "cluster/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spotfi {
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// k-means++ seeding: first centroid uniform, then each next centroid
+/// drawn with probability proportional to squared distance from the
+/// nearest chosen centroid.
+std::vector<std::size_t> seed_kmeanspp(const RMatrix& points, std::size_t k,
+                                       Rng& rng) {
+  const std::size_t n = points.rows();
+  std::vector<std::size_t> seeds;
+  seeds.push_back(rng.uniform_index(n));
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  while (seeds.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i],
+                       squared_distance(points.row(i), points.row(seeds.back())));
+      total += d2[i];
+    }
+    if (total <= 0.0) break;  // all remaining points coincide with seeds
+    double pick = rng.uniform() * total;
+    std::size_t chosen = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      pick -= d2[i];
+      if (pick <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const RMatrix& points, std::size_t k, Rng& rng,
+                    const KMeansConfig& config) {
+  SPOTFI_EXPECTS(points.rows() >= 1, "kmeans needs at least one point");
+  SPOTFI_EXPECTS(k >= 1, "kmeans needs at least one cluster");
+  const std::size_t n = points.rows();
+  const std::size_t dim = points.cols();
+  k = std::min(k, n);
+
+  const auto seeds = seed_kmeanspp(points, k, rng);
+  const std::size_t k_eff = seeds.size();
+  RMatrix centroids(k_eff, dim);
+  for (std::size_t c = 0; c < k_eff; ++c) {
+    const auto row = points.row(seeds[c]);
+    std::copy(row.begin(), row.end(), centroids.row(c).begin());
+  }
+
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+  std::vector<std::size_t> counts(k_eff);
+  for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assign.
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d2 = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < k_eff; ++c) {
+        const double d2 = squared_distance(points.row(i), centroids.row(c));
+        if (d2 < best_d2) {
+          best_d2 = d2;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    RMatrix next(k_eff, dim);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) next(c, d) += points(i, d);
+    }
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      if (counts[c] == 0) {
+        // Empty cluster: keep the previous centroid.
+        std::copy(centroids.row(c).begin(), centroids.row(c).end(),
+                  next.row(c).begin());
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        next(c, d) /= static_cast<double>(counts[c]);
+      }
+    }
+    const double shift = (next - centroids).max_abs();
+    centroids = std::move(next);
+    if (shift < config.centroid_tolerance) break;
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        squared_distance(points.row(i), centroids.row(result.assignment[i]));
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace spotfi

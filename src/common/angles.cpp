@@ -1,0 +1,23 @@
+#include "common/angles.hpp"
+
+#include <cmath>
+
+namespace spotfi {
+
+double wrap_pi(double rad) {
+  double w = std::fmod(rad + kPi, 2.0 * kPi);
+  if (w <= 0.0) w += 2.0 * kPi;
+  return w - kPi;
+}
+
+double wrap_two_pi(double rad) {
+  double w = std::fmod(rad, 2.0 * kPi);
+  if (w < 0.0) w += 2.0 * kPi;
+  return w;
+}
+
+double angular_distance(double a_rad, double b_rad) {
+  return std::abs(wrap_pi(a_rad - b_rad));
+}
+
+}  // namespace spotfi

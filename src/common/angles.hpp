@@ -1,0 +1,26 @@
+// Angle helpers. SpotFi measures AoA with respect to the normal of the
+// antenna array, in [-90, +90] degrees; geometry code works in radians.
+#pragma once
+
+#include "common/constants.hpp"
+
+namespace spotfi {
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) {
+  return deg * kPi / 180.0;
+}
+
+[[nodiscard]] constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / kPi;
+}
+
+/// Wraps an angle to (-pi, pi].
+[[nodiscard]] double wrap_pi(double rad);
+
+/// Wraps an angle to [0, 2*pi).
+[[nodiscard]] double wrap_two_pi(double rad);
+
+/// Smallest absolute difference between two angles [rad], in [0, pi].
+[[nodiscard]] double angular_distance(double a_rad, double b_rad);
+
+}  // namespace spotfi

@@ -1,0 +1,70 @@
+// Physical constants and the OFDM/antenna-array parameters of the WiFi
+// links SpotFi operates on.
+//
+// The paper's prototype uses Intel 5300 NICs on a 40 MHz channel in the
+// 5 GHz band. The 5300 firmware reports CSI for 30 of the data
+// subcarriers; for 40 MHz these are (to the accuracy the paper models)
+// equispaced with spacing f_delta = 4 x 312.5 kHz = 1.25 MHz. The APs use
+// a 3-element uniform linear array with half-wavelength spacing.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Parameters of one WiFi sensing link: the carrier, the reported OFDM
+/// subcarrier grid, and the receive antenna array geometry.
+///
+/// All of SpotFi's signal processing (steering vectors, sanitization,
+/// smoothing, MUSIC) is parameterized by this struct so the library is not
+/// hard-wired to the Intel 5300; `intel5300_40mhz()` gives the paper's
+/// configuration.
+struct LinkConfig {
+  /// Carrier (center) frequency [Hz].
+  double carrier_hz = 5.32e9;
+  /// Spacing between consecutive *reported* subcarriers [Hz].
+  double subcarrier_spacing_hz = 1.25e6;
+  /// Number of reported subcarriers per antenna (N in the paper).
+  std::size_t n_subcarriers = 30;
+  /// Number of receive antennas in the uniform linear array (M).
+  std::size_t n_antennas = 3;
+  /// Spacing between adjacent array elements [m]. Half wavelength at
+  /// 5.32 GHz is ~2.82 cm.
+  double antenna_spacing_m = 0.5 * kSpeedOfLight / 5.32e9;
+
+  /// Wavelength of the carrier [m].
+  [[nodiscard]] double wavelength() const { return kSpeedOfLight / carrier_hz; }
+
+  /// Frequency of reported subcarrier `n` (0-based), centered on the
+  /// carrier so the grid spans [-span/2, +span/2] around carrier_hz.
+  [[nodiscard]] double subcarrier_hz(std::size_t n) const {
+    SPOTFI_EXPECTS(n < n_subcarriers, "subcarrier index out of range");
+    const double mid = 0.5 * static_cast<double>(n_subcarriers - 1);
+    return carrier_hz + (static_cast<double>(n) - mid) * subcarrier_spacing_hz;
+  }
+
+  /// Total bandwidth spanned by the reported subcarrier grid [Hz].
+  [[nodiscard]] double reported_span_hz() const {
+    return static_cast<double>(n_subcarriers - 1) * subcarrier_spacing_hz;
+  }
+
+  /// The Intel 5300 configuration used throughout the paper: 5 GHz band,
+  /// 40 MHz channel, 30 reported subcarriers, 3-antenna half-wavelength ULA.
+  [[nodiscard]] static LinkConfig intel5300_40mhz() { return LinkConfig{}; }
+
+  /// A 20 MHz variant (subcarriers every 2 x 312.5 kHz) useful in tests.
+  [[nodiscard]] static LinkConfig intel5300_20mhz() {
+    LinkConfig cfg;
+    cfg.subcarrier_spacing_hz = 0.625e6;
+    return cfg;
+  }
+};
+
+}  // namespace spotfi

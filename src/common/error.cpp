@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace spotfi::detail {
+
+void throw_contract_violation(const char* expr, const char* file, int line,
+                              const char* msg) {
+  std::ostringstream os;
+  os << "contract violation: " << msg << " [" << expr << "] at " << file << ':'
+     << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace spotfi::detail

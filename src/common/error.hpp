@@ -1,0 +1,56 @@
+// Contract checking and error types shared across the SpotFi library.
+//
+// Public-API entry points validate their inputs with SPOTFI_EXPECTS, which
+// throws spotfi::ContractViolation (a std::logic_error) so misuse is caught
+// early and loudly; internal hot paths use SPOTFI_ASSERT, compiled out in
+// release builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace spotfi {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Thrown when an input trace/file cannot be parsed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Thrown when a numerical routine fails to converge.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_contract_violation(const char* expr, const char* file,
+                                           int line, const char* msg);
+}  // namespace detail
+
+}  // namespace spotfi
+
+/// Precondition check for public API boundaries; always active.
+#define SPOTFI_EXPECTS(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::spotfi::detail::throw_contract_violation(#cond, __FILE__,       \
+                                                 __LINE__, (msg));      \
+    }                                                                   \
+  } while (false)
+
+/// Internal invariant check; active unless NDEBUG.
+#ifdef NDEBUG
+#define SPOTFI_ASSERT(cond, msg) ((void)0)
+#else
+#define SPOTFI_ASSERT(cond, msg) SPOTFI_EXPECTS(cond, msg)
+#endif

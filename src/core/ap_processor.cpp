@@ -1,0 +1,53 @@
+#include "core/ap_processor.hpp"
+
+namespace spotfi {
+
+ApProcessor::ApProcessor(LinkConfig link, ArrayPose pose,
+                         ApProcessorConfig config)
+    : link_(link),
+      pose_(pose),
+      config_(std::move(config)),
+      music_(link_, config_.music),
+      esprit_(link_, config_.esprit) {}
+
+ApResult ApProcessor::process(std::span<const CsiPacket> packets,
+                              Rng& rng) const {
+  SPOTFI_EXPECTS(!packets.empty(), "need at least one packet");
+
+  std::vector<CsiPacket> screened;
+  if (config_.quality) {
+    screened = screen_group(packets, *config_.quality);
+    SPOTFI_EXPECTS(!screened.empty(),
+                   "quality screen rejected every packet in the group");
+    packets = screened;
+  }
+
+  ApResult result;
+  double rssi_sum = 0.0;
+  for (const auto& packet : packets) {
+    const CMatrix csi = config_.sanitize
+                            ? std::move(sanitize_tof(packet.csi, link_).csi)
+                            : packet.csi;
+    const auto estimates = config_.front_end == FrontEnd::kMusic
+                               ? music_.estimate(csi)
+                               : esprit_.estimate(csi);
+    result.pooled_estimates.insert(result.pooled_estimates.end(),
+                                   estimates.begin(), estimates.end());
+    rssi_sum += packet.rssi_dbm;
+  }
+  SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
+                 "super-resolution produced no path estimates");
+
+  result.clusters =
+      cluster_path_estimates(result.pooled_estimates, link_, packets.size(),
+                             rng, config_.direct_path);
+  const std::size_t pick = select_spotfi(result.clusters);
+  result.observation.pose = pose_;
+  result.observation.direct_aoa_rad = result.clusters[pick].mean_aoa_rad;
+  result.observation.likelihood = result.clusters[pick].likelihood;
+  result.observation.rssi_dbm =
+      rssi_sum / static_cast<double>(packets.size());
+  return result;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,75 @@
+// Per-AP processing: lines 2-10 of Algorithm 2.
+//
+// For every packet in a group the processor sanitizes the CSI phase
+// (Algorithm 1), runs SpotFi's joint AoA/ToF super-resolution, and pools
+// the resulting path estimates; the pooled estimates are clustered and
+// the direct path selected by the Eq. 8 likelihood. The output is the
+// compact ApObservation the central server fuses.
+#pragma once
+
+#include <vector>
+
+#include <optional>
+
+#include "channel/csi_synthesis.hpp"
+#include "core/direct_path.hpp"
+#include "csi/quality.hpp"
+#include "csi/sanitize.hpp"
+#include "localize/observation.hpp"
+#include "music/esprit.hpp"
+
+namespace spotfi {
+
+/// Which joint AoA/ToF estimator drives the per-packet stage.
+enum class FrontEnd {
+  kMusic,   ///< the paper's 2-D MUSIC grid search
+  kEsprit,  ///< search-free shift invariance (see music/esprit.hpp)
+};
+
+struct ApProcessorConfig {
+  FrontEnd front_end = FrontEnd::kMusic;
+  JointMusicConfig music{};
+  EspritConfig esprit{};
+  DirectPathConfig direct_path{};
+  /// Apply Algorithm 1 before estimation (disable to reproduce the
+  /// ablation of Fig. 5's sanitization study).
+  bool sanitize = true;
+  /// Screen the packet group (csi/quality.hpp) before processing —
+  /// recommended when feeding real traces; the simulator never produces
+  /// corrupt packets, so it defaults off to keep experiments exact.
+  std::optional<QualityConfig> quality;
+};
+
+/// Everything the per-AP stage produces; the server consumes
+/// `observation`, the diagnostics and benches use the rest.
+struct ApResult {
+  /// Clusters sorted by likelihood (descending).
+  std::vector<ClusterSummary> clusters;
+  /// Pooled per-packet estimates (Fig. 5(c) scatter).
+  std::vector<PathEstimate> pooled_estimates;
+  /// The selected direct path as a fusion-ready observation.
+  ApObservation observation;
+};
+
+class ApProcessor {
+ public:
+  ApProcessor(LinkConfig link, ArrayPose pose, ApProcessorConfig config = {});
+
+  /// Processes one packet group (the paper uses 10-40 packets). Requires
+  /// a non-empty group whose CSI shapes match the link config.
+  [[nodiscard]] ApResult process(std::span<const CsiPacket> packets,
+                                 Rng& rng) const;
+
+  [[nodiscard]] const ArrayPose& pose() const { return pose_; }
+  [[nodiscard]] const ApProcessorConfig& config() const { return config_; }
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+
+ private:
+  LinkConfig link_;
+  ArrayPose pose_;
+  ApProcessorConfig config_;
+  JointMusicEstimator music_;
+  JointEspritEstimator esprit_;
+};
+
+}  // namespace spotfi

@@ -1,0 +1,26 @@
+#include "core/server.hpp"
+
+namespace spotfi {
+
+SpotFiServer::SpotFiServer(LinkConfig link, ServerConfig config)
+    : link_(link), config_(std::move(config)) {}
+
+LocalizationRound SpotFiServer::localize(std::span<const ApCapture> captures,
+                                         Rng& rng) const {
+  SPOTFI_EXPECTS(captures.size() >= 2, "need at least two APs");
+
+  LocalizationRound round;
+  std::vector<ApObservation> observations;
+  observations.reserve(captures.size());
+  for (const auto& capture : captures) {
+    const ApProcessor processor(link_, capture.pose, config_.ap);
+    round.ap_results.push_back(processor.process(capture.packets, rng));
+    observations.push_back(round.ap_results.back().observation);
+  }
+
+  const SpotFiLocalizer localizer(config_.localizer);
+  round.location = localizer.locate(observations);
+  return round;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,47 @@
+// The central server (Fig. 1, Algorithm 2): collects per-AP CSI packet
+// groups, runs the per-AP stage on each, and fuses the resulting
+// observations into a location with the likelihood-weighted solver.
+#pragma once
+
+#include <vector>
+
+#include "core/ap_processor.hpp"
+#include "localize/spotfi_localizer.hpp"
+
+namespace spotfi {
+
+/// One AP's input to a localization round.
+struct ApCapture {
+  ArrayPose pose;
+  std::vector<CsiPacket> packets;
+};
+
+struct ServerConfig {
+  ApProcessorConfig ap{};
+  LocalizerConfig localizer{};
+};
+
+/// Result of one localization round, with per-AP diagnostics.
+struct LocalizationRound {
+  LocationEstimate location;
+  std::vector<ApResult> ap_results;
+};
+
+class SpotFiServer {
+ public:
+  SpotFiServer(LinkConfig link, ServerConfig config = {});
+
+  /// Runs Algorithm 2 end-to-end on the captures of one packet group.
+  /// Requires >= 2 APs with non-empty packet groups.
+  [[nodiscard]] LocalizationRound localize(
+      std::span<const ApCapture> captures, Rng& rng) const;
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+
+ private:
+  LinkConfig link_;
+  ServerConfig config_;
+};
+
+}  // namespace spotfi

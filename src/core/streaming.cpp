@@ -1,0 +1,77 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+namespace spotfi {
+
+StreamingLocalizer::StreamingLocalizer(LinkConfig link,
+                                       StreamingConfig config)
+    : link_(link), config_(std::move(config)), tracker_(config_.tracker) {
+  SPOTFI_EXPECTS(config_.group_size >= 1, "group_size must be positive");
+}
+
+std::size_t StreamingLocalizer::add_ap(const ArrayPose& pose) {
+  buffers_.push_back({pose, {}});
+  return buffers_.size() - 1;
+}
+
+std::size_t StreamingLocalizer::buffered(std::size_t ap_id) const {
+  SPOTFI_EXPECTS(ap_id < buffers_.size(), "unknown AP id");
+  return buffers_[ap_id].packets.size();
+}
+
+std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
+                                                    const CsiPacket& packet,
+                                                    Rng& rng) {
+  SPOTFI_EXPECTS(ap_id < buffers_.size(), "unknown AP id");
+  SPOTFI_EXPECTS(buffers_.size() >= 2, "register at least two APs first");
+
+  if (config_.screen_packets) {
+    const QualityVerdict verdict = screen_packet(packet, config_.quality);
+    if (!verdict.ok) {
+      ++rejected_;
+      return std::nullopt;
+    }
+  }
+  auto& buffer = buffers_[ap_id];
+  buffer.packets.push_back(packet);
+  // Age out stale packets so a stalled AP does not pin an old group.
+  const double now = packet.timestamp_s;
+  for (auto& b : buffers_) {
+    while (!b.packets.empty() &&
+           now - b.packets.front().timestamp_s > config_.max_packet_age_s) {
+      b.packets.pop_front();
+    }
+  }
+
+  const bool ready = std::all_of(
+      buffers_.begin(), buffers_.end(), [&](const ApBuffer& b) {
+        return b.packets.size() >= config_.group_size;
+      });
+  if (!ready) return std::nullopt;
+
+  // Assemble the captures from the oldest group_size packets per AP.
+  std::vector<ApCapture> captures;
+  double latest_t = 0.0;
+  for (auto& b : buffers_) {
+    ApCapture capture;
+    capture.pose = b.pose;
+    for (std::size_t i = 0; i < config_.group_size; ++i) {
+      capture.packets.push_back(b.packets.front());
+      latest_t = std::max(latest_t, b.packets.front().timestamp_s);
+      b.packets.pop_front();
+    }
+    captures.push_back(std::move(capture));
+  }
+
+  const SpotFiServer server(link_, config_.server);
+  LocationFix fix;
+  fix.round = server.localize(captures, rng);
+  fix.raw = fix.round.location.position;
+  fix.time_s = latest_t;
+  fix.tracked =
+      config_.track ? tracker_.update(fix.raw, latest_t) : fix.raw;
+  return fix;
+}
+
+}  // namespace spotfi

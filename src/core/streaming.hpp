@@ -1,0 +1,76 @@
+// Streaming localization server: the online face of Fig. 1's central
+// server.
+//
+// APs push (ap_id, CsiPacket) as packets arrive; once every registered
+// AP has accumulated a full group for a target, the server runs
+// Algorithm 2, feeds the fix through the Kalman tracker, and emits a
+// LocationFix. Input packets are screened by csi/quality first, so a
+// corrupted record never reaches the estimator.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "core/server.hpp"
+#include "core/tracker.hpp"
+#include "csi/quality.hpp"
+
+namespace spotfi {
+
+struct StreamingConfig {
+  ServerConfig server{};
+  /// Packets per localization group (per AP).
+  std::size_t group_size = 10;
+  /// Screen incoming packets (quality.hpp); rejected packets are counted
+  /// but never buffered.
+  bool screen_packets = true;
+  QualityConfig quality{};
+  /// Smooth fixes with the Kalman tracker.
+  bool track = true;
+  TrackerConfig tracker{};
+  /// Drop buffered packets older than this once a round fires [s].
+  double max_packet_age_s = 10.0;
+};
+
+struct LocationFix {
+  Vec2 raw;       ///< the Eq. 9 solution for this group
+  Vec2 tracked;   ///< tracker output (== raw when tracking is off)
+  double time_s = 0.0;
+  LocalizationRound round;  ///< full per-AP diagnostics
+};
+
+class StreamingLocalizer {
+ public:
+  StreamingLocalizer(LinkConfig link, StreamingConfig config = {});
+
+  /// Registers an AP before streaming. Returns its id (dense, 0-based).
+  std::size_t add_ap(const ArrayPose& pose);
+
+  /// Pushes one packet from AP `ap_id`. When every AP has group_size
+  /// buffered packets, a localization round fires and the fix is
+  /// returned (and buffers are drained). Otherwise returns nullopt.
+  [[nodiscard]] std::optional<LocationFix> push(std::size_t ap_id,
+                                                const CsiPacket& packet,
+                                                Rng& rng);
+
+  [[nodiscard]] std::size_t ap_count() const { return buffers_.size(); }
+  [[nodiscard]] std::size_t buffered(std::size_t ap_id) const;
+  /// Packets dropped by the quality screen so far.
+  [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
+  [[nodiscard]] const LocationTracker& tracker() const { return tracker_; }
+
+ private:
+  struct ApBuffer {
+    ArrayPose pose;
+    std::deque<CsiPacket> packets;
+  };
+
+  LinkConfig link_;
+  StreamingConfig config_;
+  std::vector<ApBuffer> buffers_;
+  LocationTracker tracker_;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace spotfi

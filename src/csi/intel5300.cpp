@@ -1,0 +1,267 @@
+#include "csi/intel5300.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+namespace {
+
+constexpr std::uint8_t kBfeeCode = 0xBB;
+constexpr std::size_t kSubcarriers = 30;
+
+double db_inv(double db) { return std::pow(10.0, db / 10.0); }
+double to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Payload size for nrx*ntx streams (read_bfee.c's calc_len).
+std::size_t payload_length(std::size_t streams) {
+  return (kSubcarriers * (streams * 8 * 2 + 3) + 7) / 8;
+}
+
+/// Reads the 8-bit value at bit offset `index` of `payload`.
+std::int8_t read_bits(std::span<const std::uint8_t> payload,
+                      std::size_t index) {
+  const std::size_t byte = index / 8;
+  const unsigned remainder = index % 8;
+  unsigned v = payload[byte] >> remainder;
+  if (remainder != 0) {
+    v |= static_cast<unsigned>(payload[byte + 1]) << (8 - remainder);
+  }
+  return static_cast<std::int8_t>(v & 0xFF);
+}
+
+/// Writes the 8-bit value at bit offset `index` of `payload`.
+void write_bits(std::span<std::uint8_t> payload, std::size_t index,
+                std::int8_t value) {
+  const auto v = static_cast<std::uint8_t>(value);
+  const std::size_t byte = index / 8;
+  const unsigned remainder = index % 8;
+  payload[byte] = static_cast<std::uint8_t>(
+      payload[byte] | static_cast<std::uint8_t>(v << remainder));
+  if (remainder != 0) {
+    payload[byte + 1] = static_cast<std::uint8_t>(
+        payload[byte + 1] | static_cast<std::uint8_t>(v >> (8 - remainder)));
+  }
+}
+
+template <typename T>
+T get_le(std::span<const std::uint8_t> buf, std::size_t offset) {
+  T v{};
+  std::memcpy(&v, buf.data() + offset, sizeof(T));
+  return v;  // host is little-endian on all supported targets
+}
+
+}  // namespace
+
+double BfeeRecord::total_rss_dbm() const {
+  double mag = 0.0;
+  if (rssi_a != 0) mag += db_inv(rssi_a);
+  if (rssi_b != 0) mag += db_inv(rssi_b);
+  if (rssi_c != 0) mag += db_inv(rssi_c);
+  SPOTFI_EXPECTS(mag > 0.0, "bfee record reports no RSSI");
+  return to_db(mag) - 44.0 - static_cast<double>(agc);
+}
+
+std::array<std::size_t, 3> BfeeRecord::permutation() const {
+  return {static_cast<std::size_t>(antenna_sel & 0x3),
+          static_cast<std::size_t>((antenna_sel >> 2) & 0x3),
+          static_cast<std::size_t>((antenna_sel >> 4) & 0x3)};
+}
+
+CMatrix BfeeRecord::scaled_csi() const {
+  SPOTFI_EXPECTS(!csi.empty(), "bfee record has no CSI");
+  double csi_pwr = 0.0;
+  for (const auto& v : csi.flat()) csi_pwr += std::norm(v);
+  SPOTFI_EXPECTS(csi_pwr > 0.0, "bfee CSI is all zero");
+
+  const double rssi_pwr = db_inv(total_rss_dbm());
+  const double scale =
+      rssi_pwr / (csi_pwr / static_cast<double>(kSubcarriers));
+
+  const double noise_db = (noise == -127) ? -92.0 : static_cast<double>(noise);
+  const double thermal_noise_pwr = db_inv(noise_db);
+  // Quantization error: +/-1 per component across nrx*ntx streams.
+  const double quant_error_pwr =
+      scale * static_cast<double>(n_rx) * static_cast<double>(n_tx);
+  const double total_noise_pwr = thermal_noise_pwr + quant_error_pwr;
+
+  CMatrix out = csi;
+  const double factor = std::sqrt(scale / total_noise_pwr);
+  for (auto& v : out.flat()) v *= factor;
+  return out;
+}
+
+std::vector<BfeeRecord> read_csitool_log(std::istream& is) {
+  std::vector<BfeeRecord> records;
+  while (true) {
+    // Frame header: u16 big-endian length, u8 code.
+    std::uint8_t hdr[2];
+    is.read(reinterpret_cast<char*>(hdr), 2);
+    if (is.eof()) break;
+    if (!is) throw ParseError("csitool: truncated frame length");
+    const std::size_t field_len =
+        (static_cast<std::size_t>(hdr[0]) << 8) | hdr[1];
+    if (field_len == 0) throw ParseError("csitool: zero-length frame");
+
+    std::vector<std::uint8_t> frame(field_len);
+    is.read(reinterpret_cast<char*>(frame.data()),
+            static_cast<std::streamsize>(field_len));
+    if (!is) throw ParseError("csitool: truncated frame body");
+
+    if (frame[0] != kBfeeCode) continue;  // other log record types: skip
+    const std::span<const std::uint8_t> body(frame.data() + 1,
+                                             frame.size() - 1);
+    if (body.size() < 20) throw ParseError("csitool: bfee header too short");
+
+    BfeeRecord rec;
+    rec.timestamp_low = get_le<std::uint32_t>(body, 0);
+    rec.bfee_count = get_le<std::uint16_t>(body, 4);
+    rec.n_rx = body[8];
+    rec.n_tx = body[9];
+    rec.rssi_a = body[10];
+    rec.rssi_b = body[11];
+    rec.rssi_c = body[12];
+    rec.noise = static_cast<std::int8_t>(body[13]);
+    rec.agc = body[14];
+    rec.antenna_sel = body[15];
+    const std::uint16_t len = get_le<std::uint16_t>(body, 16);
+    // body[18..19]: fake_rate_n_flags (unused).
+    if (rec.n_rx == 0 || rec.n_rx > 3 || rec.n_tx != 1) {
+      throw ParseError("csitool: unsupported antenna configuration");
+    }
+    const std::size_t streams =
+        static_cast<std::size_t>(rec.n_rx) * rec.n_tx;
+    if (len != payload_length(streams) || body.size() < 20 + len) {
+      throw ParseError("csitool: payload length mismatch");
+    }
+    const std::span<const std::uint8_t> payload(body.data() + 20, len);
+
+    rec.csi = CMatrix(rec.n_rx, kSubcarriers);
+    std::size_t index = 0;
+    for (std::size_t sub = 0; sub < kSubcarriers; ++sub) {
+      index += 3;
+      for (std::size_t j = 0; j < streams; ++j) {
+        const std::int8_t re = read_bits(payload, index);
+        const std::int8_t im = read_bits(payload, index + 8);
+        rec.csi(j, sub) = cplx(re, im);
+        index += 16;
+      }
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<BfeeRecord> read_csitool_log(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ParseError("csitool: cannot open " + path);
+  return read_csitool_log(is);
+}
+
+void write_csitool_log(std::ostream& os,
+                       std::span<const BfeeRecord> records) {
+  for (const auto& rec : records) {
+    SPOTFI_EXPECTS(rec.n_tx == 1 && rec.n_rx >= 1 && rec.n_rx <= 3,
+                   "csitool writer supports Ntx = 1, Nrx <= 3");
+    SPOTFI_EXPECTS(rec.csi.rows() == rec.n_rx &&
+                       rec.csi.cols() == kSubcarriers,
+                   "bfee CSI shape mismatch");
+    const std::size_t streams = rec.n_rx;
+    const std::size_t len = payload_length(streams);
+
+    std::vector<std::uint8_t> payload(len + 1, 0);  // +1: write_bits slack
+    std::size_t index = 0;
+    for (std::size_t sub = 0; sub < kSubcarriers; ++sub) {
+      index += 3;
+      for (std::size_t j = 0; j < streams; ++j) {
+        const auto re = static_cast<std::int8_t>(
+            std::clamp(std::lround(rec.csi(j, sub).real()), -128L, 127L));
+        const auto im = static_cast<std::int8_t>(
+            std::clamp(std::lround(rec.csi(j, sub).imag()), -128L, 127L));
+        write_bits(payload, index, re);
+        write_bits(payload, index + 8, im);
+        index += 16;
+      }
+    }
+    payload.resize(len);
+
+    std::vector<std::uint8_t> body;
+    body.reserve(21 + len);
+    body.push_back(kBfeeCode);
+    auto push_le = [&body](auto value) {
+      std::uint8_t bytes[sizeof(value)];
+      std::memcpy(bytes, &value, sizeof(value));
+      body.insert(body.end(), bytes, bytes + sizeof(value));
+    };
+    push_le(rec.timestamp_low);
+    push_le(rec.bfee_count);
+    push_le(std::uint16_t{0});  // reserved
+    body.push_back(rec.n_rx);
+    body.push_back(rec.n_tx);
+    body.push_back(rec.rssi_a);
+    body.push_back(rec.rssi_b);
+    body.push_back(rec.rssi_c);
+    body.push_back(static_cast<std::uint8_t>(rec.noise));
+    body.push_back(rec.agc);
+    body.push_back(rec.antenna_sel);
+    push_le(static_cast<std::uint16_t>(len));
+    push_le(std::uint16_t{0});  // fake_rate_n_flags
+    body.insert(body.end(), payload.begin(), payload.end());
+
+    const auto field_len = static_cast<std::uint16_t>(body.size());
+    const std::uint8_t hdr[2] = {
+        static_cast<std::uint8_t>(field_len >> 8),
+        static_cast<std::uint8_t>(field_len & 0xFF)};
+    os.write(reinterpret_cast<const char*>(hdr), 2);
+    os.write(reinterpret_cast<const char*>(body.data()),
+             static_cast<std::streamsize>(body.size()));
+  }
+  if (!os) throw ParseError("csitool: write failure");
+}
+
+void write_csitool_log(const std::string& path,
+                       std::span<const BfeeRecord> records) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ParseError("csitool: cannot open for writing " + path);
+  write_csitool_log(os, records);
+}
+
+BfeeRecord make_bfee(const CMatrix& csi, double rssi_dbm,
+                     std::uint32_t timestamp_low) {
+  SPOTFI_EXPECTS(csi.rows() >= 1 && csi.rows() <= 3 &&
+                     csi.cols() == kSubcarriers,
+                 "make_bfee expects an Nrx x 30 CSI matrix");
+  BfeeRecord rec;
+  rec.timestamp_low = timestamp_low;
+  rec.n_rx = static_cast<std::uint8_t>(csi.rows());
+  rec.n_tx = 1;
+  rec.noise = -92;
+  rec.agc = 40;
+  rec.antenna_sel = 0x24;  // identity permutation (0, 1, 2)
+
+  // AGC emulation: scale the strongest I/Q component near full range.
+  double max_comp = 0.0;
+  for (const auto& v : csi.flat()) {
+    max_comp = std::max({max_comp, std::abs(v.real()), std::abs(v.imag())});
+  }
+  SPOTFI_EXPECTS(max_comp > 0.0, "make_bfee: zero CSI");
+  const double scale = 114.0 / max_comp;
+  rec.csi = CMatrix(csi.rows(), csi.cols());
+  for (std::size_t m = 0; m < csi.rows(); ++m) {
+    for (std::size_t n = 0; n < csi.cols(); ++n) {
+      rec.csi(m, n) = cplx(std::round(csi(m, n).real() * scale),
+                           std::round(csi(m, n).imag() * scale));
+    }
+  }
+  // RSSI slot A carries the packet RSSI: dBm = rssi_a - 44 - agc.
+  const double slot = rssi_dbm + 44.0 + static_cast<double>(rec.agc);
+  rec.rssi_a =
+      static_cast<std::uint8_t>(std::clamp(std::lround(slot), 1L, 255L));
+  return rec;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,80 @@
+// Intel 5300 / Linux 802.11n CSI Tool compatibility layer.
+//
+// The paper's deployment reads CSI with the csitool [68], whose userspace
+// logs "beamforming feedback" (bfee) records in a simple framed binary
+// format. This module implements a faithful encoder/decoder for that
+// format so the library can ingest real csitool logs:
+//
+//   per frame:  u16 big-endian field length, u8 code (0xBB = bfee)
+//   bfee body:  u32le timestamp_low, u16le bfee_count, u16 reserved,
+//               u8 Nrx, u8 Ntx, u8 rssiA, u8 rssiB, u8 rssiC, i8 noise,
+//               u8 agc, u8 antenna_sel, u16le len, u16le fake_rate_n_flags,
+//               payload[len]
+//   payload:    for each of 30 subcarriers: skip 3 bits, then for each of
+//               Ntx*Nrx streams an (i8 real, i8 imag) pair, packed at the
+//               running bit offset (read_bfee.c's layout).
+//
+// Scaling follows the tool's get_scaled_csi(): CSI is normalized so that
+// its total power matches the SNR implied by the per-antenna RSSI, AGC,
+// and noise figures, with the standard +44 dBm RSSI offset.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// One decoded bfee record (quantities as the NIC reports them).
+struct BfeeRecord {
+  std::uint32_t timestamp_low = 0;  ///< microseconds, wraps every ~72 min
+  std::uint16_t bfee_count = 0;
+  std::uint8_t n_rx = 3;
+  std::uint8_t n_tx = 1;
+  /// Per-antenna RSSI magnitudes (0 = absent); dBm = value - 44 - agc.
+  std::uint8_t rssi_a = 0;
+  std::uint8_t rssi_b = 0;
+  std::uint8_t rssi_c = 0;
+  std::int8_t noise = -127;
+  std::uint8_t agc = 0;
+  /// 2-bit fields: physical antenna behind each RX chain.
+  std::uint8_t antenna_sel = 0;
+  /// Raw quantized CSI, n_rx x 30 for n_tx = 1 (stream-major for Ntx > 1
+  /// is not used by SpotFi and unsupported here).
+  CMatrix csi;
+
+  /// Total received power [dBm] from the per-antenna RSSIs
+  /// (get_total_rss in the tool).
+  [[nodiscard]] double total_rss_dbm() const;
+
+  /// CSI scaled to absolute channel magnitude (get_scaled_csi).
+  [[nodiscard]] CMatrix scaled_csi() const;
+
+  /// RX-chain permutation decoded from antenna_sel (perm in the tool).
+  [[nodiscard]] std::array<std::size_t, 3> permutation() const;
+};
+
+/// Parses an entire csitool .dat log. Non-bfee frames (code != 0xBB) are
+/// skipped, as in the reference parser. Throws ParseError on framing
+/// corruption.
+[[nodiscard]] std::vector<BfeeRecord> read_csitool_log(std::istream& is);
+[[nodiscard]] std::vector<BfeeRecord> read_csitool_log(
+    const std::string& path);
+
+/// Serializes records into the csitool .dat framing (bit-exact round trip
+/// of the quantized payload).
+void write_csitool_log(std::ostream& os, std::span<const BfeeRecord> records);
+void write_csitool_log(const std::string& path,
+                       std::span<const BfeeRecord> records);
+
+/// Quantizes a synthesized CSI matrix into a bfee record, emulating the
+/// NIC's AGC and 8-bit I/Q quantization; `rssi_dbm` drives the RSSI
+/// fields. The inverse of BfeeRecord::scaled_csi up to quantization.
+[[nodiscard]] BfeeRecord make_bfee(const CMatrix& csi, double rssi_dbm,
+                                   std::uint32_t timestamp_low = 0);
+
+}  // namespace spotfi

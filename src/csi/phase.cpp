@@ -1,0 +1,32 @@
+#include "csi/phase.hpp"
+
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace spotfi {
+
+RMatrix csi_phase(const CMatrix& csi) {
+  RMatrix phase(csi.rows(), csi.cols());
+  for (std::size_t i = 0; i < csi.rows(); ++i)
+    for (std::size_t j = 0; j < csi.cols(); ++j)
+      phase(i, j) = std::arg(csi(i, j));
+  return phase;
+}
+
+void unwrap_in_place(std::span<double> phase) {
+  for (std::size_t i = 1; i < phase.size(); ++i) {
+    const double jump = phase[i] - phase[i - 1];
+    phase[i] = phase[i - 1] + wrap_pi(jump);
+  }
+}
+
+RMatrix unwrapped_phase(const CMatrix& csi) {
+  RMatrix phase = csi_phase(csi);
+  for (std::size_t m = 0; m < phase.rows(); ++m) {
+    unwrap_in_place(phase.row(m));
+  }
+  return phase;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,20 @@
+// CSI phase utilities: extraction and 1-D unwrapping along the subcarrier
+// axis, the preprocessing Algorithm 1 operates on.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Raw (wrapped) phase of each CSI entry [rad].
+[[nodiscard]] RMatrix csi_phase(const CMatrix& csi);
+
+/// Unwraps a phase sequence in place: successive differences are brought
+/// into (-pi, pi] by adding multiples of 2*pi.
+void unwrap_in_place(std::span<double> phase);
+
+/// Phase response unwrapped independently along each antenna's subcarrier
+/// axis — psi(m, n) in the paper's notation.
+[[nodiscard]] RMatrix unwrapped_phase(const CMatrix& csi);
+
+}  // namespace spotfi

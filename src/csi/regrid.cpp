@@ -1,0 +1,72 @@
+#include "csi/regrid.hpp"
+
+#include <algorithm>
+
+namespace spotfi {
+
+bool SubcarrierGrid::is_uniform() const {
+  if (indices.size() < 3) return true;
+  const int step = indices[1] - indices[0];
+  for (std::size_t k = 2; k < indices.size(); ++k) {
+    if (indices[k] - indices[k - 1] != step) return false;
+  }
+  return true;
+}
+
+double SubcarrierGrid::offset_hz(std::size_t k) const {
+  SPOTFI_EXPECTS(k < indices.size(), "grid index out of range");
+  return static_cast<double>(indices[k]) * index_spacing_hz;
+}
+
+SubcarrierGrid SubcarrierGrid::intel5300_40mhz() {
+  SubcarrierGrid grid;
+  for (int i = -58; i <= -2; i += 4) grid.indices.push_back(i);
+  for (int i = 2; i <= 58; i += 4) grid.indices.push_back(i);
+  return grid;
+}
+
+SubcarrierGrid SubcarrierGrid::intel5300_20mhz() {
+  SubcarrierGrid grid;
+  for (int i = -28; i <= -2; i += 2) grid.indices.push_back(i);
+  grid.indices.push_back(-1);
+  for (int i = 1; i <= 27; i += 2) grid.indices.push_back(i);
+  grid.indices.push_back(28);
+  return grid;
+}
+
+RegridResult regrid_csi(const CMatrix& csi, const SubcarrierGrid& grid,
+                        const LinkConfig& link, std::size_t n_uniform) {
+  SPOTFI_EXPECTS(csi.cols() == grid.size(),
+                 "CSI column count disagrees with the grid");
+  SPOTFI_EXPECTS(grid.size() >= 2 && n_uniform >= 2,
+                 "need at least two subcarriers");
+  SPOTFI_EXPECTS(std::is_sorted(grid.indices.begin(), grid.indices.end()),
+                 "grid indices must be ascending");
+
+  const double lo = grid.offset_hz(0);
+  const double hi = grid.offset_hz(grid.size() - 1);
+  SPOTFI_EXPECTS(hi > lo, "grid must span a positive bandwidth");
+
+  RegridResult result;
+  result.spacing_hz = (hi - lo) / static_cast<double>(n_uniform - 1);
+  result.link = link;
+  result.link.n_subcarriers = n_uniform;
+  result.link.subcarrier_spacing_hz = result.spacing_hz;
+  result.csi = CMatrix(csi.rows(), n_uniform);
+
+  for (std::size_t m = 0; m < csi.rows(); ++m) {
+    std::size_t seg = 0;  // source segment [seg, seg+1]
+    for (std::size_t n = 0; n < n_uniform; ++n) {
+      const double f = lo + static_cast<double>(n) * result.spacing_hz;
+      while (seg + 2 < grid.size() && grid.offset_hz(seg + 1) < f) ++seg;
+      const double f0 = grid.offset_hz(seg);
+      const double f1 = grid.offset_hz(seg + 1);
+      const double t = std::clamp((f - f0) / (f1 - f0), 0.0, 1.0);
+      result.csi(m, n) =
+          csi(m, seg) + (csi(m, seg + 1) - csi(m, seg)) * t;
+    }
+  }
+  return result;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,55 @@
+// Non-uniform subcarrier grids and resampling onto the uniform grid the
+// estimation machinery assumes.
+//
+// Everything in music/ (steering progressions, smoothing shifts) relies
+// on equispaced subcarriers. The Intel 5300 reports an equispaced set for
+// 40 MHz channels (every 4th subcarrier), but its 20 MHz report set
+//   -28 -26 ... -2 -1 1 3 ... 27 28
+// is *not* uniform near DC and the band edges. Real deployments regrid
+// the CSI by complex interpolation before estimation; this module
+// implements that step.
+#pragma once
+
+#include <vector>
+
+#include "common/constants.hpp"
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// A set of reported OFDM subcarrier indices on the 312.5 kHz raster.
+struct SubcarrierGrid {
+  std::vector<int> indices;
+  /// Frequency step of one index unit [Hz].
+  double index_spacing_hz = 312.5e3;
+
+  [[nodiscard]] std::size_t size() const { return indices.size(); }
+  [[nodiscard]] bool is_uniform() const;
+  /// Frequency offset of entry `k` from the band center [Hz].
+  [[nodiscard]] double offset_hz(std::size_t k) const;
+
+  /// The Intel 5300 report sets (csitool documentation).
+  [[nodiscard]] static SubcarrierGrid intel5300_40mhz();
+  [[nodiscard]] static SubcarrierGrid intel5300_20mhz();
+};
+
+struct RegridResult {
+  /// antennas x n_uniform CSI on the equispaced grid.
+  CMatrix csi;
+  /// Spacing of the uniform grid [Hz].
+  double spacing_hz = 0.0;
+  /// Link configuration describing the regridded data (carrier taken
+  /// from the input config).
+  LinkConfig link;
+};
+
+/// Resamples CSI reported on `grid` onto `n_uniform` equispaced
+/// subcarriers spanning the same band, by linear interpolation of the
+/// complex values per antenna. `link` supplies the carrier frequency and
+/// antenna geometry; its subcarrier fields are replaced in the result.
+[[nodiscard]] RegridResult regrid_csi(const CMatrix& csi,
+                                      const SubcarrierGrid& grid,
+                                      const LinkConfig& link,
+                                      std::size_t n_uniform = 30);
+
+}  // namespace spotfi

@@ -1,0 +1,50 @@
+#include "csi/sanitize.hpp"
+
+#include <cmath>
+
+#include "csi/phase.hpp"
+
+namespace spotfi {
+
+SanitizeResult sanitize_tof(const CMatrix& csi, const LinkConfig& link) {
+  SPOTFI_EXPECTS(csi.rows() >= 1 && csi.cols() >= 2,
+                 "sanitize_tof needs >= 1 antenna and >= 2 subcarriers");
+  const std::size_t m_ant = csi.rows();
+  const std::size_t n_sub = csi.cols();
+  const RMatrix psi = unwrapped_phase(csi);
+
+  // Closed-form least squares for
+  //   min_{rho,beta} sum_{m,n} (psi(m,n) + g_n * rho + beta)^2,
+  // where g_n = 2*pi*f_delta*(n-1) is common to every antenna.
+  const double two_pi_fd = 2.0 * kPi * link.subcarrier_spacing_hz;
+  double s_g = 0.0, s_gg = 0.0, s_psi = 0.0, s_gpsi = 0.0;
+  for (std::size_t n = 0; n < n_sub; ++n) {
+    const double g = two_pi_fd * static_cast<double>(n);
+    s_g += static_cast<double>(m_ant) * g;
+    s_gg += static_cast<double>(m_ant) * g * g;
+    for (std::size_t m = 0; m < m_ant; ++m) {
+      s_psi += psi(m, n);
+      s_gpsi += g * psi(m, n);
+    }
+  }
+  const double total = static_cast<double>(m_ant * n_sub);
+  const double denom = total * s_gg - s_g * s_g;
+  SPOTFI_ASSERT(denom > 0.0, "degenerate subcarrier grid");
+  const double rho = (s_g * s_psi - total * s_gpsi) / denom;
+  const double beta = -(s_psi + rho * s_g) / total;
+
+  SanitizeResult result;
+  result.fitted_sto_s = rho;
+  result.fitted_offset_rad = beta;
+  result.csi = csi;
+  // Step 2 of Algorithm 1: psi_hat(m,n) = psi(m,n) + g_n * rho_hat, which
+  // on the complex CSI is a per-subcarrier unit rotation.
+  for (std::size_t n = 0; n < n_sub; ++n) {
+    const cplx rot =
+        std::polar(1.0, two_pi_fd * static_cast<double>(n) * rho);
+    for (std::size_t m = 0; m < m_ant; ++m) result.csi(m, n) *= rot;
+  }
+  return result;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,37 @@
+// Algorithm 1 — ToF sanitization.
+//
+// The sender and receiver sampling clocks are not synchronized, so every
+// packet's CSI carries a sampling-time offset (STO) that adds a common
+// delay to the ToF of all paths; worse, SFO and packet-detection delay
+// make that offset vary packet to packet. The STO manifests as a term
+// linear in subcarrier index, identical across antennas. Algorithm 1 fits
+// that common linear term to the unwrapped phase and removes it, making
+// the ToF estimates of consecutive packets comparable (their variance can
+// then be used for the direct-path likelihood, Sec. 3.2.3).
+#pragma once
+
+#include "common/constants.hpp"
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+struct SanitizeResult {
+  /// CSI with the fitted linear phase removed, magnitudes untouched.
+  CMatrix csi;
+  /// The fitted STO estimate tau_hat [s] (step 1 of Algorithm 1).
+  double fitted_sto_s = 0.0;
+  /// The fitted constant phase beta [rad].
+  double fitted_offset_rad = 0.0;
+};
+
+/// Applies Algorithm 1 to one packet's CSI (antennas x subcarriers).
+///
+/// Finds (rho, beta) minimizing
+///   sum_{m,n} (psi(m,n) + 2*pi*f_delta*(n-1)*rho + beta)^2
+/// over the unwrapped phase psi, then adds 2*pi*f_delta*(n-1)*rho_hat to
+/// every subcarrier's phase. After this transform the phase response of
+/// two packets differing only in STO is identical (Sec. 3.2.2).
+[[nodiscard]] SanitizeResult sanitize_tof(const CMatrix& csi,
+                                          const LinkConfig& link);
+
+}  // namespace spotfi

@@ -1,0 +1,58 @@
+#include "csi/smoothing.hpp"
+
+namespace spotfi {
+
+std::size_t smoothed_rows(const SmoothingConfig& cfg) {
+  return cfg.sub_len * cfg.ant_len;
+}
+
+std::size_t smoothed_cols(std::size_t n_antennas, std::size_t n_subcarriers,
+                          const SmoothingConfig& cfg) {
+  SPOTFI_EXPECTS(cfg.ant_len >= 1 && cfg.ant_len <= n_antennas,
+                 "subarray antenna length out of range");
+  SPOTFI_EXPECTS(cfg.sub_len >= 1 && cfg.sub_len <= n_subcarriers,
+                 "subarray subcarrier length out of range");
+  return (n_subcarriers - cfg.sub_len + 1) * (n_antennas - cfg.ant_len + 1);
+}
+
+CMatrix smoothed_csi(const CMatrix& csi, const SmoothingConfig& cfg) {
+  const std::size_t m_ant = csi.rows();
+  const std::size_t n_sub = csi.cols();
+  const std::size_t rows = smoothed_rows(cfg);
+  const std::size_t cols = smoothed_cols(m_ant, n_sub, cfg);
+  const std::size_t sub_shifts = n_sub - cfg.sub_len + 1;
+
+  CMatrix x(rows, cols);
+  std::size_t col = 0;
+  for (std::size_t da = 0; da + cfg.ant_len <= m_ant; ++da) {
+    for (std::size_t ds = 0; ds < sub_shifts; ++ds, ++col) {
+      std::size_t row = 0;
+      for (std::size_t a = 0; a < cfg.ant_len; ++a) {
+        for (std::size_t s = 0; s < cfg.sub_len; ++s, ++row) {
+          x(row, col) = csi(da + a, ds + s);
+        }
+      }
+    }
+  }
+  return x;
+}
+
+CMatrix spatially_smoothed_snapshots(const CMatrix& csi, std::size_t ant_len) {
+  const std::size_t m_ant = csi.rows();
+  const std::size_t n_sub = csi.cols();
+  SPOTFI_EXPECTS(ant_len >= 1 && ant_len <= m_ant,
+                 "antenna subarray length out of range");
+  const std::size_t shifts = m_ant - ant_len + 1;
+  CMatrix x(ant_len, shifts * n_sub);
+  std::size_t col = 0;
+  for (std::size_t da = 0; da < shifts; ++da) {
+    for (std::size_t n = 0; n < n_sub; ++n, ++col) {
+      for (std::size_t a = 0; a < ant_len; ++a) {
+        x(a, col) = csi(da + a, n);
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,155 @@
+#include "csi/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+
+namespace spotfi {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'F', 'I'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::int8_t kRssiAbsent = 0x7f;
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw ParseError("trace: truncated input");
+  return value;
+}
+
+std::int8_t quantize_component(double v, double scale) {
+  const double q = std::round(v * scale);
+  return static_cast<std::int8_t>(std::clamp(q, -128.0, 127.0));
+}
+
+std::int8_t encode_rssi(double rssi_dbm) {
+  return static_cast<std::int8_t>(
+      std::clamp(std::round(rssi_dbm), -126.0, 126.0));
+}
+
+}  // namespace
+
+void write_trace(std::ostream& os, const LinkConfig& link,
+                 std::span<const CsiPacket> packets) {
+  SPOTFI_EXPECTS(link.n_antennas <= 255 && link.n_subcarriers <= 255,
+                 "trace format supports at most 255 antennas/subcarriers");
+  os.write(kMagic, sizeof(kMagic));
+  put(os, kVersion);
+  put(os, link.carrier_hz);
+  put(os, link.subcarrier_spacing_hz);
+  put(os, link.antenna_spacing_m);
+  put(os, static_cast<std::uint8_t>(link.n_antennas));
+  put(os, static_cast<std::uint8_t>(link.n_subcarriers));
+
+  for (const auto& packet : packets) {
+    SPOTFI_EXPECTS(packet.csi.rows() == link.n_antennas &&
+                       packet.csi.cols() == link.n_subcarriers,
+                   "packet CSI shape disagrees with the link config");
+    put(os, static_cast<std::uint64_t>(
+                std::llround(packet.timestamp_s * 1e9)));
+    put(os, static_cast<std::uint8_t>(link.n_antennas));  // n_rx
+    put(os, static_cast<std::uint8_t>(1));                // n_tx
+    // Per-antenna RSSI slots a/b/c as in the csitool record; we report the
+    // packet RSSI on slot a and mark unused slots absent.
+    put(os, encode_rssi(packet.rssi_dbm));
+    put(os, kRssiAbsent);
+    put(os, kRssiAbsent);
+    put(os, static_cast<std::int8_t>(-92));  // noise floor estimate
+    put(os, static_cast<std::uint8_t>(40));  // nominal AGC
+
+    double max_comp = 0.0;
+    for (const auto& v : packet.csi.flat()) {
+      max_comp = std::max({max_comp, std::abs(v.real()), std::abs(v.imag())});
+    }
+    const float scale =
+        max_comp > 0.0 ? static_cast<float>(114.0 / max_comp) : 1.0f;
+    put(os, scale);
+    for (const auto& v : packet.csi.flat()) {
+      put(os, quantize_component(v.real(), scale));
+      put(os, quantize_component(v.imag(), scale));
+    }
+  }
+  if (!os) throw ParseError("trace: write failure");
+}
+
+void write_trace(const std::string& path, const LinkConfig& link,
+                 std::span<const CsiPacket> packets) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw ParseError("trace: cannot open for writing: " + path);
+  write_trace(os, link, packets);
+}
+
+Trace read_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw ParseError("trace: bad magic");
+  }
+  const auto version = get<std::uint16_t>(is);
+  if (version != kVersion) {
+    throw ParseError("trace: unsupported version " + std::to_string(version));
+  }
+
+  Trace trace;
+  trace.link.carrier_hz = get<double>(is);
+  trace.link.subcarrier_spacing_hz = get<double>(is);
+  trace.link.antenna_spacing_m = get<double>(is);
+  trace.link.n_antennas = get<std::uint8_t>(is);
+  trace.link.n_subcarriers = get<std::uint8_t>(is);
+  if (trace.link.n_antennas == 0 || trace.link.n_subcarriers == 0 ||
+      trace.link.carrier_hz <= 0.0 || trace.link.subcarrier_spacing_hz <= 0.0) {
+    throw ParseError("trace: invalid link configuration header");
+  }
+
+  while (true) {
+    std::uint64_t timestamp_ns = 0;
+    is.read(reinterpret_cast<char*>(&timestamp_ns), sizeof(timestamp_ns));
+    if (is.eof()) break;
+    if (!is) throw ParseError("trace: truncated record header");
+
+    CsiPacket packet;
+    packet.timestamp_s = static_cast<double>(timestamp_ns) * 1e-9;
+    const auto n_rx = get<std::uint8_t>(is);
+    const auto n_tx = get<std::uint8_t>(is);
+    if (n_rx != trace.link.n_antennas || n_tx != 1) {
+      throw ParseError("trace: record shape disagrees with header");
+    }
+    const auto rssi_a = get<std::int8_t>(is);
+    (void)get<std::int8_t>(is);  // rssi_b
+    (void)get<std::int8_t>(is);  // rssi_c
+    (void)get<std::int8_t>(is);  // noise
+    (void)get<std::uint8_t>(is); // agc
+    packet.rssi_dbm = static_cast<double>(rssi_a);
+
+    const auto scale = get<float>(is);
+    if (!(scale > 0.0f) || !std::isfinite(scale)) {
+      throw ParseError("trace: invalid record scale");
+    }
+    packet.csi = CMatrix(trace.link.n_antennas, trace.link.n_subcarriers);
+    for (auto& v : packet.csi.flat()) {
+      const auto re = get<std::int8_t>(is);
+      const auto im = get<std::int8_t>(is);
+      v = cplx(static_cast<double>(re) / scale,
+               static_cast<double>(im) / scale);
+    }
+    trace.packets.push_back(std::move(packet));
+  }
+  return trace;
+}
+
+Trace read_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw ParseError("trace: cannot open for reading: " + path);
+  return read_trace(is);
+}
+
+}  // namespace spotfi

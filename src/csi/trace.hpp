@@ -1,0 +1,46 @@
+// On-disk CSI trace format, closely modelled on the Linux 802.11n CSI
+// Tool's `bfee` log records that the paper's deployment ships from each AP
+// to the central server.
+//
+// Layout (little-endian):
+//   file header:  magic "SPFI", u16 version, LinkConfig fields,
+//                 u8 n_antennas, u8 n_subcarriers
+//   per record:   u64 timestamp_ns, u8 n_rx, u8 n_tx,
+//                 i8 rssi_a/b/c (dBm, 0x7f = absent), i8 noise_dbm,
+//                 u8 agc, f32 scale, then n_rx*n_subcarriers (i8 re, i8 im)
+//
+// Like the real tool, CSI entries are stored as quantized 8-bit I/Q; the
+// f32 `scale` records the AGC scaling applied at capture so the reader can
+// reconstruct the linear-scale CSI exactly (the real tool reconstructs it
+// from RSSI/AGC instead — we store it explicitly for lossless round
+// trips).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "channel/csi_synthesis.hpp"
+#include "common/constants.hpp"
+
+namespace spotfi {
+
+/// Writes a trace file. Throws ParseError on I/O failure and
+/// ContractViolation if a packet's CSI shape disagrees with `link`.
+void write_trace(const std::string& path, const LinkConfig& link,
+                 std::span<const CsiPacket> packets);
+void write_trace(std::ostream& os, const LinkConfig& link,
+                 std::span<const CsiPacket> packets);
+
+struct Trace {
+  LinkConfig link;
+  std::vector<CsiPacket> packets;
+};
+
+/// Reads a trace file written by write_trace. Throws ParseError on
+/// malformed input (bad magic, truncated records, shape overflow).
+[[nodiscard]] Trace read_trace(const std::string& path);
+[[nodiscard]] Trace read_trace(std::istream& is);
+
+}  // namespace spotfi

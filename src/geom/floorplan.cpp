@@ -1,0 +1,52 @@
+#include "geom/floorplan.hpp"
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+void FloorPlan::add_wall(Wall wall) {
+  SPOTFI_EXPECTS(wall.segment.length() > 0.0, "wall must have positive length");
+  walls_.push_back(std::move(wall));
+}
+
+void FloorPlan::add_rectangle(Vec2 lo, Vec2 hi, const WallMaterial& material,
+                              const std::string& name_prefix) {
+  SPOTFI_EXPECTS(lo.x < hi.x && lo.y < hi.y,
+                 "rectangle must have positive area");
+  const Vec2 a{lo.x, lo.y};
+  const Vec2 b{hi.x, lo.y};
+  const Vec2 c{hi.x, hi.y};
+  const Vec2 d{lo.x, hi.y};
+  add_wall({{a, b}, material, name_prefix + "/south"});
+  add_wall({{b, c}, material, name_prefix + "/east"});
+  add_wall({{c, d}, material, name_prefix + "/north"});
+  add_wall({{d, a}, material, name_prefix + "/west"});
+}
+
+double FloorPlan::transmission_loss_db(Vec2 from, Vec2 to,
+                                       std::size_t skip_wall) const {
+  const Segment ray{from, to};
+  double loss = 0.0;
+  for (std::size_t w = 0; w < walls_.size(); ++w) {
+    if (w == skip_wall) continue;
+    if (segment_intersection(ray, walls_[w].segment)) {
+      loss += walls_[w].material.transmission_loss_db;
+    }
+  }
+  return loss;
+}
+
+std::size_t FloorPlan::walls_crossed(Vec2 from, Vec2 to) const {
+  const Segment ray{from, to};
+  std::size_t n = 0;
+  for (const auto& wall : walls_) {
+    if (segment_intersection(ray, wall.segment)) ++n;
+  }
+  return n;
+}
+
+bool FloorPlan::line_of_sight(Vec2 from, Vec2 to) const {
+  return walls_crossed(from, to) == 0;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,65 @@
+// Floor plans: walls with RF material properties, plus the queries the
+// channel simulator needs — how much a straight path is attenuated by the
+// walls it crosses, and whether a link is line-of-sight.
+//
+// Walls both attenuate signals passing through them (transmission loss)
+// and act as specular reflectors (reflection loss). Point scatterers
+// (furniture, cabinets, people) are handled separately by the channel
+// model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/segment.hpp"
+
+namespace spotfi {
+
+/// RF properties of a wall material, in dB per crossing / per bounce.
+struct WallMaterial {
+  double transmission_loss_db = 6.0;
+  double reflection_loss_db = 4.0;
+
+  [[nodiscard]] static WallMaterial drywall() { return {5.0, 2.5}; }
+  [[nodiscard]] static WallMaterial concrete() { return {14.0, 1.5}; }
+  [[nodiscard]] static WallMaterial glass() { return {3.0, 5.0}; }
+  [[nodiscard]] static WallMaterial metal() { return {30.0, 0.5}; }
+};
+
+struct Wall {
+  Segment segment;
+  WallMaterial material;
+  std::string name;
+};
+
+/// A floor plan is a set of walls; all channel-simulator geometry queries
+/// go through this class.
+class FloorPlan {
+ public:
+  void add_wall(Wall wall);
+  /// Adds the four walls of an axis-aligned rectangle (a room shell).
+  void add_rectangle(Vec2 lo, Vec2 hi, const WallMaterial& material,
+                     const std::string& name_prefix);
+
+  [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
+  [[nodiscard]] std::size_t wall_count() const { return walls_.size(); }
+
+  /// Total transmission loss [dB] accumulated by a straight ray from `from`
+  /// to `to`, excluding wall `skip_wall` (pass size() to skip none) —
+  /// used when the endpoint of a sub-ray lies on a reflecting wall.
+  [[nodiscard]] double transmission_loss_db(
+      Vec2 from, Vec2 to, std::size_t skip_wall = kNoWall) const;
+
+  /// Number of walls a straight ray crosses.
+  [[nodiscard]] std::size_t walls_crossed(Vec2 from, Vec2 to) const;
+
+  /// A link is line-of-sight when the straight ray crosses no wall.
+  [[nodiscard]] bool line_of_sight(Vec2 from, Vec2 to) const;
+
+  static constexpr std::size_t kNoWall = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+}  // namespace spotfi

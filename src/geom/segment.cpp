@@ -1,0 +1,51 @@
+#include "geom/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotfi {
+
+std::optional<double> segment_intersection(const Segment& p, const Segment& q,
+                                           double endpoint_tolerance) {
+  const Vec2 r = p.b - p.a;
+  const Vec2 s = q.b - q.a;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-15 * std::max(1.0, r.norm() * s.norm())) {
+    return std::nullopt;  // parallel or collinear
+  }
+  const Vec2 pq = q.a - p.a;
+  const double t = pq.cross(s) / denom;
+  const double u = pq.cross(r) / denom;
+  const double eps = endpoint_tolerance;
+  if (t < eps || t > 1.0 - eps || u < eps || u > 1.0 - eps) {
+    return std::nullopt;
+  }
+  return t;
+}
+
+double point_segment_distance(Vec2 point, const Segment& s) {
+  const Vec2 d = s.b - s.a;
+  const double len2 = d.squared_norm();
+  if (len2 <= 0.0) return distance(point, s.a);
+  const double t = std::clamp((point - s.a).dot(d) / len2, 0.0, 1.0);
+  return distance(point, s.a + d * t);
+}
+
+Vec2 mirror_across(Vec2 point, const Segment& s) {
+  const Vec2 d = s.direction();
+  const Vec2 rel = point - s.a;
+  // Decompose into along-line and perpendicular components; flip the latter.
+  const double along = rel.dot(d);
+  const Vec2 foot = s.a + d * along;
+  return foot + (foot - point);
+}
+
+bool projects_onto(Vec2 point, const Segment& s, double margin) {
+  const Vec2 d = s.b - s.a;
+  const double len = d.norm();
+  if (len <= 0.0) return false;
+  const double t = (point - s.a).dot(d / len);
+  return t >= -margin && t <= len + margin;
+}
+
+}  // namespace spotfi

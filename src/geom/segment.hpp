@@ -1,0 +1,43 @@
+// Line segments and the primitives the ray tracer needs: segment-segment
+// intersection, point projection, and mirror reflection across a segment's
+// supporting line (used to enumerate first-order specular paths).
+#pragma once
+
+#include <optional>
+
+#include "geom/vec2.hpp"
+
+namespace spotfi {
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  [[nodiscard]] Vec2 direction() const { return (b - a).normalized(); }
+  [[nodiscard]] Vec2 midpoint() const { return (a + b) * 0.5; }
+  /// Unit normal (counter-clockwise perpendicular of the direction).
+  [[nodiscard]] Vec2 normal() const { return direction().perp(); }
+  [[nodiscard]] Vec2 point_at(double t) const { return a + (b - a) * t; }
+};
+
+/// Intersection of two segments. Returns the parameter t along `p` (in
+/// [0, 1]) if they properly intersect; collinear overlaps return nullopt.
+/// `endpoint_tolerance` shrinks both segments slightly so that rays that
+/// merely graze an endpoint do not count — this keeps wall-corner contacts
+/// from double-counting attenuation.
+[[nodiscard]] std::optional<double> segment_intersection(
+    const Segment& p, const Segment& q, double endpoint_tolerance = 1e-9);
+
+/// Closest distance from a point to a segment.
+[[nodiscard]] double point_segment_distance(Vec2 point, const Segment& s);
+
+/// Mirror image of a point across the infinite line supporting `s`.
+[[nodiscard]] Vec2 mirror_across(Vec2 point, const Segment& s);
+
+/// True if the perpendicular projection of `point` onto the supporting
+/// line of `s` falls within the segment (with optional margin).
+[[nodiscard]] bool projects_onto(Vec2 point, const Segment& s,
+                                 double margin = 0.0);
+
+}  // namespace spotfi

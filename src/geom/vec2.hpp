@@ -1,0 +1,54 @@
+// 2-D vector/point type for floor-plan geometry. The paper's testbed and
+// localization are planar (AP and target heights are comparable), so all
+// geometry in the simulator is 2-D.
+#pragma once
+
+#include <cmath>
+
+namespace spotfi {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; sign gives orientation.
+  [[nodiscard]] constexpr double cross(Vec2 o) const {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double squared_norm() const { return x * x + y * y; }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Counter-clockwise perpendicular.
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+  /// Angle of the vector from +x axis, in (-pi, pi].
+  [[nodiscard]] double angle() const { return std::atan2(y, x); }
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace spotfi

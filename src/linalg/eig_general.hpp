@@ -1,0 +1,32 @@
+// General (non-Hermitian) complex eigendecomposition for small dense
+// matrices, plus a complex LU solver.
+//
+// The shift-invariance (ESPRIT/JADE) joint estimator diagonalizes small
+// non-Hermitian matrices of size L x L (L = number of paths, <= ~10):
+// eigenvalues carry Omega(tau_k)/Phi(theta_k) and the eigenvector basis
+// pairs the two parameter sets. Implementation: Householder reduction to
+// upper Hessenberg, shifted complex QR iteration for eigenvalues, inverse
+// iteration for eigenvectors.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Solves A x = b for a general square complex matrix via LU with partial
+/// pivoting. Throws NumericalError if A is singular to working precision.
+[[nodiscard]] CVector solve_complex(const CMatrix& a, std::span<const cplx> b);
+
+struct GeneralEig {
+  /// Eigenvalues in the order discovered by the QR iteration.
+  CVector eigenvalues;
+  /// Unit-norm right eigenvectors; column k pairs with eigenvalues[k].
+  CMatrix eigenvectors;
+};
+
+/// Eigendecomposition of a general complex matrix. Intended for the small
+/// (L <= ~16) matrices ESPRIT produces; cost is O(n^3) per QR sweep.
+/// Throws NumericalError if the QR iteration fails to converge.
+[[nodiscard]] GeneralEig eig_general(const CMatrix& a);
+
+}  // namespace spotfi

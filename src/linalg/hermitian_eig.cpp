@@ -1,0 +1,158 @@
+#include "linalg/hermitian_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace spotfi {
+namespace {
+
+/// Sum of squared magnitudes of the strict upper triangle.
+double off_diagonal_mass(const CMatrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) s += std::norm(a(i, j));
+  return s;
+}
+
+}  // namespace
+
+HermitianEig eigh(const CMatrix& input) {
+  SPOTFI_EXPECTS(input.rows() == input.cols(), "eigh requires a square matrix");
+  const std::size_t n = input.rows();
+  if (n == 0) return {};
+
+  // Symmetrize: a <- (a + a^H)/2. Also measures how non-Hermitian the
+  // input was so grossly wrong inputs fail fast.
+  CMatrix a = input;
+  double asym = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const cplx upper = a(i, j);
+      const cplx lower = std::conj(a(j, i));
+      asym = std::max(asym, std::abs(upper - lower));
+      const cplx avg = 0.5 * (upper + lower);
+      a(i, j) = avg;
+      a(j, i) = std::conj(avg);
+    }
+    a(i, i) = cplx(a(i, i).real(), 0.0);
+  }
+  const double scale = std::max(a.max_abs(), 1e-300);
+  SPOTFI_EXPECTS(asym <= 1e-8 * std::max(scale, 1.0),
+                 "eigh input is not Hermitian");
+
+  CMatrix v = CMatrix::identity(n);
+  const double tol = 1e-26 * scale * scale * static_cast<double>(n * n);
+  constexpr int kMaxSweeps = 64;
+
+  int sweep = 0;
+  for (; sweep < kMaxSweeps; ++sweep) {
+    if (off_diagonal_mass(a) <= tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        const double abs_apq = std::abs(apq);
+        if (abs_apq <= 1e-300) {
+          a(p, q) = a(q, p) = cplx{};
+          continue;
+        }
+        // Phase rotation to make the pivot real: scale column q (and row q)
+        // by conj(phase) so a(p,q) becomes |a(p,q)|.
+        const cplx phase = apq / abs_apq;
+        const cplx cphase = std::conj(phase);
+        // D^H A D with D = diag(..., cphase at q, ...): scales column q by
+        // cphase and row q by phase; the diagonal a(q,q) is unchanged.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == q) continue;
+          a(k, q) *= cphase;
+          a(q, k) = std::conj(a(k, q));
+        }
+        for (std::size_t k = 0; k < n; ++k) v(k, q) *= cphase;
+
+        // Real Jacobi rotation annihilating the (now real) pivot.
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        const double b = a(p, q).real();  // == |apq|
+        const double theta = (aqq - app) / (2.0 * b);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const cplx akp = a(k, p);
+          const cplx akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+          a(p, k) = std::conj(a(k, p));
+          a(q, k) = std::conj(a(k, q));
+        }
+        a(p, p) = cplx(app - t * b, 0.0);
+        a(q, q) = cplx(aqq + t * b, 0.0);
+        a(p, q) = a(q, p) = cplx{};
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const cplx vkp = v(k, p);
+          const cplx vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (sweep == kMaxSweeps && off_diagonal_mass(a) > tol) {
+    throw NumericalError("eigh: Jacobi iteration failed to converge");
+  }
+
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a(i, i).real() < a(j, j).real();
+  });
+
+  HermitianEig result;
+  result.eigenvalues.resize(n);
+  result.eigenvectors = CMatrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = a(order[k], order[k]).real();
+    for (std::size_t i = 0; i < n; ++i)
+      result.eigenvectors(i, k) = v(i, order[k]);
+  }
+  return result;
+}
+
+SymmetricEig eigh(const RMatrix& a) {
+  CMatrix c(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) c(i, j) = cplx(a(i, j), 0.0);
+  HermitianEig he = eigh(c);
+
+  SymmetricEig result;
+  result.eigenvalues = std::move(he.eigenvalues);
+  result.eigenvectors = RMatrix(a.rows(), a.cols());
+  // Eigenvectors of a real symmetric matrix are real up to a unit complex
+  // phase; rotate each column so its largest entry is real before dropping
+  // the imaginary part.
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    std::size_t imax = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const double m = std::abs(he.eigenvectors(i, j));
+      if (m > best) {
+        best = m;
+        imax = i;
+      }
+    }
+    const cplx pivot = he.eigenvectors(imax, j);
+    const cplx rot =
+        std::abs(pivot) > 0.0 ? std::conj(pivot) / std::abs(pivot) : cplx{1.0};
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      result.eigenvectors(i, j) = (he.eigenvectors(i, j) * rot).real();
+  }
+  return result;
+}
+
+}  // namespace spotfi

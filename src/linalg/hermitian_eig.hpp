@@ -1,0 +1,40 @@
+// Hermitian eigendecomposition — the core primitive behind MUSIC.
+//
+// MUSIC eigendecomposes the (Hermitian, positive semi-definite) covariance
+// X X^H of the smoothed CSI matrix and splits the eigenvectors into signal
+// and noise subspaces. The matrices are small (30x30 for the Intel 5300
+// configuration), so a cyclic complex Jacobi iteration is the right choice:
+// unconditionally stable, delivers orthonormal eigenvectors to machine
+// precision, and costs microseconds at this size.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Result of eigh(): eigenvalues ascending, eigenvectors[:, k] is the unit
+/// eigenvector for eigenvalues[k]. For PSD inputs tiny negative values can
+/// appear from rounding; callers thresholding "zero" eigenvalues should use
+/// a relative tolerance.
+struct HermitianEig {
+  RVector eigenvalues;
+  CMatrix eigenvectors;
+};
+
+/// Eigendecomposition of a Hermitian matrix via cyclic complex Jacobi.
+///
+/// Preconditions: `a` is square and Hermitian to within roundoff (the
+/// routine symmetrizes internally and checks the asymmetry is small).
+/// Throws NumericalError if the sweep limit is reached before the
+/// off-diagonal mass drops below tolerance (does not happen for genuinely
+/// Hermitian input).
+[[nodiscard]] HermitianEig eigh(const CMatrix& a);
+
+/// Real symmetric convenience wrapper (used by tests and PCA-style code).
+struct SymmetricEig {
+  RVector eigenvalues;
+  RMatrix eigenvectors;
+};
+[[nodiscard]] SymmetricEig eigh(const RMatrix& a);
+
+}  // namespace spotfi

@@ -1,0 +1,128 @@
+#include "linalg/levmar.hpp"
+
+#include <cmath>
+
+#include "linalg/solve.hpp"
+
+namespace spotfi {
+namespace {
+
+double half_squared_norm(std::span<const double> r) {
+  double s = 0.0;
+  for (double v : r) s += v * v;
+  return 0.5 * s;
+}
+
+RMatrix finite_difference_jacobian(const ResidualFn& f,
+                                   std::span<const double> x,
+                                   std::size_t m, double h) {
+  RVector xp(x.begin(), x.end());
+  RMatrix j(m, x.size());
+  for (std::size_t col = 0; col < x.size(); ++col) {
+    const double step = h * std::max(1.0, std::abs(x[col]));
+    const double orig = xp[col];
+    xp[col] = orig + step;
+    const RVector rp = f(xp);
+    xp[col] = orig - step;
+    const RVector rm = f(xp);
+    xp[col] = orig;
+    SPOTFI_EXPECTS(rp.size() == m && rm.size() == m,
+                   "residual size changed between evaluations");
+    for (std::size_t row = 0; row < m; ++row)
+      j(row, col) = (rp[row] - rm[row]) / (2.0 * step);
+  }
+  return j;
+}
+
+}  // namespace
+
+LevMarResult levenberg_marquardt(const ResidualFn& residuals,
+                                 std::span<const double> x0,
+                                 const LevMarOptions& options,
+                                 const JacobianFn& jacobian) {
+  SPOTFI_EXPECTS(!x0.empty(), "levenberg_marquardt requires parameters");
+  SPOTFI_EXPECTS(options.max_iterations > 0, "max_iterations must be > 0");
+
+  LevMarResult result;
+  result.x.assign(x0.begin(), x0.end());
+  RVector r = residuals(result.x);
+  SPOTFI_EXPECTS(r.size() >= x0.size(),
+                 "need at least as many residuals as parameters");
+  result.cost = half_squared_norm(r);
+
+  const std::size_t n = x0.size();
+  const std::size_t m = r.size();
+  double lambda = options.initial_lambda;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const RMatrix j =
+        jacobian ? jacobian(result.x)
+                 : finite_difference_jacobian(residuals, result.x, m,
+                                              options.fd_step);
+    SPOTFI_EXPECTS(j.rows() == m && j.cols() == n, "jacobian shape mismatch");
+
+    // Normal equations: (J^T J + lambda * diag(J^T J)) dx = -J^T r.
+    RMatrix jtj(n, n);
+    RVector jtr(n, 0.0);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a; b < n; ++b) {
+        double s = 0.0;
+        for (std::size_t row = 0; row < m; ++row) s += j(row, a) * j(row, b);
+        jtj(a, b) = jtj(b, a) = s;
+      }
+      double s = 0.0;
+      for (std::size_t row = 0; row < m; ++row) s += j(row, a) * r[row];
+      jtr[a] = s;
+    }
+
+    bool stepped = false;
+    for (int attempt = 0; attempt < 12 && !stepped; ++attempt) {
+      RMatrix damped = jtj;
+      for (std::size_t a = 0; a < n; ++a) {
+        damped(a, a) += lambda * std::max(jtj(a, a), 1e-12);
+      }
+      RVector neg_jtr(n);
+      for (std::size_t a = 0; a < n; ++a) neg_jtr[a] = -jtr[a];
+
+      RVector dx;
+      try {
+        dx = solve_spd(damped, neg_jtr);
+      } catch (const NumericalError&) {
+        lambda *= options.lambda_up;
+        continue;
+      }
+
+      RVector x_try(result.x);
+      for (std::size_t a = 0; a < n; ++a) x_try[a] += dx[a];
+      const RVector r_try = residuals(x_try);
+      const double cost_try = half_squared_norm(r_try);
+
+      if (cost_try < result.cost) {
+        const double improvement =
+            (result.cost - cost_try) / std::max(result.cost, 1e-300);
+        const double step_norm = norm2(std::span<const double>(dx));
+        result.x = std::move(x_try);
+        r = r_try;
+        result.cost = cost_try;
+        lambda = std::max(lambda * options.lambda_down, 1e-12);
+        stepped = true;
+        if (step_norm < options.step_tolerance ||
+            improvement < options.cost_tolerance) {
+          result.converged = true;
+          return result;
+        }
+      } else {
+        lambda *= options.lambda_up;
+      }
+    }
+    if (!stepped) {
+      // Damping maxed out without improvement: local minimum.
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace spotfi

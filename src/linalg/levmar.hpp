@@ -1,0 +1,50 @@
+// Levenberg-Marquardt nonlinear least squares.
+//
+// SpotFi's localization step (Algorithm 2, line 12) minimizes the
+// non-convex objective of Eq. 9 over the target location and the path-loss
+// model parameters. The paper uses "sequential convex optimization"; our
+// solver realizes the same idea — repeatedly linearize the residuals and
+// solve a damped convex quadratic — which is exactly Levenberg-Marquardt.
+// Multi-start (handled by the caller) deals with local minima.
+#pragma once
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Residual function: given parameters x (size n), returns residuals r
+/// (size m >= n). The objective minimized is 0.5 * ||r(x)||^2.
+using ResidualFn = std::function<RVector(std::span<const double>)>;
+
+/// Optional analytic Jacobian: J(i,j) = d r_i / d x_j. When absent, a
+/// central-difference Jacobian is used.
+using JacobianFn = std::function<RMatrix(std::span<const double>)>;
+
+struct LevMarOptions {
+  int max_iterations = 100;
+  double initial_lambda = 1e-3;
+  double lambda_up = 10.0;
+  double lambda_down = 0.5;
+  /// Stop when the step norm falls below this.
+  double step_tolerance = 1e-10;
+  /// Stop when the cost improvement ratio falls below this.
+  double cost_tolerance = 1e-12;
+  /// Step size for the finite-difference Jacobian.
+  double fd_step = 1e-6;
+};
+
+struct LevMarResult {
+  RVector x;
+  double cost = 0.0;  ///< 0.5 * ||r||^2 at the solution.
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes 0.5*||r(x)||^2 starting from x0.
+[[nodiscard]] LevMarResult levenberg_marquardt(
+    const ResidualFn& residuals, std::span<const double> x0,
+    const LevMarOptions& options = {}, const JacobianFn& jacobian = {});
+
+}  // namespace spotfi

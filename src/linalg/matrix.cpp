@@ -1,0 +1,57 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+namespace spotfi {
+
+CVector matvec(const CMatrix& a, std::span<const cplx> x) {
+  SPOTFI_EXPECTS(a.cols() == x.size(), "matvec shape mismatch");
+  CVector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    cplx acc{};
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < x.size(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+RVector matvec(const RMatrix& a, std::span<const double> x) {
+  SPOTFI_EXPECTS(a.cols() == x.size(), "matvec shape mismatch");
+  RVector y(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    const auto row = a.row(i);
+    for (std::size_t j = 0; j < x.size(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+cplx dot(std::span<const cplx> x, std::span<const cplx> y) {
+  SPOTFI_EXPECTS(x.size() == y.size(), "dot size mismatch");
+  cplx acc{};
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::conj(x[i]) * y[i];
+  return acc;
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  SPOTFI_EXPECTS(x.size() == y.size(), "dot size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(std::span<const cplx> x) {
+  double s = 0.0;
+  for (const auto& v : x) s += std::norm(v);
+  return std::sqrt(s);
+}
+
+double norm2(std::span<const double> x) {
+  double s = 0.0;
+  for (const auto& v : x) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace spotfi

@@ -1,0 +1,234 @@
+// Dense row-major matrix/vector types used throughout the library.
+//
+// Two instantiations matter: Matrix<double> (RMatrix) and
+// Matrix<std::complex<double>> (CMatrix). The MUSIC pipeline works on
+// 30x30-ish matrices, so a straightforward dense implementation with
+// cache-friendly row-major storage is the right tool; no external linear
+// algebra dependency is used anywhere in the repository.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+using cplx = std::complex<double>;
+
+namespace detail {
+template <typename T>
+struct is_complex : std::false_type {};
+template <typename U>
+struct is_complex<std::complex<U>> : std::true_type {};
+}  // namespace detail
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, T{}) {}
+
+  Matrix(std::size_t rows, std::size_t cols, const T& fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Row-major initializer: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& r : rows) {
+      SPOTFI_EXPECTS(r.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    SPOTFI_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    SPOTFI_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<T> row(std::size_t i) {
+    SPOTFI_ASSERT(i < rows_, "row index out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t i) const {
+    SPOTFI_ASSERT(i < rows_, "row index out of range");
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<T> col(std::size_t j) const {
+    SPOTFI_ASSERT(j < cols_, "column index out of range");
+    std::vector<T> c(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) c[i] = (*this)(i, j);
+    return c;
+  }
+
+  void set_col(std::size_t j, std::span<const T> values) {
+    SPOTFI_EXPECTS(j < cols_ && values.size() == rows_,
+                   "set_col size mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = values[i];
+  }
+
+  [[nodiscard]] std::span<T> flat() { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const T> flat() const {
+    return {data_.data(), data_.size()};
+  }
+
+  Matrix& operator+=(const Matrix& rhs) {
+    SPOTFI_EXPECTS(same_shape(rhs), "shape mismatch in +=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& rhs) {
+    SPOTFI_EXPECTS(same_shape(rhs), "shape mismatch in -=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(const T& s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  [[nodiscard]] friend Matrix operator+(Matrix a, const Matrix& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator-(Matrix a, const Matrix& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator*(Matrix a, const T& s) {
+    a *= s;
+    return a;
+  }
+  [[nodiscard]] friend Matrix operator*(const T& s, Matrix a) {
+    a *= s;
+    return a;
+  }
+
+  /// Matrix product (naive triple loop with row-major friendly ordering).
+  [[nodiscard]] friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    SPOTFI_EXPECTS(a.cols_ == b.rows_, "shape mismatch in matrix product");
+    Matrix c(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* brow = &b.data_[k * b.cols_];
+        T* crow = &c.data_[i * c.cols_];
+        for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+      }
+    }
+    return c;
+  }
+
+  [[nodiscard]] Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// Conjugate transpose (equals transpose for real T).
+  [[nodiscard]] Matrix adjoint() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if constexpr (detail::is_complex<T>::value) {
+          t(j, i) = std::conj((*this)(i, j));
+        } else {
+          t(j, i) = (*this)(i, j);
+        }
+      }
+    }
+    return t;
+  }
+
+  /// A * A^H — the (unnormalized) covariance MUSIC eigendecomposes.
+  [[nodiscard]] Matrix gram() const {
+    Matrix g(rows_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        T acc{};
+        const T* ri = &data_[i * cols_];
+        const T* rj = &data_[j * cols_];
+        for (std::size_t k = 0; k < cols_; ++k) {
+          if constexpr (detail::is_complex<T>::value) {
+            acc += ri[k] * std::conj(rj[k]);
+          } else {
+            acc += ri[k] * rj[k];
+          }
+        }
+        g(i, j) = acc;
+        if constexpr (detail::is_complex<T>::value) {
+          g(j, i) = std::conj(acc);
+        } else {
+          g(j, i) = acc;
+        }
+      }
+    }
+    return g;
+  }
+
+  [[nodiscard]] double frobenius_norm() const {
+    double s = 0.0;
+    for (const auto& v : data_) s += std::norm(v);
+    return std::sqrt(s);
+  }
+
+  [[nodiscard]] double max_abs() const {
+    double m = 0.0;
+    for (const auto& v : data_) m = std::max(m, std::abs(v));
+    return m;
+  }
+
+  [[nodiscard]] bool same_shape(const Matrix& rhs) const {
+    return rows_ == rhs.rows_ && cols_ == rhs.cols_;
+  }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RMatrix = Matrix<double>;
+using CMatrix = Matrix<cplx>;
+using RVector = std::vector<double>;
+using CVector = std::vector<cplx>;
+
+/// y = A x for a complex matrix and vector.
+[[nodiscard]] CVector matvec(const CMatrix& a, std::span<const cplx> x);
+[[nodiscard]] RVector matvec(const RMatrix& a, std::span<const double> x);
+
+/// Hermitian inner product <x, y> = sum_i conj(x_i) y_i.
+[[nodiscard]] cplx dot(std::span<const cplx> x, std::span<const cplx> y);
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+[[nodiscard]] double norm2(std::span<const cplx> x);
+[[nodiscard]] double norm2(std::span<const double> x);
+
+}  // namespace spotfi

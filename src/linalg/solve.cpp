@@ -1,0 +1,100 @@
+#include "linalg/solve.hpp"
+
+#include <cmath>
+
+namespace spotfi {
+
+RMatrix cholesky(const RMatrix& a) {
+  SPOTFI_EXPECTS(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  RMatrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw NumericalError("cholesky: matrix is not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+RVector solve_spd(const RMatrix& a, std::span<const double> b) {
+  SPOTFI_EXPECTS(a.rows() == b.size(), "solve_spd shape mismatch");
+  const RMatrix l = cholesky(a);
+  const std::size_t n = a.rows();
+  // Forward substitution: L y = b.
+  RVector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution: L^T x = y.
+  RVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
+  return x;
+}
+
+RVector lstsq(const RMatrix& a, std::span<const double> b) {
+  SPOTFI_EXPECTS(a.rows() >= a.cols(), "lstsq requires rows >= cols");
+  SPOTFI_EXPECTS(a.rows() == b.size(), "lstsq shape mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // Householder QR, transforming b alongside.
+  RMatrix r = a;
+  RVector rhs(b.begin(), b.end());
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm <= 1e-13 * (1.0 + std::abs(r(k, k)))) {
+      throw NumericalError("lstsq: rank-deficient matrix");
+    }
+    const double alpha = r(k, k) >= 0.0 ? -norm : norm;
+    // Householder vector v (implicitly stored), v_k = r(k,k) - alpha.
+    RVector v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    const double vtv = dot(std::span<const double>(v), v);
+    if (vtv <= 0.0) continue;
+
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing columns and to rhs.
+    for (std::size_t j = k; j < n; ++j) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * r(i, j);
+      const double f = 2.0 * proj / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double proj = 0.0;
+    for (std::size_t i = k; i < m; ++i) proj += v[i - k] * rhs[i];
+    const double f = 2.0 * proj / vtv;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= f * v[i - k];
+    r(k, k) = alpha;
+  }
+
+  // Back substitution on the upper-triangular leading block.
+  RVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = rhs[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= r(ii, j) * x[j];
+    if (std::abs(r(ii, ii)) <= 1e-300) {
+      throw NumericalError("lstsq: zero pivot in back substitution");
+    }
+    x[ii] = sum / r(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace spotfi

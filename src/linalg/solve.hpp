@@ -1,0 +1,24 @@
+// Direct solvers for small dense real systems: Cholesky for SPD matrices
+// (the normal equations inside Levenberg-Marquardt) and Householder QR for
+// general least squares (the linear fit in ToF sanitization and the
+// triangulation baselines).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Cholesky factor L (lower triangular, A = L L^T) of a symmetric positive
+/// definite matrix. Throws NumericalError if A is not positive definite.
+[[nodiscard]] RMatrix cholesky(const RMatrix& a);
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+[[nodiscard]] RVector solve_spd(const RMatrix& a, std::span<const double> b);
+
+/// Minimizes ||A x - b||_2 for A with rows >= cols and full column rank,
+/// using Householder QR. Throws NumericalError on rank deficiency.
+[[nodiscard]] RVector lstsq(const RMatrix& a, std::span<const double> b);
+
+}  // namespace spotfi

@@ -1,0 +1,51 @@
+#include "localize/gdop.hpp"
+
+#include <cmath>
+
+#include "linalg/hermitian_eig.hpp"
+#include "linalg/solve.hpp"
+
+namespace spotfi {
+
+GdopResult bearing_gdop(std::span<const ArrayPose> aps, Vec2 point,
+                        double sigma_aoa_rad) {
+  SPOTFI_EXPECTS(aps.size() >= 2, "GDOP needs at least two APs");
+  SPOTFI_EXPECTS(sigma_aoa_rad > 0.0, "AoA sigma must be positive");
+
+  // Each bearing i measures the direction to the target; a small AoA
+  // error sigma displaces the implied position by d_i * sigma along the
+  // unit vector u_perp_i perpendicular to the line of sight. Fisher
+  // information: sum_i u_perp_i u_perp_i^T / (d_i * sigma)^2.
+  RMatrix fim(2, 2);
+  for (const auto& ap : aps) {
+    const Vec2 los = point - ap.position;
+    const double d = los.norm();
+    if (d < 1e-6) continue;  // on top of an AP: that AP adds nothing
+    const Vec2 u_perp = (los / d).perp();
+    const double w = 1.0 / ((d * sigma_aoa_rad) * (d * sigma_aoa_rad));
+    fim(0, 0) += w * u_perp.x * u_perp.x;
+    fim(0, 1) += w * u_perp.x * u_perp.y;
+    fim(1, 0) += w * u_perp.x * u_perp.y;
+    fim(1, 1) += w * u_perp.y * u_perp.y;
+  }
+
+  // Covariance = FIM^-1; its eigenvalues are the squared ellipse axes.
+  const double det = fim(0, 0) * fim(1, 1) - fim(0, 1) * fim(1, 0);
+  if (det <= 1e-12 * (1.0 + fim.max_abs() * fim.max_abs())) {
+    throw NumericalError("bearing_gdop: degenerate geometry");
+  }
+  RMatrix cov(2, 2);
+  cov(0, 0) = fim(1, 1) / det;
+  cov(0, 1) = -fim(0, 1) / det;
+  cov(1, 0) = -fim(1, 0) / det;
+  cov(1, 1) = fim(0, 0) / det;
+
+  const SymmetricEig eig = eigh(cov);
+  GdopResult result;
+  result.minor_m = std::sqrt(std::max(eig.eigenvalues[0], 0.0));
+  result.major_m = std::sqrt(std::max(eig.eigenvalues[1], 0.0));
+  result.drms_m = std::hypot(result.major_m, result.minor_m);
+  return result;
+}
+
+}  // namespace spotfi

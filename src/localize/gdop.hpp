@@ -1,0 +1,34 @@
+// Geometric dilution of precision for bearing-based localization.
+//
+// Given the AP array poses and an assumed per-AP AoA error sigma, the
+// linearized covariance of the triangulated position at a candidate
+// point predicts *where* a deployment will localize well before ever
+// collecting a packet — the analytic counterpart of the site_survey
+// example, and the quantitative form of the paper's corridor discussion
+// ("many APs have inaccurate and correlated AoA measurements").
+#pragma once
+
+#include <vector>
+
+#include "channel/multipath.hpp"
+
+namespace spotfi {
+
+struct GdopResult {
+  /// 1-sigma error ellipse semi-axes [m], major >= minor.
+  double major_m = 0.0;
+  double minor_m = 0.0;
+  /// Root-mean-square position error sqrt(major^2 + minor^2) [m].
+  double drms_m = 0.0;
+};
+
+/// Linearized position covariance at `point` for bearing measurements
+/// from `aps`, each with independent AoA noise `sigma_aoa_rad`. A bearing
+/// from AP i constrains the component of the position error perpendicular
+/// to the line of sight with standard deviation d_i * sigma; the combined
+/// Fisher information is summed and inverted. Throws NumericalError when
+/// the bearings are degenerate (all APs collinear with the point).
+[[nodiscard]] GdopResult bearing_gdop(std::span<const ArrayPose> aps,
+                                      Vec2 point, double sigma_aoa_rad);
+
+}  // namespace spotfi

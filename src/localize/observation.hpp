@@ -1,0 +1,21 @@
+// The per-AP summary the central server fuses: array pose, the selected
+// direct-path AoA with its likelihood value (Eq. 8), and the mean RSSI —
+// the inputs to the localization objective of Eq. 9.
+#pragma once
+
+#include "channel/multipath.hpp"
+
+namespace spotfi {
+
+struct ApObservation {
+  /// AP array position and orientation (known from one-time measurement).
+  ArrayPose pose;
+  /// Direct-path AoA selected by the likelihood procedure [rad].
+  double direct_aoa_rad = 0.0;
+  /// Likelihood value of the selected path (weight l_i in Eq. 9).
+  double likelihood = 1.0;
+  /// Mean observed RSSI over the packet group [dBm].
+  double rssi_dbm = 0.0;
+};
+
+}  // namespace spotfi

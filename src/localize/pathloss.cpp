@@ -1,0 +1,19 @@
+#include "localize/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spotfi {
+
+double PathLossModel::rssi_dbm(double d_m) const {
+  SPOTFI_ASSERT(d0_m > 0.0, "reference distance must be positive");
+  const double d = std::max(d_m, 0.1);
+  return p0_dbm - 10.0 * exponent * std::log10(d / d0_m);
+}
+
+double PathLossModel::distance_m(double rssi) const {
+  SPOTFI_ASSERT(exponent > 0.0, "exponent must be positive");
+  return d0_m * std::pow(10.0, (p0_dbm - rssi) / (10.0 * exponent));
+}
+
+}  // namespace spotfi

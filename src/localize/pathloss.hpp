@@ -1,0 +1,31 @@
+// Log-distance path-loss model relating RSSI to distance — the "standard
+// widely used path loss model" the server assumes (Sec. 3.3, citing
+// RADAR [3] and Goldsmith [71]).
+//
+//   rssi(d) = p0_dbm - 10 * exponent * log10(d / d0)
+//
+// In Algorithm 2 the model parameters (p0, exponent) are optimization
+// variables fitted jointly with the target location, so the system needs
+// no RSSI calibration.
+#pragma once
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+struct PathLossModel {
+  /// RSSI at the reference distance [dBm].
+  double p0_dbm = -35.0;
+  /// Path-loss exponent (2 = free space; 2.5-4 typical indoors).
+  double exponent = 2.5;
+  /// Reference distance [m].
+  double d0_m = 1.0;
+
+  /// Predicted RSSI at distance `d_m` (clamped below at 10 cm).
+  [[nodiscard]] double rssi_dbm(double d_m) const;
+
+  /// Distance that would produce `rssi`; inverse of rssi_dbm.
+  [[nodiscard]] double distance_m(double rssi) const;
+};
+
+}  // namespace spotfi

@@ -1,0 +1,169 @@
+#include "localize/spotfi_localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.hpp"
+
+namespace spotfi {
+namespace {
+
+/// Pseudo-residual realizing a Huber loss: quadratic inside `delta`,
+/// linear outside, so that r^2 equals the Huber objective.
+double huberize(double r, double delta) {
+  if (delta <= 0.0) return r;
+  const double a = std::abs(r);
+  if (a <= delta) return r;
+  return std::copysign(std::sqrt(delta * (2.0 * a - delta)), r);
+}
+
+/// Residual block for one AP: sqrt(w_i) * [w_th * huber(dtheta), w_p * dp]
+/// with w_i = l_i^gamma.
+void ap_residuals(const ApObservation& obs, Vec2 loc,
+                  const PathLossModel& model, const LocalizerConfig& cfg,
+                  double* out) {
+  const double weight =
+      std::pow(std::max(obs.likelihood, 0.0), cfg.likelihood_exponent);
+  const double root_w = std::sqrt(weight);
+  // Predict the *apparent* AoA: the measured value lives in the ULA's
+  // aliased [-pi/2, pi/2] range.
+  const double predicted_aoa = obs.pose.apparent_aoa_of(loc);
+  const double d = distance(loc, obs.pose.position);
+  const double predicted_rssi = model.rssi_dbm(d);
+  const double dtheta =
+      huberize(wrap_pi(predicted_aoa - obs.direct_aoa_rad), cfg.aoa_huber_rad);
+  out[0] = root_w * cfg.aoa_weight * dtheta;
+  out[1] = root_w * cfg.rssi_weight * (predicted_rssi - obs.rssi_dbm);
+}
+
+}  // namespace
+
+SpotFiLocalizer::SpotFiLocalizer(LocalizerConfig config) : config_(config) {
+  SPOTFI_EXPECTS(config_.area_max.x > config_.area_min.x &&
+                     config_.area_max.y > config_.area_min.y,
+                 "search area must have positive extent");
+  SPOTFI_EXPECTS(config_.seed_grid >= 1, "seed grid must be non-empty");
+  SPOTFI_EXPECTS(config_.min_exponent > 0.0 &&
+                     config_.max_exponent > config_.min_exponent,
+                 "invalid path-loss exponent bounds");
+}
+
+double SpotFiLocalizer::objective(std::span<const ApObservation> observations,
+                                  Vec2 location,
+                                  const PathLossModel& model) const {
+  double cost = 0.0;
+  double r[2];
+  for (const auto& obs : observations) {
+    if (obs.likelihood <= 0.0) continue;
+    ap_residuals(obs, location, model, config_, r);
+    cost += r[0] * r[0] + r[1] * r[1];
+  }
+  return cost;
+}
+
+LocationEstimate SpotFiLocalizer::locate(
+    std::span<const ApObservation> observations) const {
+  std::vector<ApObservation> used;
+  used.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.likelihood > 0.0) used.push_back(obs);
+  }
+  SPOTFI_EXPECTS(used.size() >= 2,
+                 "need at least two usable AP observations to localize");
+
+  // The RSSI model p0 - 10*exponent*log10(d) is *linear* in (p0,
+  // exponent), so for any candidate location the optimal path-loss
+  // parameters have a closed form (weighted least squares, exponent
+  // clamped to its physical bounds). LM therefore optimizes the location
+  // only — far better conditioned than carrying the model parameters as
+  // LM unknowns.
+  auto fit_path_loss = [this, &used](Vec2 loc) {
+    double s_w = 0.0, s_g = 0.0, s_gg = 0.0, s_r = 0.0, s_gr = 0.0;
+    for (const auto& obs : used) {
+      const double w =
+          std::pow(std::max(obs.likelihood, 0.0), config_.likelihood_exponent);
+      const double d = std::max(distance(loc, obs.pose.position), 0.1);
+      const double g = -10.0 * std::log10(d);  // rssi = p0 + g * exponent
+      s_w += w;
+      s_g += w * g;
+      s_gg += w * g * g;
+      s_r += w * obs.rssi_dbm;
+      s_gr += w * g * obs.rssi_dbm;
+    }
+    PathLossModel model = config_.initial_path_loss;
+    const double denom = s_w * s_gg - s_g * s_g;
+    if (std::abs(denom) > 1e-12 && s_w > 0.0) {
+      model.exponent = std::clamp((s_w * s_gr - s_g * s_r) / denom,
+                                  config_.min_exponent,
+                                  config_.max_exponent);
+    }
+    if (s_w > 0.0) {
+      // Optimal p0 given the (possibly clamped) exponent.
+      model.p0_dbm = (s_r - model.exponent * s_g) / s_w;
+    }
+    return model;
+  };
+
+  const ResidualFn residuals = [&, this](std::span<const double> p) {
+    const Vec2 loc{p[0], p[1]};
+    const PathLossModel model = fit_path_loss(loc);
+    RVector r(2 * used.size() + 2);
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      ap_residuals(used[i], loc, model, config_, &r[2 * i]);
+    }
+    // Soft area-bound penalties (zero inside the box).
+    auto overflow = [](double v, double lo, double hi) {
+      return v < lo ? lo - v : (v > hi ? v - hi : 0.0);
+    };
+    r[2 * used.size()] =
+        config_.area_penalty_per_m *
+        overflow(loc.x, config_.area_min.x, config_.area_max.x);
+    r[2 * used.size() + 1] =
+        config_.area_penalty_per_m *
+        overflow(loc.y, config_.area_min.y, config_.area_max.y);
+    return r;
+  };
+
+  // Multi-start seeds: a coarse grid over the search area, plus the
+  // centroid of the AP positions.
+  std::vector<Vec2> seeds;
+  const std::size_t g = config_.seed_grid;
+  for (std::size_t ix = 0; ix < g; ++ix) {
+    for (std::size_t iy = 0; iy < g; ++iy) {
+      const double fx = (static_cast<double>(ix) + 0.5) / static_cast<double>(g);
+      const double fy = (static_cast<double>(iy) + 0.5) / static_cast<double>(g);
+      seeds.push_back({config_.area_min.x +
+                           fx * (config_.area_max.x - config_.area_min.x),
+                       config_.area_min.y +
+                           fy * (config_.area_max.y - config_.area_min.y)});
+    }
+  }
+  Vec2 centroid{};
+  for (const auto& obs : used) centroid += obs.pose.position;
+  seeds.push_back(centroid / static_cast<double>(used.size()));
+
+  LocationEstimate best;
+  best.cost = std::numeric_limits<double>::max();
+  for (const auto& seed : seeds) {
+    const RVector x0{seed.x, seed.y};
+    const LevMarResult res =
+        levenberg_marquardt(residuals, x0, config_.levmar);
+    if (res.cost < best.cost) {
+      best.cost = res.cost;
+      best.position = {res.x[0], res.x[1]};
+      best.converged = res.converged;
+    }
+  }
+  best.path_loss = fit_path_loss(best.position);
+  // LM cost is 0.5*||r||^2; report the Eq. 9 value.
+  best.cost *= 2.0;
+  // Clamp into the search area (an AP-poor geometry can push the optimum
+  // slightly outside).
+  best.position.x =
+      std::clamp(best.position.x, config_.area_min.x, config_.area_max.x);
+  best.position.y =
+      std::clamp(best.position.y, config_.area_min.y, config_.area_max.y);
+  return best;
+}
+
+}  // namespace spotfi

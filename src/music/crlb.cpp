@@ -1,0 +1,67 @@
+#include "music/crlb.hpp"
+
+#include <cmath>
+
+#include "linalg/solve.hpp"
+#include "music/steering.hpp"
+
+namespace spotfi {
+
+CrlbResult single_path_crlb(double aoa_rad, double tof_s, double snr_db,
+                            const LinkConfig& link) {
+  const std::size_t m_ant = link.n_antennas;
+  const std::size_t n_sub = link.n_subcarriers;
+  SPOTFI_EXPECTS(m_ant >= 2 && n_sub >= 2,
+                 "CRLB needs at least 2 antennas and 2 subcarriers");
+
+  // mu = gamma * a(theta, tau); take gamma = 1 (SNR carries the scale).
+  // Jacobian columns: d mu / d theta, d mu / d tau, d mu / d Re(gamma),
+  // d mu / d Im(gamma). The steering derivative is analytic:
+  //   a[k] = exp(j*(m*phi_arg(theta) + n*omega_arg(tau)))
+  //   da/dtheta[k] = j * m * dphi_arg/dtheta * a[k]
+  //   da/dtau[k]   = j * n * domega_arg/dtau * a[k]
+  const double phi_scale = -2.0 * kPi * link.antenna_spacing_m *
+                           link.carrier_hz / kSpeedOfLight;
+  const double dphi_dtheta = phi_scale * std::cos(aoa_rad);
+  const double domega_dtau = -2.0 * kPi * link.subcarrier_spacing_hz;
+
+  const CVector a =
+      joint_steering(aoa_rad, tof_s, m_ant, n_sub, link);
+  const std::size_t dim = a.size();
+  CMatrix d(dim, 4);
+  std::size_t k = 0;
+  for (std::size_t m = 0; m < m_ant; ++m) {
+    for (std::size_t n = 0; n < n_sub; ++n, ++k) {
+      const cplx j_ak = cplx(0.0, 1.0) * a[k];
+      d(k, 0) = j_ak * (static_cast<double>(m) * dphi_dtheta);
+      d(k, 1) = j_ak * (static_cast<double>(n) * domega_dtau);
+      d(k, 2) = a[k];                  // d/d Re(gamma)
+      d(k, 3) = cplx(0.0, 1.0) * a[k]; // d/d Im(gamma)
+    }
+  }
+
+  // Fisher information J = (2/sigma^2) Re(D^H D); per-sensor SNR with
+  // |gamma| = 1 means sigma^2 = 10^(-snr/10).
+  const double inv_sigma_sq = std::pow(10.0, snr_db / 10.0);
+  const CMatrix dhd = d.adjoint() * d;
+  RMatrix fim(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      fim(i, j) = 2.0 * inv_sigma_sq * dhd(i, j).real();
+    }
+  }
+
+  // CRLB = [J^-1]_00 and [J^-1]_11: solve J x = e_i.
+  CrlbResult result;
+  RVector e0(4, 0.0), e1(4, 0.0);
+  e0[0] = 1.0;
+  e1[1] = 1.0;
+  const RVector c0 = solve_spd(fim, e0);  // throws if singular (endfire)
+  const RVector c1 = solve_spd(fim, e1);
+  SPOTFI_EXPECTS(c0[0] > 0.0 && c1[1] > 0.0, "FIM not positive definite");
+  result.sigma_aoa_rad = std::sqrt(c0[0]);
+  result.sigma_tof_s = std::sqrt(c1[1]);
+  return result;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,33 @@
+// Cramér-Rao lower bounds for joint AoA/ToF estimation.
+//
+// For the deterministic single-path model mu = gamma * a(theta, tau)
+// observed at the M x N virtual sensor array in complex AWGN of variance
+// sigma^2, the Fisher information over (theta, tau, Re gamma, Im gamma)
+// is J = (2 / sigma^2) * Re(D^H D) with D the Jacobian of mu. Inverting
+// J and reading the (theta, theta) and (tau, tau) entries gives the best
+// any unbiased estimator — MUSIC, ESPRIT, anything — can do. The
+// bench/crlb_efficiency harness compares the implemented estimators
+// against this floor.
+#pragma once
+
+#include "common/constants.hpp"
+
+namespace spotfi {
+
+struct CrlbResult {
+  /// Standard-deviation lower bound on the AoA estimate [rad].
+  double sigma_aoa_rad = 0.0;
+  /// Standard-deviation lower bound on the ToF estimate [s].
+  double sigma_tof_s = 0.0;
+};
+
+/// CRLB for a single path at (aoa, tof) observed once across all
+/// n_antennas x n_subcarriers sensors at the given per-sensor SNR [dB]
+/// (|gamma|^2 / sigma^2). Nuisance parameters (complex amplitude) are
+/// accounted for. Throws NumericalError for degenerate geometries
+/// (|aoa| at endfire, where the AoA information vanishes).
+[[nodiscard]] CrlbResult single_path_crlb(double aoa_rad, double tof_s,
+                                          double snr_db,
+                                          const LinkConfig& link);
+
+}  // namespace spotfi

@@ -1,0 +1,177 @@
+#include "music/esprit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eig_general.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "music/steering.hpp"
+
+namespace spotfi {
+namespace {
+
+/// Least-squares solution of A X = B for skinny complex A via the normal
+/// equations (columns of X solved independently).
+CMatrix complex_lstsq(const CMatrix& a, const CMatrix& b) {
+  SPOTFI_EXPECTS(a.rows() == b.rows() && a.rows() >= a.cols(),
+                 "complex_lstsq shape mismatch");
+  const CMatrix at = a.adjoint();
+  const CMatrix ata = at * a;
+  const CMatrix atb = at * b;
+  CMatrix x(a.cols(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    const CVector col = solve_complex(ata, atb.col(j));
+    x.set_col(j, col);
+  }
+  return x;
+}
+
+/// Rows of `es` whose subarray index satisfies a predicate.
+CMatrix select_rows(const CMatrix& es, const SmoothingConfig& cfg,
+                    bool by_subcarrier, bool upper) {
+  const std::size_t sub_len = cfg.sub_len;
+  const std::size_t ant_len = cfg.ant_len;
+  std::vector<std::size_t> rows;
+  for (std::size_t a = 0; a < ant_len; ++a) {
+    for (std::size_t s = 0; s < sub_len; ++s) {
+      bool keep;
+      if (by_subcarrier) {
+        keep = upper ? (s >= 1) : (s + 1 < sub_len);
+      } else {
+        keep = upper ? (a >= 1) : (a + 1 < ant_len);
+      }
+      if (keep) rows.push_back(a * sub_len + s);
+    }
+  }
+  CMatrix out(rows.size(), es.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < es.cols(); ++j) {
+      out(i, j) = es(rows[i], j);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JointEspritEstimator::JointEspritEstimator(LinkConfig link,
+                                           EspritConfig config)
+    : link_(link), config_(config) {
+  SPOTFI_EXPECTS(config_.smoothing.sub_len >= 2 &&
+                     config_.smoothing.ant_len >= 2,
+                 "ESPRIT needs at least a 2x2 subarray for both shifts");
+  SPOTFI_EXPECTS(config_.smoothing.ant_len <= link_.n_antennas &&
+                     config_.smoothing.sub_len <= link_.n_subcarriers,
+                 "smoothing subarray exceeds the link dimensions");
+}
+
+std::vector<PathEstimate> JointEspritEstimator::estimate(
+    const CMatrix& csi) const {
+  SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
+                     csi.cols() == link_.n_subcarriers,
+                 "CSI shape disagrees with the link config");
+  const CMatrix x = smoothed_csi(csi, config_.smoothing);
+
+  // Signal subspace: eigenvectors of the top-L eigenvalues.
+  SubspaceConfig sub_cfg = config_.subspace;
+  sub_cfg.max_signal_dims =
+      std::min(sub_cfg.max_signal_dims, config_.max_paths);
+  const Subspaces sub = noise_subspace(x, sub_cfg);
+  const std::size_t dim = x.rows();
+  const std::size_t n_signal = sub.n_signal;
+  // Signal basis: the top-n_signal eigenvectors of the covariance.
+  const HermitianEig eig = eigh(x.gram());
+  CMatrix es(dim, n_signal);
+  for (std::size_t k = 0; k < n_signal; ++k) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      es(i, k) = eig.eigenvectors(i, dim - n_signal + k);
+    }
+  }
+
+  // Shift-invariance operators.
+  const CMatrix es_sub_lo = select_rows(es, config_.smoothing, true, false);
+  const CMatrix es_sub_hi = select_rows(es, config_.smoothing, true, true);
+  const CMatrix es_ant_lo = select_rows(es, config_.smoothing, false, false);
+  const CMatrix es_ant_hi = select_rows(es, config_.smoothing, false, true);
+
+  std::vector<PathEstimate> estimates;
+  CMatrix f_tau, f_phi;
+  try {
+    f_tau = complex_lstsq(es_sub_lo, es_sub_hi);
+    f_phi = complex_lstsq(es_ant_lo, es_ant_hi);
+  } catch (const NumericalError&) {
+    return estimates;  // degenerate subspace: no estimates
+  }
+
+  // Joint diagonalization: eigenvectors of F_tau diagonalize F_phi too
+  // (in the noiseless case the operators commute).
+  GeneralEig te;
+  try {
+    te = eig_general(f_tau);
+  } catch (const NumericalError&) {
+    return estimates;
+  }
+  // Phi eigenvalues paired through the same basis: T^-1 F_phi T diagonal.
+  CMatrix phi_in_basis(n_signal, n_signal);
+  try {
+    // Solve T * Y = F_phi * T for Y, then take the diagonal.
+    const CMatrix rhs = f_phi * te.eigenvectors;
+    for (std::size_t j = 0; j < n_signal; ++j) {
+      const CVector col = solve_complex(te.eigenvectors, rhs.col(j));
+      phi_in_basis.set_col(j, col);
+    }
+  } catch (const NumericalError&) {
+    return estimates;
+  }
+
+  const double two_pi_fd = 2.0 * kPi * link_.subcarrier_spacing_hz;
+  const double sin_scale = link_.wavelength() /
+                           (2.0 * kPi * link_.antenna_spacing_m);
+  for (std::size_t k = 0; k < n_signal; ++k) {
+    const cplx omega = te.eigenvalues[k];
+    const cplx phi = phi_in_basis(k, k);
+    if (std::abs(omega) < 1e-6) continue;
+    PathEstimate est;
+    est.tof_s = -std::arg(omega) / two_pi_fd;
+    const double sin_theta = -std::arg(phi) * sin_scale;
+    if (std::abs(sin_theta) > 1.0 - config_.endfire_margin) continue;
+    est.aoa_rad = std::asin(sin_theta);
+    estimates.push_back(est);
+  }
+
+  // Path powers: least-squares fit of the joint steering matrix to the
+  // smoothed measurement.
+  if (!estimates.empty()) {
+    CMatrix steering(dim, estimates.size());
+    for (std::size_t k = 0; k < estimates.size(); ++k) {
+      const CVector a =
+          joint_steering(estimates[k].aoa_rad, estimates[k].tof_s,
+                         config_.smoothing.ant_len, config_.smoothing.sub_len,
+                         link_);
+      steering.set_col(k, a);
+    }
+    try {
+      const CMatrix gains = complex_lstsq(steering, x);
+      for (std::size_t k = 0; k < estimates.size(); ++k) {
+        double p = 0.0;
+        for (std::size_t j = 0; j < gains.cols(); ++j) {
+          p += std::norm(gains(k, j));
+        }
+        estimates[k].power = p / static_cast<double>(gains.cols());
+      }
+    } catch (const NumericalError&) {
+      // Nearly collinear steering vectors: keep unit powers.
+      for (auto& est : estimates) est.power = 1.0;
+    }
+  }
+  std::sort(estimates.begin(), estimates.end(),
+            [](const PathEstimate& a, const PathEstimate& b) {
+              return a.power > b.power;
+            });
+  if (estimates.size() > config_.max_paths) {
+    estimates.resize(config_.max_paths);
+  }
+  return estimates;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,232 @@
+#include "music/estimators.hpp"
+
+#include <cmath>
+
+#include "music/steering.hpp"
+
+namespace spotfi {
+namespace {
+
+RVector linspace_grid(double lo, double hi, double step) {
+  SPOTFI_EXPECTS(step > 0.0 && hi > lo, "invalid grid parameters");
+  RVector g;
+  const auto count =
+      static_cast<std::size_t>(std::floor((hi - lo) / step + 1e-9)) + 1;
+  g.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    g.push_back(lo + static_cast<double>(i) * step);
+  }
+  return g;
+}
+
+}  // namespace
+
+JointMusicEstimator::JointMusicEstimator(LinkConfig link,
+                                         JointMusicConfig config)
+    : link_(link), config_(config) {
+  SPOTFI_EXPECTS(config_.smoothing.ant_len <= link_.n_antennas &&
+                     config_.smoothing.sub_len <= link_.n_subcarriers,
+                 "smoothing subarray exceeds the link dimensions");
+  const double period = tof_period(link_);
+  if (std::isnan(config_.tof_min_s) || std::isnan(config_.tof_max_s)) {
+    // Full unambiguous range; leave one step gap at the top so the wrap
+    // point is not sampled twice.
+    tof_min_s_ = -period / 2.0;
+    tof_max_s_ = period / 2.0 - config_.tof_step_s;
+    tof_wraps_ = true;
+  } else {
+    SPOTFI_EXPECTS(config_.tof_max_s > config_.tof_min_s,
+                   "invalid ToF grid range");
+    tof_min_s_ = config_.tof_min_s;
+    tof_max_s_ = config_.tof_max_s;
+    tof_wraps_ = (tof_max_s_ - tof_min_s_) >= period - 2.0 * config_.tof_step_s;
+  }
+}
+
+RVector JointMusicEstimator::aoa_grid() const {
+  return linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
+                       config_.aoa_step_rad);
+}
+
+RVector JointMusicEstimator::tof_grid() const {
+  return linspace_grid(tof_min_s_, tof_max_s_, config_.tof_step_s);
+}
+
+AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
+    const Subspaces& sub) const {
+  AoaTofSpectrum sp;
+  sp.aoa_grid_rad = aoa_grid();
+  sp.tof_grid_s = tof_grid();
+  const std::size_t n_aoa = sp.aoa_grid_rad.size();
+  const std::size_t n_tof = sp.tof_grid_s.size();
+  const std::size_t n_noise = sub.noise.cols();
+  const std::size_t ant_len = config_.smoothing.ant_len;
+  const std::size_t sub_len = config_.smoothing.sub_len;
+
+  // The joint steering vector factors as ant(theta) (x) sub(tau) with
+  // antenna-major rows, so for noise eigenvector e:
+  //   e^H a(theta,tau) = sum_a ant_a * (sum_s conj(e[a*sub_len+s]) sub_s)
+  // Precompute the inner parenthesis g[tau][e][a] once, then the grid
+  // sweep is O(n_aoa * n_tof * n_noise * ant_len).
+  std::vector<cplx> g(n_tof * n_noise * ant_len);
+  for (std::size_t ti = 0; ti < n_tof; ++ti) {
+    const CVector sub_vec = tof_steering(sp.tof_grid_s[ti], sub_len, link_);
+    for (std::size_t e = 0; e < n_noise; ++e) {
+      for (std::size_t a = 0; a < ant_len; ++a) {
+        cplx acc{};
+        for (std::size_t s = 0; s < sub_len; ++s) {
+          acc += std::conj(sub.noise(a * sub_len + s, e)) * sub_vec[s];
+        }
+        g[(ti * n_noise + e) * ant_len + a] = acc;
+      }
+    }
+  }
+
+  sp.values = RMatrix(n_aoa, n_tof);
+  for (std::size_t ai = 0; ai < n_aoa; ++ai) {
+    const CVector ant_vec = aoa_steering(sp.aoa_grid_rad[ai], ant_len, link_);
+    for (std::size_t ti = 0; ti < n_tof; ++ti) {
+      double denom = 0.0;
+      const cplx* gt = &g[ti * n_noise * ant_len];
+      for (std::size_t e = 0; e < n_noise; ++e) {
+        cplx proj{};
+        for (std::size_t a = 0; a < ant_len; ++a) {
+          proj += ant_vec[a] * gt[e * ant_len + a];
+        }
+        denom += std::norm(proj);
+      }
+      sp.values(ai, ti) = 1.0 / std::max(denom, 1e-12);
+    }
+  }
+  return sp;
+}
+
+AoaTofSpectrum JointMusicEstimator::spectrum(const CMatrix& csi) const {
+  SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
+                     csi.cols() == link_.n_subcarriers,
+                 "CSI shape disagrees with the link config");
+  const CMatrix x = smoothed_csi(csi, config_.smoothing);
+  return spectrum_from_subspace(noise_subspace(x, config_.subspace));
+}
+
+std::vector<PathEstimate> JointMusicEstimator::estimate(
+    const CMatrix& csi) const {
+  const AoaTofSpectrum sp = spectrum(csi);
+  auto peaks = find_peaks_2d(sp.values, tof_wraps_,
+                             config_.max_paths + (config_.exclude_aoa_edges
+                                                      ? config_.max_paths
+                                                      : 0),
+                             config_.min_relative_peak);
+  if (config_.exclude_aoa_edges) {
+    const std::size_t last = sp.aoa_grid_rad.size() - 1;
+    std::erase_if(peaks, [&](const GridPeak& p) {
+      return p.i == 0 || p.i == last;
+    });
+    if (peaks.size() > config_.max_paths) peaks.resize(config_.max_paths);
+  }
+  std::vector<PathEstimate> estimates;
+  estimates.reserve(peaks.size());
+  const std::size_t n_tof = sp.tof_grid_s.size();
+  for (const auto& pk : peaks) {
+    PathEstimate est;
+    est.power = pk.value;
+    double di = 0.0;
+    double dj = 0.0;
+    if (config_.refine_peaks) {
+      if (pk.i > 0 && pk.i + 1 < sp.aoa_grid_rad.size()) {
+        di = parabolic_offset(sp.values(pk.i - 1, pk.j), sp.values(pk.i, pk.j),
+                              sp.values(pk.i + 1, pk.j));
+      }
+      const std::size_t jm =
+          pk.j > 0 ? pk.j - 1 : (tof_wraps_ ? n_tof - 1 : pk.j);
+      const std::size_t jp =
+          pk.j + 1 < n_tof ? pk.j + 1 : (tof_wraps_ ? 0 : pk.j);
+      if (jm != pk.j && jp != pk.j) {
+        dj = parabolic_offset(sp.values(pk.i, jm), sp.values(pk.i, pk.j),
+                              sp.values(pk.i, jp));
+      }
+    }
+    est.aoa_rad = sp.aoa_grid_rad[pk.i] + di * config_.aoa_step_rad;
+    est.tof_s = sp.tof_grid_s[pk.j] + dj * config_.tof_step_s;
+    estimates.push_back(est);
+  }
+  return estimates;
+}
+
+MusicAoaEstimator::MusicAoaEstimator(LinkConfig link, MusicAoaConfig config)
+    : link_(link), config_(config) {
+  SPOTFI_EXPECTS(config_.smoothing_ant_len <= link_.n_antennas,
+                 "smoothing subarray exceeds the antenna count");
+}
+
+RVector MusicAoaEstimator::aoa_grid() const {
+  return linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
+                       config_.aoa_step_rad);
+}
+
+AoaSpectrum MusicAoaEstimator::spectrum(const CMatrix& csi) const {
+  SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
+                     csi.cols() == link_.n_subcarriers,
+                 "CSI shape disagrees with the link config");
+  const std::size_t ant_len = config_.smoothing_ant_len == 0
+                                  ? link_.n_antennas
+                                  : config_.smoothing_ant_len;
+  const CMatrix x = ant_len == link_.n_antennas
+                        ? csi
+                        : spatially_smoothed_snapshots(csi, ant_len);
+  SubspaceConfig sub_cfg = config_.subspace;
+  sub_cfg.max_signal_dims = std::min(sub_cfg.max_signal_dims, ant_len - 1);
+  const Subspaces sub = noise_subspace(x, sub_cfg);
+
+  AoaSpectrum sp;
+  sp.aoa_grid_rad = aoa_grid();
+  sp.values.resize(sp.aoa_grid_rad.size());
+  const std::size_t n_noise = sub.noise.cols();
+  for (std::size_t ai = 0; ai < sp.aoa_grid_rad.size(); ++ai) {
+    const CVector a = aoa_steering(sp.aoa_grid_rad[ai], ant_len, link_);
+    double denom = 0.0;
+    for (std::size_t e = 0; e < n_noise; ++e) {
+      cplx proj{};
+      for (std::size_t m = 0; m < ant_len; ++m) {
+        proj += std::conj(sub.noise(m, e)) * a[m];
+      }
+      denom += std::norm(proj);
+    }
+    sp.values[ai] = 1.0 / std::max(denom, 1e-12);
+  }
+  return sp;
+}
+
+std::vector<PathEstimate> MusicAoaEstimator::estimate(
+    const CMatrix& csi) const {
+  const AoaSpectrum sp = spectrum(csi);
+  auto peaks =
+      find_peaks_1d(sp.values,
+                    config_.max_paths +
+                        (config_.exclude_aoa_edges ? config_.max_paths : 0),
+                    config_.min_relative_peak);
+  if (config_.exclude_aoa_edges) {
+    const std::size_t last = sp.aoa_grid_rad.size() - 1;
+    std::erase_if(peaks, [&](const GridPeak& p) {
+      return p.i == 0 || p.i == last;
+    });
+    if (peaks.size() > config_.max_paths) peaks.resize(config_.max_paths);
+  }
+  std::vector<PathEstimate> estimates;
+  estimates.reserve(peaks.size());
+  for (const auto& pk : peaks) {
+    PathEstimate est;
+    est.power = pk.value;
+    double di = 0.0;
+    if (config_.refine_peaks && pk.i > 0 &&
+        pk.i + 1 < sp.aoa_grid_rad.size()) {
+      di = parabolic_offset(sp.values[pk.i - 1], sp.values[pk.i],
+                            sp.values[pk.i + 1]);
+    }
+    est.aoa_rad = sp.aoa_grid_rad[pk.i] + di * config_.aoa_step_rad;
+    estimates.push_back(est);
+  }
+  return estimates;
+}
+
+}  // namespace spotfi

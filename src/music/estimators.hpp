@@ -1,0 +1,131 @@
+// The two AoA estimators the paper evaluates.
+//
+// JointMusicEstimator — SpotFi's super-resolution algorithm (Sec. 3.1.2):
+// smoothed CSI matrix -> noise subspace -> 2-D MUSIC pseudospectrum over
+// (AoA, ToF) -> peaks = multipath components. The joint steering vector
+// factors as ant(theta) (x) sub(tau), which lets the spectrum sweep
+// precompute the per-tau inner products once per noise eigenvector and
+// makes a full 181 x 320 grid cost milliseconds.
+//
+// MusicAoaEstimator — the classic antenna-only MUSIC (Sec. 3.1.1) used by
+// the paper's practical ArrayTrack/Phaser baseline: the 3-antenna array
+// with subcarriers as snapshots. With only 3 sensors it cannot resolve
+// more than 2 paths, which is exactly the failure mode SpotFi fixes.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "csi/smoothing.hpp"
+#include "music/peaks.hpp"
+#include "music/subspace.hpp"
+
+namespace spotfi {
+
+/// One estimated multipath component.
+struct PathEstimate {
+  double aoa_rad = 0.0;
+  double tof_s = 0.0;   ///< sanitized ToF — offset by the (removed) STO
+  double power = 0.0;   ///< MUSIC pseudospectrum height at the peak
+};
+
+/// 2-D pseudospectrum on the (AoA, ToF) grid; values[i][j] corresponds to
+/// aoa_grid[i], tof_grid[j].
+struct AoaTofSpectrum {
+  RVector aoa_grid_rad;
+  RVector tof_grid_s;
+  RMatrix values;
+};
+
+/// 1-D pseudospectrum on an AoA grid.
+struct AoaSpectrum {
+  RVector aoa_grid_rad;
+  RVector values;
+};
+
+struct JointMusicConfig {
+  double aoa_min_rad = -kPi / 2.0;
+  double aoa_max_rad = kPi / 2.0;
+  double aoa_step_rad = kPi / 180.0;  ///< 1 degree
+  /// ToF grid; when min/max are NaN the full unambiguous period
+  /// [-T/2, T/2) with T = 1/f_delta is used and the axis treated circular.
+  double tof_min_s = std::numeric_limits<double>::quiet_NaN();
+  double tof_max_s = std::numeric_limits<double>::quiet_NaN();
+  double tof_step_s = 2.5e-9;
+  SmoothingConfig smoothing;
+  SubspaceConfig subspace;
+  /// Keep at most this many spectrum peaks.
+  std::size_t max_paths = 8;
+  /// Drop peaks below this fraction of the strongest peak. MUSIC ridges
+  /// produce low sidelobe peaks along the ToF axis; an 8% floor keeps
+  /// real paths (within ~11 dB of the strongest) and rejects sidelobes.
+  double min_relative_peak = 0.08;
+  /// Refine peak locations by parabolic interpolation.
+  bool refine_peaks = true;
+  /// Discard peaks sitting on the first/last AoA grid row: steering
+  /// vectors compress near endfire and MUSIC piles spurious energy onto
+  /// the +-90 deg boundary.
+  bool exclude_aoa_edges = true;
+};
+
+class JointMusicEstimator {
+ public:
+  JointMusicEstimator(LinkConfig link, JointMusicConfig config = {});
+
+  /// Full pipeline on one packet's CSI: smooth -> subspace -> spectrum ->
+  /// peaks. CSI must be antennas x subcarriers per the link config.
+  [[nodiscard]] std::vector<PathEstimate> estimate(const CMatrix& csi) const;
+
+  /// The pseudospectrum (for inspection / the spectrum_explorer example).
+  [[nodiscard]] AoaTofSpectrum spectrum(const CMatrix& csi) const;
+
+  [[nodiscard]] const JointMusicConfig& config() const { return config_; }
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+  [[nodiscard]] RVector aoa_grid() const;
+  [[nodiscard]] RVector tof_grid() const;
+  /// True when the ToF grid spans the full unambiguous period (grid wraps).
+  [[nodiscard]] bool tof_axis_wraps() const { return tof_wraps_; }
+
+ private:
+  [[nodiscard]] AoaTofSpectrum spectrum_from_subspace(
+      const Subspaces& sub) const;
+
+  LinkConfig link_;
+  JointMusicConfig config_;
+  double tof_min_s_ = 0.0;
+  double tof_max_s_ = 0.0;
+  bool tof_wraps_ = false;
+};
+
+struct MusicAoaConfig {
+  double aoa_min_rad = -kPi / 2.0;
+  double aoa_max_rad = kPi / 2.0;
+  double aoa_step_rad = kPi / 180.0;
+  SubspaceConfig subspace;
+  /// Optional forward spatial smoothing: antenna subarray length; 0 keeps
+  /// the full array (the paper's 3-antenna baseline configuration).
+  std::size_t smoothing_ant_len = 0;
+  std::size_t max_paths = 3;
+  double min_relative_peak = 0.01;
+  bool refine_peaks = true;
+  /// See JointMusicConfig::exclude_aoa_edges.
+  bool exclude_aoa_edges = true;
+};
+
+class MusicAoaEstimator {
+ public:
+  MusicAoaEstimator(LinkConfig link, MusicAoaConfig config = {});
+
+  [[nodiscard]] std::vector<PathEstimate> estimate(const CMatrix& csi) const;
+  [[nodiscard]] AoaSpectrum spectrum(const CMatrix& csi) const;
+
+  [[nodiscard]] const MusicAoaConfig& config() const { return config_; }
+  [[nodiscard]] RVector aoa_grid() const;
+
+ private:
+  LinkConfig link_;
+  MusicAoaConfig config_;
+};
+
+}  // namespace spotfi

@@ -1,0 +1,107 @@
+#include "music/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+namespace spotfi {
+namespace {
+
+void sort_and_trim(std::vector<GridPeak>& peaks, std::size_t max_peaks,
+                   double min_relative, double global_max) {
+  std::sort(peaks.begin(), peaks.end(),
+            [](const GridPeak& a, const GridPeak& b) {
+              return a.value > b.value;
+            });
+  const double floor_value = min_relative * global_max;
+  std::erase_if(peaks,
+                [&](const GridPeak& p) { return p.value < floor_value; });
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+}
+
+}  // namespace
+
+std::vector<GridPeak> find_peaks_1d(std::span<const double> f,
+                                    std::size_t max_peaks,
+                                    double min_relative) {
+  SPOTFI_EXPECTS(max_peaks > 0, "max_peaks must be positive");
+  std::vector<GridPeak> peaks;
+  if (f.empty()) return peaks;
+  double global_max = f[0];
+  for (double v : f) global_max = std::max(global_max, v);
+
+  const std::size_t n = f.size();
+  if (n == 1) {
+    peaks.push_back({0, 0, f[0]});
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool left_ok = i == 0 ? f[i] > f[i + 1] : f[i] > f[i - 1];
+      const bool right_ok = i == n - 1 ? f[i] > f[i - 1] : f[i] >= f[i + 1];
+      // Interior plateaus: count only the left edge (strict > on the left).
+      if (left_ok && right_ok) peaks.push_back({i, 0, f[i]});
+    }
+  }
+  sort_and_trim(peaks, max_peaks, min_relative, global_max);
+  return peaks;
+}
+
+std::vector<GridPeak> find_peaks_2d(const RMatrix& grid, bool wrap_cols,
+                                    std::size_t max_peaks,
+                                    double min_relative) {
+  SPOTFI_EXPECTS(max_peaks > 0, "max_peaks must be positive");
+  SPOTFI_EXPECTS(grid.rows() >= 1 && grid.cols() >= 1, "empty grid");
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  const double global_max = grid.max_abs();
+
+  // Out-of-range neighbours simply do not exist (they neither block a peak
+  // nor count as dominated); the column axis optionally wraps.
+  auto value_at = [&](std::ptrdiff_t i,
+                      std::ptrdiff_t j) -> std::optional<double> {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(rows)) return std::nullopt;
+    if (wrap_cols) {
+      const auto c = static_cast<std::ptrdiff_t>(cols);
+      j = ((j % c) + c) % c;
+    } else if (j < 0 || j >= static_cast<std::ptrdiff_t>(cols)) {
+      return std::nullopt;
+    }
+    return grid(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+  };
+
+  std::vector<GridPeak> peaks;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double v = grid(i, j);
+      bool is_peak = true;
+      bool strictly_above_one = false;
+      for (int di = -1; di <= 1 && is_peak; ++di) {
+        for (int dj = -1; dj <= 1; ++dj) {
+          if (di == 0 && dj == 0) continue;
+          const auto nb = value_at(static_cast<std::ptrdiff_t>(i) + di,
+                                   static_cast<std::ptrdiff_t>(j) + dj);
+          if (!nb) continue;
+          if (*nb > v) {
+            is_peak = false;
+            break;
+          }
+          if (*nb < v) strictly_above_one = true;
+        }
+      }
+      // Flat regions are not peaks; require dominance over at least one
+      // neighbour to reject constant grids.
+      if (is_peak && strictly_above_one) peaks.push_back({i, j, v});
+    }
+  }
+  sort_and_trim(peaks, max_peaks, min_relative, global_max);
+  return peaks;
+}
+
+double parabolic_offset(double f_m1, double f_0, double f_p1) {
+  const double denom = f_m1 - 2.0 * f_0 + f_p1;
+  if (!(f_0 >= f_m1 && f_0 >= f_p1) || std::abs(denom) < 1e-300) return 0.0;
+  const double offset = 0.5 * (f_m1 - f_p1) / denom;
+  return std::clamp(offset, -0.5, 0.5);
+}
+
+}  // namespace spotfi

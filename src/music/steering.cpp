@@ -1,0 +1,59 @@
+#include "music/steering.hpp"
+
+#include <cmath>
+
+namespace spotfi {
+
+cplx phi_factor(double aoa_rad, const LinkConfig& link) {
+  const double arg = -2.0 * kPi * link.antenna_spacing_m *
+                     std::sin(aoa_rad) * link.carrier_hz / kSpeedOfLight;
+  return std::polar(1.0, arg);
+}
+
+cplx omega_factor(double tof_s, const LinkConfig& link) {
+  return std::polar(1.0, -2.0 * kPi * link.subcarrier_spacing_hz * tof_s);
+}
+
+CVector aoa_steering(double aoa_rad, std::size_t n_antennas,
+                     const LinkConfig& link) {
+  SPOTFI_EXPECTS(n_antennas >= 1, "need at least one antenna");
+  CVector a(n_antennas);
+  const cplx phi = phi_factor(aoa_rad, link);
+  cplx acc{1.0, 0.0};
+  for (std::size_t m = 0; m < n_antennas; ++m) {
+    a[m] = acc;
+    acc *= phi;
+  }
+  return a;
+}
+
+CVector tof_steering(double tof_s, std::size_t n_subcarriers,
+                     const LinkConfig& link) {
+  SPOTFI_EXPECTS(n_subcarriers >= 1, "need at least one subcarrier");
+  CVector a(n_subcarriers);
+  const cplx omega = omega_factor(tof_s, link);
+  cplx acc{1.0, 0.0};
+  for (std::size_t n = 0; n < n_subcarriers; ++n) {
+    a[n] = acc;
+    acc *= omega;
+  }
+  return a;
+}
+
+CVector joint_steering(double aoa_rad, double tof_s, std::size_t ant_len,
+                       std::size_t sub_len, const LinkConfig& link) {
+  const CVector ant = aoa_steering(aoa_rad, ant_len, link);
+  const CVector sub = tof_steering(tof_s, sub_len, link);
+  CVector a(ant_len * sub_len);
+  std::size_t r = 0;
+  for (std::size_t m = 0; m < ant_len; ++m) {
+    for (std::size_t s = 0; s < sub_len; ++s, ++r) a[r] = ant[m] * sub[s];
+  }
+  return a;
+}
+
+double tof_period(const LinkConfig& link) {
+  return 1.0 / link.subcarrier_spacing_hz;
+}
+
+}  // namespace spotfi

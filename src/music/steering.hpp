@@ -1,0 +1,41 @@
+// Steering vectors for the antenna array and the OFDM subcarrier grid.
+//
+// Eq. 1:  Phi(theta) = exp(-j*2*pi*d*sin(theta)*f/c)   — per-antenna factor
+// Eq. 6:  Omega(tau) = exp(-j*2*pi*f_delta*tau)        — per-subcarrier factor
+// Eq. 2:  a(theta)   = [1, Phi, ..., Phi^(M-1)]
+// Eq. 7:  a(theta,tau) for the joint sensor array, antenna-major, which
+//         factors as the Kronecker product a_ant(theta) (x) a_sub(tau).
+#pragma once
+
+#include "common/constants.hpp"
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// Phi(theta) — phase factor between adjacent antennas (Eq. 1).
+[[nodiscard]] cplx phi_factor(double aoa_rad, const LinkConfig& link);
+
+/// Omega(tau) — phase factor between adjacent subcarriers (Eq. 6).
+[[nodiscard]] cplx omega_factor(double tof_s, const LinkConfig& link);
+
+/// Antenna steering vector [1, Phi, ..., Phi^(n_antennas-1)] (Eq. 2).
+[[nodiscard]] CVector aoa_steering(double aoa_rad, std::size_t n_antennas,
+                                   const LinkConfig& link);
+
+/// Subcarrier steering vector [1, Omega, ..., Omega^(n_subcarriers-1)].
+[[nodiscard]] CVector tof_steering(double tof_s, std::size_t n_subcarriers,
+                                   const LinkConfig& link);
+
+/// Joint steering vector of Eq. 7 for an ant_len x sub_len sensor
+/// (sub)array, antenna-major: element [a*sub_len + s] = Phi^a * Omega^s.
+/// Matches the row ordering of smoothed_csi().
+[[nodiscard]] CVector joint_steering(double aoa_rad, double tof_s,
+                                     std::size_t ant_len, std::size_t sub_len,
+                                     const LinkConfig& link);
+
+/// The ToF at which Omega aliases: tau and tau + tof_period are
+/// indistinguishable on the subcarrier grid (1 / f_delta; 800 ns for the
+/// 5300's 1.25 MHz reported spacing).
+[[nodiscard]] double tof_period(const LinkConfig& link);
+
+}  // namespace spotfi

@@ -1,0 +1,107 @@
+#include "music/subspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/hermitian_eig.hpp"
+
+namespace spotfi {
+namespace {
+
+Subspaces split(const HermitianEig& eig, std::size_t n_signal) {
+  const std::size_t dim = eig.eigenvalues.size();
+  SPOTFI_EXPECTS(n_signal < dim, "signal subspace must leave noise dims");
+  const std::size_t n_noise = dim - n_signal;
+
+  Subspaces s;
+  s.n_signal = n_signal;
+  s.eigenvalues = eig.eigenvalues;
+  s.noise = CMatrix(dim, n_noise);
+  // Eigenvalues are ascending, so the first n_noise columns are noise.
+  for (std::size_t j = 0; j < n_noise; ++j) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      s.noise(i, j) = eig.eigenvectors(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::size_t estimate_model_order(std::span<const double> eigenvalues,
+                                 std::size_t n_snapshots,
+                                 OrderMethod method) {
+  SPOTFI_EXPECTS(eigenvalues.size() >= 2, "need at least two eigenvalues");
+  SPOTFI_EXPECTS(n_snapshots >= 1, "need at least one snapshot");
+  SPOTFI_EXPECTS(method != OrderMethod::kThreshold,
+                 "estimate_model_order implements MDL/AIC only");
+  const std::size_t m = eigenvalues.size();
+  const double n = static_cast<double>(n_snapshots);
+
+  double best_score = std::numeric_limits<double>::max();
+  std::size_t best_k = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    // Smallest (m - k) eigenvalues — the candidate noise set. Eigenvalues
+    // are ascending, so these are the leading entries.
+    const auto p = static_cast<double>(m - k);
+    double log_geo = 0.0;
+    double arith = 0.0;
+    for (std::size_t i = 0; i < m - k; ++i) {
+      const double ev = std::max(eigenvalues[i], 1e-300);
+      log_geo += std::log(ev);
+      arith += ev;
+    }
+    log_geo /= p;
+    arith /= p;
+    const double log_ratio = log_geo - std::log(std::max(arith, 1e-300));
+    const double fit = -n * p * log_ratio;
+    const double dof = static_cast<double>(k) * (2.0 * m - k);
+    const double penalty = method == OrderMethod::kMdl
+                               ? 0.5 * dof * std::log(n)
+                               : dof;  // AIC
+    const double score = fit + penalty;
+    if (score < best_score) {
+      best_score = score;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+Subspaces noise_subspace(const CMatrix& measurement,
+                         const SubspaceConfig& config) {
+  SPOTFI_EXPECTS(measurement.rows() >= 2, "measurement matrix too small");
+  SPOTFI_EXPECTS(config.relative_threshold > 0.0 &&
+                     config.relative_threshold < 1.0,
+                 "relative_threshold must be in (0, 1)");
+  const HermitianEig eig = eigh(measurement.gram());
+  const std::size_t dim = eig.eigenvalues.size();
+
+  std::size_t n_signal = 0;
+  if (config.order_method == OrderMethod::kThreshold) {
+    const double lambda_max = eig.eigenvalues.back();
+    const double cut = config.relative_threshold * std::max(lambda_max, 0.0);
+    for (std::size_t k = dim; k-- > 0;) {
+      if (eig.eigenvalues[k] > cut) ++n_signal;
+      else break;
+    }
+  } else {
+    n_signal = estimate_model_order(eig.eigenvalues, measurement.cols(),
+                                    config.order_method);
+  }
+  n_signal = std::min(n_signal, config.max_signal_dims);
+  const std::size_t max_signal =
+      dim > config.min_noise_dims ? dim - config.min_noise_dims : 0;
+  n_signal = std::min(n_signal, max_signal);
+  n_signal = std::max<std::size_t>(n_signal, 1);
+  return split(eig, n_signal);
+}
+
+Subspaces noise_subspace_fixed(const CMatrix& measurement,
+                               std::size_t n_signal) {
+  SPOTFI_EXPECTS(measurement.rows() >= 2, "measurement matrix too small");
+  return split(eigh(measurement.gram()), n_signal);
+}
+
+}  // namespace spotfi

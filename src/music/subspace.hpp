@@ -1,0 +1,60 @@
+// Signal/noise subspace split for MUSIC.
+//
+// Algorithm 2, line 5: "construct E_N whose columns are eigenvectors of
+// X X^H corresponding to eigenvalues smaller than a threshold". We expose
+// the threshold split plus a fixed-dimension variant used by tests and the
+// ArrayTrack baseline.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// How the number of propagation paths (signal dimensions) is chosen.
+enum class OrderMethod {
+  /// Eigenvalue threshold relative to the largest (Algorithm 2, line 5).
+  kThreshold,
+  /// Minimum description length criterion (Wax & Kailath).
+  kMdl,
+  /// Akaike information criterion; tends to overestimate slightly.
+  kAic,
+};
+
+struct SubspaceConfig {
+  OrderMethod order_method = OrderMethod::kThreshold;
+  /// Eigenvalues below `relative_threshold * lambda_max` belong to the
+  /// noise subspace (kThreshold only).
+  double relative_threshold = 0.03;
+  /// Never assign more than this many dimensions to the signal subspace
+  /// (indoor environments show at most ~8 significant paths, Sec. 3.1).
+  std::size_t max_signal_dims = 10;
+  /// Keep at least this many noise dimensions so the spectrum is defined.
+  std::size_t min_noise_dims = 1;
+};
+
+/// Information-theoretic model order estimate from the eigenvalues of a
+/// sample covariance (ascending) observed over `n_snapshots` snapshots.
+/// Returns the k in [0, M-1] minimizing the MDL (or AIC) criterion.
+[[nodiscard]] std::size_t estimate_model_order(
+    std::span<const double> eigenvalues_ascending, std::size_t n_snapshots,
+    OrderMethod method = OrderMethod::kMdl);
+
+struct Subspaces {
+  /// Noise-subspace basis; columns are orthonormal eigenvectors.
+  CMatrix noise;
+  /// Estimated number of propagation paths (signal dimensions).
+  std::size_t n_signal = 0;
+  /// Eigenvalues of the covariance, ascending (diagnostics/tests).
+  RVector eigenvalues;
+};
+
+/// Splits the eigenvectors of covariance = X X^H (X = measurement matrix)
+/// into signal and noise subspaces by eigenvalue threshold.
+[[nodiscard]] Subspaces noise_subspace(const CMatrix& measurement,
+                                       const SubspaceConfig& config = {});
+
+/// Same split with an explicitly chosen signal dimension.
+[[nodiscard]] Subspaces noise_subspace_fixed(const CMatrix& measurement,
+                                             std::size_t n_signal);
+
+}  // namespace spotfi

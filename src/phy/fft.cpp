@@ -1,0 +1,69 @@
+#include "phy/fft.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace spotfi {
+
+void fft_in_place(std::span<cplx> x, bool inverse) {
+  const std::size_t n = x.size();
+  SPOTFI_EXPECTS(n != 0 && (n & (n - 1)) == 0,
+                 "FFT size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * kPi /
+                         static_cast<double>(len);
+    const cplx wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= scale;
+  }
+}
+
+CVector fft(std::span<const cplx> x) {
+  CVector out(x.begin(), x.end());
+  fft_in_place(out, false);
+  return out;
+}
+
+CVector ifft(std::span<const cplx> x) {
+  CVector out(x.begin(), x.end());
+  fft_in_place(out, true);
+  return out;
+}
+
+CVector dft_reference(std::span<const cplx> x) {
+  const std::size_t n = x.size();
+  CVector out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    cplx acc{};
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += x[t] * std::polar(1.0, -2.0 * kPi *
+                                        static_cast<double>(k * t) /
+                                        static_cast<double>(n));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace spotfi

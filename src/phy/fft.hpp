@@ -1,0 +1,21 @@
+// Radix-2 FFT — the only transform the OFDM substrate needs, implemented
+// from scratch (the repository has no external math dependencies).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `x.size()` must be a
+/// power of two. The inverse transform includes the 1/N normalization so
+/// ifft(fft(x)) == x.
+void fft_in_place(std::span<cplx> x, bool inverse = false);
+
+/// Convenience wrappers returning a new vector.
+[[nodiscard]] CVector fft(std::span<const cplx> x);
+[[nodiscard]] CVector ifft(std::span<const cplx> x);
+
+/// Naive O(N^2) DFT used as the test oracle.
+[[nodiscard]] CVector dft_reference(std::span<const cplx> x);
+
+}  // namespace spotfi

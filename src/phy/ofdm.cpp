@@ -1,0 +1,65 @@
+#include "phy/ofdm.hpp"
+
+#include <cmath>
+
+#include "phy/fft.hpp"
+
+namespace spotfi {
+
+std::vector<int> OfdmConfig::occupied_subcarriers() const {
+  SPOTFI_EXPECTS(max_occupied > 0 &&
+                     static_cast<std::size_t>(max_occupied) < fft_size / 2,
+                 "occupied band exceeds the FFT size");
+  std::vector<int> indices;
+  for (int k = -max_occupied; k <= max_occupied; ++k) {
+    if (k != 0) indices.push_back(k);
+  }
+  return indices;
+}
+
+std::size_t OfdmConfig::bin_of(int subcarrier_index) const {
+  SPOTFI_EXPECTS(std::abs(subcarrier_index) <
+                     static_cast<int>(fft_size / 2),
+                 "subcarrier index out of range");
+  return subcarrier_index >= 0
+             ? static_cast<std::size_t>(subcarrier_index)
+             : fft_size + static_cast<std::size_t>(subcarrier_index);
+}
+
+std::vector<double> ltf_sequence(const OfdmConfig& cfg) {
+  // Deterministic +-1 values from a tiny LCG so TX and RX agree without
+  // sharing state; mimics the standard's fixed LTF sign pattern.
+  const auto occupied = cfg.occupied_subcarriers();
+  std::vector<double> seq;
+  seq.reserve(occupied.size());
+  std::uint32_t state = 0x1337u;
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    state = state * 1664525u + 1013904223u;
+    seq.push_back((state >> 16) & 1u ? 1.0 : -1.0);
+  }
+  return seq;
+}
+
+CVector ltf_time_symbol(const OfdmConfig& cfg) {
+  const auto occupied = cfg.occupied_subcarriers();
+  const auto seq = ltf_sequence(cfg);
+  CVector freq(cfg.fft_size, cplx{});
+  for (std::size_t i = 0; i < occupied.size(); ++i) {
+    freq[cfg.bin_of(occupied[i])] = cplx(seq[i], 0.0);
+  }
+  CVector time = ifft(freq);
+  // Normalize to unit average power.
+  double power = 0.0;
+  for (const auto& v : time) power += std::norm(v);
+  power /= static_cast<double>(time.size());
+  const double scale = 1.0 / std::sqrt(std::max(power, 1e-300));
+  for (auto& v : time) v *= scale;
+  // Prepend the cyclic prefix.
+  CVector symbol;
+  symbol.reserve(cfg.symbol_samples());
+  symbol.insert(symbol.end(), time.end() - cfg.cyclic_prefix, time.end());
+  symbol.insert(symbol.end(), time.begin(), time.end());
+  return symbol;
+}
+
+}  // namespace spotfi

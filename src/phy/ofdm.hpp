@@ -1,0 +1,45 @@
+// 802.11n-style OFDM numerology and training symbols for the waveform
+// substrate.
+//
+// A 40 MHz HT channel: 128-point FFT at 40 Msps (312.5 kHz subcarrier
+// spacing), 114 occupied subcarriers at indices -58..58 (DC and band
+// edges null), 1/4 cyclic prefix. The long training field (LTF) carries a
+// known +-1 sequence on the occupied subcarriers; dividing the received
+// LTF by it yields the channel estimate the NIC quantizes into CSI.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace spotfi {
+
+struct OfdmConfig {
+  std::size_t fft_size = 128;
+  std::size_t cyclic_prefix = 32;
+  /// Sample rate [Hz]; subcarrier spacing = sample_rate / fft_size.
+  double sample_rate_hz = 40e6;
+  /// Highest occupied subcarrier index (+-).
+  int max_occupied = 58;
+
+  [[nodiscard]] double subcarrier_spacing_hz() const {
+    return sample_rate_hz / static_cast<double>(fft_size);
+  }
+  [[nodiscard]] std::size_t symbol_samples() const {
+    return fft_size + cyclic_prefix;
+  }
+  /// Occupied subcarrier indices (negative and positive, DC excluded).
+  [[nodiscard]] std::vector<int> occupied_subcarriers() const;
+  /// FFT bin for a (possibly negative) subcarrier index.
+  [[nodiscard]] std::size_t bin_of(int subcarrier_index) const;
+};
+
+/// Deterministic +-1 training sequence on the occupied subcarriers
+/// (one value per entry of occupied_subcarriers()).
+[[nodiscard]] std::vector<double> ltf_sequence(const OfdmConfig& cfg);
+
+/// Time-domain LTF symbol with cyclic prefix (symbol_samples() samples),
+/// unit average power.
+[[nodiscard]] CVector ltf_time_symbol(const OfdmConfig& cfg);
+
+}  // namespace spotfi

@@ -1,0 +1,42 @@
+// CSI source backed by the full waveform chain.
+//
+// Mirrors channel/CsiSynthesizer's interface but produces every packet by
+// actually transmitting LTF symbols through the multipath channel and
+// running the receiver (detection, FFT, channel estimation). STO arises
+// physically here: a per-packet transmit-clock jitter shifts the whole
+// frame, and whatever the correlator does not absorb lands in the CSI
+// phase — no STO is ever injected into the CSI directly. Used by the
+// experiment runner's waveform mode and the model-vs-waveform ablation.
+#pragma once
+
+#include "channel/csi_synthesis.hpp"
+#include "phy/transceiver.hpp"
+
+namespace spotfi {
+
+class PhyCsiSynthesizer {
+ public:
+  PhyCsiSynthesizer(PhyConfig phy, ImpairmentConfig impairments);
+
+  /// One packet through the waveform chain.
+  [[nodiscard]] CsiPacket synthesize(std::span<const PathComponent> paths,
+                                     double timestamp_s, Rng& rng) const;
+
+  /// A burst with per-burst antenna calibration residuals, like
+  /// CsiSynthesizer::synthesize_burst.
+  [[nodiscard]] std::vector<CsiPacket> synthesize_burst(
+      std::span<const PathComponent> paths, std::size_t n_packets,
+      double interval_s, Rng& rng) const;
+
+  [[nodiscard]] const PhyConfig& phy() const { return phy_; }
+  /// Link configuration describing the produced CSI (reported-subcarrier
+  /// spacing of the 5300's 40 MHz grid).
+  [[nodiscard]] LinkConfig reported_link() const;
+
+ private:
+  PhyConfig phy_;
+  ImpairmentConfig impairments_;
+  PhyFrame frame_;
+};
+
+}  // namespace spotfi

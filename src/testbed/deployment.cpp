@@ -1,0 +1,164 @@
+#include "testbed/deployment.hpp"
+
+#include <cmath>
+
+#include "common/constants.hpp"
+
+namespace spotfi {
+namespace {
+
+/// AP at `pos` with its array broadside facing `look_at`.
+ArrayPose ap_facing(Vec2 pos, Vec2 look_at) {
+  return {pos, (look_at - pos).angle()};
+}
+
+}  // namespace
+
+Deployment office_deployment() {
+  Deployment d;
+  d.name = "office";
+  d.area_min = {0.0, 0.0};
+  d.area_max = {16.0, 10.0};
+
+  d.plan.add_rectangle(d.area_min, d.area_max, WallMaterial::drywall(),
+                       "shell");
+  // Interior partitions: two office dividers and a glass lab front.
+  d.plan.add_wall({{{5.0, 0.0}, {5.0, 3.5}}, WallMaterial::drywall(),
+                   "partition-a"});
+  d.plan.add_wall({{{11.0, 6.5}, {11.0, 10.0}}, WallMaterial::drywall(),
+                   "partition-b"});
+  d.plan.add_wall({{{0.0, 6.5}, {3.0, 6.5}}, WallMaterial::glass(),
+                   "lab-window"});
+
+  // Metal cabinets / shelving acting as strong scatterers.
+  d.scatterers = {{{2.0, 9.0}, 6.0}, {{8.0, 5.2}, 7.0},
+                  {{14.0, 1.0}, 6.0}, {{12.5, 8.5}, 7.0},
+                  {{3.5, 2.0}, 7.0},  {{15.0, 6.0}, 6.0}};
+
+  // APs on stands ~1.2 m into the room (wall-hugging mounts put the
+  // nearest reflection within a few ns of the direct path and merge the
+  // two, which no 36 MHz estimator can split).
+  const Vec2 center{8.0, 5.0};
+  d.aps = {ap_facing({1.2, 5.0}, center),  ap_facing({14.8, 5.0}, center),
+           ap_facing({5.5, 1.2}, center),  ap_facing({10.5, 8.8}, center),
+           ap_facing({1.6, 1.4}, center),  ap_facing({14.4, 8.6}, center)};
+
+  for (double x = 2.0; x <= 14.0; x += 2.0) {
+    for (double y = 1.5; y <= 8.5; y += 2.0) {
+      d.targets.push_back({x, y});
+    }
+  }
+  return d;
+}
+
+Deployment high_nlos_deployment() {
+  Deployment d;
+  d.name = "high-nlos";
+  d.area_min = {0.0, 0.0};
+  d.area_max = {16.0, 10.0};
+
+  d.plan.add_rectangle(d.area_min, d.area_max, WallMaterial::drywall(),
+                       "shell");
+  // Three walled rooms along the top edge; concrete fronts make the
+  // direct path weak for any AP that is not right outside the room.
+  d.plan.add_wall({{{0.0, 6.0}, {16.0, 6.0}}, WallMaterial::concrete(),
+                   "rooms-front"});
+  d.plan.add_wall({{{5.25, 6.0}, {5.25, 10.0}}, WallMaterial::concrete(),
+                   "rooms-div-a"});
+  d.plan.add_wall({{{10.75, 6.0}, {10.75, 10.0}}, WallMaterial::concrete(),
+                   "rooms-div-b"});
+
+  d.scatterers = {{{2.0, 1.0}, 6.0}, {{8.0, 3.0}, 7.0},
+                  {{14.0, 1.5}, 6.0}, {{3.0, 8.0}, 7.0},
+                  {{6.8, 9.3}, 7.0},  {{13.5, 7.6}, 7.0}};
+
+  // Two APs close under the rooms (the "couple of APs with a decent
+  // direct path"), four far away in the open area.
+  d.aps = {ap_facing({4.0, 5.4}, {4.0, 8.0}),
+           ap_facing({12.0, 5.4}, {12.0, 8.0}),
+           ap_facing({0.4, 0.6}, {8.0, 8.0}),
+           ap_facing({15.6, 0.6}, {8.0, 8.0}),
+           ap_facing({8.0, 0.4}, {8.0, 8.0}),
+           ap_facing({0.4, 3.0}, {12.0, 8.0})};
+
+  // 23 targets inside the three rooms.
+  const double xs_a[] = {1.0, 2.5, 4.0};
+  const double xs_b[] = {6.5, 8.0, 9.5};
+  const double xs_c[] = {12.0, 13.5, 15.0};
+  const double ys[] = {7.0, 8.2, 9.4};
+  auto add_target = [&d](double x, double y) {
+    if (d.targets.size() < 23) d.targets.push_back({x, y});
+  };
+  for (double y : ys) {
+    for (double x : xs_a) add_target(x, y);
+    for (double x : xs_b) add_target(x, y);
+    for (double x : xs_c) add_target(x, y);
+  }
+  return d;
+}
+
+Deployment corridor_deployment() {
+  Deployment d;
+  d.name = "corridor";
+  d.area_min = {0.0, 0.0};
+  d.area_max = {36.0, 20.0};
+
+  // Long L-shaped corridor: horizontal leg (0,0)-(36,2.5), vertical leg
+  // (33.5,0)-(36,20). APs are sparse and wall-mounted, as in real
+  // hallway deployments — most targets are far from every AP and the
+  // bearings are nearly collinear (the paper's corridor pathology).
+  d.plan.add_wall({{{0.0, 0.0}, {36.0, 0.0}}, WallMaterial::drywall(),
+                   "south"});
+  d.plan.add_wall({{{0.0, 2.5}, {33.5, 2.5}}, WallMaterial::drywall(),
+                   "north-horizontal"});
+  d.plan.add_wall({{{33.5, 2.5}, {33.5, 20.0}}, WallMaterial::drywall(),
+                   "west-vertical"});
+  d.plan.add_wall({{{36.0, 0.0}, {36.0, 20.0}}, WallMaterial::concrete(),
+                   "east"});
+  d.plan.add_wall({{{0.0, 0.0}, {0.0, 2.5}}, WallMaterial::concrete(),
+                   "west-end"});
+  d.plan.add_wall({{{33.5, 20.0}, {36.0, 20.0}}, WallMaterial::concrete(),
+                   "north-end"});
+
+  // Hallway clutter: lockers, door frames, a water fountain — strong
+  // asymmetric scatterers every few meters along alternating walls.
+  d.scatterers = {{{4.5, 2.2}, 5.0},  {{8.0, 0.4}, 6.0},
+                  {{11.5, 2.2}, 5.0}, {{19.0, 2.1}, 6.0},
+                  {{22.5, 0.4}, 5.0}, {{26.0, 2.2}, 6.0},
+                  {{30.0, 0.4}, 5.0}, {{35.6, 8.0}, 5.0},
+                  {{33.9, 15.0}, 6.0}, {{35.7, 17.5}, 5.0}};
+
+  // Four sparse wall-mounted APs, arrays facing *along* the corridor (the
+  // usable orientation in a hallway: targets stay near broadside where a
+  // ULA's AoA resolution is best; cross-corridor bearings would put every
+  // target at an unresolvable grazing angle).
+  d.aps = {ap_facing({3.0, 0.3}, {15.0, 1.2}),
+           ap_facing({15.0, 2.2}, {3.0, 1.2}),
+           ap_facing({28.0, 0.3}, {34.0, 1.2}),
+           ap_facing({34.2, 12.0}, {34.8, 4.0})};
+
+  // 18 targets along the horizontal centerline, 7 along the vertical one.
+  for (int i = 0; i < 18; ++i) {
+    d.targets.push_back({1.5 + 1.8 * static_cast<double>(i), 1.2});
+  }
+  for (int i = 0; i < 7; ++i) {
+    d.targets.push_back({34.8, 4.0 + 2.0 * static_cast<double>(i)});
+  }
+  return d;
+}
+
+std::size_t count_los_aps(const Deployment& deployment, Vec2 target) {
+  std::size_t n = 0;
+  for (const auto& ap : deployment.aps) {
+    if (deployment.plan.line_of_sight(ap.position, target)) ++n;
+  }
+  return n;
+}
+
+bool is_los(const Deployment& deployment, std::size_t ap_index, Vec2 target) {
+  SPOTFI_EXPECTS(ap_index < deployment.aps.size(), "AP index out of range");
+  return deployment.plan.line_of_sight(deployment.aps[ap_index].position,
+                                       target);
+}
+
+}  // namespace spotfi

@@ -1,0 +1,44 @@
+// Synthetic deployments mirroring the paper's Fig. 6 testbed regimes:
+//
+//  * office     — a 16 m x 10 m multipath-rich office with interior walls
+//                 and metal scatterers, 6 APs around the perimeter, ~30
+//                 target locations (Sec. 4.3.1; the dashed red box).
+//  * high NLoS  — targets inside walled rooms so that at most two APs
+//                 keep a strong direct path (Sec. 4.3.2; 23 locations).
+//  * corridor   — two joined corridors with APs along the side walls and
+//                 targets down the centerlines, giving correlated AoA
+//                 geometry (Sec. 4.3.3; 25 locations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "channel/multipath.hpp"
+#include "geom/floorplan.hpp"
+
+namespace spotfi {
+
+struct Deployment {
+  std::string name;
+  FloorPlan plan;
+  std::vector<Scatterer> scatterers;
+  std::vector<ArrayPose> aps;
+  std::vector<Vec2> targets;
+  Vec2 area_min;
+  Vec2 area_max;
+};
+
+[[nodiscard]] Deployment office_deployment();
+[[nodiscard]] Deployment high_nlos_deployment();
+[[nodiscard]] Deployment corridor_deployment();
+
+/// Number of APs with an unobstructed straight ray to `target`.
+[[nodiscard]] std::size_t count_los_aps(const Deployment& deployment,
+                                        Vec2 target);
+
+/// True when the straight ray between AP `ap_index` and `target` crosses
+/// no wall — the paper's LoS/NLoS classification for Fig. 8(a).
+[[nodiscard]] bool is_los(const Deployment& deployment, std::size_t ap_index,
+                          Vec2 target);
+
+}  // namespace spotfi

@@ -1,0 +1,395 @@
+// Tests for the multipath channel simulator: AoA geometry, path
+// enumeration (direct / reflected / scattered), and CSI synthesis physics
+// including the impairments SpotFi must cope with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/csi_synthesis.hpp"
+#include "common/angles.hpp"
+
+namespace spotfi {
+namespace {
+
+TEST(ArrayPose, BroadsideSourceHasZeroAoa) {
+  // Array at origin, normal pointing +x: a source on the +x axis is at 0.
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  EXPECT_NEAR(pose.aoa_of({5.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(ArrayPose, SignConvention) {
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  // Axis direction is +y (normal rotated CCW): sources toward +y have
+  // positive AoA.
+  EXPECT_NEAR(pose.aoa_of({1.0, 1.0}), deg_to_rad(45.0), 1e-12);
+  EXPECT_NEAR(pose.aoa_of({1.0, -1.0}), -deg_to_rad(45.0), 1e-12);
+}
+
+TEST(ArrayPose, RotatedArray) {
+  const ArrayPose pose{{2.0, 3.0}, kPi / 2.0};  // normal points +y
+  EXPECT_NEAR(pose.aoa_of({2.0, 8.0}), 0.0, 1e-12);
+  EXPECT_NEAR(pose.aoa_of({1.0, 4.0}), deg_to_rad(45.0), 1e-12);
+}
+
+TEST(EnumeratePaths, FreeSpaceHasOnlyDirectPath) {
+  FloorPlan plan;  // no walls
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  const auto paths = enumerate_paths(plan, {}, pose, {10.0, 0.0});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].is_direct);
+  EXPECT_NEAR(paths[0].tof_s, 10.0 / kSpeedOfLight, 1e-15);
+  EXPECT_NEAR(paths[0].aoa_rad, 0.0, 1e-12);
+}
+
+TEST(EnumeratePaths, DirectPathGainFollowsLogDistance) {
+  FloorPlan plan;
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  const auto near = enumerate_paths(plan, {}, pose, {2.0, 0.0});
+  const auto far = enumerate_paths(plan, {}, pose, {20.0, 0.0});
+  // Free space exponent 2: 10x the distance costs 20 dB.
+  EXPECT_NEAR(near[0].gain_db - far[0].gain_db, 20.0, 1e-9);
+}
+
+TEST(EnumeratePaths, WallReflectionGeometry) {
+  // Wall along y-axis at x=10; AP and target both on the x<10 side.
+  FloorPlan plan;
+  plan.add_wall({{{10.0, -50.0}, {10.0, 50.0}}, WallMaterial::drywall(),
+                 "mirror"});
+  const ArrayPose pose{{0.0, 1.0}, 0.0};
+  const Vec2 target{0.0, -1.0};
+  const auto paths = enumerate_paths(plan, {}, pose, target);
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& refl = paths[0].is_direct ? paths[1] : paths[0];
+  // Unfolded length: target image at (20, -1) to AP at (0, 1).
+  const double expected_len = std::hypot(20.0, 2.0);
+  EXPECT_NEAR(refl.tof_s, expected_len / kSpeedOfLight, 1e-15);
+  // The bounce point is at (10, 0): arrival direction is from there.
+  const Vec2 bounce{10.0, 0.0};
+  EXPECT_NEAR(refl.aoa_rad, pose.aoa_of(bounce), 1e-12);
+}
+
+TEST(EnumeratePaths, ReflectionRequiresBouncePointOnWall) {
+  // Short wall that the specular bounce point misses: no reflection.
+  FloorPlan plan;
+  plan.add_wall({{{10.0, 40.0}, {10.0, 50.0}}, WallMaterial::drywall(),
+                 "high"});
+  const ArrayPose pose{{0.0, 1.0}, 0.0};
+  const auto paths = enumerate_paths(plan, {}, pose, {0.0, -1.0});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].is_direct);
+}
+
+TEST(EnumeratePaths, ReflectedPathIsWeakerThanDirect) {
+  FloorPlan plan;
+  plan.add_wall({{{10.0, -50.0}, {10.0, 50.0}}, WallMaterial::drywall(),
+                 "mirror"});
+  const ArrayPose pose{{0.0, 1.0}, 0.0};
+  const auto paths = enumerate_paths(plan, {}, pose, {0.0, -1.0});
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(paths[0].is_direct);  // sorted strongest first
+  EXPECT_GT(paths[0].gain_db, paths[1].gain_db);
+}
+
+TEST(EnumeratePaths, ScattererAddsPath) {
+  FloorPlan plan;
+  const Scatterer sc{{5.0, 5.0}, 10.0};
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  const auto paths =
+      enumerate_paths(plan, std::span<const Scatterer>(&sc, 1), pose,
+                      {10.0, 0.0});
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& scat = paths[0].is_direct ? paths[1] : paths[0];
+  const double len = distance({10.0, 0.0}, {5.0, 5.0}) +
+                     distance({5.0, 5.0}, {0.0, 0.0});
+  EXPECT_NEAR(scat.tof_s, len / kSpeedOfLight, 1e-15);
+  EXPECT_NEAR(scat.aoa_rad, pose.aoa_of({5.0, 5.0}), 1e-12);
+}
+
+TEST(EnumeratePaths, ObstructedDirectPathFallsBelowReflection) {
+  // Metal wall between target and AP, side wall for a reflected path.
+  FloorPlan plan;
+  plan.add_wall({{{5.0, -10.0}, {5.0, 10.0}}, WallMaterial::metal(),
+                 "blocker"});
+  plan.add_wall({{{-20.0, 20.0}, {30.0, 20.0}}, WallMaterial::drywall(),
+                 "side"});
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  const auto paths = enumerate_paths(plan, {}, pose, {10.0, 0.0});
+  ASSERT_GE(paths.size(), 2u);
+  // The reflected path off the unobstructed side wall must now be stronger
+  // than the metal-blocked direct path... but the side-wall bounce also
+  // crosses the blocker. Direct loses 30 dB; check ordering by gain holds
+  // whatever the geometry by validating sort order.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].gain_db, paths[i].gain_db);
+  }
+}
+
+TEST(EnumeratePaths, RespectsMaxPathsAndFloor) {
+  FloorPlan plan;
+  plan.add_rectangle({-20.0, -20.0}, {20.0, 20.0}, WallMaterial::drywall(),
+                     "shell");
+  std::vector<Scatterer> scatterers;
+  for (int i = 0; i < 20; ++i) {
+    scatterers.push_back({{-15.0 + 1.5 * i, 10.0}, 12.0});
+  }
+  MultipathConfig cfg;
+  cfg.max_paths = 6;
+  const ArrayPose pose{{0.0, 0.0}, 0.0};
+  const auto paths =
+      enumerate_paths(plan, scatterers, pose, {5.0, -5.0}, cfg);
+  EXPECT_LE(paths.size(), 6u);
+  const double strongest = paths.front().gain_db;
+  for (const auto& p : paths) {
+    EXPECT_GE(p.gain_db, strongest - cfg.relative_floor_db - 1e-9);
+  }
+}
+
+TEST(EnumeratePaths, SecondOrderReflectionInParallelWalls) {
+  // Two parallel mirrors: the double bounce unfolds to a straight path of
+  // known length. AP and target between walls at x = 0 and x = 10.
+  FloorPlan plan;
+  plan.add_wall({{{0.0, -50.0}, {0.0, 50.0}}, WallMaterial::metal(), "left"});
+  plan.add_wall({{{10.0, -50.0}, {10.0, 50.0}}, WallMaterial::metal(),
+                 "right"});
+  const ArrayPose pose{{4.0, 0.0}, kPi / 2.0};
+  const Vec2 target{6.0, 0.5};
+
+  MultipathConfig off;
+  off.relative_floor_db = 60.0;
+  const auto first_only = enumerate_paths(plan, {}, pose, target, off);
+
+  MultipathConfig on = off;
+  on.second_order_reflections = true;
+  on.max_paths = 16;
+  const auto with_second = enumerate_paths(plan, {}, pose, target, on);
+  EXPECT_GT(with_second.size(), first_only.size());
+
+  // Expected double-bounce (left then right): mirror target across x=0
+  // -> (-6, 0.5); across x=10 -> (26, 0.5); length |(26,0.5)-(4,0)|.
+  const double expected_len = std::hypot(26.0 - 4.0, 0.5);
+  const double expected_tof = expected_len / kSpeedOfLight;
+  bool found = false;
+  for (const auto& p : with_second) {
+    if (std::abs(p.tof_s - expected_tof) < 1e-12) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EnumeratePaths, SecondOrderWeakerThanFirstOrder) {
+  FloorPlan plan;
+  plan.add_rectangle({-10.0, -10.0}, {10.0, 10.0}, WallMaterial::drywall(),
+                     "room");
+  MultipathConfig cfg;
+  cfg.second_order_reflections = true;
+  cfg.max_paths = 32;
+  cfg.relative_floor_db = 80.0;
+  const ArrayPose pose{{-5.0, 0.0}, 0.0};
+  const auto paths = enumerate_paths(plan, {}, pose, {5.0, 1.0}, cfg);
+  // Order by ToF: the direct path is earliest; every double-bounce is
+  // both later and weaker than the single bounce off the same wall pair
+  // geometry (longer + extra reflection loss).
+  const auto& direct = *std::find_if(
+      paths.begin(), paths.end(),
+      [](const PathComponent& p) { return p.is_direct; });
+  for (const auto& p : paths) {
+    if (!p.is_direct) {
+      EXPECT_LT(p.gain_db, direct.gain_db);
+      EXPECT_GT(p.tof_s, direct.tof_s);
+    }
+  }
+}
+
+TEST(PathComponent, ComplexGainMagnitude) {
+  PathComponent p;
+  p.gain_db = -20.0;
+  p.phase_rad = kPi / 3.0;
+  const cplx g = p.complex_gain();
+  EXPECT_NEAR(std::abs(g), 0.1, 1e-12);
+  EXPECT_NEAR(std::arg(g), kPi / 3.0, 1e-12);
+}
+
+// --- CSI synthesis ---
+
+CsiSynthesizer make_clean_synth() {
+  ImpairmentConfig imp;
+  imp.sto_base_s = 0.0;
+  imp.sto_jitter_s = 0.0;
+  imp.random_common_phase = false;
+  imp.quantize_8bit = false;
+  imp.max_snr_db = 200.0;
+  imp.noise_floor_dbm = -300.0;  // effectively noiseless
+  imp.rssi_shadowing_db = 0.0;
+  imp.indirect_phase_jitter_rad = 0.0;
+  imp.indirect_gain_jitter_db = 0.0;
+  imp.indirect_tof_jitter_s = 0.0;
+  imp.indirect_aoa_jitter_rad = 0.0;
+  return {LinkConfig::intel5300_40mhz(), imp};
+}
+
+TEST(CsiSynthesis, SinglePathIdealCsiMatchesModel) {
+  const auto synth = make_clean_synth();
+  const LinkConfig& link = synth.link();
+  PathComponent p;
+  p.aoa_rad = deg_to_rad(30.0);
+  p.tof_s = 25e-9;
+  p.gain_db = -10.0;
+  p.phase_rad = 0.7;
+  const CMatrix csi = synth.ideal_csi(std::span<const PathComponent>(&p, 1));
+  ASSERT_EQ(csi.rows(), 3u);
+  ASSERT_EQ(csi.cols(), 30u);
+  // Check a couple of entries against the closed-form model.
+  const double phi_arg = -2.0 * kPi * link.antenna_spacing_m *
+                         std::sin(p.aoa_rad) * link.carrier_hz /
+                         kSpeedOfLight;
+  const double omega_arg =
+      -2.0 * kPi * link.subcarrier_spacing_hz * p.tof_s;
+  const cplx gamma = p.complex_gain();
+  for (const auto& [m, n] : std::vector<std::pair<int, int>>{
+           {0, 0}, {1, 0}, {0, 1}, {2, 29}, {1, 17}}) {
+    const cplx expected =
+        gamma * std::polar(1.0, phi_arg * m + omega_arg * n);
+    EXPECT_NEAR(std::abs(csi(m, n) - expected), 0.0, 1e-12)
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(CsiSynthesis, SuperpositionOfPaths) {
+  const auto synth = make_clean_synth();
+  PathComponent p1, p2;
+  p1.aoa_rad = deg_to_rad(10.0);
+  p1.tof_s = 20e-9;
+  p1.gain_db = -5.0;
+  p2.aoa_rad = deg_to_rad(-40.0);
+  p2.tof_s = 60e-9;
+  p2.gain_db = -9.0;
+  const std::vector<PathComponent> both{p1, p2};
+  const CMatrix c1 = synth.ideal_csi(std::span<const PathComponent>(&p1, 1));
+  const CMatrix c2 = synth.ideal_csi(std::span<const PathComponent>(&p2, 1));
+  const CMatrix c12 = synth.ideal_csi(both);
+  EXPECT_LT((c12 - (c1 + c2)).max_abs(), 1e-12);
+}
+
+TEST(CsiSynthesis, CleanPacketEqualsIdealCsi) {
+  const auto synth = make_clean_synth();
+  PathComponent p;
+  p.aoa_rad = 0.2;
+  p.tof_s = 40e-9;
+  p.gain_db = -3.0;
+  Rng rng(1);
+  const auto packet =
+      synth.synthesize(std::span<const PathComponent>(&p, 1), 0.0, rng);
+  const CMatrix ideal = synth.ideal_csi(std::span<const PathComponent>(&p, 1));
+  EXPECT_LT((packet.csi - ideal).max_abs(), 1e-9);
+}
+
+TEST(CsiSynthesis, StoShiftsPhaseSlopeAcrossSubcarriers) {
+  ImpairmentConfig imp;
+  imp.sto_base_s = 50e-9;
+  imp.sto_jitter_s = 0.0;
+  imp.random_common_phase = false;
+  imp.quantize_8bit = false;
+  imp.max_snr_db = 200.0;
+  imp.noise_floor_dbm = -300.0;
+  imp.indirect_phase_jitter_rad = 0.0;
+  imp.indirect_gain_jitter_db = 0.0;
+  imp.indirect_tof_jitter_s = 0.0;
+  imp.indirect_aoa_jitter_rad = 0.0;
+  const CsiSynthesizer synth(LinkConfig::intel5300_40mhz(), imp);
+
+  PathComponent p;
+  p.tof_s = 30e-9;
+  p.gain_db = 0.0;
+  Rng rng(2);
+  const auto packet =
+      synth.synthesize(std::span<const PathComponent>(&p, 1), 0.0, rng);
+  // Phase slope across subcarriers should reflect tof + sto = 80 ns.
+  const double slope = std::arg(packet.csi(0, 1) / packet.csi(0, 0));
+  const double expected =
+      -2.0 * kPi * synth.link().subcarrier_spacing_hz * 80e-9;
+  EXPECT_NEAR(slope, expected, 1e-9);
+}
+
+TEST(CsiSynthesis, QuantizationBoundsRelativeError) {
+  ImpairmentConfig imp;
+  imp.sto_jitter_s = 0.0;
+  imp.random_common_phase = false;
+  imp.quantize_8bit = true;
+  imp.max_snr_db = 200.0;
+  imp.noise_floor_dbm = -300.0;
+  imp.indirect_phase_jitter_rad = 0.0;
+  imp.indirect_gain_jitter_db = 0.0;
+  imp.indirect_tof_jitter_s = 0.0;
+  imp.indirect_aoa_jitter_rad = 0.0;
+  const CsiSynthesizer synth(LinkConfig::intel5300_40mhz(), imp);
+  PathComponent p;
+  p.tof_s = 30e-9;
+  p.gain_db = -10.0;
+  Rng rng(3);
+  const auto packet =
+      synth.synthesize(std::span<const PathComponent>(&p, 1), 0.0, rng);
+  std::vector<PathComponent> shifted{p};
+  shifted[0].tof_s += imp.sto_base_s;
+  const CMatrix ideal = synth.ideal_csi(shifted);
+  // Each I/Q component is quantized to ~114 levels of the max component:
+  // relative error per entry bounded by ~1%.
+  EXPECT_LT((packet.csi - ideal).max_abs(), 0.02 * ideal.max_abs());
+  EXPECT_GT((packet.csi - ideal).max_abs(), 0.0);  // quantization happened
+}
+
+TEST(CsiSynthesis, RssiTracksReceivedPower) {
+  auto synth = make_clean_synth();
+  PathComponent p;
+  p.gain_db = -60.0;
+  p.tof_s = 50e-9;
+  Rng rng(4);
+  const auto packet =
+      synth.synthesize(std::span<const PathComponent>(&p, 1), 0.0, rng);
+  EXPECT_NEAR(packet.rssi_dbm,
+              synth.impairments().tx_power_dbm + p.gain_db, 1e-9);
+}
+
+TEST(CsiSynthesis, BurstTimestampsAreSpaced) {
+  const auto synth = make_clean_synth();
+  PathComponent p;
+  p.gain_db = -40.0;
+  Rng rng(5);
+  const auto burst = synth.synthesize_burst(
+      std::span<const PathComponent>(&p, 1), 5, 0.1, rng);
+  ASSERT_EQ(burst.size(), 5u);
+  for (std::size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_NEAR(burst[i].timestamp_s, 0.1 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(CsiSynthesis, NoiseScalesWithWeakSignal) {
+  ImpairmentConfig imp;
+  imp.sto_jitter_s = 0.0;
+  imp.random_common_phase = false;
+  imp.quantize_8bit = false;
+  imp.max_snr_db = 60.0;
+  imp.indirect_phase_jitter_rad = 0.0;
+  imp.indirect_gain_jitter_db = 0.0;
+  imp.indirect_tof_jitter_s = 0.0;
+  imp.indirect_aoa_jitter_rad = 0.0;
+  const CsiSynthesizer synth(LinkConfig::intel5300_40mhz(), imp);
+  PathComponent strong, weak;
+  strong.gain_db = -40.0;  // SNR ~ 67 dB capped to 60
+  weak.gain_db = -95.0;    // SNR ~ 12 dB
+  strong.tof_s = weak.tof_s = 30e-9;
+
+  auto rel_error = [&](const PathComponent& p, std::uint64_t seed) {
+    Rng rng(seed);
+    const auto packet =
+        synth.synthesize(std::span<const PathComponent>(&p, 1), 0.0, rng);
+    std::vector<PathComponent> shifted{p};
+    shifted[0].tof_s += imp.sto_base_s;
+    const CMatrix ideal = synth.ideal_csi(shifted);
+    return (packet.csi - ideal).frobenius_norm() / ideal.frobenius_norm();
+  };
+  EXPECT_LT(rel_error(strong, 6), 0.01);
+  EXPECT_GT(rel_error(weak, 7), 0.05);
+}
+
+}  // namespace
+}  // namespace spotfi

@@ -1,0 +1,152 @@
+// Tests for 2-D geometry: vector algebra, segment intersection, mirror
+// reflection, and floor-plan attenuation queries.
+#include <gtest/gtest.h>
+
+#include "common/angles.hpp"
+#include "geom/floorplan.hpp"
+
+namespace spotfi {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+  EXPECT_EQ(Vec2(1.0, 0.0).perp(), Vec2(0.0, 1.0));
+}
+
+TEST(Vec2, NormalizedAndAngle) {
+  const Vec2 v{0.0, 2.5};
+  EXPECT_EQ(v.normalized(), Vec2(0.0, 1.0));
+  EXPECT_NEAR(v.angle(), kPi / 2.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Segment, BasicProperties) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.length(), 4.0);
+  EXPECT_EQ(s.midpoint(), Vec2(2.0, 0.0));
+  EXPECT_EQ(s.direction(), Vec2(1.0, 0.0));
+  EXPECT_EQ(s.normal(), Vec2(0.0, 1.0));
+  EXPECT_EQ(s.point_at(0.25), Vec2(1.0, 0.0));
+}
+
+TEST(SegmentIntersection, CrossingSegmentsIntersect) {
+  const Segment p{{0.0, -1.0}, {0.0, 1.0}};
+  const Segment q{{-1.0, 0.0}, {1.0, 0.0}};
+  const auto t = segment_intersection(p, q);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 0.5, 1e-12);
+}
+
+TEST(SegmentIntersection, DisjointSegmentsDoNot) {
+  const Segment p{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment q{{2.0, -1.0}, {2.0, 1.0}};
+  EXPECT_FALSE(segment_intersection(p, q).has_value());
+}
+
+TEST(SegmentIntersection, ParallelSegmentsDoNot) {
+  const Segment p{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment q{{0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(segment_intersection(p, q).has_value());
+}
+
+TEST(SegmentIntersection, EndpointGrazeIsExcluded) {
+  // q touches p exactly at p's endpoint: the tolerance excludes it.
+  const Segment p{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment q{{1.0, -1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(segment_intersection(p, q, 1e-6).has_value());
+}
+
+TEST(PointSegmentDistance, ProjectionAndEndpoints) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 3.0}, s), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-4.0, 3.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({14.0, 3.0}, s), 5.0);
+}
+
+TEST(MirrorAcross, HorizontalAndTiltedLines) {
+  const Segment horizontal{{0.0, 0.0}, {1.0, 0.0}};
+  const Vec2 m = mirror_across({2.0, 3.0}, horizontal);
+  EXPECT_NEAR(m.x, 2.0, 1e-12);
+  EXPECT_NEAR(m.y, -3.0, 1e-12);
+
+  const Segment diagonal{{0.0, 0.0}, {1.0, 1.0}};
+  const Vec2 d = mirror_across({1.0, 0.0}, diagonal);
+  EXPECT_NEAR(d.x, 0.0, 1e-12);
+  EXPECT_NEAR(d.y, 1.0, 1e-12);
+}
+
+TEST(MirrorAcross, Involution) {
+  const Segment s{{-2.0, 1.0}, {3.0, 4.0}};
+  const Vec2 p{0.7, -1.3};
+  const Vec2 twice = mirror_across(mirror_across(p, s), s);
+  EXPECT_NEAR(twice.x, p.x, 1e-12);
+  EXPECT_NEAR(twice.y, p.y, 1e-12);
+}
+
+TEST(ProjectsOnto, WithinAndOutside) {
+  const Segment s{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_TRUE(projects_onto({5.0, 100.0}, s));
+  EXPECT_FALSE(projects_onto({-1.0, 0.0}, s));
+  EXPECT_TRUE(projects_onto({-1.0, 0.0}, s, 2.0));
+}
+
+TEST(FloorPlan, RectangleHasFourWalls) {
+  FloorPlan plan;
+  plan.add_rectangle({0.0, 0.0}, {10.0, 5.0}, WallMaterial::drywall(), "room");
+  EXPECT_EQ(plan.wall_count(), 4u);
+}
+
+TEST(FloorPlan, DegenerateRectangleThrows) {
+  FloorPlan plan;
+  EXPECT_THROW(plan.add_rectangle({0.0, 0.0}, {0.0, 5.0},
+                                  WallMaterial::drywall(), "bad"),
+               ContractViolation);
+}
+
+TEST(FloorPlan, LineOfSightInsideEmptyRoom) {
+  FloorPlan plan;
+  plan.add_rectangle({0.0, 0.0}, {10.0, 5.0}, WallMaterial::drywall(), "room");
+  EXPECT_TRUE(plan.line_of_sight({1.0, 1.0}, {9.0, 4.0}));
+  EXPECT_DOUBLE_EQ(plan.transmission_loss_db({1.0, 1.0}, {9.0, 4.0}), 0.0);
+}
+
+TEST(FloorPlan, InteriorWallBlocksAndAttenuates) {
+  FloorPlan plan;
+  plan.add_wall({{{5.0, 0.0}, {5.0, 10.0}}, WallMaterial::concrete(), "div"});
+  EXPECT_FALSE(plan.line_of_sight({1.0, 5.0}, {9.0, 5.0}));
+  EXPECT_EQ(plan.walls_crossed({1.0, 5.0}, {9.0, 5.0}), 1u);
+  EXPECT_DOUBLE_EQ(plan.transmission_loss_db({1.0, 5.0}, {9.0, 5.0}),
+                   WallMaterial::concrete().transmission_loss_db);
+}
+
+TEST(FloorPlan, SkipWallIsIgnored) {
+  FloorPlan plan;
+  plan.add_wall({{{5.0, 0.0}, {5.0, 10.0}}, WallMaterial::concrete(), "div"});
+  EXPECT_DOUBLE_EQ(plan.transmission_loss_db({1.0, 5.0}, {9.0, 5.0}, 0), 0.0);
+}
+
+TEST(FloorPlan, MultipleWallsAccumulate) {
+  FloorPlan plan;
+  plan.add_wall({{{3.0, 0.0}, {3.0, 10.0}}, WallMaterial::drywall(), "a"});
+  plan.add_wall({{{6.0, 0.0}, {6.0, 10.0}}, WallMaterial::glass(), "b"});
+  const double loss = plan.transmission_loss_db({1.0, 5.0}, {9.0, 5.0});
+  EXPECT_DOUBLE_EQ(loss, WallMaterial::drywall().transmission_loss_db +
+                             WallMaterial::glass().transmission_loss_db);
+}
+
+TEST(FloorPlan, ZeroLengthWallThrows) {
+  FloorPlan plan;
+  EXPECT_THROW(
+      plan.add_wall({{{1.0, 1.0}, {1.0, 1.0}}, WallMaterial::drywall(), "x"}),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace spotfi

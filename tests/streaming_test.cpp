@@ -1,0 +1,258 @@
+// Tests for CSI quality screening (failure injection) and the streaming
+// localization server.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/streaming.hpp"
+#include "testbed/experiment.hpp"
+
+namespace spotfi {
+namespace {
+
+const LinkConfig kLink = LinkConfig::intel5300_40mhz();
+
+CsiPacket good_packet(Rng& rng, double timestamp = 0.0) {
+  ImpairmentConfig imp;
+  const CsiSynthesizer synth(kLink, imp);
+  PathComponent p;
+  p.aoa_rad = 0.3;
+  p.tof_s = 40e-9;
+  p.gain_db = -55.0;
+  p.is_direct = true;
+  return synth.synthesize(std::span<const PathComponent>(&p, 1), timestamp,
+                          rng);
+}
+
+// --- quality screening / failure injection ---
+
+TEST(Quality, AcceptsHealthyPacket) {
+  Rng rng(1);
+  const auto packet = good_packet(rng);
+  const QualityVerdict verdict = screen_packet(packet);
+  EXPECT_TRUE(verdict.ok);
+  EXPECT_TRUE(verdict.reason.empty());
+}
+
+TEST(Quality, RejectsNanEntry) {
+  Rng rng(2);
+  auto packet = good_packet(rng);
+  packet.csi(1, 7) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  const QualityVerdict verdict = screen_packet(packet);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("non-finite"), std::string::npos);
+}
+
+TEST(Quality, RejectsInfiniteRssi) {
+  Rng rng(3);
+  auto packet = good_packet(rng);
+  packet.rssi_dbm = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(screen_packet(packet).ok);
+}
+
+TEST(Quality, RejectsDeadAntenna) {
+  Rng rng(4);
+  auto packet = good_packet(rng);
+  for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+    packet.csi(2, n) = cplx{};
+  }
+  const QualityVerdict verdict = screen_packet(packet);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("dead antenna"), std::string::npos);
+}
+
+TEST(Quality, RejectsGrossAntennaImbalance) {
+  Rng rng(5);
+  auto packet = good_packet(rng);
+  for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+    packet.csi(0, n) *= 1e4;  // +80 dB on one chain
+  }
+  const QualityVerdict verdict = screen_packet(packet);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.reason.find("imbalance"), std::string::npos);
+}
+
+TEST(Quality, RejectsEmptyPacket) {
+  CsiPacket packet;
+  EXPECT_FALSE(screen_packet(packet).ok);
+}
+
+TEST(Quality, GroupScreenDropsPowerJump) {
+  Rng rng(6);
+  std::vector<CsiPacket> group;
+  for (int i = 0; i < 8; ++i) group.push_back(good_packet(rng, 0.1 * i));
+  // One clipped packet: +40 dB power.
+  for (auto& v : group[3].csi.flat()) v *= 100.0;
+  std::vector<std::string> rejected;
+  const auto accepted = screen_group(group, {}, &rejected);
+  EXPECT_EQ(accepted.size(), 7u);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_NE(rejected[0].find("packet 3"), std::string::npos);
+  EXPECT_NE(rejected[0].find("power jump"), std::string::npos);
+}
+
+TEST(Quality, GroupScreenKeepsCleanGroup) {
+  Rng rng(7);
+  std::vector<CsiPacket> group;
+  for (int i = 0; i < 6; ++i) group.push_back(good_packet(rng, 0.1 * i));
+  EXPECT_EQ(screen_group(group).size(), 6u);
+  EXPECT_TRUE(screen_group({}).empty());
+}
+
+TEST(Quality, ChecksCanBeDisabled) {
+  Rng rng(8);
+  auto packet = good_packet(rng);
+  for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+    packet.csi(2, n) = cplx{};
+  }
+  QualityConfig cfg;
+  cfg.check_dead_antenna = false;
+  cfg.max_antenna_imbalance_db = 1e9;
+  EXPECT_TRUE(screen_packet(packet, cfg).ok);
+}
+
+TEST(Quality, ApProcessorScreensWhenConfigured) {
+  // A group with one NaN packet: with screening on, processing succeeds
+  // on the clean subset; a fully corrupt group throws.
+  Rng rng(9);
+  std::vector<CsiPacket> group;
+  for (int i = 0; i < 8; ++i) group.push_back(good_packet(rng, 0.1 * i));
+  group[2].csi(0, 0) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+
+  ApProcessorConfig cfg;
+  cfg.quality = QualityConfig{};
+  const ApProcessor processor(kLink, ArrayPose{{0.0, 0.0}, 0.3}, cfg);
+  const ApResult result = processor.process(group, rng);
+  EXPECT_FALSE(result.clusters.empty());
+
+  std::vector<CsiPacket> all_bad(3, group[2]);
+  EXPECT_THROW(processor.process(all_bad, rng), ContractViolation);
+}
+
+// --- streaming server ---
+
+/// Simulated feed: one office target, packets interleaved across APs.
+struct Feed {
+  ExperimentRunner runner;
+  std::vector<ApCapture> captures;
+
+  explicit Feed(std::size_t packets, Vec2 target = {6.0, 3.5})
+      : runner(kLink, office_deployment(), make_config(packets)) {
+    Rng rng(11);
+    captures = runner.simulate_captures(target, rng);
+  }
+  static ExperimentConfig make_config(std::size_t packets) {
+    ExperimentConfig config;
+    config.packets_per_group = packets;
+    return config;
+  }
+};
+
+TEST(Streaming, FiresAfterFullGroups) {
+  Feed feed(6);
+  StreamingConfig cfg;
+  cfg.group_size = 6;
+  cfg.server.localizer.area_min = feed.runner.deployment().area_min;
+  cfg.server.localizer.area_max = feed.runner.deployment().area_max;
+  StreamingLocalizer server(kLink, cfg);
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  EXPECT_EQ(server.ap_count(), feed.captures.size());
+
+  Rng rng(12);
+  std::size_t fixes = 0;
+  Vec2 last{};
+  // Interleave: packet p of every AP, then p+1, ...
+  for (std::size_t p = 0; p < 6; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      const auto fix = server.push(a, feed.captures[a].packets[p], rng);
+      if (fix) {
+        ++fixes;
+        last = fix->raw;
+        // Fires exactly when the last AP completes its group.
+        EXPECT_EQ(p, 5u);
+        EXPECT_EQ(a, feed.captures.size() - 1);
+      }
+    }
+  }
+  EXPECT_EQ(fixes, 1u);
+  EXPECT_LT(distance(last, {6.0, 3.5}), 3.0);
+  // Buffers drained after the round.
+  for (std::size_t a = 0; a < server.ap_count(); ++a) {
+    EXPECT_EQ(server.buffered(a), 0u);
+  }
+}
+
+TEST(Streaming, RejectedPacketsNeverBuffer) {
+  Feed feed(4);
+  StreamingConfig cfg;
+  cfg.group_size = 4;
+  StreamingLocalizer server(kLink, cfg);
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+
+  Rng rng(13);
+  CsiPacket bad = feed.captures[0].packets[0];
+  bad.csi(0, 0) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  EXPECT_FALSE(server.push(0, bad, rng).has_value());
+  EXPECT_EQ(server.buffered(0), 0u);
+  EXPECT_EQ(server.rejected_count(), 1u);
+}
+
+TEST(Streaming, StalePacketsAgeOut) {
+  Feed feed(4);
+  StreamingConfig cfg;
+  cfg.group_size = 2;
+  cfg.max_packet_age_s = 1.0;
+  StreamingLocalizer server(kLink, cfg);
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+
+  Rng rng(14);
+  CsiPacket old = feed.captures[0].packets[0];
+  old.timestamp_s = 0.0;
+  EXPECT_FALSE(server.push(0, old, rng).has_value());
+  EXPECT_EQ(server.buffered(0), 1u);
+  CsiPacket fresh = feed.captures[0].packets[1];
+  fresh.timestamp_s = 5.0;  // far beyond max_packet_age_s
+  EXPECT_FALSE(server.push(0, fresh, rng).has_value());
+  EXPECT_EQ(server.buffered(0), 1u);  // the stale packet was dropped
+}
+
+TEST(Streaming, SuccessiveFixesFeedTracker) {
+  Feed feed(12);
+  StreamingConfig cfg;
+  cfg.group_size = 4;
+  cfg.server.localizer.area_min = feed.runner.deployment().area_min;
+  cfg.server.localizer.area_max = feed.runner.deployment().area_max;
+  StreamingLocalizer server(kLink, cfg);
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+
+  Rng rng(15);
+  std::size_t fixes = 0;
+  for (std::size_t p = 0; p < 12; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      if (const auto fix =
+              server.push(a, feed.captures[a].packets[p], rng)) {
+        ++fixes;
+        EXPECT_TRUE(server.tracker().initialized());
+        EXPECT_LT(distance(fix->tracked, {6.0, 3.5}), 4.0);
+      }
+    }
+  }
+  EXPECT_EQ(fixes, 3u);  // 12 packets / group of 4
+}
+
+TEST(Streaming, ContractChecks) {
+  StreamingLocalizer server(kLink, {});
+  Rng rng(16);
+  CsiPacket packet;
+  EXPECT_THROW(server.push(0, packet, rng), ContractViolation);
+  server.add_ap(ArrayPose{});
+  EXPECT_THROW(server.push(0, packet, rng), ContractViolation);  // 1 AP
+  EXPECT_THROW(server.buffered(5), ContractViolation);
+  StreamingConfig bad;
+  bad.group_size = 0;
+  EXPECT_THROW(StreamingLocalizer(kLink, bad), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spotfi
