@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_csi_source.dir/ablation_csi_source.cpp.o"
+  "CMakeFiles/ablation_csi_source.dir/ablation_csi_source.cpp.o.d"
+  "ablation_csi_source"
+  "ablation_csi_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_csi_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_estimator.dir/ablation_estimator.cpp.o"
+  "CMakeFiles/ablation_estimator.dir/ablation_estimator.cpp.o.d"
+  "ablation_estimator"
+  "ablation_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_modalities.dir/ablation_modalities.cpp.o"
+  "CMakeFiles/ablation_modalities.dir/ablation_modalities.cpp.o.d"
+  "ablation_modalities"
+  "ablation_modalities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_modalities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

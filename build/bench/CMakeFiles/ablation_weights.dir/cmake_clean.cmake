@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o"
+  "CMakeFiles/ablation_weights.dir/ablation_weights.cpp.o.d"
+  "ablation_weights"
+  "ablation_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crlb_efficiency.dir/crlb_efficiency.cpp.o"
+  "CMakeFiles/crlb_efficiency.dir/crlb_efficiency.cpp.o.d"
+  "crlb_efficiency"
+  "crlb_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crlb_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

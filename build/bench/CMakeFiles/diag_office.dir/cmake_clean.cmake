@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_office.dir/diag_office.cpp.o"
+  "CMakeFiles/diag_office.dir/diag_office.cpp.o.d"
+  "diag_office"
+  "diag_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diag_office.
+# This may be replaced when dependencies are built.

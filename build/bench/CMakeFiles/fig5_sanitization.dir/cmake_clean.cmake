@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sanitization.dir/fig5_sanitization.cpp.o"
+  "CMakeFiles/fig5_sanitization.dir/fig5_sanitization.cpp.o.d"
+  "fig5_sanitization"
+  "fig5_sanitization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sanitization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

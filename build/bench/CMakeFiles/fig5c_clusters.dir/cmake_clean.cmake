@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_clusters.dir/fig5c_clusters.cpp.o"
+  "CMakeFiles/fig5c_clusters.dir/fig5c_clusters.cpp.o.d"
+  "fig5c_clusters"
+  "fig5c_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_office.dir/fig7a_office.cpp.o"
+  "CMakeFiles/fig7a_office.dir/fig7a_office.cpp.o.d"
+  "fig7a_office"
+  "fig7a_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

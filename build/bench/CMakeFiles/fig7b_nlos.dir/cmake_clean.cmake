@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_nlos.dir/fig7b_nlos.cpp.o"
+  "CMakeFiles/fig7b_nlos.dir/fig7b_nlos.cpp.o.d"
+  "fig7b_nlos"
+  "fig7b_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

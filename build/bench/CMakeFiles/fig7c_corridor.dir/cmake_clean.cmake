@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_corridor.dir/fig7c_corridor.cpp.o"
+  "CMakeFiles/fig7c_corridor.dir/fig7c_corridor.cpp.o.d"
+  "fig7c_corridor"
+  "fig7c_corridor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_corridor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

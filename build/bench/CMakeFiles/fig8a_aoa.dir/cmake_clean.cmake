@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_aoa.dir/fig8a_aoa.cpp.o"
+  "CMakeFiles/fig8a_aoa.dir/fig8a_aoa.cpp.o.d"
+  "fig8a_aoa"
+  "fig8a_aoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_aoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_aoa.
+# This may be replaced when dependencies are built.

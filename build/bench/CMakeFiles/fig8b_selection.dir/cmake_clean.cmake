@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_selection.dir/fig8b_selection.cpp.o"
+  "CMakeFiles/fig8b_selection.dir/fig8b_selection.cpp.o.d"
+  "fig8b_selection"
+  "fig8b_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

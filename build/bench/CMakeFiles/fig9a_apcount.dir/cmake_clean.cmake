@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_apcount.dir/fig9a_apcount.cpp.o"
+  "CMakeFiles/fig9a_apcount.dir/fig9a_apcount.cpp.o.d"
+  "fig9a_apcount"
+  "fig9a_apcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_apcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

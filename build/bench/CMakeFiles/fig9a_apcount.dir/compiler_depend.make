@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9a_apcount.
+# This may be replaced when dependencies are built.

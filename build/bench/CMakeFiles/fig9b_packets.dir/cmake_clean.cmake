@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_packets.dir/fig9b_packets.cpp.o"
+  "CMakeFiles/fig9b_packets.dir/fig9b_packets.cpp.o.d"
+  "fig9b_packets"
+  "fig9b_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_music.dir/perf_music.cpp.o"
+  "CMakeFiles/perf_music.dir/perf_music.cpp.o.d"
+  "perf_music"
+  "perf_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lost_device.dir/lost_device.cpp.o"
+  "CMakeFiles/lost_device.dir/lost_device.cpp.o.d"
+  "lost_device"
+  "lost_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lost_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_tracking.dir/office_tracking.cpp.o"
+  "CMakeFiles/office_tracking.dir/office_tracking.cpp.o.d"
+  "office_tracking"
+  "office_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/spectrum_explorer.cpp" "examples/CMakeFiles/spectrum_explorer.dir/spectrum_explorer.cpp.o" "gcc" "examples/CMakeFiles/spectrum_explorer.dir/spectrum_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_explorer.dir/spectrum_explorer.cpp.o"
+  "CMakeFiles/spectrum_explorer.dir/spectrum_explorer.cpp.o.d"
+  "spectrum_explorer"
+  "spectrum_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

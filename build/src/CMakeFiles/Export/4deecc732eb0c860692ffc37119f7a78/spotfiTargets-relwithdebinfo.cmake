@@ -1,0 +1,119 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "spotfi::spotfi_common" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_common )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_common "${_IMPORT_PREFIX}/lib/libspotfi_common.a" )
+
+# Import target "spotfi::spotfi_linalg" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_linalg APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_linalg PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_linalg.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_linalg )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_linalg "${_IMPORT_PREFIX}/lib/libspotfi_linalg.a" )
+
+# Import target "spotfi::spotfi_geom" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_geom APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_geom PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_geom.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_geom )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_geom "${_IMPORT_PREFIX}/lib/libspotfi_geom.a" )
+
+# Import target "spotfi::spotfi_channel" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_channel APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_channel PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_channel.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_channel )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_channel "${_IMPORT_PREFIX}/lib/libspotfi_channel.a" )
+
+# Import target "spotfi::spotfi_phy" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_phy APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_phy PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_phy.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_phy )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_phy "${_IMPORT_PREFIX}/lib/libspotfi_phy.a" )
+
+# Import target "spotfi::spotfi_csi" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_csi APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_csi PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_csi.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_csi )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_csi "${_IMPORT_PREFIX}/lib/libspotfi_csi.a" )
+
+# Import target "spotfi::spotfi_music" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_music APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_music PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_music.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_music )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_music "${_IMPORT_PREFIX}/lib/libspotfi_music.a" )
+
+# Import target "spotfi::spotfi_cluster" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_cluster APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_cluster PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_cluster.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_cluster )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_cluster "${_IMPORT_PREFIX}/lib/libspotfi_cluster.a" )
+
+# Import target "spotfi::spotfi_localize" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_localize APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_localize PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_localize.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_localize )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_localize "${_IMPORT_PREFIX}/lib/libspotfi_localize.a" )
+
+# Import target "spotfi::spotfi_core" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_core )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_core "${_IMPORT_PREFIX}/lib/libspotfi_core.a" )
+
+# Import target "spotfi::spotfi_testbed" for configuration "RelWithDebInfo"
+set_property(TARGET spotfi::spotfi_testbed APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(spotfi::spotfi_testbed PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspotfi_testbed.a"
+  )
+
+list(APPEND _cmake_import_check_targets spotfi::spotfi_testbed )
+list(APPEND _cmake_import_check_files_for_spotfi::spotfi_testbed "${_IMPORT_PREFIX}/lib/libspotfi_testbed.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_channel.dir/channel/csi_synthesis.cpp.o"
+  "CMakeFiles/spotfi_channel.dir/channel/csi_synthesis.cpp.o.d"
+  "CMakeFiles/spotfi_channel.dir/channel/multipath.cpp.o"
+  "CMakeFiles/spotfi_channel.dir/channel/multipath.cpp.o.d"
+  "libspotfi_channel.a"
+  "libspotfi_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspotfi_channel.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/gmm.cpp" "src/CMakeFiles/spotfi_cluster.dir/cluster/gmm.cpp.o" "gcc" "src/CMakeFiles/spotfi_cluster.dir/cluster/gmm.cpp.o.d"
+  "/root/repo/src/cluster/kmeans.cpp" "src/CMakeFiles/spotfi_cluster.dir/cluster/kmeans.cpp.o" "gcc" "src/CMakeFiles/spotfi_cluster.dir/cluster/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_cluster.dir/cluster/gmm.cpp.o"
+  "CMakeFiles/spotfi_cluster.dir/cluster/gmm.cpp.o.d"
+  "CMakeFiles/spotfi_cluster.dir/cluster/kmeans.cpp.o"
+  "CMakeFiles/spotfi_cluster.dir/cluster/kmeans.cpp.o.d"
+  "libspotfi_cluster.a"
+  "libspotfi_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_common.dir/common/angles.cpp.o"
+  "CMakeFiles/spotfi_common.dir/common/angles.cpp.o.d"
+  "CMakeFiles/spotfi_common.dir/common/error.cpp.o"
+  "CMakeFiles/spotfi_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/spotfi_common.dir/common/rng.cpp.o"
+  "CMakeFiles/spotfi_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/spotfi_common.dir/common/stats.cpp.o"
+  "CMakeFiles/spotfi_common.dir/common/stats.cpp.o.d"
+  "libspotfi_common.a"
+  "libspotfi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ap_processor.cpp" "src/CMakeFiles/spotfi_core.dir/core/ap_processor.cpp.o" "gcc" "src/CMakeFiles/spotfi_core.dir/core/ap_processor.cpp.o.d"
+  "/root/repo/src/core/direct_path.cpp" "src/CMakeFiles/spotfi_core.dir/core/direct_path.cpp.o" "gcc" "src/CMakeFiles/spotfi_core.dir/core/direct_path.cpp.o.d"
+  "/root/repo/src/core/server.cpp" "src/CMakeFiles/spotfi_core.dir/core/server.cpp.o" "gcc" "src/CMakeFiles/spotfi_core.dir/core/server.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/CMakeFiles/spotfi_core.dir/core/streaming.cpp.o" "gcc" "src/CMakeFiles/spotfi_core.dir/core/streaming.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/CMakeFiles/spotfi_core.dir/core/tracker.cpp.o" "gcc" "src/CMakeFiles/spotfi_core.dir/core/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_csi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

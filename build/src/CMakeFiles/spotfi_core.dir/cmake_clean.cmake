@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_core.dir/core/ap_processor.cpp.o"
+  "CMakeFiles/spotfi_core.dir/core/ap_processor.cpp.o.d"
+  "CMakeFiles/spotfi_core.dir/core/direct_path.cpp.o"
+  "CMakeFiles/spotfi_core.dir/core/direct_path.cpp.o.d"
+  "CMakeFiles/spotfi_core.dir/core/server.cpp.o"
+  "CMakeFiles/spotfi_core.dir/core/server.cpp.o.d"
+  "CMakeFiles/spotfi_core.dir/core/streaming.cpp.o"
+  "CMakeFiles/spotfi_core.dir/core/streaming.cpp.o.d"
+  "CMakeFiles/spotfi_core.dir/core/tracker.cpp.o"
+  "CMakeFiles/spotfi_core.dir/core/tracker.cpp.o.d"
+  "libspotfi_core.a"
+  "libspotfi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

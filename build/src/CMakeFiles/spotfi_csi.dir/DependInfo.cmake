@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csi/intel5300.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/intel5300.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/intel5300.cpp.o.d"
+  "/root/repo/src/csi/phase.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/phase.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/phase.cpp.o.d"
+  "/root/repo/src/csi/quality.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/quality.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/quality.cpp.o.d"
+  "/root/repo/src/csi/regrid.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/regrid.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/regrid.cpp.o.d"
+  "/root/repo/src/csi/sanitize.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/sanitize.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/sanitize.cpp.o.d"
+  "/root/repo/src/csi/smoothing.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/smoothing.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/smoothing.cpp.o.d"
+  "/root/repo/src/csi/trace.cpp" "src/CMakeFiles/spotfi_csi.dir/csi/trace.cpp.o" "gcc" "src/CMakeFiles/spotfi_csi.dir/csi/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_csi.dir/csi/intel5300.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/intel5300.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/phase.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/phase.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/quality.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/quality.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/regrid.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/regrid.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/sanitize.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/sanitize.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/smoothing.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/smoothing.cpp.o.d"
+  "CMakeFiles/spotfi_csi.dir/csi/trace.cpp.o"
+  "CMakeFiles/spotfi_csi.dir/csi/trace.cpp.o.d"
+  "libspotfi_csi.a"
+  "libspotfi_csi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_csi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

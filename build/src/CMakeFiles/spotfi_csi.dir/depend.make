@@ -1,0 +1,2 @@
+# Empty dependencies file for spotfi_csi.
+# This may be replaced when dependencies are built.

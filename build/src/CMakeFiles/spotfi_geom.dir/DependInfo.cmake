@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/floorplan.cpp" "src/CMakeFiles/spotfi_geom.dir/geom/floorplan.cpp.o" "gcc" "src/CMakeFiles/spotfi_geom.dir/geom/floorplan.cpp.o.d"
+  "/root/repo/src/geom/segment.cpp" "src/CMakeFiles/spotfi_geom.dir/geom/segment.cpp.o" "gcc" "src/CMakeFiles/spotfi_geom.dir/geom/segment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

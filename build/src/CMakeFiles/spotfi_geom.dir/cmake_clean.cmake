@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_geom.dir/geom/floorplan.cpp.o"
+  "CMakeFiles/spotfi_geom.dir/geom/floorplan.cpp.o.d"
+  "CMakeFiles/spotfi_geom.dir/geom/segment.cpp.o"
+  "CMakeFiles/spotfi_geom.dir/geom/segment.cpp.o.d"
+  "libspotfi_geom.a"
+  "libspotfi_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

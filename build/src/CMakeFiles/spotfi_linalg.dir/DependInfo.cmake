@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eig_general.cpp" "src/CMakeFiles/spotfi_linalg.dir/linalg/eig_general.cpp.o" "gcc" "src/CMakeFiles/spotfi_linalg.dir/linalg/eig_general.cpp.o.d"
+  "/root/repo/src/linalg/hermitian_eig.cpp" "src/CMakeFiles/spotfi_linalg.dir/linalg/hermitian_eig.cpp.o" "gcc" "src/CMakeFiles/spotfi_linalg.dir/linalg/hermitian_eig.cpp.o.d"
+  "/root/repo/src/linalg/levmar.cpp" "src/CMakeFiles/spotfi_linalg.dir/linalg/levmar.cpp.o" "gcc" "src/CMakeFiles/spotfi_linalg.dir/linalg/levmar.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/spotfi_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/spotfi_linalg.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "src/CMakeFiles/spotfi_linalg.dir/linalg/solve.cpp.o" "gcc" "src/CMakeFiles/spotfi_linalg.dir/linalg/solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

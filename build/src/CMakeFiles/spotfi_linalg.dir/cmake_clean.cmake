@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_linalg.dir/linalg/eig_general.cpp.o"
+  "CMakeFiles/spotfi_linalg.dir/linalg/eig_general.cpp.o.d"
+  "CMakeFiles/spotfi_linalg.dir/linalg/hermitian_eig.cpp.o"
+  "CMakeFiles/spotfi_linalg.dir/linalg/hermitian_eig.cpp.o.d"
+  "CMakeFiles/spotfi_linalg.dir/linalg/levmar.cpp.o"
+  "CMakeFiles/spotfi_linalg.dir/linalg/levmar.cpp.o.d"
+  "CMakeFiles/spotfi_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/spotfi_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/spotfi_linalg.dir/linalg/solve.cpp.o"
+  "CMakeFiles/spotfi_linalg.dir/linalg/solve.cpp.o.d"
+  "libspotfi_linalg.a"
+  "libspotfi_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localize/baselines.cpp" "src/CMakeFiles/spotfi_localize.dir/localize/baselines.cpp.o" "gcc" "src/CMakeFiles/spotfi_localize.dir/localize/baselines.cpp.o.d"
+  "/root/repo/src/localize/gdop.cpp" "src/CMakeFiles/spotfi_localize.dir/localize/gdop.cpp.o" "gcc" "src/CMakeFiles/spotfi_localize.dir/localize/gdop.cpp.o.d"
+  "/root/repo/src/localize/pathloss.cpp" "src/CMakeFiles/spotfi_localize.dir/localize/pathloss.cpp.o" "gcc" "src/CMakeFiles/spotfi_localize.dir/localize/pathloss.cpp.o.d"
+  "/root/repo/src/localize/spotfi_localizer.cpp" "src/CMakeFiles/spotfi_localize.dir/localize/spotfi_localizer.cpp.o" "gcc" "src/CMakeFiles/spotfi_localize.dir/localize/spotfi_localizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_music.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_csi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

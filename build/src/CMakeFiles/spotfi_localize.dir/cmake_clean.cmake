@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_localize.dir/localize/baselines.cpp.o"
+  "CMakeFiles/spotfi_localize.dir/localize/baselines.cpp.o.d"
+  "CMakeFiles/spotfi_localize.dir/localize/gdop.cpp.o"
+  "CMakeFiles/spotfi_localize.dir/localize/gdop.cpp.o.d"
+  "CMakeFiles/spotfi_localize.dir/localize/pathloss.cpp.o"
+  "CMakeFiles/spotfi_localize.dir/localize/pathloss.cpp.o.d"
+  "CMakeFiles/spotfi_localize.dir/localize/spotfi_localizer.cpp.o"
+  "CMakeFiles/spotfi_localize.dir/localize/spotfi_localizer.cpp.o.d"
+  "libspotfi_localize.a"
+  "libspotfi_localize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

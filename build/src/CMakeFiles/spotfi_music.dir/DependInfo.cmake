@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/music/crlb.cpp" "src/CMakeFiles/spotfi_music.dir/music/crlb.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/crlb.cpp.o.d"
+  "/root/repo/src/music/esprit.cpp" "src/CMakeFiles/spotfi_music.dir/music/esprit.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/esprit.cpp.o.d"
+  "/root/repo/src/music/estimators.cpp" "src/CMakeFiles/spotfi_music.dir/music/estimators.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/estimators.cpp.o.d"
+  "/root/repo/src/music/peaks.cpp" "src/CMakeFiles/spotfi_music.dir/music/peaks.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/peaks.cpp.o.d"
+  "/root/repo/src/music/steering.cpp" "src/CMakeFiles/spotfi_music.dir/music/steering.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/steering.cpp.o.d"
+  "/root/repo/src/music/subspace.cpp" "src/CMakeFiles/spotfi_music.dir/music/subspace.cpp.o" "gcc" "src/CMakeFiles/spotfi_music.dir/music/subspace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_csi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_music.dir/music/crlb.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/crlb.cpp.o.d"
+  "CMakeFiles/spotfi_music.dir/music/esprit.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/esprit.cpp.o.d"
+  "CMakeFiles/spotfi_music.dir/music/estimators.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/estimators.cpp.o.d"
+  "CMakeFiles/spotfi_music.dir/music/peaks.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/peaks.cpp.o.d"
+  "CMakeFiles/spotfi_music.dir/music/steering.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/steering.cpp.o.d"
+  "CMakeFiles/spotfi_music.dir/music/subspace.cpp.o"
+  "CMakeFiles/spotfi_music.dir/music/subspace.cpp.o.d"
+  "libspotfi_music.a"
+  "libspotfi_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/fft.cpp" "src/CMakeFiles/spotfi_phy.dir/phy/fft.cpp.o" "gcc" "src/CMakeFiles/spotfi_phy.dir/phy/fft.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/CMakeFiles/spotfi_phy.dir/phy/ofdm.cpp.o" "gcc" "src/CMakeFiles/spotfi_phy.dir/phy/ofdm.cpp.o.d"
+  "/root/repo/src/phy/phy_csi_source.cpp" "src/CMakeFiles/spotfi_phy.dir/phy/phy_csi_source.cpp.o" "gcc" "src/CMakeFiles/spotfi_phy.dir/phy/phy_csi_source.cpp.o.d"
+  "/root/repo/src/phy/transceiver.cpp" "src/CMakeFiles/spotfi_phy.dir/phy/transceiver.cpp.o" "gcc" "src/CMakeFiles/spotfi_phy.dir/phy/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/spotfi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/spotfi_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_phy.dir/phy/fft.cpp.o"
+  "CMakeFiles/spotfi_phy.dir/phy/fft.cpp.o.d"
+  "CMakeFiles/spotfi_phy.dir/phy/ofdm.cpp.o"
+  "CMakeFiles/spotfi_phy.dir/phy/ofdm.cpp.o.d"
+  "CMakeFiles/spotfi_phy.dir/phy/phy_csi_source.cpp.o"
+  "CMakeFiles/spotfi_phy.dir/phy/phy_csi_source.cpp.o.d"
+  "CMakeFiles/spotfi_phy.dir/phy/transceiver.cpp.o"
+  "CMakeFiles/spotfi_phy.dir/phy/transceiver.cpp.o.d"
+  "libspotfi_phy.a"
+  "libspotfi_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

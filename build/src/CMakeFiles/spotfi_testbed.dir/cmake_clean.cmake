@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotfi_testbed.dir/testbed/deployment.cpp.o"
+  "CMakeFiles/spotfi_testbed.dir/testbed/deployment.cpp.o.d"
+  "CMakeFiles/spotfi_testbed.dir/testbed/experiment.cpp.o"
+  "CMakeFiles/spotfi_testbed.dir/testbed/experiment.cpp.o.d"
+  "libspotfi_testbed.a"
+  "libspotfi_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotfi_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

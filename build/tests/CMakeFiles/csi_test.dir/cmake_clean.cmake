@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csi_test.dir/csi_test.cpp.o"
+  "CMakeFiles/csi_test.dir/csi_test.cpp.o.d"
+  "csi_test"
+  "csi_test.pdb"
+  "csi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intel5300_test.dir/intel5300_test.cpp.o"
+  "CMakeFiles/intel5300_test.dir/intel5300_test.cpp.o.d"
+  "intel5300_test"
+  "intel5300_test.pdb"
+  "intel5300_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intel5300_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/localize_test.dir/localize_test.cpp.o"
+  "CMakeFiles/localize_test.dir/localize_test.cpp.o.d"
+  "localize_test"
+  "localize_test.pdb"
+  "localize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/localize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_test.dir/music_test.cpp.o"
+  "CMakeFiles/music_test.dir/music_test.cpp.o.d"
+  "music_test"
+  "music_test.pdb"
+  "music_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
