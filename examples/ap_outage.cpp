@@ -1,0 +1,142 @@
+// AP outage drill: stream CSI through the fault injector and watch the
+// pipeline degrade gracefully instead of stalling.
+//
+// Six office APs stream packets for a static target. Mid-run, one AP
+// "crashes" (a silent outage window) while a second suffers heavy packet
+// loss. The streaming server keeps firing quorum deadline rounds, marks
+// the silent AP degraded and then dead, and picks it back up the moment
+// packets flow again. Prints a timeline of health transitions and fixes,
+// then the error statistics with and without the outage.
+//
+//   ./ap_outage [seed] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "channel/faults.hpp"
+#include "common/stats.hpp"
+#include "core/streaming.hpp"
+#include "testbed/experiment.hpp"
+
+namespace {
+
+using namespace spotfi;
+
+/// One full streaming run; returns raw fix errors. With `narrate`, prints
+/// fixes and AP-health transitions as they happen.
+std::vector<double> run_stream(const std::vector<ApCapture>& captures,
+                               const Deployment& deployment, Vec2 target,
+                               const FaultPlan& plan, std::uint64_t seed,
+                               bool narrate) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  StreamingConfig cfg;
+  cfg.group_size = 5;
+  cfg.server.localizer.area_min = deployment.area_min;
+  cfg.server.localizer.area_max = deployment.area_max;
+  cfg.degradation.round_deadline_s = 0.5;
+  cfg.degradation.degraded_after_s = 0.5;
+  cfg.degradation.dead_after_s = 1.0;
+  StreamingLocalizer server(link, cfg);
+  for (const auto& capture : captures) server.add_ap(capture.pose);
+
+  FaultInjector injector(plan, captures.size());
+  Rng rng(seed);
+  std::vector<ApHealth> last_health(captures.size(), ApHealth::kHealthy);
+  std::vector<double> errors;
+
+  const std::size_t n_packets = captures.front().packets.size();
+  for (std::size_t p = 0; p < n_packets; ++p) {
+    for (std::size_t a = 0; a < captures.size(); ++a) {
+      for (const auto& packet :
+           injector.inject(a, captures[a].packets[p], rng)) {
+        const auto fix = server.push(a, packet, rng);
+        if (fix && narrate) {
+          std::string tags;
+          if (fix->degraded) tags += " [degraded]";
+          for (const auto& reason : fix->reasons) {
+            tags += "\n         - " + reason;
+          }
+          std::printf("t=%5.2f  fix (%5.2f,%5.2f) err %.2f m, %zu APs%s\n",
+                      fix->time_s, fix->raw.x, fix->raw.y,
+                      distance(fix->raw, target), fix->aps_used.size(),
+                      tags.c_str());
+        }
+        if (fix) errors.push_back(distance(fix->raw, target));
+      }
+      if (narrate && server.ap_health(a) != last_health[a]) {
+        std::printf("t=%5.2f  AP %zu: %s -> %s\n",
+                    captures[a].packets[p].timestamp_s, a,
+                    to_string(last_health[a]), to_string(server.ap_health(a)));
+        last_health[a] = server.ap_health(a);
+      }
+    }
+  }
+  if (narrate) {
+    std::printf("\n%zu fixes, %zu failed rounds, %zu packets screened out\n",
+                server.fix_count(), server.failed_rounds(),
+                server.rejected_count());
+    const FaultStats& stats = injector.stats();
+    std::printf("injected faults: %zu swallowed by outage, %zu lost, "
+                "%zu delivered\n",
+                stats.outage_swallowed, stats.lost, stats.delivered);
+    for (std::size_t a = 0; a < server.ap_count(); ++a) {
+      const ApHealthState& state = server.ap_state(a);
+      std::printf("AP %zu: %s, %zu accepted, %zu recoveries\n", a,
+                  to_string(state.health), state.accepted, state.recoveries);
+    }
+  }
+  return errors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spotfi;
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const double duration_s = argc >= 3 ? std::atof(argv[2]) : 6.0;
+  if (duration_s < 1.0) {
+    std::fprintf(stderr, "duration must be >= 1 s (got %s)\n",
+                 argc >= 3 ? argv[2] : "?");
+    return 1;
+  }
+
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  ExperimentConfig config;
+  config.packets_per_group = static_cast<std::size_t>(duration_s / 0.1);
+  const ExperimentRunner runner(link, office_deployment(), config);
+
+  const Vec2 target{6.0, 3.5};
+  Rng capture_rng(seed);
+  const auto captures = runner.simulate_captures(target, capture_rng);
+
+  // AP 2 crashes for the middle third of the run; AP 4 drops a third of
+  // its packets throughout.
+  FaultPlan plan;
+  plan.aps.resize(captures.size());
+  plan.aps[2].outages = {{duration_s / 3.0, 2.0 * duration_s / 3.0}};
+  plan.aps[4].loss_prob = 0.35;
+
+  std::printf("AP outage drill — %zu APs, %.1f s stream, seed=%llu\n",
+              captures.size(), duration_s,
+              static_cast<unsigned long long>(seed));
+  std::printf("AP 2 silent in [%.1f, %.1f) s; AP 4 loses 35%% of packets\n\n",
+              duration_s / 3.0, 2.0 * duration_s / 3.0);
+
+  const auto faulty_errors = run_stream(captures, runner.deployment(), target,
+                                        plan, seed + 1, /*narrate=*/true);
+  const auto clean_errors = run_stream(captures, runner.deployment(), target,
+                                       FaultPlan{}, seed + 1,
+                                       /*narrate=*/false);
+
+  if (!faulty_errors.empty() && !clean_errors.empty()) {
+    std::printf("\nclean stream : median %.2f m, p80 %.2f m over %zu fixes\n",
+                median(clean_errors), percentile(clean_errors, 80.0),
+                clean_errors.size());
+    std::printf("faulty stream: median %.2f m, p80 %.2f m over %zu fixes\n",
+                median(faulty_errors), percentile(faulty_errors, 80.0),
+                faulty_errors.size());
+  }
+  return 0;
+}

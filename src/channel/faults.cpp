@@ -1,0 +1,133 @@
+#include "channel/faults.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+namespace {
+const ApFaultProfile kCleanProfile{};
+}  // namespace
+
+const ApFaultProfile& FaultPlan::profile(std::size_t ap_id) const {
+  return ap_id < aps.size() ? aps[ap_id] : kCleanProfile;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t n_aps)
+    : plan_(std::move(plan)), state_(n_aps) {
+  SPOTFI_EXPECTS(plan_.aps.size() <= n_aps,
+                 "fault plan names more APs than the deployment has");
+  for (const auto& profile : plan_.aps) {
+    for (const auto& w : profile.outages) {
+      SPOTFI_EXPECTS(w.end_s >= w.start_s, "outage window ends before start");
+    }
+  }
+}
+
+bool FaultInjector::in_outage(std::size_t ap_id, double t_s) const {
+  SPOTFI_EXPECTS(ap_id < state_.size(), "unknown AP id");
+  for (const auto& w : plan_.profile(ap_id).outages) {
+    if (w.contains(t_s)) return true;
+  }
+  return false;
+}
+
+CsiPacket FaultInjector::corrupt(const ApFaultProfile& profile, ApState& state,
+                                 CsiPacket packet, Rng& rng) {
+  if (profile.stale_prob > 0.0 && state.any_delivered &&
+      rng.uniform() < profile.stale_prob) {
+    packet.timestamp_s = state.last_delivered_t_s;
+    ++stats_.stale_stamped;
+  }
+  if (!packet.csi.empty()) {
+    if (profile.dead_chain >= 0 &&
+        static_cast<std::size_t>(profile.dead_chain) < packet.csi.rows()) {
+      for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+        packet.csi(static_cast<std::size_t>(profile.dead_chain), n) = cplx{};
+      }
+      ++stats_.dead_chain_zeroed;
+    }
+    if (profile.zero_row_prob > 0.0 && rng.uniform() < profile.zero_row_prob) {
+      const std::size_t m = rng.uniform_index(packet.csi.rows());
+      for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+        packet.csi(m, n) = cplx{};
+      }
+      ++stats_.rows_zeroed;
+    }
+    if (profile.nan_burst_prob > 0.0 &&
+        rng.uniform() < profile.nan_burst_prob) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      const std::size_t total = packet.csi.rows() * packet.csi.cols();
+      const std::size_t burst = std::min(profile.nan_burst_len, total);
+      const std::size_t start = rng.uniform_index(total - burst + 1);
+      for (std::size_t k = start; k < start + burst; ++k) {
+        packet.csi(k / packet.csi.cols(), k % packet.csi.cols()) =
+            cplx(nan, nan);
+      }
+      ++stats_.nan_corrupted;
+    }
+    if (profile.clip_prob > 0.0 && rng.uniform() < profile.clip_prob) {
+      const double scale = std::pow(10.0, profile.clip_gain_db / 20.0);
+      for (auto& v : packet.csi.flat()) v *= scale;
+      ++stats_.clipped;
+    }
+  }
+  return packet;
+}
+
+std::vector<CsiPacket> FaultInjector::inject(std::size_t ap_id,
+                                             const CsiPacket& packet,
+                                             Rng& rng) {
+  SPOTFI_EXPECTS(ap_id < state_.size(), "unknown AP id");
+  const ApFaultProfile& profile = plan_.profile(ap_id);
+  ApState& state = state_[ap_id];
+
+  std::vector<CsiPacket> out;
+
+  // Count down held packets first: a swallowed packet still represents
+  // elapsed stream time, so releases happen even across losses.
+  for (auto& h : state.held) {
+    if (h.release_after > 0) --h.release_after;
+  }
+
+  const bool swallowed = [&] {
+    if (in_outage(ap_id, packet.timestamp_s)) {
+      ++stats_.outage_swallowed;
+      return true;
+    }
+    if (profile.loss_prob > 0.0 && rng.uniform() < profile.loss_prob) {
+      ++stats_.lost;
+      return true;
+    }
+    return false;
+  }();
+
+  if (!swallowed) {
+    CsiPacket delivered = corrupt(profile, state, packet, rng);
+    if (profile.reorder_prob > 0.0 && rng.uniform() < profile.reorder_prob) {
+      state.held.push_back(
+          {std::move(delivered), std::max<std::size_t>(profile.reorder_delay, 1)});
+      ++stats_.reordered;
+    } else {
+      out.push_back(std::move(delivered));
+    }
+  }
+
+  // Release any held packets whose delay has elapsed (behind the current
+  // packet — that is the reordering).
+  while (!state.held.empty() && state.held.front().release_after == 0) {
+    out.push_back(std::move(state.held.front().packet));
+    state.held.pop_front();
+  }
+
+  for (const auto& p : out) {
+    state.last_delivered_t_s = p.timestamp_s;
+    state.any_delivered = true;
+    ++stats_.delivered;
+  }
+  return out;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,124 @@
+// Fault injection for CSI streams.
+//
+// Real distributed CSI acquisition is dirty in ways the channel simulator
+// alone never shows: receivers crash and come back, capture processes fall
+// behind and deliver packets late or out of order, firmware emits frozen
+// timestamps, parsing races corrupt records with NaNs, RF chains die, and
+// AGC glitches clip whole packets. The software-defined CSI testbeds this
+// reproduction targets report exactly these as the dominant operational
+// failure modes, so the streaming pipeline must be exercised against them.
+//
+// FaultInjector sits between a packet source (the synthesizer or a trace)
+// and the consumer (StreamingLocalizer), applying a seeded, per-AP fault
+// profile to every packet. All randomness flows from the caller's Rng, so
+// a fault scenario is exactly reproducible — the same seed produces the
+// same outages, the same corrupted entries, the same reorderings.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "channel/csi_synthesis.hpp"
+#include "common/rng.hpp"
+
+namespace spotfi {
+
+/// A half-open time window [start_s, end_s) during which a fault is active.
+struct FaultWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  [[nodiscard]] bool contains(double t_s) const {
+    return t_s >= start_s && t_s < end_s;
+  }
+};
+
+/// Per-AP fault profile. Defaults are all-clean; enable individual faults
+/// per scenario. Probabilities are i.i.d. per packet.
+struct ApFaultProfile {
+  /// Silent AP death: packets inside any window are swallowed entirely
+  /// (the AP "crashed"); delivery resumes after the window (recovery).
+  std::vector<FaultWindow> outages;
+  /// Random packet loss (congested capture pipe, dropped UDP export).
+  double loss_prob = 0.0;
+  /// Hold a packet and release it after `reorder_delay` later packets
+  /// from the same AP — delivery order no longer matches capture order.
+  double reorder_prob = 0.0;
+  std::size_t reorder_delay = 1;
+  /// Freeze the timestamp: repeat the previously delivered timestamp
+  /// (firmware clock stall), making the packet look stale.
+  double stale_prob = 0.0;
+  /// Corrupt a burst of CSI entries with NaN (parsing race).
+  double nan_burst_prob = 0.0;
+  std::size_t nan_burst_len = 4;
+  /// Zero one random antenna row for this packet (transient AGC glitch).
+  double zero_row_prob = 0.0;
+  /// Persistently dead RF chain: this antenna row is zeroed on every
+  /// packet. Negative = none.
+  int dead_chain = -1;
+  /// Power-clipped packet: scale the CSI by `clip_gain_db` (saturated
+  /// front end); the quality screen's power-jump check should catch it.
+  double clip_prob = 0.0;
+  double clip_gain_db = 30.0;
+};
+
+/// Fault plan for a whole deployment: one profile per AP id. APs beyond
+/// the vector are clean.
+struct FaultPlan {
+  std::vector<ApFaultProfile> aps;
+  [[nodiscard]] const ApFaultProfile& profile(std::size_t ap_id) const;
+};
+
+/// Counters for every fault actually injected (not just configured).
+struct FaultStats {
+  std::size_t outage_swallowed = 0;
+  std::size_t lost = 0;
+  std::size_t reordered = 0;
+  std::size_t stale_stamped = 0;
+  std::size_t nan_corrupted = 0;
+  std::size_t rows_zeroed = 0;
+  std::size_t dead_chain_zeroed = 0;
+  std::size_t clipped = 0;
+  std::size_t delivered = 0;
+};
+
+/// Applies a FaultPlan to a packet stream, AP by AP.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan, std::size_t n_aps);
+
+  /// Feeds one captured packet from `ap_id` and returns the packets the
+  /// consumer actually receives at this instant: empty when the packet was
+  /// swallowed (outage/loss) or held for reordering, more than one when a
+  /// held packet is released behind the current one.
+  [[nodiscard]] std::vector<CsiPacket> inject(std::size_t ap_id,
+                                              const CsiPacket& packet,
+                                              Rng& rng);
+
+  /// True when `ap_id` is inside a configured outage window at `t_s`.
+  [[nodiscard]] bool in_outage(std::size_t ap_id, double t_s) const;
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t ap_count() const { return state_.size(); }
+
+ private:
+  struct HeldPacket {
+    CsiPacket packet;
+    std::size_t release_after;  ///< countdown in subsequent packets
+  };
+  struct ApState {
+    std::deque<HeldPacket> held;
+    double last_delivered_t_s = 0.0;
+    bool any_delivered = false;
+  };
+
+  /// In-place corruption faults (NaN burst, zeroed rows, clipping, stale
+  /// timestamp). Returns the possibly-corrupted packet.
+  [[nodiscard]] CsiPacket corrupt(const ApFaultProfile& profile,
+                                  ApState& state, CsiPacket packet, Rng& rng);
+
+  FaultPlan plan_;
+  std::vector<ApState> state_;
+  FaultStats stats_;
+};
+
+}  // namespace spotfi

@@ -8,6 +8,8 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <variant>
 
 namespace spotfi {
 
@@ -30,6 +32,34 @@ class NumericalError : public std::runtime_error {
  public:
   explicit NumericalError(const std::string& what_arg)
       : std::runtime_error(what_arg) {}
+};
+
+/// Minimal expected-style result (std::expected is C++23; we target
+/// C++20). Holds either a value or an error describing why the operation
+/// degraded/failed — used by the streaming pipeline to keep fault handling
+/// on the hot path exception-free.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & { return std::get<0>(data_); }
+  [[nodiscard]] const T& value() const& { return std::get<0>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<0>(std::move(data_)); }
+  [[nodiscard]] E& error() & { return std::get<1>(data_); }
+  [[nodiscard]] const E& error() const& { return std::get<1>(data_); }
+
+  [[nodiscard]] T* operator->() { return &std::get<0>(data_); }
+  [[nodiscard]] const T* operator->() const { return &std::get<0>(data_); }
+  [[nodiscard]] T& operator*() { return std::get<0>(data_); }
+  [[nodiscard]] const T& operator*() const { return std::get<0>(data_); }
+
+ private:
+  std::variant<T, E> data_;
 };
 
 namespace detail {

@@ -1,6 +1,71 @@
 #include "core/ap_processor.hpp"
 
+#include <cmath>
+
 namespace spotfi {
+namespace {
+
+/// A more forgiving MUSIC configuration for the retry stage: a coarser
+/// grid and a thresholded, smaller signal subspace. Non-convergence and
+/// spurious-peak failures are usually conditioning problems; trading
+/// resolution for stability keeps an AoA observation alive.
+JointMusicConfig relaxed_music(JointMusicConfig cfg) {
+  cfg.aoa_step_rad *= 2.0;
+  cfg.tof_step_s *= 2.0;
+  cfg.min_relative_peak = std::min(cfg.min_relative_peak, 0.05);
+  cfg.max_paths = std::min<std::size_t>(cfg.max_paths, 5);
+  cfg.subspace.order_method = OrderMethod::kThreshold;
+  cfg.subspace.relative_threshold =
+      std::max(cfg.subspace.relative_threshold, 0.1);
+  cfg.subspace.max_signal_dims =
+      std::min<std::size_t>(cfg.subspace.max_signal_dims, 6);
+  return cfg;
+}
+
+/// Shared per-group pipeline: sanitize -> estimate per packet -> pool ->
+/// cluster -> select. `estimate` is the front end under test.
+template <typename EstimateFn>
+ApResult run_group(std::span<const CsiPacket> packets, const LinkConfig& link,
+                   const ArrayPose& pose, const ApProcessorConfig& config,
+                   Rng& rng, EstimateFn&& estimate) {
+  ApResult result;
+  double rssi_sum = 0.0;
+  for (const auto& packet : packets) {
+    const CMatrix csi = config.sanitize
+                            ? std::move(sanitize_tof(packet.csi, link).csi)
+                            : packet.csi;
+    const auto estimates = estimate(csi);
+    result.pooled_estimates.insert(result.pooled_estimates.end(),
+                                   estimates.begin(), estimates.end());
+    rssi_sum += packet.rssi_dbm;
+  }
+  SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
+                 "super-resolution produced no path estimates");
+
+  result.clusters =
+      cluster_path_estimates(result.pooled_estimates, link, packets.size(),
+                             rng, config.direct_path);
+  const std::size_t pick = select_spotfi(result.clusters);
+  result.observation.pose = pose;
+  result.observation.direct_aoa_rad = result.clusters[pick].mean_aoa_rad;
+  result.observation.likelihood = result.clusters[pick].likelihood;
+  result.observation.rssi_dbm =
+      rssi_sum / static_cast<double>(packets.size());
+  return result;
+}
+
+}  // namespace
+
+const char* to_string(ApStage stage) {
+  switch (stage) {
+    case ApStage::kPrimary: return "primary";
+    case ApStage::kRelaxedMusic: return "relaxed-music";
+    case ApStage::kEsprit: return "esprit";
+    case ApStage::kRssiOnly: return "rssi-only";
+    case ApStage::kFailed: return "failed";
+  }
+  return "unknown";
+}
 
 ApProcessor::ApProcessor(LinkConfig link, ArrayPose pose,
                          ApProcessorConfig config)
@@ -22,32 +87,118 @@ ApResult ApProcessor::process(std::span<const CsiPacket> packets,
     packets = screened;
   }
 
-  ApResult result;
-  double rssi_sum = 0.0;
-  for (const auto& packet : packets) {
-    const CMatrix csi = config_.sanitize
-                            ? std::move(sanitize_tof(packet.csi, link_).csi)
-                            : packet.csi;
-    const auto estimates = config_.front_end == FrontEnd::kMusic
-                               ? music_.estimate(csi)
-                               : esprit_.estimate(csi);
-    result.pooled_estimates.insert(result.pooled_estimates.end(),
-                                   estimates.begin(), estimates.end());
-    rssi_sum += packet.rssi_dbm;
-  }
-  SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
-                 "super-resolution produced no path estimates");
+  return config_.front_end == FrontEnd::kMusic
+             ? run_group(packets, link_, pose_, config_, rng,
+                         [this](const CMatrix& csi) {
+                           return music_.estimate(csi);
+                         })
+             : run_group(packets, link_, pose_, config_, rng,
+                         [this](const CMatrix& csi) {
+                           return esprit_.estimate(csi);
+                         });
+}
 
-  result.clusters =
-      cluster_path_estimates(result.pooled_estimates, link_, packets.size(),
-                             rng, config_.direct_path);
-  const std::size_t pick = select_spotfi(result.clusters);
-  result.observation.pose = pose_;
-  result.observation.direct_aoa_rad = result.clusters[pick].mean_aoa_rad;
-  result.observation.likelihood = result.clusters[pick].likelihood;
-  result.observation.rssi_dbm =
-      rssi_sum / static_cast<double>(packets.size());
-  return result;
+ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
+                                      Rng& rng) const {
+  SPOTFI_EXPECTS(!packets.empty(), "need at least one packet");
+  ApOutcome out;
+
+  // Screen unconditionally on the robust path: it exists precisely
+  // because input may be corrupt, so a missing quality config means
+  // defaults, not no screening.
+  const QualityConfig quality = config_.quality.value_or(QualityConfig{});
+  const std::vector<CsiPacket> screened = screen_group(packets, quality);
+
+  auto attempt = [&](ApStage stage, auto&& stage_fn) {
+    try {
+      ApResult candidate = stage_fn();
+      // An estimator can "succeed" on corrupt input by propagating NaNs
+      // into the observation; that counts as a stage failure.
+      const ApObservation& obs = candidate.observation;
+      if (!std::isfinite(obs.direct_aoa_rad) ||
+          !std::isfinite(obs.likelihood) || !std::isfinite(obs.rssi_dbm) ||
+          obs.likelihood <= 0.0) {
+        throw NumericalError("produced a non-finite observation");
+      }
+      out.result = std::move(candidate);
+      out.stage = stage;
+      out.usable = true;
+      return true;
+    } catch (const std::exception& e) {
+      if (!out.note.empty()) out.note += "; ";
+      out.note += std::string(to_string(stage)) + ": " + e.what();
+      return false;
+    }
+  };
+
+  if (!screened.empty()) {
+    const std::span<const CsiPacket> group(screened);
+    const bool primary_is_music = config_.front_end == FrontEnd::kMusic;
+    if (attempt(ApStage::kPrimary, [&] {
+          return run_group(group, link_, pose_, config_, rng,
+                           [&](const CMatrix& csi) {
+                             return primary_is_music ? music_.estimate(csi)
+                                                     : esprit_.estimate(csi);
+                           });
+        })) {
+      return out;
+    }
+    if (config_.fallback.enabled) {
+      const JointMusicEstimator relaxed(link_, relaxed_music(config_.music));
+      if (attempt(ApStage::kRelaxedMusic, [&] {
+            return run_group(group, link_, pose_, config_, rng,
+                             [&](const CMatrix& csi) {
+                               return relaxed.estimate(csi);
+                             });
+          })) {
+        return out;
+      }
+      if (primary_is_music &&
+          attempt(ApStage::kEsprit, [&] {
+            return run_group(group, link_, pose_, config_, rng,
+                             [&](const CMatrix& csi) {
+                               return esprit_.estimate(csi);
+                             });
+          })) {
+        return out;
+      }
+    }
+  } else {
+    out.note = "quality screen rejected every packet in the group";
+  }
+
+  if (config_.fallback.enabled) {
+    // Last resort: RSSI-only. Even a packet whose CSI matrix is corrupt
+    // can carry a valid RSSI report, so average over the raw group.
+    double rssi_sum = 0.0;
+    std::size_t n_rssi = 0;
+    for (const auto& packet : packets) {
+      if (std::isfinite(packet.rssi_dbm)) {
+        rssi_sum += packet.rssi_dbm;
+        ++n_rssi;
+      }
+    }
+    if (n_rssi > 0) {
+      out.result = ApResult{};
+      out.result.observation.pose = pose_;
+      out.result.observation.has_aoa = false;
+      out.result.observation.likelihood = config_.fallback.rssi_only_likelihood;
+      out.result.observation.rssi_dbm =
+          rssi_sum / static_cast<double>(n_rssi);
+      out.stage = ApStage::kRssiOnly;
+      out.usable = true;
+      return out;
+    }
+    if (!out.note.empty()) out.note += "; ";
+    out.note += "rssi-only: no finite RSSI in the group";
+  }
+
+  out.result = ApResult{};
+  out.result.observation.pose = pose_;
+  out.result.observation.likelihood = 0.0;  // ignored by the localizer
+  out.stage = ApStage::kFailed;
+  out.usable = false;
+  return out;
 }
 
 }  // namespace spotfi

@@ -7,9 +7,9 @@
 // compact ApObservation the central server fuses.
 #pragma once
 
-#include <vector>
-
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "channel/csi_synthesis.hpp"
 #include "core/direct_path.hpp"
@@ -26,6 +26,28 @@ enum class FrontEnd {
   kEsprit,  ///< search-free shift invariance (see music/esprit.hpp)
 };
 
+/// Which stage of the estimator fallback chain produced an ApOutcome.
+/// Ordered by decreasing fidelity: process_robust walks this chain until
+/// one stage succeeds.
+enum class ApStage {
+  kPrimary,       ///< the configured front end, full resolution
+  kRelaxedMusic,  ///< MUSIC retried on a coarser, more forgiving grid
+  kEsprit,        ///< search-free shift-invariance fallback
+  kRssiOnly,      ///< no AoA recovered; RSSI range constraint only
+  kFailed,        ///< not even a finite RSSI — observation unusable
+};
+
+[[nodiscard]] const char* to_string(ApStage stage);
+
+struct ApFallbackConfig {
+  /// Walk the fallback chain instead of rethrowing the primary failure.
+  bool enabled = true;
+  /// Likelihood assigned to an RSSI-only observation: small, so a healthy
+  /// AP's AoA always dominates, but positive, so the range constraint
+  /// still anchors the Eq. 9 solve when bearings are scarce.
+  double rssi_only_likelihood = 0.05;
+};
+
 struct ApProcessorConfig {
   FrontEnd front_end = FrontEnd::kMusic;
   JointMusicConfig music{};
@@ -38,6 +60,9 @@ struct ApProcessorConfig {
   /// recommended when feeding real traces; the simulator never produces
   /// corrupt packets, so it defaults off to keep experiments exact.
   std::optional<QualityConfig> quality;
+  /// Estimator fallback chain used by process_robust (the throwing
+  /// process() ignores this).
+  ApFallbackConfig fallback{};
 };
 
 /// Everything the per-AP stage produces; the server consumes
@@ -51,14 +76,35 @@ struct ApResult {
   ApObservation observation;
 };
 
+/// Exception-free per-AP result: the server's fault-tolerant path calls
+/// process_robust and inspects `stage`/`usable` instead of catching.
+struct ApOutcome {
+  ApResult result;
+  ApStage stage = ApStage::kPrimary;
+  /// True when `result.observation` can enter the Eq. 9 fusion.
+  bool usable = false;
+  /// Why the chain degraded past kPrimary (empty otherwise).
+  std::string note;
+};
+
 class ApProcessor {
  public:
   ApProcessor(LinkConfig link, ArrayPose pose, ApProcessorConfig config = {});
 
   /// Processes one packet group (the paper uses 10-40 packets). Requires
-  /// a non-empty group whose CSI shapes match the link config.
+  /// a non-empty group whose CSI shapes match the link config. Throws on
+  /// corrupt input or estimator non-convergence — use process_robust on
+  /// streaming paths.
   [[nodiscard]] ApResult process(std::span<const CsiPacket> packets,
                                  Rng& rng) const;
+
+  /// Fault-tolerant variant: never throws past the chain (beyond
+  /// ContractViolation for an empty group). Tries the configured front end
+  /// first, then — when config().fallback.enabled — retries MUSIC on a
+  /// relaxed grid, falls back to ESPRIT, and finally emits an RSSI-only
+  /// observation; `stage`/`note` record how far it had to degrade.
+  [[nodiscard]] ApOutcome process_robust(std::span<const CsiPacket> packets,
+                                         Rng& rng) const;
 
   [[nodiscard]] const ArrayPose& pose() const { return pose_; }
   [[nodiscard]] const ApProcessorConfig& config() const { return config_; }

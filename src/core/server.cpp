@@ -1,5 +1,10 @@
 #include "core/server.hpp"
 
+#include <cmath>
+
+#include "common/angles.hpp"
+#include "common/stats.hpp"
+
 namespace spotfi {
 
 SpotFiServer::SpotFiServer(LinkConfig link, ServerConfig config)
@@ -20,6 +25,109 @@ LocalizationRound SpotFiServer::localize(std::span<const ApCapture> captures,
 
   const SpotFiLocalizer localizer(config_.localizer);
   round.location = localizer.locate(observations);
+  return round;
+}
+
+Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
+    std::span<const ApCapture> captures, Rng& rng) const {
+  if (captures.size() < 2) {
+    return RoundError{"need at least two AP captures", 0};
+  }
+
+  LocalizationRound round;
+  round.ap_results.reserve(captures.size());
+  round.ap_stages.reserve(captures.size());
+  std::vector<ApObservation> usable;
+  std::vector<std::size_t> usable_ap;  ///< capture index per usable obs
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    const auto& capture = captures[i];
+    if (capture.packets.empty()) {
+      round.ap_results.emplace_back();
+      round.ap_results.back().observation.pose = capture.pose;
+      round.ap_results.back().observation.likelihood = 0.0;
+      round.ap_stages.push_back(ApStage::kFailed);
+      round.notes.push_back("ap " + std::to_string(i) + ": empty capture");
+      round.degraded = true;
+      continue;
+    }
+    const ApProcessor processor(link_, capture.pose, config_.ap);
+    ApOutcome outcome = processor.process_robust(capture.packets, rng);
+    round.ap_stages.push_back(outcome.stage);
+    if (outcome.stage != ApStage::kPrimary) {
+      round.degraded = true;
+      std::string note =
+          "ap " + std::to_string(i) + ": " + to_string(outcome.stage);
+      if (!outcome.note.empty()) note += " (" + outcome.note + ")";
+      round.notes.push_back(std::move(note));
+    }
+    if (outcome.usable) {
+      usable.push_back(outcome.result.observation);
+      usable_ap.push_back(i);
+    }
+    round.ap_results.push_back(std::move(outcome.result));
+  }
+
+  if (usable.size() < 2) {
+    return RoundError{"fewer than two usable AP observations", usable.size()};
+  }
+
+  const SpotFiLocalizer localizer(config_.localizer);
+  try {
+    round.location = localizer.locate(usable);
+  } catch (const std::exception& e) {
+    return RoundError{std::string("localizer: ") + e.what(), usable.size()};
+  }
+
+  // Leave-one-out residual rejection. For each AP, solve without it and
+  // measure how far its measured bearing misses the consensus of the
+  // others; greedily reject the worst offender past the angular
+  // threshold and repeat on the survivors. A lying AP drags every subset
+  // that still contains it, so a single pass can finger the wrong AP —
+  // iterating until nothing exceeds the threshold (or the floor is hit)
+  // peels outliers off one at a time.
+  const FusionConfig& fusion = config_.fusion;
+  if (fusion.loo_rejection) {
+    while (usable.size() > fusion.loo_min_aps) {
+      std::vector<double> misses;
+      double worst_miss = 0.0;
+      std::size_t worst = usable.size();
+      LocationEstimate worst_estimate;
+      for (std::size_t drop = 0; drop < usable.size(); ++drop) {
+        if (!usable[drop].has_aoa) continue;  // no bearing to disagree with
+        std::vector<ApObservation> subset;
+        subset.reserve(usable.size() - 1);
+        for (std::size_t j = 0; j < usable.size(); ++j) {
+          if (j != drop) subset.push_back(usable[j]);
+        }
+        try {
+          const LocationEstimate est = localizer.locate(subset);
+          const double miss = std::abs(
+              wrap_pi(usable[drop].pose.apparent_aoa_of(est.position) -
+                      usable[drop].direct_aoa_rad));
+          misses.push_back(miss);
+          if (miss > worst_miss) {
+            worst_miss = miss;
+            worst = drop;
+            worst_estimate = est;
+          }
+        } catch (const std::exception&) {
+          // A degenerate subset just doesn't participate.
+        }
+      }
+      if (worst >= usable.size() || worst_miss <= fusion.loo_max_aoa_miss_rad ||
+          worst_miss <= fusion.loo_median_factor * median(misses)) {
+        break;
+      }
+      round.location = worst_estimate;
+      round.rejected_aps.push_back(usable_ap[worst]);
+      round.degraded = true;
+      round.notes.push_back(
+          "ap " + std::to_string(usable_ap[worst]) +
+          ": rejected as outlier by leave-one-out residuals");
+      usable.erase(usable.begin() + static_cast<std::ptrdiff_t>(worst));
+      usable_ap.erase(usable_ap.begin() + static_cast<std::ptrdiff_t>(worst));
+    }
+  }
   return round;
 }
 

@@ -1,10 +1,20 @@
 // The central server (Fig. 1, Algorithm 2): collects per-AP CSI packet
 // groups, runs the per-AP stage on each, and fuses the resulting
 // observations into a location with the likelihood-weighted solver.
+//
+// Two entry points:
+//  * localize()     — the paper-faithful strict path: throws on corrupt
+//                     input or estimator failure (benches/experiments).
+//  * try_localize() — the fault-tolerant path for streaming: per-AP
+//                     estimator fallback chains, leave-one-out outlier-AP
+//                     rejection, and an Expected-style result that carries
+//                     degradation reasons instead of throwing.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/ap_processor.hpp"
 #include "localize/spotfi_localizer.hpp"
 
@@ -16,15 +26,59 @@ struct ApCapture {
   std::vector<CsiPacket> packets;
 };
 
+/// Fusion-stage fault tolerance (try_localize only).
+struct FusionConfig {
+  /// Leave-one-out residual check: when one AP's bearing is confidently
+  /// wrong (a stable reflection winning Eq. 8, or a mis-surveyed pose),
+  /// the remaining APs agree on a location the outlier's AoA cannot
+  /// explain. Greedily reject the AP whose measured bearing disagrees
+  /// worst with the leave-it-out solution, and repeat on the survivors.
+  /// Cost ratios don't work here: the Huber kernel bounds exactly the
+  /// residual this check needs to see, so the raw angular miss is used.
+  bool loo_rejection = true;
+  /// Never reject below this many usable observations (subsets must stay
+  /// well-posed, and rejection needs a meaningful consensus).
+  std::size_t loo_min_aps = 4;
+  /// Reject an AP only when its bearing misses the leave-one-out
+  /// solution by more than this [rad] (~34 deg).
+  double loo_max_aoa_miss_rad = 0.6;
+  /// ... and only when that miss is also an outlier relative to its
+  /// peers: worst > factor * median of this round's misses. Uniformly
+  /// noisy rounds (small groups) have large misses everywhere; peeling
+  /// APs off there trades a decent consensus for a biased one.
+  double loo_median_factor = 3.0;
+};
+
 struct ServerConfig {
   ApProcessorConfig ap{};
   LocalizerConfig localizer{};
+  FusionConfig fusion{};
 };
 
-/// Result of one localization round, with per-AP diagnostics.
+/// Result of one localization round, with per-AP diagnostics. The
+/// degradation fields stay at their defaults on the strict localize()
+/// path; try_localize fills them.
 struct LocalizationRound {
   LocationEstimate location;
   std::vector<ApResult> ap_results;
+  /// Which fallback stage produced each AP's observation (parallel to
+  /// ap_results; try_localize only).
+  std::vector<ApStage> ap_stages;
+  /// Human-readable degradation reasons (empty = clean round).
+  std::vector<std::string> notes;
+  /// Indices (into ap_results) of APs rejected by the leave-one-out
+  /// residual check, in rejection order.
+  std::vector<std::size_t> rejected_aps;
+  /// True when any AP degraded past its primary estimator or an outlier
+  /// was rejected.
+  bool degraded = false;
+};
+
+/// Why a fault-tolerant round produced no location.
+struct RoundError {
+  std::string reason;
+  /// Usable observations that survived the per-AP stage.
+  std::size_t usable_aps = 0;
 };
 
 class SpotFiServer {
@@ -32,8 +86,16 @@ class SpotFiServer {
   SpotFiServer(LinkConfig link, ServerConfig config = {});
 
   /// Runs Algorithm 2 end-to-end on the captures of one packet group.
-  /// Requires >= 2 APs with non-empty packet groups.
+  /// Requires >= 2 APs with non-empty packet groups. Throws on corrupt
+  /// input or estimator non-convergence.
   [[nodiscard]] LocalizationRound localize(
+      std::span<const ApCapture> captures, Rng& rng) const;
+
+  /// Fault-tolerant variant: every AP runs the process_robust fallback
+  /// chain, unusable APs are skipped, an outlier AP may be rejected by
+  /// leave-one-out residuals, and failure is reported as a RoundError
+  /// instead of an exception.
+  [[nodiscard]] Expected<LocalizationRound, RoundError> try_localize(
       std::span<const ApCapture> captures, Rng& rng) const;
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }

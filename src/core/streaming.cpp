@@ -1,17 +1,32 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace spotfi {
+
+const char* to_string(ApHealth health) {
+  switch (health) {
+    case ApHealth::kHealthy: return "healthy";
+    case ApHealth::kDegraded: return "degraded";
+    case ApHealth::kDead: return "dead";
+  }
+  return "unknown";
+}
 
 StreamingLocalizer::StreamingLocalizer(LinkConfig link,
                                        StreamingConfig config)
     : link_(link), config_(std::move(config)), tracker_(config_.tracker) {
   SPOTFI_EXPECTS(config_.group_size >= 1, "group_size must be positive");
+  const DegradationConfig& d = config_.degradation;
+  SPOTFI_EXPECTS(d.min_quorum >= 2, "min_quorum must be at least 2");
+  SPOTFI_EXPECTS(d.round_deadline_s >= 0.0, "round_deadline_s must be >= 0");
+  SPOTFI_EXPECTS(d.dead_after_s >= d.degraded_after_s,
+                 "dead_after_s must be >= degraded_after_s");
 }
 
 std::size_t StreamingLocalizer::add_ap(const ArrayPose& pose) {
-  buffers_.push_back({pose, {}});
+  buffers_.push_back({pose, {}, {}});
   return buffers_.size() - 1;
 }
 
@@ -20,57 +35,194 @@ std::size_t StreamingLocalizer::buffered(std::size_t ap_id) const {
   return buffers_[ap_id].packets.size();
 }
 
+ApHealth StreamingLocalizer::ap_health(std::size_t ap_id) const {
+  return ap_state(ap_id).health;
+}
+
+const ApHealthState& StreamingLocalizer::ap_state(std::size_t ap_id) const {
+  SPOTFI_EXPECTS(ap_id < buffers_.size(), "unknown AP id");
+  return buffers_[ap_id].state;
+}
+
+void StreamingLocalizer::age_out(double now_s) {
+  for (auto& b : buffers_) {
+    while (!b.packets.empty() &&
+           now_s - b.packets.front().timestamp_s > config_.max_packet_age_s) {
+      b.packets.pop_front();
+    }
+  }
+}
+
+void StreamingLocalizer::update_health(double now_s) {
+  if (!stream_start_s_) return;  // nothing has flowed yet
+  const DegradationConfig& d = config_.degradation;
+  for (auto& b : buffers_) {
+    // An AP that never delivered has been silent since the stream began.
+    const double last = b.state.accepted > 0 ? b.state.last_accepted_s
+                                             : *stream_start_s_;
+    const double silence = now_s - last;
+    ApHealth next = ApHealth::kHealthy;
+    if (silence >= d.dead_after_s) {
+      next = ApHealth::kDead;
+    } else if (silence >= d.degraded_after_s) {
+      next = ApHealth::kDegraded;
+    }
+    if (next != b.state.health) {
+      if (b.state.health == ApHealth::kDead && next == ApHealth::kHealthy) {
+        ++b.state.recoveries;
+      }
+      b.state.health = next;
+    }
+  }
+}
+
 std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
                                                     const CsiPacket& packet,
                                                     Rng& rng) {
-  SPOTFI_EXPECTS(ap_id < buffers_.size(), "unknown AP id");
+  if (ap_id >= buffers_.size()) {
+    throw ContractViolation(
+        "StreamingLocalizer::push: unknown AP id " + std::to_string(ap_id) +
+        " (" + std::to_string(buffers_.size()) + " APs registered)");
+  }
   SPOTFI_EXPECTS(buffers_.size() >= 2, "register at least two APs first");
 
+  now_s_ = std::max(now_s_, packet.timestamp_s);
+  if (!stream_start_s_) stream_start_s_ = packet.timestamp_s;
+
+  auto& buffer = buffers_[ap_id];
+  bool accepted = true;
   if (config_.screen_packets) {
     const QualityVerdict verdict = screen_packet(packet, config_.quality);
     if (!verdict.ok) {
       ++rejected_;
-      return std::nullopt;
+      ++buffer.state.rejected;
+      accepted = false;
     }
   }
-  auto& buffer = buffers_[ap_id];
-  buffer.packets.push_back(packet);
-  // Age out stale packets so a stalled AP does not pin an old group.
-  const double now = packet.timestamp_s;
-  for (auto& b : buffers_) {
-    while (!b.packets.empty() &&
-           now - b.packets.front().timestamp_s > config_.max_packet_age_s) {
-      b.packets.pop_front();
+  if (accepted) {
+    buffer.packets.push_back(packet);
+    ++buffer.state.accepted;
+    buffer.state.last_accepted_s =
+        std::max(buffer.state.last_accepted_s, packet.timestamp_s);
+    if (std::isnan(buffer.state.last_accepted_s)) {
+      buffer.state.last_accepted_s = packet.timestamp_s;
     }
   }
 
-  const bool ready = std::all_of(
-      buffers_.begin(), buffers_.end(), [&](const ApBuffer& b) {
-        return b.packets.size() >= config_.group_size;
-      });
-  if (!ready) return std::nullopt;
+  age_out(now_s_);
+  update_health(now_s_);
+  return maybe_fire(now_s_, rng);
+}
 
-  // Assemble the captures from the oldest group_size packets per AP.
+std::optional<LocationFix> StreamingLocalizer::poll(double now_s, Rng& rng) {
+  if (buffers_.size() < 2) return std::nullopt;
+  now_s_ = std::max(now_s_, now_s);
+  age_out(now_s_);
+  update_health(now_s_);
+  return maybe_fire(now_s_, rng);
+}
+
+std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
+                                                          Rng& rng) {
+  const DegradationConfig& d = config_.degradation;
+
+  std::vector<std::size_t> ready;   // full group buffered
+  std::vector<std::size_t> usable;  // enough packets for a partial group
+  std::size_t live = 0, live_ready = 0;
+  for (std::size_t a = 0; a < buffers_.size(); ++a) {
+    const auto& b = buffers_[a];
+    const bool full = b.packets.size() >= config_.group_size;
+    if (full) ready.push_back(a);
+    const std::size_t partial_floor =
+        std::max<std::size_t>(std::min(d.min_group_packets, config_.group_size), 1);
+    if (b.packets.size() >= partial_floor) usable.push_back(a);
+    if (b.state.health != ApHealth::kDead) {
+      ++live;
+      if (full) ++live_ready;
+    }
+  }
+
+  // Strict path (degradation off, or nothing is wrong): every registered
+  // AP has a full group.
+  if (ready.size() == buffers_.size()) {
+    armed_since_s_.reset();
+    return fire_round(ready, /*deadline_round=*/false, now_s, rng);
+  }
+  if (!d.enabled) return std::nullopt;
+
+  // Dead APs no longer gate the round: fire as soon as every live AP is
+  // full (quorum permitting). Dead APs with a usable partial buffer still
+  // contribute their packets.
+  if (live >= 2 && live_ready == live && ready.size() >= d.min_quorum) {
+    armed_since_s_.reset();
+    return fire_round(usable, /*deadline_round=*/true, now_s, rng);
+  }
+
+  // Deadline path: a quorum of full groups is waiting on stragglers.
+  if (ready.size() >= d.min_quorum) {
+    if (!armed_since_s_) armed_since_s_ = now_s;
+    if (now_s - *armed_since_s_ >= d.round_deadline_s) {
+      armed_since_s_.reset();
+      return fire_round(usable, /*deadline_round=*/true, now_s, rng);
+    }
+  } else {
+    armed_since_s_.reset();
+  }
+  return std::nullopt;
+}
+
+std::optional<LocationFix> StreamingLocalizer::fire_round(
+    const std::vector<std::size_t>& ap_ids, bool deadline_round, double now_s,
+    Rng& rng) {
   std::vector<ApCapture> captures;
-  double latest_t = 0.0;
-  for (auto& b : buffers_) {
+  captures.reserve(ap_ids.size());
+  double latest_t = -std::numeric_limits<double>::infinity();
+  for (const std::size_t a : ap_ids) {
+    auto& b = buffers_[a];
     ApCapture capture;
     capture.pose = b.pose;
-    for (std::size_t i = 0; i < config_.group_size; ++i) {
-      capture.packets.push_back(b.packets.front());
+    const std::size_t take = std::min(b.packets.size(), config_.group_size);
+    for (std::size_t i = 0; i < take; ++i) {
       latest_t = std::max(latest_t, b.packets.front().timestamp_s);
+      capture.packets.push_back(std::move(b.packets.front()));
       b.packets.pop_front();
     }
     captures.push_back(std::move(capture));
   }
 
   const SpotFiServer server(link_, config_.server);
+  auto outcome = server.try_localize(captures, rng);
+  if (!outcome) {
+    ++failed_rounds_;
+    last_failure_ = RoundFailure{outcome.error().reason, now_s};
+    return std::nullopt;
+  }
+
   LocationFix fix;
-  fix.round = server.localize(captures, rng);
+  fix.round = std::move(outcome).value();
   fix.raw = fix.round.location.position;
   fix.time_s = latest_t;
-  fix.tracked =
-      config_.track ? tracker_.update(fix.raw, latest_t) : fix.raw;
+  fix.aps_used = ap_ids;
+  fix.degraded = deadline_round || fix.round.degraded;
+  fix.reasons = fix.round.notes;
+  if (deadline_round) {
+    fix.reasons.insert(fix.reasons.begin(),
+                       "deadline round: " + std::to_string(ap_ids.size()) +
+                           " of " + std::to_string(buffers_.size()) +
+                           " APs contributed");
+  }
+  // The tracker requires monotone time; reordered/stale feeds can fire a
+  // round whose newest packet is older than the previous fix.
+  if (config_.track && latest_t > last_fix_time_s_) {
+    fix.tracked = tracker_.update(fix.raw, latest_t);
+  } else {
+    fix.tracked = fix.raw;
+    if (config_.track) {
+      fix.reasons.push_back("tracker skipped: non-monotone fix time");
+    }
+  }
+  last_fix_time_s_ = std::max(last_fix_time_s_, latest_t);
+  ++fix_count_;
   return fix;
 }
 

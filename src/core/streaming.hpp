@@ -1,22 +1,70 @@
 // Streaming localization server: the online face of Fig. 1's central
-// server.
+// server, hardened for dirty distributed CSI acquisition.
 //
-// APs push (ap_id, CsiPacket) as packets arrive; once every registered
-// AP has accumulated a full group for a target, the server runs
-// Algorithm 2, feeds the fix through the Kalman tracker, and emits a
-// LocationFix. Input packets are screened by csi/quality first, so a
-// corrupted record never reaches the estimator.
+// APs push (ap_id, CsiPacket) as packets arrive. A localization round
+// fires when every live AP has accumulated a full group — or, when some
+// APs stall (crash, jam, congestion), after a per-round deadline with a
+// minimum-AP quorum, so one dead AP degrades accuracy (Fig. 9a) instead
+// of stalling the pipeline forever. Each AP carries a health state
+// machine (healthy -> degraded -> dead, recovering on fresh packets),
+// rounds run through SpotFiServer::try_localize (estimator fallback
+// chains + leave-one-out outlier rejection), and round failures are
+// reported as recoverable diagnostics, never exceptions.
 #pragma once
 
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
+#include <string>
 
 #include "core/server.hpp"
 #include "core/tracker.hpp"
 #include "csi/quality.hpp"
 
 namespace spotfi {
+
+/// Per-AP liveness, driven by packet-arrival silence.
+enum class ApHealth {
+  kHealthy,   ///< fresh packets are flowing
+  kDegraded,  ///< silent beyond degraded_after_s — suspect
+  kDead,      ///< silent beyond dead_after_s — excluded from round gating
+};
+
+[[nodiscard]] const char* to_string(ApHealth health);
+
+/// Diagnostics for one AP's stream.
+struct ApHealthState {
+  ApHealth health = ApHealth::kHealthy;
+  /// Timestamp of the last accepted packet [s]; NaN before the first.
+  double last_accepted_s = std::numeric_limits<double>::quiet_NaN();
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  /// Completed dead -> healthy recoveries.
+  std::size_t recoveries = 0;
+};
+
+/// Quorum/deadline round firing and health thresholds. All times are in
+/// stream time (packet timestamps), so no wall clock is required and
+/// replays are deterministic.
+struct DegradationConfig {
+  /// Master switch; false restores the strict all-APs gating (a round
+  /// fires only when every registered AP has a full group).
+  bool enabled = true;
+  /// Fire a deadline round only with at least this many full groups.
+  std::size_t min_quorum = 2;
+  /// How long past the first quorum of full groups to wait for the
+  /// stragglers before firing anyway [s].
+  double round_deadline_s = 2.0;
+  /// Packet silence after which an AP is suspect [s].
+  double degraded_after_s = 1.0;
+  /// Packet silence after which an AP is dead — it no longer gates round
+  /// firing [s]. Must be >= degraded_after_s.
+  double dead_after_s = 3.0;
+  /// An AP with fewer buffered packets than this contributes nothing to a
+  /// deadline round (a too-small group only adds clustering noise).
+  std::size_t min_group_packets = 3;
+};
 
 struct StreamingConfig {
   ServerConfig server{};
@@ -31,6 +79,13 @@ struct StreamingConfig {
   TrackerConfig tracker{};
   /// Drop buffered packets older than this once a round fires [s].
   double max_packet_age_s = 10.0;
+  DegradationConfig degradation{};
+};
+
+/// Why a fired round produced no fix (recoverable; the stream continues).
+struct RoundFailure {
+  std::string reason;
+  double time_s = 0.0;
 };
 
 struct LocationFix {
@@ -38,6 +93,13 @@ struct LocationFix {
   Vec2 tracked;   ///< tracker output (== raw when tracking is off)
   double time_s = 0.0;
   LocalizationRound round;  ///< full per-AP diagnostics
+  /// True when the round fired on a quorum deadline, an estimator fell
+  /// back past its primary stage, or an outlier AP was rejected.
+  bool degraded = false;
+  /// AP ids whose captures entered this round.
+  std::vector<std::size_t> aps_used;
+  /// Human-readable degradation reasons (empty = clean round).
+  std::vector<std::string> reasons;
 };
 
 class StreamingLocalizer {
@@ -47,12 +109,21 @@ class StreamingLocalizer {
   /// Registers an AP before streaming. Returns its id (dense, 0-based).
   std::size_t add_ap(const ArrayPose& pose);
 
-  /// Pushes one packet from AP `ap_id`. When every AP has group_size
-  /// buffered packets, a localization round fires and the fix is
-  /// returned (and buffers are drained). Otherwise returns nullopt.
+  /// Pushes one packet from AP `ap_id` and fires a localization round
+  /// when one is due (all live APs full, or the quorum deadline expired).
+  /// Returns the fix when a round fired and succeeded. Round-level
+  /// failures (estimator breakdown, too few usable APs) are recorded via
+  /// last_failure()/failed_rounds() and never escape as exceptions; only
+  /// misuse (unknown ap_id, fewer than two registered APs) throws
+  /// ContractViolation.
   [[nodiscard]] std::optional<LocationFix> push(std::size_t ap_id,
                                                 const CsiPacket& packet,
                                                 Rng& rng);
+
+  /// Advances stream time without a packet (a timer tick): ages buffers,
+  /// updates AP health, and fires a deadline round if one is due. Useful
+  /// when every remaining AP went silent at once.
+  [[nodiscard]] std::optional<LocationFix> poll(double now_s, Rng& rng);
 
   [[nodiscard]] std::size_t ap_count() const { return buffers_.size(); }
   [[nodiscard]] std::size_t buffered(std::size_t ap_id) const;
@@ -60,17 +131,49 @@ class StreamingLocalizer {
   [[nodiscard]] std::size_t rejected_count() const { return rejected_; }
   [[nodiscard]] const LocationTracker& tracker() const { return tracker_; }
 
+  /// Health diagnostics.
+  [[nodiscard]] ApHealth ap_health(std::size_t ap_id) const;
+  [[nodiscard]] const ApHealthState& ap_state(std::size_t ap_id) const;
+  /// Rounds that fired but produced no fix.
+  [[nodiscard]] std::size_t failed_rounds() const { return failed_rounds_; }
+  [[nodiscard]] const std::optional<RoundFailure>& last_failure() const {
+    return last_failure_;
+  }
+  /// Successful fixes emitted so far.
+  [[nodiscard]] std::size_t fix_count() const { return fix_count_; }
+
  private:
   struct ApBuffer {
     ArrayPose pose;
     std::deque<CsiPacket> packets;
+    ApHealthState state;
   };
+
+  void age_out(double now_s);
+  void update_health(double now_s);
+  /// Fires a round if one is due at `now_s`; nullopt otherwise (also on
+  /// round failure, which is recorded instead).
+  [[nodiscard]] std::optional<LocationFix> maybe_fire(double now_s, Rng& rng);
+  [[nodiscard]] std::optional<LocationFix> fire_round(
+      const std::vector<std::size_t>& ap_ids, bool deadline_round,
+      double now_s, Rng& rng);
 
   LinkConfig link_;
   StreamingConfig config_;
   std::vector<ApBuffer> buffers_;
   LocationTracker tracker_;
   std::size_t rejected_ = 0;
+  /// Stream time: max packet timestamp seen (also advanced by poll()).
+  double now_s_ = -std::numeric_limits<double>::infinity();
+  /// Timestamp of the first packet ever pushed; silence of an AP that has
+  /// never delivered is measured from here.
+  std::optional<double> stream_start_s_;
+  /// When the current quorum of full groups formed (deadline anchor).
+  std::optional<double> armed_since_s_;
+  double last_fix_time_s_ = -std::numeric_limits<double>::infinity();
+  std::size_t failed_rounds_ = 0;
+  std::size_t fix_count_ = 0;
+  std::optional<RoundFailure> last_failure_;
 };
 
 }  // namespace spotfi

@@ -16,6 +16,10 @@ struct ApObservation {
   double likelihood = 1.0;
   /// Mean observed RSSI over the packet group [dBm].
   double rssi_dbm = 0.0;
+  /// False for an RSSI-only observation (the estimator fallback chain's
+  /// last resort): the AoA term of Eq. 9 is skipped, only the RSSI range
+  /// constraint contributes.
+  bool has_aoa = true;
 };
 
 }  // namespace spotfi

@@ -27,12 +27,16 @@ void ap_residuals(const ApObservation& obs, Vec2 loc,
   const double root_w = std::sqrt(weight);
   // Predict the *apparent* AoA: the measured value lives in the ULA's
   // aliased [-pi/2, pi/2] range.
-  const double predicted_aoa = obs.pose.apparent_aoa_of(loc);
   const double d = distance(loc, obs.pose.position);
   const double predicted_rssi = model.rssi_dbm(d);
-  const double dtheta =
-      huberize(wrap_pi(predicted_aoa - obs.direct_aoa_rad), cfg.aoa_huber_rad);
-  out[0] = root_w * cfg.aoa_weight * dtheta;
+  if (obs.has_aoa) {
+    const double predicted_aoa = obs.pose.apparent_aoa_of(loc);
+    const double dtheta = huberize(wrap_pi(predicted_aoa - obs.direct_aoa_rad),
+                                   cfg.aoa_huber_rad);
+    out[0] = root_w * cfg.aoa_weight * dtheta;
+  } else {
+    out[0] = 0.0;  // RSSI-only observation: no bearing constraint
+  }
   out[1] = root_w * cfg.rssi_weight * (predicted_rssi - obs.rssi_dbm);
 }
 

@@ -112,6 +112,74 @@ TEST(Quality, ChecksCanBeDisabled) {
   EXPECT_TRUE(screen_packet(packet, cfg).ok);
 }
 
+TEST(Quality, SinglePacketGroupIsItsOwnMedian) {
+  // The power-jump check compares against the group median; with one
+  // packet that median is the packet itself, so the jump is zero and a
+  // clean packet must survive.
+  Rng rng(41);
+  std::vector<CsiPacket> group{good_packet(rng)};
+  EXPECT_EQ(screen_group(group).size(), 1u);
+
+  // Even a clipped single packet survives the jump check (no reference
+  // to compare against) as long as the per-packet checks pass.
+  for (auto& v : group[0].csi.flat()) v *= 100.0;
+  EXPECT_EQ(screen_group(group).size(), 1u);
+}
+
+TEST(Quality, AllPacketsRejectedGroup) {
+  Rng rng(42);
+  std::vector<CsiPacket> group;
+  for (int i = 0; i < 4; ++i) {
+    auto packet = good_packet(rng, 0.1 * i);
+    packet.csi(0, 0) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+    group.push_back(packet);
+  }
+  std::vector<std::string> rejected;
+  EXPECT_TRUE(screen_group(group, {}, &rejected).empty());
+  EXPECT_EQ(rejected.size(), 4u);
+}
+
+TEST(Quality, AntennaImbalanceBoundary) {
+  // Build a packet whose rows differ by an exact, known power ratio and
+  // probe both sides of max_antenna_imbalance_db.
+  CsiPacket packet;
+  packet.csi = CMatrix(3, 30, cplx(1.0, 0.0));
+  packet.rssi_dbm = -50.0;
+  // Row 0 raised so the row-power spread is exactly `spread_db`.
+  auto with_spread = [&](double spread_db) {
+    CsiPacket p = packet;
+    const double amp = std::pow(10.0, spread_db / 20.0);
+    for (std::size_t n = 0; n < p.csi.cols(); ++n) p.csi(0, n) *= amp;
+    return p;
+  };
+  QualityConfig cfg;
+  cfg.max_antenna_imbalance_db = 25.0;
+  EXPECT_TRUE(screen_packet(with_spread(24.9), cfg).ok);
+  EXPECT_FALSE(screen_packet(with_spread(25.1), cfg).ok);
+  // The check rejects only above the threshold (strict inequality), so
+  // the documented "real chains sit within ~10 dB" margin is inclusive.
+  EXPECT_TRUE(screen_packet(with_spread(0.0), cfg).ok);
+}
+
+TEST(Quality, DeadAntennaFloorBoundary) {
+  // All rows share the same tiny power so the imbalance check stays
+  // quiet; probe the dead_antenna_floor on both sides.
+  auto uniform_power = [](double row_power) {
+    CsiPacket p;
+    const double amp = std::sqrt(row_power / 30.0);
+    p.csi = CMatrix(3, 30, cplx(amp, 0.0));
+    p.rssi_dbm = -80.0;
+    return p;
+  };
+  QualityConfig cfg;
+  cfg.dead_antenna_floor = 1e-9;
+  EXPECT_TRUE(screen_packet(uniform_power(2e-9), cfg).ok);
+  EXPECT_FALSE(screen_packet(uniform_power(0.5e-9), cfg).ok);
+  // Disabling the check admits the silent row.
+  cfg.check_dead_antenna = false;
+  EXPECT_TRUE(screen_packet(uniform_power(0.5e-9), cfg).ok);
+}
+
 TEST(Quality, ApProcessorScreensWhenConfigured) {
   // A group with one NaN packet: with screening on, processing succeeds
   // on the clean subset; a fully corrupt group throws.
@@ -252,6 +320,24 @@ TEST(Streaming, ContractChecks) {
   StreamingConfig bad;
   bad.group_size = 0;
   EXPECT_THROW(StreamingLocalizer(kLink, bad), ContractViolation);
+}
+
+TEST(Streaming, UnknownApIdThrowsWithClearMessage) {
+  Feed feed(2);
+  StreamingLocalizer server(kLink, {});
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  Rng rng(17);
+  try {
+    (void)server.push(7, feed.captures[0].packets[0], rng);
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown AP id 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("6 APs registered"), std::string::npos) << what;
+  }
+  // Health accessors share the bounds contract.
+  EXPECT_THROW(server.ap_health(99), ContractViolation);
+  EXPECT_THROW(server.ap_state(99), ContractViolation);
 }
 
 }  // namespace
