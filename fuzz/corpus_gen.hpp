@@ -1,0 +1,145 @@
+// Seed-corpus generation for the ingestion fuzzers, driven by the channel
+// simulator so seeds look like real captures: plausible multipath CSI,
+// AGC-scaled quantization, real RSSI fields. Shared by the make_corpus
+// tool (writes the checked-in corpus under fuzz/corpus/) and the
+// fuzz_smoke driver (regenerates the same seeds in memory so the test
+// also runs standalone). Everything is seeded — the corpus is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/csi_synthesis.hpp"
+#include "channel/faults.hpp"
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+#include "csi/intel5300.hpp"
+#include "csi/trace.hpp"
+
+namespace spotfi::fuzz {
+
+using Seed = std::pair<std::string, std::vector<std::uint8_t>>;
+
+inline std::vector<std::uint8_t> to_bytes(const std::ostringstream& os) {
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+inline std::vector<CsiPacket> synthesize_packets(const LinkConfig& link,
+                                                 std::size_t n, Rng& rng) {
+  const CsiSynthesizer synth(link, ImpairmentConfig{});
+  std::vector<PathComponent> paths(2);
+  paths[0].aoa_rad = deg_to_rad(20.0);
+  paths[0].tof_s = 60e-9;
+  paths[0].gain_db = -52.0;
+  paths[0].is_direct = true;
+  paths[1].aoa_rad = deg_to_rad(-45.0);
+  paths[1].tof_s = 110e-9;
+  paths[1].gain_db = -60.0;
+  return synth.synthesize_burst(paths, n, 0.01, rng);
+}
+
+inline std::vector<Seed> csitool_seeds() {
+  std::vector<Seed> seeds;
+  Rng rng(0xC0117001);
+
+  const auto log_for = [&](const LinkConfig& link, std::size_t n) {
+    std::vector<BfeeRecord> records;
+    std::uint32_t t = 0;
+    for (const auto& p : synthesize_packets(link, n, rng)) {
+      records.push_back(make_bfee(p.csi, p.rssi_dbm, t += 10'000));
+    }
+    std::ostringstream os;
+    write_csitool_log(os, records);
+    return to_bytes(os);
+  };
+
+  LinkConfig link = LinkConfig{};
+  seeds.emplace_back("clean-3rx.dat", log_for(link, 24));
+
+  LinkConfig narrow = link;
+  narrow.n_antennas = 1;
+  seeds.emplace_back("clean-1rx.dat", log_for(narrow, 8));
+
+  // Foreign frames interleaved between bfee records, as real csitool logs
+  // contain.
+  {
+    const auto clean = log_for(link, 6);
+    std::vector<std::uint8_t> mixed;
+    const std::uint8_t foreign[] = {0x00, 0x05, 0xC1, 0xDE, 0xAD, 0xBE, 0xEF};
+    mixed.insert(mixed.end(), foreign, foreign + sizeof(foreign));
+    mixed.insert(mixed.end(), clean.begin(), clean.end());
+    mixed.insert(mixed.end(), foreign, foreign + sizeof(foreign));
+    seeds.emplace_back("foreign-frames.dat", std::move(mixed));
+  }
+
+  // Pre-corrupted seeds: give the fuzzer a head start into the
+  // resynchronization paths.
+  {
+    ByteFaultPlan plan;
+    plan.bit_flip_prob = 0.2;
+    plan.truncate_prob = 0.1;
+    plan.garbage_prob = 0.15;
+    plan.duplicate_prob = 0.1;
+    plan.length_tamper_prob = 0.1;
+    Rng corrupt_rng(0xBADBEEF);
+    seeds.emplace_back(
+        "corrupted.dat",
+        corrupt_csitool_log(log_for(link, 16), plan, corrupt_rng));
+  }
+
+  seeds.emplace_back("empty.dat", std::vector<std::uint8_t>{});
+  seeds.emplace_back("partial-header.dat", std::vector<std::uint8_t>{0x00});
+  return seeds;
+}
+
+inline std::vector<Seed> trace_seeds() {
+  std::vector<Seed> seeds;
+  Rng rng(0x7214CE02);
+
+  const auto log_for = [&](const LinkConfig& link, std::size_t n) {
+    const auto packets = synthesize_packets(link, n, rng);
+    std::ostringstream os;
+    write_trace(os, link, packets);
+    return to_bytes(os);
+  };
+
+  LinkConfig link = LinkConfig{};
+  seeds.emplace_back("clean-3ant.spfi", log_for(link, 24));
+
+  LinkConfig small = link;
+  small.n_antennas = 2;
+  small.n_subcarriers = 16;
+  small.subcarrier_spacing_hz = 2.5e6;
+  seeds.emplace_back("clean-2ant.spfi", log_for(small, 8));
+
+  {
+    ByteFaultPlan plan;
+    plan.bit_flip_prob = 0.2;
+    plan.truncate_prob = 0.1;
+    plan.garbage_prob = 0.15;
+    plan.duplicate_prob = 0.1;
+    plan.length_tamper_prob = 0.1;
+    Rng corrupt_rng(0xBADBEEF);
+    seeds.emplace_back("corrupted.spfi",
+                       corrupt_trace_log(log_for(link, 16), plan, corrupt_rng));
+  }
+
+  // Header-only file, and a header with the magic damaged.
+  {
+    std::ostringstream os;
+    write_trace(os, link, {});
+    auto header_only = to_bytes(os);
+    seeds.emplace_back("header-only.spfi", header_only);
+    auto bad_magic = std::move(header_only);
+    bad_magic[0] = 'X';
+    seeds.emplace_back("bad-magic.spfi", std::move(bad_magic));
+  }
+  return seeds;
+}
+
+}  // namespace spotfi::fuzz

@@ -1,0 +1,70 @@
+#include "fuzz_targets.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "csi/intel5300.hpp"
+
+namespace spotfi::fuzz {
+namespace {
+
+[[noreturn]] void die(const char* invariant) {
+  std::fprintf(stderr, "fuzz_csitool: invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+void check(bool ok, const char* invariant) {
+  if (!ok) die(invariant);
+}
+
+}  // namespace
+
+int csitool_one_input(const std::uint8_t* data, std::size_t size) {
+  try {
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(data), size));
+    CsitoolReader reader(is);
+    std::size_t yields = 0;
+    while (auto item = reader.next()) {
+      check(++yields <= size + 1, "reader yielded more items than bytes");
+      if (!*item) {
+        check(static_cast<std::size_t>(item->error().kind) <
+                  kIngestErrorKindCount,
+              "error kind out of range");
+        continue;
+      }
+      const BfeeRecord& rec = item->value();
+      // Accepted records must satisfy the validated-record contract.
+      const double rss = rec.total_rss_dbm();
+      check(std::isfinite(rss), "total_rss_dbm not finite");
+      const CMatrix scaled = rec.scaled_csi();
+      check(scaled.rows() == rec.n_rx && scaled.cols() == 30,
+            "scaled CSI shape mismatch");
+      for (const auto& v : scaled.flat()) {
+        check(std::isfinite(v.real()) && std::isfinite(v.imag()),
+              "scaled CSI entry not finite");
+      }
+      (void)rec.permutation();
+    }
+    const IngestReport& report = reader.report();
+    check(report.bytes_consumed() == size,
+          "byte accounting: accepted + skipped != input size");
+    check(report.records_recovered <= report.records_accepted,
+          "recovered exceeds accepted");
+  } catch (...) {
+    die("exception escaped the fail-soft reader");
+  }
+  return 0;
+}
+
+}  // namespace spotfi::fuzz
+
+#ifdef SPOTFI_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return spotfi::fuzz::csitool_one_input(data, size);
+}
+#endif

@@ -1,0 +1,142 @@
+// Deterministic fuzz smoke test, registered in the default ctest suite.
+//
+//   spotfi_fuzz_smoke [corpus-dir] [n-mutations]
+//
+// Replays every checked-in seed (plus the same seeds regenerated in
+// memory, so the test runs even without the corpus directory) through
+// both fuzz targets, then drives `n-mutations` seeded mutations of those
+// seeds through them: byte flips, truncations, garbage splices, region
+// duplications, and framing-field clobbers — the byte-level fault model
+// of channel/faults, applied blindly. Any trust-boundary violation
+// (escaped exception, unaccounted byte, non-finite accepted record)
+// aborts; combined with SPOTFI_SANITIZE this is the acceptance gate the
+// libFuzzer targets enforce continuously.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "corpus_gen.hpp"
+#include "fuzz_targets.hpp"
+
+namespace {
+
+using spotfi::Rng;
+using Target = int (*)(const std::uint8_t*, std::size_t);
+using Bytes = std::vector<std::uint8_t>;
+
+std::vector<Bytes> load_dir(const std::filesystem::path& dir) {
+  std::vector<Bytes> out;
+  if (!std::filesystem::is_directory(dir)) return out;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic order
+  for (const auto& path : files) {
+    std::ifstream is(path, std::ios::binary);
+    Bytes bytes{std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>()};
+    out.push_back(std::move(bytes));
+  }
+  return out;
+}
+
+/// One blind mutation: no knowledge of frame boundaries — unlike the
+/// frame-aware ByteFaultPlan corruptions already present in the
+/// "corrupted" seeds, these shred structure indiscriminately.
+Bytes mutate(const Bytes& seed, Rng& rng) {
+  Bytes m = seed;
+  const std::size_t edits = 1 + rng.uniform_index(8);
+  for (std::size_t e = 0; e < edits; ++e) {
+    switch (rng.uniform_index(5)) {
+      case 0:  // flip a random bit
+        if (!m.empty()) {
+          const std::size_t bit = rng.uniform_index(m.size() * 8);
+          m[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        break;
+      case 1:  // truncate at a random point
+        if (!m.empty()) m.resize(rng.uniform_index(m.size()));
+        break;
+      case 2: {  // splice a garbage run at a random point
+        const std::size_t n = 1 + rng.uniform_index(24);
+        const std::size_t at = rng.uniform_index(m.size() + 1);
+        Bytes garbage(n);
+        for (auto& b : garbage) {
+          b = static_cast<std::uint8_t>(rng.uniform_index(256));
+        }
+        m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), garbage.begin(),
+                 garbage.end());
+        break;
+      }
+      case 3:  // duplicate a random region
+        if (!m.empty()) {
+          const std::size_t at = rng.uniform_index(m.size());
+          const std::size_t n =
+              1 + rng.uniform_index(std::min<std::size_t>(m.size() - at, 64));
+          const Bytes region(m.begin() + static_cast<std::ptrdiff_t>(at),
+                             m.begin() + static_cast<std::ptrdiff_t>(at + n));
+          m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), region.begin(),
+                   region.end());
+        }
+        break;
+      case 4:  // clobber a 2-byte field (framing/length/shape bytes)
+        if (m.size() >= 2) {
+          const std::size_t at = rng.uniform_index(m.size() - 1);
+          m[at] = static_cast<std::uint8_t>(rng.uniform_index(256));
+          m[at + 1] = static_cast<std::uint8_t>(rng.uniform_index(256));
+        }
+        break;
+    }
+  }
+  return m;
+}
+
+std::size_t run_target(const char* name, Target target,
+                       const std::vector<Bytes>& seeds,
+                       std::size_t n_mutations, std::uint64_t rng_seed) {
+  for (const auto& seed : seeds) {
+    target(seed.data(), seed.size());
+  }
+  Rng rng(rng_seed);
+  for (std::size_t i = 0; i < n_mutations; ++i) {
+    const Bytes m = mutate(seeds[i % seeds.size()], rng);
+    target(m.data(), m.size());
+  }
+  std::printf("fuzz_smoke[%s]: %zu seeds + %zu mutations, no violations\n",
+              name, seeds.size(), n_mutations);
+  return seeds.size() + n_mutations;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path corpus =
+      argc > 1 ? std::filesystem::path(argv[1]) : "fuzz/corpus";
+  const std::size_t n_mutations =
+      argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
+               : 10'000;
+
+  // Checked-in corpus plus the in-memory regeneration of the same seeds
+  // (keeps the test meaningful when the corpus directory is absent).
+  std::vector<Bytes> csitool = load_dir(corpus / "csitool");
+  for (auto& [name, bytes] : spotfi::fuzz::csitool_seeds()) {
+    csitool.push_back(std::move(bytes));
+  }
+  std::vector<Bytes> trace = load_dir(corpus / "trace");
+  for (auto& [name, bytes] : spotfi::fuzz::trace_seeds()) {
+    trace.push_back(std::move(bytes));
+  }
+
+  run_target("csitool", spotfi::fuzz::csitool_one_input, csitool, n_mutations,
+             0xF022C517);
+  run_target("trace", spotfi::fuzz::trace_one_input, trace, n_mutations,
+             0xF0227214);
+  return 0;
+}

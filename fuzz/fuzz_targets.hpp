@@ -1,0 +1,32 @@
+// Fuzz entry points for the two ingestion parsers.
+//
+// Each target feeds arbitrary bytes through the fail-soft reader and
+// aborts on any violation of the ingestion trust boundary's guarantees:
+//
+//   1. No exception escapes — corrupt input costs records, never throws.
+//   2. Every input byte is accounted for: bytes_accepted + bytes_skipped
+//      equals the input size.
+//   3. The reader makes progress — it can neither hang nor yield more
+//      items than bytes.
+//   4. Accepted records honor the validated-record contract: RSSI and
+//      scaled CSI are computable and finite (the reader is the trust
+//      boundary; downstream never re-validates).
+//
+// The same functions back the libFuzzer executables (built with
+// -DSPOTFI_LIBFUZZER under SPOTFI_FUZZ=ON) and the deterministic
+// fuzz_smoke ctest, which replays the seed corpus plus thousands of
+// seeded mutations on every test run, with any compiler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spotfi::fuzz {
+
+/// CsitoolReader target. Returns 0; aborts on an invariant violation.
+int csitool_one_input(const std::uint8_t* data, std::size_t size);
+
+/// TraceReader target. Returns 0; aborts on an invariant violation.
+int trace_one_input(const std::uint8_t* data, std::size_t size);
+
+}  // namespace spotfi::fuzz

@@ -1,0 +1,81 @@
+#include "fuzz_targets.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "csi/trace.hpp"
+
+namespace spotfi::fuzz {
+namespace {
+
+[[noreturn]] void die(const char* invariant) {
+  std::fprintf(stderr, "fuzz_trace: invariant violated: %s\n", invariant);
+  std::abort();
+}
+
+void check(bool ok, const char* invariant) {
+  if (!ok) die(invariant);
+}
+
+}  // namespace
+
+int trace_one_input(const std::uint8_t* data, std::size_t size) {
+  try {
+    std::istringstream is(
+        std::string(reinterpret_cast<const char*>(data), size));
+    TraceReader reader(is);
+    if (reader.header_ok()) {
+      const LinkConfig& link = reader.link();
+      check(std::isfinite(link.carrier_hz) && link.carrier_hz > 0.0,
+            "accepted header with bad carrier");
+      check(link.n_antennas > 0 && link.n_subcarriers > 0,
+            "accepted header with zero shape");
+    }
+    std::size_t yields = 0;
+    while (auto item = reader.next()) {
+      check(++yields <= size + 1, "reader yielded more items than bytes");
+      if (!*item) {
+        check(static_cast<std::size_t>(item->error().kind) <
+                  kIngestErrorKindCount,
+              "error kind out of range");
+        check(item->error().kind != IngestErrorKind::kBadFileHeader ||
+                  yields == 1,
+              "file-header error after the first yield");
+        continue;
+      }
+      const CsiPacket& packet = item->value();
+      check(std::isfinite(packet.timestamp_s), "timestamp not finite");
+      check(std::isfinite(packet.rssi_dbm), "RSSI not finite");
+      check(packet.csi.rows() == reader.link().n_antennas &&
+                packet.csi.cols() == reader.link().n_subcarriers,
+            "packet CSI shape disagrees with header");
+      bool any_nonzero = false;
+      for (const auto& v : packet.csi.flat()) {
+        check(std::isfinite(v.real()) && std::isfinite(v.imag()),
+              "CSI entry not finite");
+        any_nonzero = any_nonzero || v != cplx{};
+      }
+      check(any_nonzero, "accepted all-zero CSI");
+    }
+    const IngestReport& report = reader.report();
+    check(report.bytes_consumed() == size,
+          "byte accounting: accepted + skipped != input size");
+    check(report.records_recovered <= report.records_accepted,
+          "recovered exceeds accepted");
+  } catch (...) {
+    die("exception escaped the fail-soft reader");
+  }
+  return 0;
+}
+
+}  // namespace spotfi::fuzz
+
+#ifdef SPOTFI_LIBFUZZER
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return spotfi::fuzz::trace_one_input(data, size);
+}
+#endif

@@ -1,0 +1,49 @@
+// Writes the fuzzers' seed corpus. Usage:
+//
+//   spotfi_make_corpus <corpus-dir>
+//
+// Populates <corpus-dir>/csitool/ and <corpus-dir>/trace/ with
+// simulator-generated seeds (see corpus_gen.hpp). Deterministic: the same
+// binary always writes byte-identical files, so the checked-in corpus
+// under fuzz/corpus/ can be audited by regenerating it.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "corpus_gen.hpp"
+
+namespace {
+
+int write_seeds(const std::filesystem::path& dir,
+                const std::vector<spotfi::fuzz::Seed>& seeds) {
+  std::filesystem::create_directories(dir);
+  for (const auto& [name, bytes] : seeds) {
+    std::ofstream os(dir / name, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+      std::fprintf(stderr, "make_corpus: cannot write %s\n",
+                   (dir / name).c_str());
+      return 1;
+    }
+    std::printf("  %s (%zu bytes)\n", (dir / name).c_str(), bytes.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  if (write_seeds(root / "csitool", spotfi::fuzz::csitool_seeds()) != 0) {
+    return 1;
+  }
+  if (write_seeds(root / "trace", spotfi::fuzz::trace_seeds()) != 0) {
+    return 1;
+  }
+  return 0;
+}

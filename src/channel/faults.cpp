@@ -130,4 +130,122 @@ std::vector<CsiPacket> FaultInjector::inject(std::size_t ap_id,
   return out;
 }
 
+namespace {
+
+/// Applies the per-frame byte faults to `log`, whose frames live at the
+/// half-open spans [off, off+len) listed in `frames`; `preamble` bytes at
+/// the front (the trace file header) are copied through untouched.
+/// `tamper_off`/`tamper_len` locate the format's framing field within a
+/// frame.
+std::vector<std::uint8_t> corrupt_spans(
+    std::span<const std::uint8_t> log,
+    std::span<const std::pair<std::size_t, std::size_t>> frames,
+    std::size_t preamble, std::size_t tamper_off, std::size_t tamper_len,
+    const ByteFaultPlan& plan, Rng& rng, ByteFaultStats* stats) {
+  ByteFaultStats local;
+  std::vector<std::uint8_t> out;
+  out.reserve(log.size());
+  out.insert(out.end(), log.begin(), log.begin() + preamble);
+
+  std::vector<std::uint8_t> frame;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const auto [off, len] = frames[i];
+    if (plan.garbage_prob > 0.0 && rng.uniform() < plan.garbage_prob) {
+      const std::size_t n =
+          1 + rng.uniform_index(std::max<std::size_t>(plan.garbage_len_max, 1));
+      for (std::size_t k = 0; k < n; ++k) {
+        out.push_back(static_cast<std::uint8_t>(rng.uniform_index(256)));
+      }
+      ++local.garbage_runs;
+      local.garbage_bytes += n;
+    }
+
+    frame.assign(log.begin() + off, log.begin() + off + len);
+    bool corrupted = false;
+    if (plan.length_tamper_prob > 0.0 &&
+        rng.uniform() < plan.length_tamper_prob) {
+      for (std::size_t k = 0; k < tamper_len && tamper_off + k < frame.size();
+           ++k) {
+        // XOR with a nonzero mask so the field is guaranteed to change.
+        frame[tamper_off + k] ^=
+            static_cast<std::uint8_t>(1 + rng.uniform_index(255));
+      }
+      ++local.frames_length_tampered;
+      corrupted = true;
+    }
+    if (plan.bit_flip_prob > 0.0 && rng.uniform() < plan.bit_flip_prob) {
+      for (std::size_t b = 0; b < plan.bits_per_flip; ++b) {
+        const std::size_t bit = rng.uniform_index(frame.size() * 8);
+        frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      ++local.frames_bit_flipped;
+      corrupted = true;
+    }
+    if (plan.truncate_prob > 0.0 && frame.size() > 1 &&
+        rng.uniform() < plan.truncate_prob) {
+      frame.resize(1 + rng.uniform_index(frame.size() - 1));
+      ++local.frames_truncated;
+      corrupted = true;
+    }
+    const bool duplicate =
+        plan.duplicate_prob > 0.0 && rng.uniform() < plan.duplicate_prob;
+
+    out.insert(out.end(), frame.begin(), frame.end());
+    if (duplicate) {
+      out.insert(out.end(), frame.begin(), frame.end());
+      ++local.frames_duplicated;
+    }
+    if (corrupted) local.corrupted_frames.push_back(i);
+  }
+
+  if (stats != nullptr) *stats = std::move(local);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> corrupt_csitool_log(
+    std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
+    ByteFaultStats* stats) {
+  // Frame walk over the pristine input: u16 big-endian length + body.
+  std::vector<std::pair<std::size_t, std::size_t>> frames;
+  std::size_t off = 0;
+  while (off < log.size()) {
+    SPOTFI_EXPECTS(off + 2 <= log.size(),
+                   "corrupt_csitool_log: input log has a partial frame");
+    const std::size_t field_len =
+        (static_cast<std::size_t>(log[off]) << 8) | log[off + 1];
+    SPOTFI_EXPECTS(field_len > 0 && off + 2 + field_len <= log.size(),
+                   "corrupt_csitool_log: input log is not well-formed");
+    frames.emplace_back(off, 2 + field_len);
+    off += 2 + field_len;
+  }
+  return corrupt_spans(log, frames, /*preamble=*/0, /*tamper_off=*/0,
+                       /*tamper_len=*/2, plan, rng, stats);
+}
+
+std::vector<std::uint8_t> corrupt_trace_log(
+    std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
+    ByteFaultStats* stats) {
+  constexpr std::size_t kHeaderSize = 4 + 2 + 3 * 8 + 1 + 1;
+  SPOTFI_EXPECTS(log.size() >= kHeaderSize,
+                 "corrupt_trace_log: input shorter than the trace header");
+  const std::size_t n_antennas = log[30];
+  const std::size_t n_subcarriers = log[31];
+  SPOTFI_EXPECTS(n_antennas > 0 && n_subcarriers > 0,
+                 "corrupt_trace_log: input header has zero shape");
+  const std::size_t pitch = (8 + 7 + 4) + 2 * n_antennas * n_subcarriers;
+  SPOTFI_EXPECTS((log.size() - kHeaderSize) % pitch == 0,
+                 "corrupt_trace_log: input log is not well-formed");
+
+  std::vector<std::pair<std::size_t, std::size_t>> frames;
+  for (std::size_t off = kHeaderSize; off < log.size(); off += pitch) {
+    frames.emplace_back(off, pitch);
+  }
+  // Tamper the Nrx shape byte at record offset 8 — the field TraceReader
+  // trusts for framing, the moral equivalent of the csitool length field.
+  return corrupt_spans(log, frames, /*preamble=*/kHeaderSize,
+                       /*tamper_off=*/8, /*tamper_len=*/1, plan, rng, stats);
+}
+
 }  // namespace spotfi

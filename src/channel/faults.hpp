@@ -15,7 +15,9 @@
 // same outages, the same corrupted entries, the same reorderings.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "channel/csi_synthesis.hpp"
@@ -120,5 +122,68 @@ class FaultInjector {
   std::vector<ApState> state_;
   FaultStats stats_;
 };
+
+// ---------------------------------------------------------------------------
+// Byte-level log corruption — the serialized-capture complement of
+// FaultInjector's packet-level faults. Where FaultInjector damages decoded
+// packets in flight, these routines damage the *bytes* of a csitool .dat
+// or SPFI trace file the way disks, NFS mounts, and crashing capture
+// processes do: flipped bits, frames cut off mid-record, garbage runs
+// spliced between frames, duplicated frames, and tampered framing fields.
+// All randomness flows from the caller's Rng, so a corruption scenario is
+// exactly reproducible; the same seed damages the same frames the same
+// way. Used by the ingest tests and as the mutation engine of the fuzz
+// harness's deterministic smoke mode.
+
+/// Per-frame corruption probabilities (i.i.d. per frame). Defaults are
+/// all-clean.
+struct ByteFaultPlan {
+  /// Flip `bits_per_flip` random bits somewhere in the frame.
+  double bit_flip_prob = 0.0;
+  std::size_t bits_per_flip = 1;
+  /// Cut the frame off mid-record (its tail never reaches the log).
+  double truncate_prob = 0.0;
+  /// Splice a run of random garbage bytes in front of the frame.
+  double garbage_prob = 0.0;
+  std::size_t garbage_len_max = 32;
+  /// Emit the frame twice (retransmitted/duplicated capture).
+  double duplicate_prob = 0.0;
+  /// Clobber the frame's framing field (csitool: the u16 big-endian
+  /// length; trace: the Nrx shape byte) with a random value.
+  double length_tamper_prob = 0.0;
+};
+
+/// What was actually damaged (not just configured).
+struct ByteFaultStats {
+  std::size_t frames_bit_flipped = 0;
+  std::size_t frames_truncated = 0;
+  std::size_t garbage_runs = 0;
+  std::size_t garbage_bytes = 0;
+  std::size_t frames_duplicated = 0;
+  std::size_t frames_length_tampered = 0;
+  /// Indices (in frame order of the pristine log) of frames whose own
+  /// bytes were damaged — flipped, truncated, or tampered. Garbage and
+  /// duplication leave the frame itself intact and are not listed.
+  std::vector<std::size_t> corrupted_frames;
+
+  [[nodiscard]] std::size_t frames_corrupted() const {
+    return corrupted_frames.size();
+  }
+};
+
+/// Corrupts a well-formed csitool .dat log (as produced by
+/// write_csitool_log). Frame boundaries are taken from the pristine
+/// input's length fields; the returned bytes are the damaged log.
+[[nodiscard]] std::vector<std::uint8_t> corrupt_csitool_log(
+    std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
+    ByteFaultStats* stats = nullptr);
+
+/// Corrupts a well-formed SPFI trace (as produced by write_trace). The
+/// file header is left intact — a damaged preamble kills the whole file
+/// by design (IngestErrorKind::kBadFileHeader) and is exercised
+/// separately; record spans are derived from the header's shape bytes.
+[[nodiscard]] std::vector<std::uint8_t> corrupt_trace_log(
+    std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
+    ByteFaultStats* stats = nullptr);
 
 }  // namespace spotfi

@@ -2,7 +2,65 @@
 
 #include <sstream>
 
-namespace spotfi::detail {
+namespace spotfi {
+
+const char* to_string(IngestErrorKind kind) {
+  switch (kind) {
+    case IngestErrorKind::kTruncatedHeader: return "truncated-header";
+    case IngestErrorKind::kBadFrameLength: return "bad-frame-length";
+    case IngestErrorKind::kPayloadMismatch: return "payload-mismatch";
+    case IngestErrorKind::kNonFiniteValue: return "non-finite-value";
+    case IngestErrorKind::kZeroCsi: return "zero-csi";
+    case IngestErrorKind::kRssiAbsent: return "rssi-absent";
+    case IngestErrorKind::kTrailingGarbage: return "trailing-garbage";
+    case IngestErrorKind::kBadFileHeader: return "bad-file-header";
+  }
+  return "unknown";
+}
+
+std::string IngestError::to_string() const {
+  std::ostringstream os;
+  os << spotfi::to_string(kind) << " @ byte " << offset;
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+std::size_t IngestReport::records_dropped() const {
+  std::size_t total = 0;
+  for (const std::size_t n : dropped) total += n;
+  return total;
+}
+
+void IngestReport::merge(const IngestReport& other) {
+  records_accepted += other.records_accepted;
+  records_recovered += other.records_recovered;
+  for (std::size_t k = 0; k < kIngestErrorKindCount; ++k) {
+    dropped[k] += other.dropped[k];
+  }
+  frames_foreign += other.frames_foreign;
+  resyncs += other.resyncs;
+  bytes_accepted += other.bytes_accepted;
+  bytes_skipped += other.bytes_skipped;
+}
+
+std::string IngestReport::summary() const {
+  std::ostringstream os;
+  os << records_accepted << " accepted (" << records_recovered
+     << " recovered), " << records_dropped() << " dropped";
+  bool first = true;
+  for (std::size_t k = 0; k < kIngestErrorKindCount; ++k) {
+    if (dropped[k] == 0) continue;
+    os << (first ? " [" : ", ")
+       << to_string(static_cast<IngestErrorKind>(k)) << "=" << dropped[k];
+    first = false;
+  }
+  if (!first) os << "]";
+  os << ", " << frames_foreign << " foreign, " << resyncs << " resyncs, "
+     << bytes_accepted << "+" << bytes_skipped << " bytes";
+  return os.str();
+}
+
+namespace detail {
 
 void throw_contract_violation(const char* expr, const char* file, int line,
                               const char* msg) {
@@ -12,4 +70,6 @@ void throw_contract_violation(const char* expr, const char* file, int line,
   throw ContractViolation(os.str());
 }
 
-}  // namespace spotfi::detail
+}  // namespace detail
+
+}  // namespace spotfi

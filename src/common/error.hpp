@@ -6,6 +6,9 @@
 // release builds.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -60,6 +63,77 @@ class Expected {
 
  private:
   std::variant<T, E> data_;
+};
+
+// ---------------------------------------------------------------------------
+// Ingestion trust boundary: structured errors for the untrusted-bytes ->
+// validated-records parsers (csi/intel5300, csi/trace). The streaming
+// readers never throw on malformed input; they return
+// Expected<Record, IngestError> per record and account for every input
+// byte in an IngestReport, so a flipped bit in a multi-hour capture costs
+// one record, not the whole log.
+
+/// Why one record (or a stretch of bytes) was rejected at ingestion.
+enum class IngestErrorKind : std::uint8_t {
+  kTruncatedHeader,  ///< frame/record header cut short by end of input
+  kBadFrameLength,   ///< length field zero or beyond any plausible frame
+  kPayloadMismatch,  ///< header fields inconsistent with the payload/body
+  kNonFiniteValue,   ///< NaN/Inf scale, CSI, or RSSI where finite required
+  kZeroCsi,          ///< all-zero CSI matrix (unusable for estimation)
+  kRssiAbsent,       ///< no RSSI slot populated (power cannot be recovered)
+  kTrailingGarbage,  ///< bytes at end of input forming no complete record
+  kBadFileHeader,    ///< file preamble invalid (magic/version/link config)
+};
+
+inline constexpr std::size_t kIngestErrorKindCount = 8;
+
+[[nodiscard]] const char* to_string(IngestErrorKind kind);
+
+/// One ingestion failure: what went wrong, and where in the byte stream.
+struct IngestError {
+  IngestErrorKind kind = IngestErrorKind::kTruncatedHeader;
+  /// Byte offset (from the start of the input) where the bad structure
+  /// began — the frame/record start, not where the check fired.
+  std::uint64_t offset = 0;
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Running account of an ingestion pass. Invariant maintained by the
+/// readers: bytes_accepted + bytes_skipped == bytes consumed from the
+/// input, so corruption can never silently eat data.
+struct IngestReport {
+  /// Records decoded and validated.
+  std::size_t records_accepted = 0;
+  /// Subset of records_accepted parsed after at least one resync — i.e.
+  /// records that the old throw-on-first-error readers would have lost.
+  std::size_t records_recovered = 0;
+  /// Well-framed records dropped, bucketed by error kind.
+  std::array<std::size_t, kIngestErrorKindCount> dropped{};
+  /// Valid frames of a foreign type (csitool code != 0xBB), skipped as in
+  /// the reference parser.
+  std::size_t frames_foreign = 0;
+  /// Times the reader lost framing and scanned for the next boundary.
+  std::size_t resyncs = 0;
+  /// Bytes consumed as valid structure: file header, accepted records,
+  /// foreign frames.
+  std::uint64_t bytes_accepted = 0;
+  /// Bytes scanned past without yielding a record: dropped frames plus
+  /// garbage between frames.
+  std::uint64_t bytes_skipped = 0;
+
+  [[nodiscard]] std::size_t records_dropped() const;
+  [[nodiscard]] std::size_t dropped_of(IngestErrorKind kind) const {
+    return dropped[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t bytes_consumed() const {
+    return bytes_accepted + bytes_skipped;
+  }
+  /// Folds another report in (per-AP readers -> deployment-wide totals).
+  void merge(const IngestReport& other);
+  /// One-line human-readable digest for logs and examples.
+  [[nodiscard]] std::string summary() const;
 };
 
 namespace detail {

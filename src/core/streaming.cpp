@@ -114,6 +114,39 @@ std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
   return maybe_fire(now_s_, rng);
 }
 
+std::vector<LocationFix> StreamingLocalizer::ingest(std::size_t ap_id,
+                                                    TraceReader& reader,
+                                                    Rng& rng) {
+  SPOTFI_EXPECTS(ap_id < buffers_.size(), "unknown AP id");
+  std::vector<LocationFix> fixes;
+  std::size_t shape_drops = 0;
+  while (auto item = reader.next()) {
+    if (!*item) continue;  // already tallied in the reader's report
+    CsiPacket& packet = item->value();
+    if (packet.csi.rows() != link_.n_antennas ||
+        packet.csi.cols() != link_.n_subcarriers) {
+      // A valid capture from a different array geometry: unusable for
+      // this deployment, but not worth aborting the replay over.
+      ++shape_drops;
+      continue;
+    }
+    if (auto fix = push(ap_id, packet, rng)) fixes.push_back(std::move(*fix));
+  }
+  // Reclassify shape-dropped records so the merged account stays
+  // consistent: they were well-formed bytes, but no record reached the
+  // pipeline for them.
+  IngestReport merged = reader.report();
+  merged.records_accepted -= shape_drops;
+  merged.dropped[static_cast<std::size_t>(IngestErrorKind::kPayloadMismatch)] +=
+      shape_drops;
+  note_ingest(merged);
+  return fixes;
+}
+
+void StreamingLocalizer::note_ingest(const IngestReport& report) {
+  ingest_report_.merge(report);
+}
+
 std::optional<LocationFix> StreamingLocalizer::poll(double now_s, Rng& rng) {
   if (buffers_.size() < 2) return std::nullopt;
   now_s_ = std::max(now_s_, now_s);

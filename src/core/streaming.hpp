@@ -21,6 +21,7 @@
 #include "core/server.hpp"
 #include "core/tracker.hpp"
 #include "csi/quality.hpp"
+#include "csi/trace.hpp"
 
 namespace spotfi {
 
@@ -125,6 +126,24 @@ class StreamingLocalizer {
   /// when every remaining AP went silent at once.
   [[nodiscard]] std::optional<LocationFix> poll(double now_s, Rng& rng);
 
+  /// Replays a capture file from `reader` as AP `ap_id`'s packet stream:
+  /// records decode fail-soft, every good packet is pushed, and the
+  /// reader's IngestReport — plus any records whose CSI shape disagrees
+  /// with this deployment's link (counted as payload mismatches) — is
+  /// folded into ingest_report(). Corrupt bytes never throw; they cost
+  /// records, visibly. Returns the fixes fired during the replay. The
+  /// reader is consumed.
+  [[nodiscard]] std::vector<LocationFix> ingest(std::size_t ap_id,
+                                                TraceReader& reader, Rng& rng);
+
+  /// Folds a reader-side IngestReport into the stream-wide account, for
+  /// callers that drive CsitoolReader/TraceReader themselves.
+  void note_ingest(const IngestReport& report);
+  /// Byte/record accounting across every capture ingested so far.
+  [[nodiscard]] const IngestReport& ingest_report() const {
+    return ingest_report_;
+  }
+
   [[nodiscard]] std::size_t ap_count() const { return buffers_.size(); }
   [[nodiscard]] std::size_t buffered(std::size_t ap_id) const;
   /// Packets dropped by the quality screen so far.
@@ -162,6 +181,7 @@ class StreamingLocalizer {
   StreamingConfig config_;
   std::vector<ApBuffer> buffers_;
   LocationTracker tracker_;
+  IngestReport ingest_report_;
   std::size_t rejected_ = 0;
   /// Stream time: max packet timestamp seen (also advanced by poll()).
   double now_s_ = -std::numeric_limits<double>::infinity();

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <istream>
 
 #include "common/error.hpp"
 
@@ -13,6 +14,13 @@ namespace {
 
 constexpr std::uint8_t kBfeeCode = 0xBB;
 constexpr std::size_t kSubcarriers = 30;
+/// Frame lengths beyond this are treated as corruption: a bfee frame is at
+/// most 234 bytes, and the tool's other record types are far smaller.
+constexpr std::size_t kMaxFieldLen = 4096;
+/// Bytes needed to test a candidate offset for a plausible bfee frame:
+/// u16 length + code + 20-byte bfee header.
+constexpr std::size_t kFrameProbe = 2 + 1 + 20;
+constexpr std::size_t kReadChunk = 16 * 1024;
 
 double db_inv(double db) { return std::pow(10.0, db / 10.0); }
 double to_db(double linear) { return 10.0 * std::log10(linear); }
@@ -55,6 +63,71 @@ T get_le(std::span<const std::uint8_t> buf, std::size_t offset) {
   return v;  // host is little-endian on all supported targets
 }
 
+/// Decodes and validates one bfee frame body (everything after the code
+/// byte). `frame_offset` is the stream offset of the frame start, used to
+/// locate errors.
+Expected<BfeeRecord, IngestError> parse_bfee(
+    std::span<const std::uint8_t> body, std::uint64_t frame_offset) {
+  const auto fail = [&](IngestErrorKind kind, std::string detail) {
+    return Expected<BfeeRecord, IngestError>(
+        IngestError{kind, frame_offset, std::move(detail)});
+  };
+  if (body.size() < 20) {
+    return fail(IngestErrorKind::kPayloadMismatch, "bfee header too short");
+  }
+
+  BfeeRecord rec;
+  rec.timestamp_low = get_le<std::uint32_t>(body, 0);
+  rec.bfee_count = get_le<std::uint16_t>(body, 4);
+  rec.n_rx = body[8];
+  rec.n_tx = body[9];
+  rec.rssi_a = body[10];
+  rec.rssi_b = body[11];
+  rec.rssi_c = body[12];
+  rec.noise = static_cast<std::int8_t>(body[13]);
+  rec.agc = body[14];
+  rec.antenna_sel = body[15];
+  const std::uint16_t len = get_le<std::uint16_t>(body, 16);
+  // body[18..19]: fake_rate_n_flags (unused).
+  if (rec.n_rx == 0 || rec.n_rx > 3 || rec.n_tx != 1) {
+    return fail(IngestErrorKind::kPayloadMismatch,
+                "unsupported antenna configuration Nrx=" +
+                    std::to_string(rec.n_rx) +
+                    " Ntx=" + std::to_string(rec.n_tx));
+  }
+  const std::size_t streams = static_cast<std::size_t>(rec.n_rx) * rec.n_tx;
+  if (len != payload_length(streams) ||
+      body.size() < 20 + static_cast<std::size_t>(len)) {
+    return fail(IngestErrorKind::kPayloadMismatch,
+                "payload length mismatch (len=" + std::to_string(len) +
+                    ", expected " + std::to_string(payload_length(streams)) +
+                    ")");
+  }
+  if (rec.rssi_a == 0 && rec.rssi_b == 0 && rec.rssi_c == 0) {
+    return fail(IngestErrorKind::kRssiAbsent,
+                "bfee record reports no RSSI on any antenna");
+  }
+  const std::span<const std::uint8_t> payload(body.data() + 20, len);
+
+  rec.csi = CMatrix(rec.n_rx, kSubcarriers);
+  bool any_nonzero = false;
+  std::size_t index = 0;
+  for (std::size_t sub = 0; sub < kSubcarriers; ++sub) {
+    index += 3;
+    for (std::size_t j = 0; j < streams; ++j) {
+      const std::int8_t re = read_bits(payload, index);
+      const std::int8_t im = read_bits(payload, index + 8);
+      rec.csi(j, sub) = cplx(re, im);
+      any_nonzero = any_nonzero || re != 0 || im != 0;
+      index += 16;
+    }
+  }
+  if (!any_nonzero) {
+    return fail(IngestErrorKind::kZeroCsi, "bfee CSI is all zero");
+  }
+  return Expected<BfeeRecord, IngestError>(std::move(rec));
+}
+
 }  // namespace
 
 double BfeeRecord::total_rss_dbm() const {
@@ -95,63 +168,164 @@ CMatrix BfeeRecord::scaled_csi() const {
   return out;
 }
 
-std::vector<BfeeRecord> read_csitool_log(std::istream& is) {
-  std::vector<BfeeRecord> records;
+CsitoolReader::CsitoolReader(std::istream& is) : is_(is) {}
+
+std::size_t CsitoolReader::ensure(std::size_t need) {
+  if (pos_ >= kReadChunk) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    base_ += pos_;
+    pos_ = 0;
+  }
+  while (!eof_ && buf_.size() - pos_ < need) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + kReadChunk);
+    is_.read(reinterpret_cast<char*>(buf_.data() + old),
+             static_cast<std::streamsize>(kReadChunk));
+    const auto got = static_cast<std::size_t>(is_.gcount());
+    buf_.resize(old + got);
+    // EOF and hard stream errors both end the input; there is nothing
+    // fail-soft ingestion can do past the last byte delivered.
+    if (got < kReadChunk) eof_ = true;
+  }
+  return buf_.size() - pos_;
+}
+
+void CsitoolReader::advance_accept(std::size_t n) {
+  pos_ += n;
+  report_.bytes_accepted += n;
+}
+
+void CsitoolReader::advance_skip(std::size_t n) {
+  pos_ += n;
+  report_.bytes_skipped += n;
+}
+
+IngestError CsitoolReader::make_error(IngestErrorKind kind, std::uint64_t at,
+                                      std::string detail) {
+  ++report_.dropped[static_cast<std::size_t>(kind)];
+  ++errors_seen_;
+  return IngestError{kind, at, std::move(detail)};
+}
+
+bool CsitoolReader::plausible_frame_at(std::size_t at) {
+  const std::uint8_t* p = buf_.data() + pos_ + at;
+  const std::size_t field_len =
+      (static_cast<std::size_t>(p[0]) << 8) | p[1];
+  if (p[2] != kBfeeCode) return false;
+  const std::uint8_t n_rx = p[3 + 8];
+  const std::uint8_t n_tx = p[3 + 9];
+  if (n_rx == 0 || n_rx > 3 || n_tx != 1) return false;
+  const std::size_t len = static_cast<std::size_t>(p[3 + 16]) |
+                          (static_cast<std::size_t>(p[3 + 17]) << 8);
+  if (len != payload_length(n_rx)) return false;
+  return field_len == 1 + 20 + len;
+}
+
+void CsitoolReader::resync() {
+  ++report_.resyncs;
+  advance_skip(1);  // at minimum, the byte that broke framing
+  while (true) {
+    const std::size_t avail = ensure(kFrameProbe);
+    if (avail < kFrameProbe) {
+      // Too little input left to hold even a bfee header; a foreign frame
+      // this close to a corruption site is indistinguishable from noise.
+      advance_skip(avail);
+      return;
+    }
+    if (plausible_frame_at(0)) return;
+    advance_skip(1);
+  }
+}
+
+std::optional<Expected<BfeeRecord, IngestError>> CsitoolReader::next() {
   while (true) {
     // Frame header: u16 big-endian length, u8 code.
-    std::uint8_t hdr[2];
-    is.read(reinterpret_cast<char*>(hdr), 2);
-    if (is.eof()) break;
-    if (!is) throw ParseError("csitool: truncated frame length");
+    const std::size_t avail = ensure(2);
+    if (avail == 0) return std::nullopt;
+    if (avail == 1) {
+      auto err = make_error(IngestErrorKind::kTruncatedHeader, offset(),
+                            "partial frame length at end of input");
+      advance_skip(1);
+      return Expected<BfeeRecord, IngestError>(std::move(err));
+    }
     const std::size_t field_len =
-        (static_cast<std::size_t>(hdr[0]) << 8) | hdr[1];
-    if (field_len == 0) throw ParseError("csitool: zero-length frame");
-
-    std::vector<std::uint8_t> frame(field_len);
-    is.read(reinterpret_cast<char*>(frame.data()),
-            static_cast<std::streamsize>(field_len));
-    if (!is) throw ParseError("csitool: truncated frame body");
-
-    if (frame[0] != kBfeeCode) continue;  // other log record types: skip
-    const std::span<const std::uint8_t> body(frame.data() + 1,
-                                             frame.size() - 1);
-    if (body.size() < 20) throw ParseError("csitool: bfee header too short");
-
-    BfeeRecord rec;
-    rec.timestamp_low = get_le<std::uint32_t>(body, 0);
-    rec.bfee_count = get_le<std::uint16_t>(body, 4);
-    rec.n_rx = body[8];
-    rec.n_tx = body[9];
-    rec.rssi_a = body[10];
-    rec.rssi_b = body[11];
-    rec.rssi_c = body[12];
-    rec.noise = static_cast<std::int8_t>(body[13]);
-    rec.agc = body[14];
-    rec.antenna_sel = body[15];
-    const std::uint16_t len = get_le<std::uint16_t>(body, 16);
-    // body[18..19]: fake_rate_n_flags (unused).
-    if (rec.n_rx == 0 || rec.n_rx > 3 || rec.n_tx != 1) {
-      throw ParseError("csitool: unsupported antenna configuration");
+        (static_cast<std::size_t>(buf_[pos_]) << 8) | buf_[pos_ + 1];
+    if (field_len == 0 || field_len > kMaxFieldLen) {
+      auto err = make_error(
+          IngestErrorKind::kBadFrameLength, offset(),
+          "frame length " + std::to_string(field_len) + " outside [1, " +
+              std::to_string(kMaxFieldLen) + "]");
+      resync();
+      return Expected<BfeeRecord, IngestError>(std::move(err));
     }
-    const std::size_t streams =
-        static_cast<std::size_t>(rec.n_rx) * rec.n_tx;
-    if (len != payload_length(streams) || body.size() < 20 + len) {
-      throw ParseError("csitool: payload length mismatch");
+    const std::size_t frame_len = 2 + field_len;
+    const std::size_t have = ensure(frame_len);
+    if (have < frame_len) {
+      // Either the capture was truncated here or the length field is
+      // corrupt; resync decides by scanning what remains.
+      auto err = make_error(
+          IngestErrorKind::kTrailingGarbage, offset(),
+          "frame of " + std::to_string(frame_len) +
+              " bytes extends past end of input (truncated capture or "
+              "trailing garbage)");
+      resync();
+      return Expected<BfeeRecord, IngestError>(std::move(err));
     }
-    const std::span<const std::uint8_t> payload(body.data() + 20, len);
-
-    rec.csi = CMatrix(rec.n_rx, kSubcarriers);
-    std::size_t index = 0;
-    for (std::size_t sub = 0; sub < kSubcarriers; ++sub) {
-      index += 3;
-      for (std::size_t j = 0; j < streams; ++j) {
-        const std::int8_t re = read_bits(payload, index);
-        const std::int8_t im = read_bits(payload, index + 8);
-        rec.csi(j, sub) = cplx(re, im);
-        index += 16;
+    if (buf_[pos_ + 2] != kBfeeCode) {
+      // Other log record types are skipped by length — but only when the
+      // skip lands on something frame-shaped. Corrupt bytes can
+      // masquerade as a plausible foreign header, and trusting its
+      // length field would swallow good frames wholesale.
+      const std::size_t have_after = ensure(frame_len + 2);
+      bool boundary_ok = have_after < frame_len + 2;  // frame ends the input
+      if (!boundary_ok) {
+        const std::uint8_t* p = buf_.data() + pos_ + frame_len;
+        const std::size_t next_len =
+            (static_cast<std::size_t>(p[0]) << 8) | p[1];
+        boundary_ok = next_len >= 1 && next_len <= kMaxFieldLen;
       }
+      if (boundary_ok) {
+        ++report_.frames_foreign;
+        advance_accept(frame_len);
+        continue;
+      }
+      auto err = make_error(
+          IngestErrorKind::kBadFrameLength, offset(),
+          "foreign frame skip lands on an implausible boundary (corrupt "
+          "length field?)");
+      resync();
+      return Expected<BfeeRecord, IngestError>(std::move(err));
     }
-    records.push_back(std::move(rec));
+    const std::span<const std::uint8_t> body(buf_.data() + pos_ + 3,
+                                             field_len - 1);
+    auto parsed = parse_bfee(body, offset());
+    if (parsed) {
+      advance_accept(frame_len);
+      ++report_.records_accepted;
+      if (errors_seen_ > 0) ++report_.records_recovered;
+      return parsed;
+    }
+    ++report_.dropped[static_cast<std::size_t>(parsed.error().kind)];
+    ++errors_seen_;
+    if (parsed.error().kind == IngestErrorKind::kPayloadMismatch) {
+      // Structural damage: the length field cannot be trusted to skip by.
+      resync();
+    } else {
+      // Semantically bad record (no RSSI / zero CSI) in an intact frame:
+      // drop exactly this frame and keep framing.
+      advance_skip(frame_len);
+    }
+    return parsed;
+  }
+}
+
+std::vector<BfeeRecord> read_csitool_log(std::istream& is) {
+  CsitoolReader reader(is);
+  std::vector<BfeeRecord> records;
+  while (auto item = reader.next()) {
+    if (!*item) throw ParseError("csitool: " + item->error().to_string());
+    records.push_back(std::move(item->value()));
   }
   return records;
 }
@@ -170,6 +344,17 @@ void write_csitool_log(std::ostream& os,
     SPOTFI_EXPECTS(rec.csi.rows() == rec.n_rx &&
                        rec.csi.cols() == kSubcarriers,
                    "bfee CSI shape mismatch");
+    // Never emit a log our own reader would flag: writers enforce the
+    // same record semantics CsitoolReader validates.
+    SPOTFI_EXPECTS(rec.rssi_a != 0 || rec.rssi_b != 0 || rec.rssi_c != 0,
+                   "csitool writer: record has no RSSI on any antenna");
+    bool any_nonzero = false;
+    for (const auto& v : rec.csi.flat()) {
+      SPOTFI_EXPECTS(std::isfinite(v.real()) && std::isfinite(v.imag()),
+                     "csitool writer: non-finite CSI entry");
+      any_nonzero = any_nonzero || v != cplx{};
+    }
+    SPOTFI_EXPECTS(any_nonzero, "csitool writer: CSI is all zero");
     const std::size_t streams = rec.n_rx;
     const std::size_t len = payload_length(streams);
 
@@ -212,6 +397,8 @@ void write_csitool_log(std::ostream& os,
     push_le(std::uint16_t{0});  // fake_rate_n_flags
     body.insert(body.end(), payload.begin(), payload.end());
 
+    SPOTFI_EXPECTS(body.size() <= 0xFFFF,
+                   "csitool writer: frame exceeds the u16 length field");
     const auto field_len = static_cast<std::uint16_t>(body.size());
     const std::uint8_t hdr[2] = {
         static_cast<std::uint8_t>(field_len >> 8),
@@ -235,6 +422,7 @@ BfeeRecord make_bfee(const CMatrix& csi, double rssi_dbm,
   SPOTFI_EXPECTS(csi.rows() >= 1 && csi.rows() <= 3 &&
                      csi.cols() == kSubcarriers,
                  "make_bfee expects an Nrx x 30 CSI matrix");
+  SPOTFI_EXPECTS(std::isfinite(rssi_dbm), "make_bfee: non-finite RSSI");
   BfeeRecord rec;
   rec.timestamp_low = timestamp_low;
   rec.n_rx = static_cast<std::uint8_t>(csi.rows());
@@ -246,6 +434,8 @@ BfeeRecord make_bfee(const CMatrix& csi, double rssi_dbm,
   // AGC emulation: scale the strongest I/Q component near full range.
   double max_comp = 0.0;
   for (const auto& v : csi.flat()) {
+    SPOTFI_EXPECTS(std::isfinite(v.real()) && std::isfinite(v.imag()),
+                   "make_bfee: non-finite CSI entry");
     max_comp = std::max({max_comp, std::abs(v.real()), std::abs(v.imag())});
   }
   SPOTFI_EXPECTS(max_comp > 0.0, "make_bfee: zero CSI");

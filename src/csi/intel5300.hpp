@@ -17,14 +17,26 @@
 // Scaling follows the tool's get_scaled_csi(): CSI is normalized so that
 // its total power matches the SNR implied by the per-antenna RSSI, AGC,
 // and noise figures, with the standard +44 dBm RSSI offset.
+//
+// Ingestion is a trust boundary. Multi-hour captures from real testbeds
+// routinely contain flipped bits, truncated tails, and interleaved
+// garbage; CsitoolReader therefore never throws on malformed input.
+// It streams one Expected<BfeeRecord, IngestError> at a time, drops
+// exactly the corrupt frame, resynchronizes by scanning for the next
+// plausible bfee frame boundary, and accounts for every input byte in an
+// IngestReport. The whole-log read_csitool_log() entry points are strict
+// wrappers that throw ParseError on the first ingest error.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "linalg/matrix.hpp"
 
 namespace spotfi {
@@ -48,25 +60,86 @@ struct BfeeRecord {
   CMatrix csi;
 
   /// Total received power [dBm] from the per-antenna RSSIs
-  /// (get_total_rss in the tool).
+  /// (get_total_rss in the tool). Requires at least one populated RSSI
+  /// slot — guaranteed for records produced by CsitoolReader, which
+  /// rejects RSSI-less records with IngestErrorKind::kRssiAbsent.
   [[nodiscard]] double total_rss_dbm() const;
 
-  /// CSI scaled to absolute channel magnitude (get_scaled_csi).
+  /// CSI scaled to absolute channel magnitude (get_scaled_csi). Requires
+  /// non-empty, not-all-zero CSI — guaranteed for reader-produced records
+  /// (all-zero CSI is rejected with IngestErrorKind::kZeroCsi).
   [[nodiscard]] CMatrix scaled_csi() const;
 
   /// RX-chain permutation decoded from antenna_sel (perm in the tool).
   [[nodiscard]] std::array<std::size_t, 3> permutation() const;
 };
 
-/// Parses an entire csitool .dat log. Non-bfee frames (code != 0xBB) are
-/// skipped, as in the reference parser. Throws ParseError on framing
-/// corruption.
+/// Pull-based, fail-soft csitool .dat parser.
+///
+///   CsitoolReader reader(is);
+///   while (auto item = reader.next()) {
+///     if (*item) use(item->value());
+///     else       log(item->error());   // one frame lost, stream continues
+///   }
+///   audit(reader.report());
+///
+/// next() returns std::nullopt at end of input; each yielded value is
+/// either a validated record or the IngestError that dropped one frame.
+/// After a framing error the reader scans forward for the next byte
+/// position that parses as a plausible bfee frame (length field, code,
+/// antenna configuration, and payload length all consistent) and resumes
+/// there; skipped bytes are tallied in report().bytes_skipped. Valid
+/// frames of a foreign type (code != 0xBB) are skipped as in the
+/// reference parser and counted in report().frames_foreign.
+class CsitoolReader {
+ public:
+  explicit CsitoolReader(std::istream& is);
+
+  /// Next record or per-frame error; std::nullopt at clean end of input.
+  [[nodiscard]] std::optional<Expected<BfeeRecord, IngestError>> next();
+
+  /// Running byte/record accounting (valid after every next() call;
+  /// final once next() has returned std::nullopt).
+  [[nodiscard]] const IngestReport& report() const { return report_; }
+
+ private:
+  /// Ensures >= `need` unparsed bytes are buffered (reading from the
+  /// stream as required); returns the number actually available, which
+  /// is < need only at end of input.
+  std::size_t ensure(std::size_t need);
+  [[nodiscard]] std::uint64_t offset() const { return base_ + pos_; }
+  void advance_accept(std::size_t n);
+  void advance_skip(std::size_t n);
+  /// Skips forward to the next plausible bfee frame start (or end of
+  /// input), attributing every byte passed over to bytes_skipped.
+  void resync();
+  /// True when `pos_ + at` starts a self-consistent bfee frame.
+  [[nodiscard]] bool plausible_frame_at(std::size_t at);
+  [[nodiscard]] IngestError make_error(IngestErrorKind kind,
+                                       std::uint64_t at, std::string detail);
+
+  std::istream& is_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;     ///< parse cursor within buf_
+  std::uint64_t base_ = 0;  ///< stream offset of buf_[0]
+  bool eof_ = false;        ///< underlying stream exhausted
+  std::size_t errors_seen_ = 0;
+  IngestReport report_;
+};
+
+/// Parses an entire csitool .dat log strictly: non-bfee frames are
+/// skipped, as in the reference parser, but any ingest error (framing
+/// corruption, truncation, RSSI-less or all-zero-CSI records) throws
+/// ParseError. Use CsitoolReader for fail-soft ingestion of untrusted
+/// captures.
 [[nodiscard]] std::vector<BfeeRecord> read_csitool_log(std::istream& is);
 [[nodiscard]] std::vector<BfeeRecord> read_csitool_log(
     const std::string& path);
 
 /// Serializes records into the csitool .dat framing (bit-exact round trip
-/// of the quantized payload).
+/// of the quantized payload). Throws ContractViolation on records our own
+/// reader would reject: unsupported antenna configuration, CSI shape
+/// mismatch, non-finite CSI, no populated RSSI slot, or all-zero CSI.
 void write_csitool_log(std::ostream& os, std::span<const BfeeRecord> records);
 void write_csitool_log(const std::string& path,
                        std::span<const BfeeRecord> records);

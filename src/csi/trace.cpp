@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <istream>
 #include <limits>
 
 namespace spotfi {
@@ -12,6 +13,12 @@ namespace {
 constexpr char kMagic[4] = {'S', 'P', 'F', 'I'};
 constexpr std::uint16_t kVersion = 1;
 constexpr std::int8_t kRssiAbsent = 0x7f;
+/// magic + version + 3 doubles + n_antennas + n_subcarriers.
+constexpr std::size_t kFileHeaderSize = 4 + 2 + 3 * 8 + 1 + 1;
+/// Fixed per-record prefix: u64 timestamp, shape/rssi/noise/agc bytes,
+/// f32 scale. The CSI payload (2 * M * N bytes) follows.
+constexpr std::size_t kRecordPrefixSize = 8 + 7 + 4;
+constexpr std::size_t kReadChunk = 16 * 1024;
 
 template <typename T>
 void put(std::ostream& os, const T& value) {
@@ -19,11 +26,10 @@ void put(std::ostream& os, const T& value) {
 }
 
 template <typename T>
-T get(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw ParseError("trace: truncated input");
-  return value;
+T get_le(const std::uint8_t* p) {
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;  // host is little-endian on all supported targets
 }
 
 std::int8_t quantize_component(double v, double scale) {
@@ -54,6 +60,20 @@ void write_trace(std::ostream& os, const LinkConfig& link,
     SPOTFI_EXPECTS(packet.csi.rows() == link.n_antennas &&
                        packet.csi.cols() == link.n_subcarriers,
                    "packet CSI shape disagrees with the link config");
+    // Never emit a trace our own reader would flag: enforce the same
+    // record semantics TraceReader validates.
+    SPOTFI_EXPECTS(std::isfinite(packet.timestamp_s),
+                   "trace writer: non-finite timestamp");
+    SPOTFI_EXPECTS(std::isfinite(packet.rssi_dbm),
+                   "trace writer: non-finite RSSI");
+    double max_comp = 0.0;
+    for (const auto& v : packet.csi.flat()) {
+      SPOTFI_EXPECTS(std::isfinite(v.real()) && std::isfinite(v.imag()),
+                     "trace writer: non-finite CSI entry");
+      max_comp = std::max({max_comp, std::abs(v.real()), std::abs(v.imag())});
+    }
+    SPOTFI_EXPECTS(max_comp > 0.0, "trace writer: CSI is all zero");
+
     put(os, static_cast<std::uint64_t>(
                 std::llround(packet.timestamp_s * 1e9)));
     put(os, static_cast<std::uint8_t>(link.n_antennas));  // n_rx
@@ -66,12 +86,7 @@ void write_trace(std::ostream& os, const LinkConfig& link,
     put(os, static_cast<std::int8_t>(-92));  // noise floor estimate
     put(os, static_cast<std::uint8_t>(40));  // nominal AGC
 
-    double max_comp = 0.0;
-    for (const auto& v : packet.csi.flat()) {
-      max_comp = std::max({max_comp, std::abs(v.real()), std::abs(v.imag())});
-    }
-    const float scale =
-        max_comp > 0.0 ? static_cast<float>(114.0 / max_comp) : 1.0f;
+    const float scale = static_cast<float>(114.0 / max_comp);
     put(os, scale);
     for (const auto& v : packet.csi.flat()) {
       put(os, quantize_component(v.real(), scale));
@@ -88,61 +103,199 @@ void write_trace(const std::string& path, const LinkConfig& link,
   write_trace(os, link, packets);
 }
 
-Trace read_trace(std::istream& is) {
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw ParseError("trace: bad magic");
+TraceReader::TraceReader(std::istream& is) : is_(is) {
+  const auto bad_header = [this](std::string detail) {
+    header_error_ = IngestError{IngestErrorKind::kBadFileHeader, 0,
+                                std::move(detail)};
+  };
+  const std::size_t avail = ensure(kFileHeaderSize);
+  if (avail < kFileHeaderSize) {
+    bad_header("file shorter than the " + std::to_string(kFileHeaderSize) +
+               "-byte header");
+    return;
   }
-  const auto version = get<std::uint16_t>(is);
+  const std::uint8_t* p = buf_.data();
+  if (std::memcmp(p, kMagic, sizeof(kMagic)) != 0) {
+    bad_header("bad magic");
+    return;
+  }
+  const auto version = get_le<std::uint16_t>(p + 4);
   if (version != kVersion) {
-    throw ParseError("trace: unsupported version " + std::to_string(version));
+    bad_header("unsupported version " + std::to_string(version));
+    return;
   }
-
-  Trace trace;
-  trace.link.carrier_hz = get<double>(is);
-  trace.link.subcarrier_spacing_hz = get<double>(is);
-  trace.link.antenna_spacing_m = get<double>(is);
-  trace.link.n_antennas = get<std::uint8_t>(is);
-  trace.link.n_subcarriers = get<std::uint8_t>(is);
-  if (trace.link.n_antennas == 0 || trace.link.n_subcarriers == 0 ||
-      trace.link.carrier_hz <= 0.0 || trace.link.subcarrier_spacing_hz <= 0.0) {
-    throw ParseError("trace: invalid link configuration header");
+  link_.carrier_hz = get_le<double>(p + 6);
+  link_.subcarrier_spacing_hz = get_le<double>(p + 14);
+  link_.antenna_spacing_m = get_le<double>(p + 22);
+  link_.n_antennas = p[30];
+  link_.n_subcarriers = p[31];
+  if (link_.n_antennas == 0 || link_.n_subcarriers == 0 ||
+      !std::isfinite(link_.carrier_hz) || link_.carrier_hz <= 0.0 ||
+      !std::isfinite(link_.subcarrier_spacing_hz) ||
+      link_.subcarrier_spacing_hz <= 0.0 ||
+      !std::isfinite(link_.antenna_spacing_m) ||
+      link_.antenna_spacing_m <= 0.0) {
+    bad_header("invalid link configuration header");
+    return;
   }
+  advance_accept(kFileHeaderSize);
+}
 
+std::size_t TraceReader::record_size() const {
+  return kRecordPrefixSize + 2 * link_.n_antennas * link_.n_subcarriers;
+}
+
+std::size_t TraceReader::ensure(std::size_t need) {
+  if (pos_ >= kReadChunk) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    base_ += pos_;
+    pos_ = 0;
+  }
+  while (!eof_ && buf_.size() - pos_ < need) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + kReadChunk);
+    is_.read(reinterpret_cast<char*>(buf_.data() + old),
+             static_cast<std::streamsize>(kReadChunk));
+    const auto got = static_cast<std::size_t>(is_.gcount());
+    buf_.resize(old + got);
+    if (got < kReadChunk) eof_ = true;
+  }
+  return buf_.size() - pos_;
+}
+
+void TraceReader::advance_accept(std::size_t n) {
+  pos_ += n;
+  report_.bytes_accepted += n;
+}
+
+void TraceReader::advance_skip(std::size_t n) {
+  pos_ += n;
+  report_.bytes_skipped += n;
+}
+
+IngestError TraceReader::make_error(IngestErrorKind kind, std::uint64_t at,
+                                    std::string detail) {
+  ++report_.dropped[static_cast<std::size_t>(kind)];
+  ++errors_seen_;
+  return IngestError{kind, at, std::move(detail)};
+}
+
+bool TraceReader::plausible_record_here() const {
+  const std::uint8_t* p = buf_.data() + pos_;
+  if (p[8] != link_.n_antennas || p[9] != 1) return false;
+  const auto scale = get_le<float>(p + 15);
+  return std::isfinite(scale) && scale > 0.0f;
+}
+
+void TraceReader::resync() {
+  ++report_.resyncs;
+  advance_skip(1);
   while (true) {
-    std::uint64_t timestamp_ns = 0;
-    is.read(reinterpret_cast<char*>(&timestamp_ns), sizeof(timestamp_ns));
-    if (is.eof()) break;
-    if (!is) throw ParseError("trace: truncated record header");
-
-    CsiPacket packet;
-    packet.timestamp_s = static_cast<double>(timestamp_ns) * 1e-9;
-    const auto n_rx = get<std::uint8_t>(is);
-    const auto n_tx = get<std::uint8_t>(is);
-    if (n_rx != trace.link.n_antennas || n_tx != 1) {
-      throw ParseError("trace: record shape disagrees with header");
+    const std::size_t avail = ensure(kRecordPrefixSize);
+    if (avail < kRecordPrefixSize) {
+      advance_skip(avail);
+      return;
     }
-    const auto rssi_a = get<std::int8_t>(is);
-    (void)get<std::int8_t>(is);  // rssi_b
-    (void)get<std::int8_t>(is);  // rssi_c
-    (void)get<std::int8_t>(is);  // noise
-    (void)get<std::uint8_t>(is); // agc
-    packet.rssi_dbm = static_cast<double>(rssi_a);
-
-    const auto scale = get<float>(is);
-    if (!(scale > 0.0f) || !std::isfinite(scale)) {
-      throw ParseError("trace: invalid record scale");
-    }
-    packet.csi = CMatrix(trace.link.n_antennas, trace.link.n_subcarriers);
-    for (auto& v : packet.csi.flat()) {
-      const auto re = get<std::int8_t>(is);
-      const auto im = get<std::int8_t>(is);
-      v = cplx(static_cast<double>(re) / scale,
-               static_cast<double>(im) / scale);
-    }
-    trace.packets.push_back(std::move(packet));
+    if (plausible_record_here()) return;
+    advance_skip(1);
   }
+}
+
+std::optional<Expected<CsiPacket, IngestError>> TraceReader::next() {
+  if (header_error_) {
+    if (header_error_reported_) return std::nullopt;
+    header_error_reported_ = true;
+    // With the record pitch unknown there is nothing to resynchronize
+    // to; drain the input so the report still accounts for every byte.
+    while (true) {
+      const std::size_t avail = ensure(kReadChunk);
+      if (avail == 0) break;
+      advance_skip(avail);
+    }
+    ++report_.dropped[static_cast<std::size_t>(header_error_->kind)];
+    ++errors_seen_;
+    return Expected<CsiPacket, IngestError>(*header_error_);
+  }
+
+  const std::size_t need = record_size();
+  const std::size_t avail = ensure(need);
+  if (avail == 0) return std::nullopt;
+  if (avail < need) {
+    auto err = make_error(
+        IngestErrorKind::kTrailingGarbage, offset(),
+        "record of " + std::to_string(need) +
+            " bytes extends past end of input (truncated capture or "
+            "trailing garbage)");
+    advance_skip(avail);
+    return Expected<CsiPacket, IngestError>(std::move(err));
+  }
+
+  const std::uint8_t* p = buf_.data() + pos_;
+  const auto n_rx = p[8];
+  const auto n_tx = p[9];
+  if (n_rx != link_.n_antennas || n_tx != 1) {
+    auto err = make_error(
+        IngestErrorKind::kPayloadMismatch, offset(),
+        "record shape Nrx=" + std::to_string(n_rx) +
+            " Ntx=" + std::to_string(n_tx) +
+            " disagrees with the file header");
+    resync();
+    return Expected<CsiPacket, IngestError>(std::move(err));
+  }
+
+  // Shape fields agree with the header, so framing is intact (records
+  // have a fixed pitch); remaining defects drop exactly this record.
+  const auto rssi_a = static_cast<std::int8_t>(p[10]);
+  const auto scale = get_le<float>(p + 15);
+  if (!std::isfinite(scale) || !(scale > 0.0f)) {
+    auto err = make_error(IngestErrorKind::kNonFiniteValue, offset(),
+                          "record scale is not a positive finite value");
+    advance_skip(need);
+    return Expected<CsiPacket, IngestError>(std::move(err));
+  }
+  if (rssi_a == kRssiAbsent) {
+    auto err = make_error(IngestErrorKind::kRssiAbsent, offset(),
+                          "record reports no packet RSSI");
+    advance_skip(need);
+    return Expected<CsiPacket, IngestError>(std::move(err));
+  }
+
+  CsiPacket packet;
+  packet.timestamp_s =
+      static_cast<double>(get_le<std::uint64_t>(p)) * 1e-9;
+  packet.rssi_dbm = static_cast<double>(rssi_a);
+  packet.csi = CMatrix(link_.n_antennas, link_.n_subcarriers);
+  const std::uint8_t* q = p + kRecordPrefixSize;
+  bool any_nonzero = false;
+  for (auto& v : packet.csi.flat()) {
+    const auto re = static_cast<std::int8_t>(*q++);
+    const auto im = static_cast<std::int8_t>(*q++);
+    any_nonzero = any_nonzero || re != 0 || im != 0;
+    v = cplx(static_cast<double>(re) / scale,
+             static_cast<double>(im) / scale);
+  }
+  if (!any_nonzero) {
+    auto err = make_error(IngestErrorKind::kZeroCsi, offset(),
+                          "record CSI is all zero");
+    advance_skip(need);
+    return Expected<CsiPacket, IngestError>(std::move(err));
+  }
+
+  advance_accept(need);
+  ++report_.records_accepted;
+  if (errors_seen_ > 0) ++report_.records_recovered;
+  return Expected<CsiPacket, IngestError>(std::move(packet));
+}
+
+Trace read_trace(std::istream& is) {
+  TraceReader reader(is);
+  Trace trace;
+  while (auto item = reader.next()) {
+    if (!*item) throw ParseError("trace: " + item->error().to_string());
+    trace.packets.push_back(std::move(item->value()));
+  }
+  trace.link = reader.link();
   return trace;
 }
 

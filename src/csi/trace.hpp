@@ -14,20 +14,32 @@
 // reconstruct the linear-scale CSI exactly (the real tool reconstructs it
 // from RSSI/AGC instead — we store it explicitly for lossless round
 // trips).
+//
+// Ingestion is a trust boundary: TraceReader never throws on malformed
+// input. It streams one Expected<CsiPacket, IngestError> per record,
+// drops exactly the corrupt record, resynchronizes on the fixed record
+// pitch by scanning for the next byte position whose shape fields and
+// scale are consistent with the file header, and accounts for every
+// input byte in an IngestReport. read_trace() is a strict wrapper that
+// throws ParseError on the first ingest error.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "channel/csi_synthesis.hpp"
 #include "common/constants.hpp"
+#include "common/error.hpp"
 
 namespace spotfi {
 
 /// Writes a trace file. Throws ParseError on I/O failure and
-/// ContractViolation if a packet's CSI shape disagrees with `link`.
+/// ContractViolation on packets our own reader would reject: CSI shape
+/// disagreeing with `link`, non-finite CSI/RSSI/timestamp, or all-zero
+/// CSI.
 void write_trace(const std::string& path, const LinkConfig& link,
                  std::span<const CsiPacket> packets);
 void write_trace(std::ostream& os, const LinkConfig& link,
@@ -38,8 +50,55 @@ struct Trace {
   std::vector<CsiPacket> packets;
 };
 
-/// Reads a trace file written by write_trace. Throws ParseError on
-/// malformed input (bad magic, truncated records, shape overflow).
+/// Pull-based, fail-soft trace parser; the trace-format sibling of
+/// CsitoolReader (see csi/intel5300.hpp for the usage pattern).
+///
+/// The file header is parsed on construction. When it is unusable (bad
+/// magic/version/link configuration) the first next() call yields a
+/// single IngestErrorKind::kBadFileHeader error — with the record pitch
+/// unknown, the remaining bytes are unrecoverable and are accounted as
+/// skipped — and subsequent calls return std::nullopt.
+class TraceReader {
+ public:
+  explicit TraceReader(std::istream& is);
+
+  /// False when the file preamble could not be validated.
+  [[nodiscard]] bool header_ok() const { return !header_error_.has_value(); }
+  /// Link configuration from the header; valid only when header_ok().
+  [[nodiscard]] const LinkConfig& link() const { return link_; }
+
+  /// Next packet or per-record error; std::nullopt at end of input.
+  [[nodiscard]] std::optional<Expected<CsiPacket, IngestError>> next();
+
+  /// Running byte/record accounting (final once next() returned nullopt).
+  [[nodiscard]] const IngestReport& report() const { return report_; }
+
+ private:
+  std::size_t ensure(std::size_t need);
+  [[nodiscard]] std::uint64_t offset() const { return base_ + pos_; }
+  void advance_accept(std::size_t n);
+  void advance_skip(std::size_t n);
+  void resync();
+  [[nodiscard]] bool plausible_record_here() const;
+  [[nodiscard]] IngestError make_error(IngestErrorKind kind,
+                                       std::uint64_t at, std::string detail);
+  [[nodiscard]] std::size_t record_size() const;
+
+  std::istream& is_;
+  LinkConfig link_;
+  std::optional<IngestError> header_error_;
+  bool header_error_reported_ = false;
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  std::uint64_t base_ = 0;
+  bool eof_ = false;
+  std::size_t errors_seen_ = 0;
+  IngestReport report_;
+};
+
+/// Reads a trace file written by write_trace, strictly: any ingest error
+/// (bad preamble, truncated/corrupt records) throws ParseError. Use
+/// TraceReader for fail-soft ingestion of untrusted captures.
 [[nodiscard]] Trace read_trace(const std::string& path);
 [[nodiscard]] Trace read_trace(std::istream& is);
 

@@ -1,0 +1,741 @@
+// Tests for the fail-soft CSI ingestion layer: resynchronizing readers
+// (CsitoolReader, TraceReader), the IngestError taxonomy, byte-exact
+// IngestReport accounting, the byte-level fault injector, writer-side
+// guards, and the StreamingLocalizer ingest surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/faults.hpp"
+#include "common/rng.hpp"
+#include "core/streaming.hpp"
+#include "csi/intel5300.hpp"
+#include "csi/trace.hpp"
+
+namespace spotfi {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+// --- helpers ---------------------------------------------------------------
+
+BfeeRecord random_record(Rng& rng, std::uint32_t timestamp,
+                         std::uint8_t n_rx = 3) {
+  BfeeRecord rec;
+  rec.timestamp_low = timestamp;
+  rec.bfee_count = static_cast<std::uint16_t>(rng());
+  rec.n_rx = n_rx;
+  rec.n_tx = 1;
+  rec.rssi_a = 60;
+  rec.rssi_b = 58;
+  rec.rssi_c = 0;  // absent
+  rec.noise = -90;
+  rec.agc = 30;
+  rec.antenna_sel = 0x24;
+  rec.csi = CMatrix(n_rx, 30);
+  for (auto& v : rec.csi.flat()) {
+    v = cplx(std::floor(rng.uniform(-128.0, 128.0)),
+             std::floor(rng.uniform(-128.0, 128.0)));
+  }
+  rec.csi(0, 0) = cplx(100.0, -50.0);  // CSI can never be all zero
+  return rec;
+}
+
+Bytes csitool_bytes(std::span<const BfeeRecord> records) {
+  std::ostringstream os;
+  write_csitool_log(os, records);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+CsiPacket random_packet(const LinkConfig& link, Rng& rng, double timestamp_s) {
+  CsiPacket p;
+  p.timestamp_s = timestamp_s;
+  p.rssi_dbm = -50.0;
+  p.csi = CMatrix(link.n_antennas, link.n_subcarriers);
+  for (auto& v : p.csi.flat()) {
+    v = cplx(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  }
+  p.csi(0, 0) = cplx(0.9, -0.4);
+  return p;
+}
+
+Bytes trace_bytes(const LinkConfig& link, std::span<const CsiPacket> packets) {
+  std::ostringstream os;
+  write_trace(os, link, packets);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+std::istringstream stream_of(const Bytes& bytes) {
+  return std::istringstream(
+      std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+}
+
+struct CsitoolDrain {
+  std::vector<BfeeRecord> records;
+  std::vector<IngestError> errors;
+  IngestReport report;
+};
+
+CsitoolDrain drain_csitool(const Bytes& bytes) {
+  auto is = stream_of(bytes);
+  CsitoolReader reader(is);
+  CsitoolDrain out;
+  while (auto item = reader.next()) {
+    if (*item) {
+      out.records.push_back(std::move(item->value()));
+    } else {
+      out.errors.push_back(item->error());
+    }
+  }
+  out.report = reader.report();
+  // The accounting invariant holds for every input, so check it here for
+  // every scenario that goes through this helper.
+  EXPECT_EQ(out.report.bytes_consumed(), bytes.size());
+  EXPECT_EQ(out.report.records_accepted, out.records.size());
+  EXPECT_EQ(out.report.records_dropped(), out.errors.size());
+  return out;
+}
+
+struct TraceDrain {
+  std::vector<CsiPacket> packets;
+  std::vector<IngestError> errors;
+  IngestReport report;
+  bool header_ok = false;
+  LinkConfig link;
+};
+
+TraceDrain drain_trace(const Bytes& bytes) {
+  auto is = stream_of(bytes);
+  TraceReader reader(is);
+  TraceDrain out;
+  out.header_ok = reader.header_ok();
+  while (auto item = reader.next()) {
+    if (*item) {
+      out.packets.push_back(std::move(item->value()));
+    } else {
+      out.errors.push_back(item->error());
+    }
+  }
+  out.link = reader.link();
+  out.report = reader.report();
+  EXPECT_EQ(out.report.bytes_consumed(), bytes.size());
+  EXPECT_EQ(out.report.records_accepted, out.packets.size());
+  EXPECT_EQ(out.report.records_dropped(), out.errors.size());
+  return out;
+}
+
+// Frame geometry for the default 3-antenna csitool record: u16 length +
+// code byte + 20-byte bfee header + bit-packed payload of
+// (30*(3*16+3)+7)/8 = 192 bytes.
+constexpr std::size_t kPayload3 = 192;
+constexpr std::size_t kFrame3 = 2 + 1 + 20 + kPayload3;
+
+// --- csitool: round trips --------------------------------------------------
+
+TEST(CsitoolIngest, RoundTripNoErrors) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<BfeeRecord> records;
+    const auto n = 3 + rng.uniform_index(20);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      records.push_back(random_record(
+          rng, i, static_cast<std::uint8_t>(1 + rng.uniform_index(3))));
+    }
+    const auto out = drain_csitool(csitool_bytes(records));
+    ASSERT_EQ(out.records.size(), records.size()) << "seed " << seed;
+    EXPECT_TRUE(out.errors.empty());
+    EXPECT_EQ(out.report.records_recovered, 0u);
+    EXPECT_EQ(out.report.bytes_skipped, 0u);
+    EXPECT_EQ(out.report.resyncs, 0u);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(out.records[i].timestamp_low, records[i].timestamp_low);
+      EXPECT_EQ(out.records[i].csi, records[i].csi);
+    }
+  }
+}
+
+// --- csitool: one regression per error class -------------------------------
+
+TEST(CsitoolIngest, PartialTrailingHeaderReported) {
+  // Satellite fix: a 1-byte partial frame header used to be silently
+  // swallowed as clean EOF.
+  Rng rng(2);
+  std::vector<BfeeRecord> records{random_record(rng, 7)};
+  Bytes blob = csitool_bytes(records);
+  blob.push_back(0x00);
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.records.size(), 1u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kTruncatedHeader);
+  EXPECT_EQ(out.errors[0].offset, blob.size() - 1);
+  EXPECT_EQ(out.report.bytes_skipped, 1u);
+
+  // The strict reader reports it too instead of swallowing it.
+  auto is = stream_of(blob);
+  EXPECT_THROW((void)read_csitool_log(is), ParseError);
+}
+
+TEST(CsitoolIngest, ZeroLengthFrameRecoversFollowingRecords) {
+  Rng rng(3);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2)};
+  Bytes blob = csitool_bytes(records);
+  blob.insert(blob.begin(), {0x00, 0x00});  // zero-length frame up front
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kBadFrameLength);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.report.records_recovered, 2u);
+  EXPECT_EQ(out.report.resyncs, 1u);
+}
+
+TEST(CsitoolIngest, CorruptPayloadLengthDropsOneFrameOnly) {
+  Rng rng(4);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2),
+                                  random_record(rng, 3)};
+  Bytes blob = csitool_bytes(records);
+  blob[19] = 0x7F;  // clobber record 0's bfee payload length field
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kPayloadMismatch);
+  EXPECT_EQ(out.errors[0].offset, 0u);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[0].timestamp_low, 2u);
+  EXPECT_EQ(out.records[1].timestamp_low, 3u);
+  EXPECT_EQ(out.report.records_recovered, 2u);
+}
+
+TEST(CsitoolIngest, RssiAbsentSurfacesAsIngestErrorNotContractViolation) {
+  // Satellite fix: an all-zero-RSSI record used to decode fine and then
+  // throw ContractViolation from total_rss_dbm()/scaled_csi() in
+  // whatever downstream code touched it first.
+  Rng rng(5);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2)};
+  Bytes blob = csitool_bytes(records);
+  blob[13] = blob[14] = blob[15] = 0;  // rssi a/b/c of record 0
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kRssiAbsent);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].timestamp_low, 2u);
+  // Accepted records satisfy the validated-record contract.
+  EXPECT_NO_THROW((void)out.records[0].total_rss_dbm());
+  EXPECT_NO_THROW((void)out.records[0].scaled_csi());
+  // Framing was intact: no resync needed to drop a semantically bad
+  // record.
+  EXPECT_EQ(out.report.resyncs, 0u);
+}
+
+TEST(CsitoolIngest, ZeroCsiSurfacesAsIngestError) {
+  Rng rng(6);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2)};
+  Bytes blob = csitool_bytes(records);
+  std::fill(blob.begin() + 23, blob.begin() + 23 + kPayload3,
+            0);  // record 0 payload
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kZeroCsi);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].timestamp_low, 2u);
+}
+
+TEST(CsitoolIngest, TruncatedTailReportedAsTrailingGarbage) {
+  Rng rng(7);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2)};
+  Bytes blob = csitool_bytes(records);
+  blob.resize(blob.size() - 11);  // cut record 1 mid-payload
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_EQ(out.records[0].timestamp_low, 1u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kTrailingGarbage);
+  EXPECT_EQ(out.errors[0].offset, kFrame3);
+}
+
+TEST(CsitoolIngest, GarbageInterleaveRecoversByResync) {
+  Rng rng(8);
+  std::vector<BfeeRecord> records{random_record(rng, 1), random_record(rng, 2)};
+  Bytes blob = csitool_bytes(records);
+  const Bytes garbage{0xDE, 0xAD, 0xBE, 0xEF, 0x55, 0xAA};
+  blob.insert(blob.begin() + kFrame3, garbage.begin(), garbage.end());
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.records[1].timestamp_low, 2u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.report.resyncs, 1u);
+  EXPECT_EQ(out.report.bytes_skipped, garbage.size());
+  EXPECT_EQ(out.report.records_recovered, 1u);
+}
+
+TEST(CsitoolIngest, ForeignFramesCountedNotDropped) {
+  Rng rng(9);
+  std::vector<BfeeRecord> records{random_record(rng, 1)};
+  Bytes blob = csitool_bytes(records);
+  const Bytes foreign{0x00, 0x05, 0xC1, 1, 2, 3, 4};
+  blob.insert(blob.begin(), foreign.begin(), foreign.end());
+  const auto out = drain_csitool(blob);
+  ASSERT_EQ(out.records.size(), 1u);
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_EQ(out.report.frames_foreign, 1u);
+  EXPECT_EQ(out.report.bytes_skipped, 0u);
+}
+
+// --- trace: round trips and error classes ----------------------------------
+
+TEST(TraceIngest, RoundTripNoErrors) {
+  const LinkConfig link;
+  Rng rng(11);
+  std::vector<CsiPacket> packets;
+  for (int i = 0; i < 12; ++i) {
+    packets.push_back(random_packet(link, rng, 0.01 * i));
+  }
+  const auto out = drain_trace(trace_bytes(link, packets));
+  ASSERT_TRUE(out.header_ok);
+  ASSERT_EQ(out.packets.size(), packets.size());
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_EQ(out.report.bytes_skipped, 0u);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_NEAR(out.packets[i].timestamp_s, packets[i].timestamp_s, 1e-9);
+  }
+}
+
+TEST(TraceIngest, BadMagicIsSingleHeaderError) {
+  const LinkConfig link;
+  Rng rng(12);
+  std::vector<CsiPacket> packets{random_packet(link, rng, 0.0)};
+  Bytes blob = trace_bytes(link, packets);
+  blob[0] = 'X';
+  const auto out = drain_trace(blob);
+  EXPECT_FALSE(out.header_ok);
+  EXPECT_TRUE(out.packets.empty());
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kBadFileHeader);
+  // Every byte of the unusable file is accounted as skipped.
+  EXPECT_EQ(out.report.bytes_skipped, blob.size());
+}
+
+TEST(TraceIngest, NonFiniteHeaderRejected) {
+  const LinkConfig link;
+  Bytes blob = trace_bytes(link, {});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(blob.data() + 6, &nan, sizeof(nan));  // carrier_hz
+  const auto out = drain_trace(blob);
+  EXPECT_FALSE(out.header_ok);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kBadFileHeader);
+}
+
+TEST(TraceIngest, TamperedShapeDropsOneRecordOnly) {
+  const LinkConfig link;
+  const std::size_t pitch = 19 + 2 * link.n_antennas * link.n_subcarriers;
+  Rng rng(13);
+  std::vector<CsiPacket> packets;
+  for (int i = 0; i < 3; ++i) {
+    packets.push_back(random_packet(link, rng, 0.01 * i));
+  }
+  Bytes blob = trace_bytes(link, packets);
+  blob[32 + pitch + 8] = 9;  // record 1's Nrx byte
+  const auto out = drain_trace(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kPayloadMismatch);
+  ASSERT_EQ(out.packets.size(), 2u);
+  EXPECT_NEAR(out.packets[1].timestamp_s, 0.02, 1e-9);
+  EXPECT_EQ(out.report.resyncs, 1u);
+  EXPECT_EQ(out.report.records_recovered, 1u);
+}
+
+TEST(TraceIngest, NonFiniteScaleDropped) {
+  const LinkConfig link;
+  Rng rng(14);
+  std::vector<CsiPacket> packets{random_packet(link, rng, 0.0),
+                                 random_packet(link, rng, 0.01)};
+  Bytes blob = trace_bytes(link, packets);
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  std::memcpy(blob.data() + 32 + 15, &nan, sizeof(nan));  // record 0's scale
+  const auto out = drain_trace(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kNonFiniteValue);
+  ASSERT_EQ(out.packets.size(), 1u);
+  EXPECT_EQ(out.report.resyncs, 0u);  // fixed pitch: no resync needed
+}
+
+TEST(TraceIngest, RssiAbsentDropped) {
+  const LinkConfig link;
+  Rng rng(15);
+  std::vector<CsiPacket> packets{random_packet(link, rng, 0.0),
+                                 random_packet(link, rng, 0.01)};
+  Bytes blob = trace_bytes(link, packets);
+  blob[32 + 10] = 0x7f;  // record 0's rssi_a -> absent marker
+  const auto out = drain_trace(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kRssiAbsent);
+  ASSERT_EQ(out.packets.size(), 1u);
+}
+
+TEST(TraceIngest, ZeroCsiDropped) {
+  const LinkConfig link;
+  const std::size_t pitch = 19 + 2 * link.n_antennas * link.n_subcarriers;
+  Rng rng(16);
+  std::vector<CsiPacket> packets{random_packet(link, rng, 0.0),
+                                 random_packet(link, rng, 0.01)};
+  Bytes blob = trace_bytes(link, packets);
+  std::fill(blob.begin() + 32 + 19, blob.begin() + 32 + pitch, 0);
+  const auto out = drain_trace(blob);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kZeroCsi);
+  ASSERT_EQ(out.packets.size(), 1u);
+}
+
+TEST(TraceIngest, TruncatedTailReported) {
+  const LinkConfig link;
+  Rng rng(17);
+  std::vector<CsiPacket> packets{random_packet(link, rng, 0.0),
+                                 random_packet(link, rng, 0.01)};
+  Bytes blob = trace_bytes(link, packets);
+  blob.resize(blob.size() - 25);
+  const auto out = drain_trace(blob);
+  ASSERT_EQ(out.packets.size(), 1u);
+  ASSERT_EQ(out.errors.size(), 1u);
+  EXPECT_EQ(out.errors[0].kind, IngestErrorKind::kTrailingGarbage);
+}
+
+// --- the acceptance-criterion recovery guarantee ---------------------------
+
+struct ClassPlan {
+  const char* name;
+  ByteFaultPlan plan;
+};
+
+std::vector<ClassPlan> recovery_plans() {
+  std::vector<ClassPlan> plans;
+  ByteFaultPlan p;
+  p.bit_flip_prob = 0.05;
+  plans.push_back({"bit-flip", p});
+  p = {};
+  p.truncate_prob = 0.05;
+  plans.push_back({"truncate", p});
+  p = {};
+  p.garbage_prob = 0.05;
+  plans.push_back({"garbage", p});
+  p = {};
+  p.duplicate_prob = 0.05;
+  plans.push_back({"duplicate", p});
+  p = {};
+  p.length_tamper_prob = 0.05;
+  plans.push_back({"length-tamper", p});
+  return plans;
+}
+
+TEST(RecoveryRate, CsitoolFivePercentPerClass) {
+  constexpr std::size_t kRecords = 1000;
+  Rng gen_rng(21);
+  std::vector<BfeeRecord> records;
+  records.reserve(kRecords);
+  for (std::uint32_t i = 0; i < kRecords; ++i) {
+    records.push_back(random_record(gen_rng, i));
+  }
+  const Bytes clean = csitool_bytes(records);
+
+  std::uint64_t corrupt_seed = 100;
+  for (const auto& [name, plan] : recovery_plans()) {
+    Rng rng(corrupt_seed++);
+    ByteFaultStats stats;
+    const Bytes dirty = corrupt_csitool_log(clean, plan, rng, &stats);
+
+    // Zero exceptions escaping: drain_csitool calls next() bare.
+    const auto out = drain_csitool(dirty);
+
+    std::vector<bool> corrupted(kRecords, false);
+    for (const std::size_t f : stats.corrupted_frames) corrupted[f] = true;
+    const std::size_t n_uncorrupted =
+        kRecords - stats.corrupted_frames.size();
+
+    std::vector<bool> seen(kRecords, false);
+    std::size_t recovered_uncorrupted = 0;
+    for (const auto& rec : out.records) {
+      if (rec.timestamp_low >= kRecords) continue;
+      if (corrupted[rec.timestamp_low] || seen[rec.timestamp_low]) continue;
+      seen[rec.timestamp_low] = true;
+      ++recovered_uncorrupted;
+    }
+    EXPECT_GE(recovered_uncorrupted,
+              static_cast<std::size_t>(0.9 * n_uncorrupted))
+        << "class " << name << ": " << out.report.summary();
+    // Every byte accounted (also asserted inside drain_csitool).
+    EXPECT_EQ(out.report.bytes_consumed(), dirty.size()) << "class " << name;
+  }
+}
+
+TEST(RecoveryRate, TraceFivePercentPerClass) {
+  constexpr std::size_t kRecords = 1000;
+  const LinkConfig link;
+  Rng gen_rng(22);
+  std::vector<CsiPacket> packets;
+  packets.reserve(kRecords);
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    packets.push_back(random_packet(link, gen_rng, 0.01 * i));
+  }
+  const Bytes clean = trace_bytes(link, packets);
+
+  std::uint64_t corrupt_seed = 200;
+  for (const auto& [name, plan] : recovery_plans()) {
+    Rng rng(corrupt_seed++);
+    ByteFaultStats stats;
+    const Bytes dirty = corrupt_trace_log(clean, plan, rng, &stats);
+
+    const auto out = drain_trace(dirty);
+    ASSERT_TRUE(out.header_ok) << "class " << name;
+
+    std::vector<bool> corrupted(kRecords, false);
+    for (const std::size_t f : stats.corrupted_frames) corrupted[f] = true;
+    const std::size_t n_uncorrupted =
+        kRecords - stats.corrupted_frames.size();
+
+    std::vector<bool> seen(kRecords, false);
+    std::size_t recovered_uncorrupted = 0;
+    for (const auto& p : out.packets) {
+      const auto idx = static_cast<std::size_t>(std::llround(p.timestamp_s * 100.0));
+      if (idx >= kRecords) continue;
+      if (corrupted[idx] || seen[idx]) continue;
+      seen[idx] = true;
+      ++recovered_uncorrupted;
+    }
+    EXPECT_GE(recovered_uncorrupted,
+              static_cast<std::size_t>(0.9 * n_uncorrupted))
+        << "class " << name << ": " << out.report.summary();
+    EXPECT_EQ(out.report.bytes_consumed(), dirty.size()) << "class " << name;
+  }
+}
+
+TEST(RecoveryRate, DuplicatedFramesYieldDuplicateRecords) {
+  Rng gen_rng(23);
+  std::vector<BfeeRecord> records;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    records.push_back(random_record(gen_rng, i));
+  }
+  ByteFaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  Rng rng(24);
+  ByteFaultStats stats;
+  const Bytes dirty = corrupt_csitool_log(csitool_bytes(records), plan, rng,
+                                          &stats);
+  EXPECT_EQ(stats.frames_duplicated, 10u);
+  EXPECT_TRUE(stats.corrupted_frames.empty());
+  const auto out = drain_csitool(dirty);
+  EXPECT_EQ(out.records.size(), 20u);
+  EXPECT_TRUE(out.errors.empty());
+}
+
+// --- byte fault injector ---------------------------------------------------
+
+TEST(ByteFaults, DeterministicGivenSeed) {
+  Rng gen_rng(31);
+  std::vector<BfeeRecord> records;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    records.push_back(random_record(gen_rng, i));
+  }
+  const Bytes clean = csitool_bytes(records);
+  ByteFaultPlan plan;
+  plan.bit_flip_prob = 0.2;
+  plan.truncate_prob = 0.1;
+  plan.garbage_prob = 0.1;
+  plan.duplicate_prob = 0.1;
+  plan.length_tamper_prob = 0.1;
+
+  Rng a(42), b(42), c(43);
+  ByteFaultStats stats_a;
+  const Bytes da = corrupt_csitool_log(clean, plan, a, &stats_a);
+  const Bytes db = corrupt_csitool_log(clean, plan, b, nullptr);
+  const Bytes dc = corrupt_csitool_log(clean, plan, c, nullptr);
+  EXPECT_EQ(da, db);
+  EXPECT_NE(da, dc);
+  EXPECT_EQ(stats_a.frames_corrupted(), stats_a.corrupted_frames.size());
+  EXPECT_GT(stats_a.frames_corrupted(), 0u);
+}
+
+TEST(ByteFaults, CleanPlanIsIdentity) {
+  Rng gen_rng(32);
+  std::vector<BfeeRecord> records{random_record(gen_rng, 0)};
+  const Bytes clean = csitool_bytes(records);
+  Rng rng(1);
+  ByteFaultStats stats;
+  EXPECT_EQ(corrupt_csitool_log(clean, ByteFaultPlan{}, rng, &stats), clean);
+  EXPECT_EQ(stats.frames_corrupted(), 0u);
+
+  const LinkConfig link;
+  std::vector<CsiPacket> packets{random_packet(link, gen_rng, 0.0)};
+  const Bytes trace = trace_bytes(link, packets);
+  EXPECT_EQ(corrupt_trace_log(trace, ByteFaultPlan{}, rng, &stats), trace);
+}
+
+// --- writer guards (satellite: never emit what our readers flag) -----------
+
+TEST(WriterGuards, CsitoolRejectsNonFiniteCsi) {
+  Rng rng(41);
+  BfeeRecord rec = random_record(rng, 0);
+  rec.csi(1, 3) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  std::ostringstream os;
+  EXPECT_THROW(write_csitool_log(os, std::span<const BfeeRecord>(&rec, 1)),
+               ContractViolation);
+}
+
+TEST(WriterGuards, CsitoolRejectsRssiAbsentAndZeroCsi) {
+  Rng rng(42);
+  BfeeRecord no_rssi = random_record(rng, 0);
+  no_rssi.rssi_a = no_rssi.rssi_b = no_rssi.rssi_c = 0;
+  std::ostringstream os;
+  EXPECT_THROW(
+      write_csitool_log(os, std::span<const BfeeRecord>(&no_rssi, 1)),
+      ContractViolation);
+
+  BfeeRecord zero_csi = random_record(rng, 0);
+  for (auto& v : zero_csi.csi.flat()) v = cplx{};
+  EXPECT_THROW(
+      write_csitool_log(os, std::span<const BfeeRecord>(&zero_csi, 1)),
+      ContractViolation);
+}
+
+TEST(WriterGuards, TraceRejectsNonFiniteAndZero) {
+  const LinkConfig link;
+  Rng rng(43);
+  std::ostringstream os;
+
+  CsiPacket nan_csi = random_packet(link, rng, 0.0);
+  nan_csi.csi(0, 1) = cplx(0.0, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(write_trace(os, link, std::span<const CsiPacket>(&nan_csi, 1)),
+               ContractViolation);
+
+  CsiPacket nan_rssi = random_packet(link, rng, 0.0);
+  nan_rssi.rssi_dbm = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(write_trace(os, link, std::span<const CsiPacket>(&nan_rssi, 1)),
+               ContractViolation);
+
+  CsiPacket zero = random_packet(link, rng, 0.0);
+  for (auto& v : zero.csi.flat()) v = cplx{};
+  EXPECT_THROW(write_trace(os, link, std::span<const CsiPacket>(&zero, 1)),
+               ContractViolation);
+}
+
+TEST(WriterGuards, MakeBfeeRejectsNonFinite) {
+  CMatrix csi(3, 30);
+  for (auto& v : csi.flat()) v = cplx(1.0, 1.0);
+  EXPECT_THROW(make_bfee(csi, std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+  csi(2, 2) = cplx(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  EXPECT_THROW(make_bfee(csi, -50.0), ContractViolation);
+}
+
+// --- IngestReport ----------------------------------------------------------
+
+TEST(IngestReportTest, MergeAndSummary) {
+  IngestReport a;
+  a.records_accepted = 10;
+  a.records_recovered = 2;
+  a.dropped[static_cast<std::size_t>(IngestErrorKind::kZeroCsi)] = 1;
+  a.bytes_accepted = 1000;
+  a.bytes_skipped = 50;
+  a.resyncs = 1;
+
+  IngestReport b;
+  b.records_accepted = 5;
+  b.dropped[static_cast<std::size_t>(IngestErrorKind::kRssiAbsent)] = 2;
+  b.bytes_accepted = 500;
+  b.frames_foreign = 3;
+
+  a.merge(b);
+  EXPECT_EQ(a.records_accepted, 15u);
+  EXPECT_EQ(a.records_dropped(), 3u);
+  EXPECT_EQ(a.dropped_of(IngestErrorKind::kRssiAbsent), 2u);
+  EXPECT_EQ(a.bytes_consumed(), 1550u);
+  EXPECT_EQ(a.frames_foreign, 3u);
+
+  const std::string s = a.summary();
+  EXPECT_NE(s.find("15 accepted"), std::string::npos);
+  EXPECT_NE(s.find("zero-csi=1"), std::string::npos);
+  EXPECT_NE(s.find("rssi-absent=2"), std::string::npos);
+}
+
+// --- streaming surface -----------------------------------------------------
+
+TEST(StreamingIngest, ReplayAccumulatesReportAndBuffersPackets) {
+  const LinkConfig link;
+  StreamingConfig config;
+  config.group_size = 1000;       // never fire a round in this test
+  config.screen_packets = false;  // raw replay accounting only
+  StreamingLocalizer localizer(link, config);
+  const std::size_t ap0 = localizer.add_ap({});
+  const std::size_t ap1 = localizer.add_ap({{5.0, 0.0}, 0.0});
+
+  Rng gen_rng(51);
+  std::vector<CsiPacket> packets;
+  for (int i = 0; i < 40; ++i) {
+    packets.push_back(random_packet(link, gen_rng, 0.01 * i));
+  }
+  const Bytes clean = trace_bytes(link, packets);
+  // Tamper shape bytes rather than flipping random bits: a flip landing in
+  // a stored timestamp yields a far-future packet that legitimately ages
+  // every buffer out, which is not what this test is about.
+  ByteFaultPlan plan;
+  plan.length_tamper_prob = 0.5;
+  Rng corrupt_rng(52);
+  ByteFaultStats stats;
+  const Bytes dirty = corrupt_trace_log(clean, plan, corrupt_rng, &stats);
+
+  Rng rng(53);
+  {
+    auto is = stream_of(clean);
+    TraceReader reader(is);
+    const auto fixes = localizer.ingest(ap0, reader, rng);
+    EXPECT_TRUE(fixes.empty());
+  }
+  {
+    auto is = stream_of(dirty);
+    TraceReader reader(is);
+    (void)localizer.ingest(ap1, reader, rng);
+  }
+
+  const IngestReport& report = localizer.ingest_report();
+  EXPECT_EQ(report.bytes_consumed(), clean.size() + dirty.size());
+  EXPECT_EQ(localizer.buffered(ap0), 40u);
+  EXPECT_EQ(localizer.buffered(ap0) + localizer.buffered(ap1),
+            report.records_accepted);
+  EXPECT_GT(report.records_dropped() + report.records_recovered, 0u);
+}
+
+TEST(StreamingIngest, ForeignGeometryReclassifiedAsPayloadMismatch) {
+  const LinkConfig link;  // 3 antennas
+  LinkConfig other = link;
+  other.n_antennas = 2;
+
+  StreamingConfig config;
+  config.group_size = 1000;
+  config.screen_packets = false;
+  StreamingLocalizer localizer(link, config);
+  const std::size_t ap0 = localizer.add_ap({});
+  (void)localizer.add_ap({{5.0, 0.0}, 0.0});
+
+  Rng gen_rng(54);
+  std::vector<CsiPacket> packets;
+  for (int i = 0; i < 5; ++i) {
+    packets.push_back(random_packet(other, gen_rng, 0.01 * i));
+  }
+  const Bytes blob = trace_bytes(other, packets);
+
+  Rng rng(55);
+  auto is = stream_of(blob);
+  TraceReader reader(is);
+  (void)localizer.ingest(ap0, reader, rng);
+
+  EXPECT_EQ(localizer.buffered(ap0), 0u);
+  const IngestReport& report = localizer.ingest_report();
+  EXPECT_EQ(report.records_accepted, 0u);
+  EXPECT_EQ(report.dropped_of(IngestErrorKind::kPayloadMismatch), 5u);
+}
+
+}  // namespace
+}  // namespace spotfi
