@@ -248,4 +248,115 @@ std::vector<std::uint8_t> corrupt_trace_log(
                        /*tamper_off=*/8, /*tamper_len=*/1, plan, rng, stats);
 }
 
+const char* to_string(NumericalFaultKind kind) {
+  switch (kind) {
+    case NumericalFaultKind::kRankCollapse: return "rank-collapse";
+    case NumericalFaultKind::kNearSingularCovariance:
+      return "near-singular-covariance";
+    case NumericalFaultKind::kNanCsi: return "nan-csi";
+    case NumericalFaultKind::kInfCsi: return "inf-csi";
+    case NumericalFaultKind::kDenormalCsi: return "denormal-csi";
+    case NumericalFaultKind::kHugeDynamicRange: return "huge-dynamic-range";
+  }
+  return "unknown";
+}
+
+std::vector<PathComponent> coherent_path_group(std::size_t n, double aoa_rad,
+                                               double tof_s, double gain_db,
+                                               Rng& rng) {
+  SPOTFI_EXPECTS(n >= 1, "coherent_path_group needs at least one path");
+  std::vector<PathComponent> paths(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto& p = paths[k];
+    p.aoa_rad = aoa_rad;
+    p.tof_s = tof_s;
+    p.gain_db = gain_db - rng.uniform(0.0, 6.0);
+    p.phase_rad = rng.uniform(0.0, 2.0 * kPi);
+    p.is_direct = k == 0;
+  }
+  return paths;
+}
+
+std::vector<ArrayPose> collinear_ap_line(std::size_t n, Vec2 origin, Vec2 step,
+                                         double facing_rad) {
+  SPOTFI_EXPECTS(n >= 2, "collinear_ap_line needs at least two APs");
+  std::vector<ArrayPose> poses(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    poses[k].position = {origin.x + static_cast<double>(k) * step.x,
+                         origin.y + static_cast<double>(k) * step.y};
+    poses[k].normal_rad = facing_rad;
+  }
+  return poses;
+}
+
+void inject_numerical_fault(CsiPacket& packet, NumericalFaultKind kind,
+                            const LinkConfig& link, Rng& rng) {
+  SPOTFI_EXPECTS(!packet.csi.empty(), "packet carries no CSI to corrupt");
+
+  switch (kind) {
+    case NumericalFaultKind::kRankCollapse:
+    case NumericalFaultKind::kNearSingularCovariance: {
+      // Fully coherent bundle: identical steering vectors, so the ideal
+      // (noise-free) CSI is the outer product of one steering pair —
+      // exactly rank one across antennas and perfectly correlated across
+      // subcarriers.
+      const CsiSynthesizer synth(link, ImpairmentConfig{});
+      const std::vector<PathComponent> bundle = coherent_path_group(
+          /*n=*/4, /*aoa_rad=*/rng.uniform(-0.8, 0.8),
+          /*tof_s=*/rng.uniform(20e-9, 60e-9), /*gain_db=*/-50.0, rng);
+      packet.csi = synth.ideal_csi(bundle);
+      if (kind == NumericalFaultKind::kNearSingularCovariance) {
+        // Perturb at the edge of double precision: the covariance is no
+        // longer exactly singular, just catastrophically ill-conditioned.
+        double scale = 0.0;
+        for (const auto& v : packet.csi.flat()) {
+          scale = std::max(scale, std::abs(v));
+        }
+        for (auto& v : packet.csi.flat()) {
+          v += 1e-12 * scale * cplx(rng.normal(), rng.normal());
+        }
+      }
+      break;
+    }
+    case NumericalFaultKind::kNanCsi:
+    case NumericalFaultKind::kInfCsi: {
+      const double bad = kind == NumericalFaultKind::kNanCsi
+                             ? std::numeric_limits<double>::quiet_NaN()
+                             : std::numeric_limits<double>::infinity();
+      const std::size_t total = packet.csi.rows() * packet.csi.cols();
+      const std::size_t burst = std::min<std::size_t>(6, total);
+      const std::size_t start = rng.uniform_index(total - burst + 1);
+      for (std::size_t k = start; k < start + burst; ++k) {
+        packet.csi(k / packet.csi.cols(), k % packet.csi.cols()) =
+            cplx(bad, bad);
+      }
+      break;
+    }
+    case NumericalFaultKind::kDenormalCsi: {
+      // Scale so the largest magnitude lands near 1e-310 — every entry is
+      // denormal (or flushed to zero under FTZ), squared magnitudes
+      // underflow to exactly 0.
+      double scale = 0.0;
+      for (const auto& v : packet.csi.flat()) {
+        scale = std::max(scale, std::abs(v));
+      }
+      const double factor = scale > 0.0 ? 1e-310 / scale : 0.0;
+      for (auto& v : packet.csi.flat()) {
+        v = cplx(v.real() * factor, v.imag() * factor);
+      }
+      break;
+    }
+    case NumericalFaultKind::kHugeDynamicRange: {
+      // One antenna row 150 orders of magnitude above the rest: gram
+      // entries reach 1e300, and any squared norm over the full matrix
+      // overflows to Inf unless scaled.
+      const std::size_t row = rng.uniform_index(packet.csi.rows());
+      for (std::size_t n = 0; n < packet.csi.cols(); ++n) {
+        packet.csi(row, n) *= 1e150;
+      }
+      break;
+    }
+  }
+}
+
 }  // namespace spotfi

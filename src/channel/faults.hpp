@@ -186,4 +186,52 @@ struct ByteFaultStats {
     std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
     ByteFaultStats* stats = nullptr);
 
+// ---------------------------------------------------------------------------
+// Numerical fault injection — degenerate *values*, not damaged structure.
+// Where FaultInjector models operational failures and the byte faults
+// model storage corruption, these produce packets that are perfectly
+// well-formed yet push the estimation kernels to the edge of floating
+// point: rank-collapsed covariances from fully coherent multipath,
+// near-singular perturbations of them, NaN/Inf poisoning, denormal
+// underflow, and dynamic ranges that overflow naive norm computations.
+// Used by the degenerate-input stress suite to assert the pipeline
+// degrades with a recorded reason instead of throwing or emitting
+// non-finite locations.
+
+/// The numerical degeneracy classes the stress suite iterates over.
+enum class NumericalFaultKind : std::uint8_t {
+  kRankCollapse,           ///< fully coherent paths: exactly rank-1 CSI
+  kNearSingularCovariance, ///< rank-1 plus an O(1e-12) relative perturbation
+  kNanCsi,                 ///< a burst of NaN entries
+  kInfCsi,                 ///< a burst of Inf entries
+  kDenormalCsi,            ///< all entries scaled into denormal range
+  kHugeDynamicRange,       ///< one antenna row scaled by 1e150
+};
+
+inline constexpr std::size_t kNumericalFaultKindCount = 6;
+
+[[nodiscard]] const char* to_string(NumericalFaultKind kind);
+
+/// `n` propagation paths sharing one AoA/ToF (a specular bundle with zero
+/// angular spread): their steering vectors are identical, so the ideal
+/// CSI they synthesize is exactly rank one — the worst case for the
+/// smoothed-covariance eigendecomposition. Gains/phases vary per path.
+[[nodiscard]] std::vector<PathComponent> coherent_path_group(
+    std::size_t n, double aoa_rad, double tof_s, double gain_db, Rng& rng);
+
+/// `n` AP poses evenly spaced along the line from `origin` with `step`
+/// between consecutive APs, all facing `facing_rad` — the degenerate
+/// corridor geometry where every bearing through a point on the line is
+/// parallel and the triangulation Fisher information is singular.
+[[nodiscard]] std::vector<ArrayPose> collinear_ap_line(std::size_t n,
+                                                       Vec2 origin, Vec2 step,
+                                                       double facing_rad);
+
+/// Replaces/overwrites `packet.csi` with the degeneracy selected by
+/// `kind` (rank collapse synthesizes fresh CSI from a coherent bundle;
+/// the value faults corrupt the existing matrix in place). The packet
+/// stays structurally valid: correct shape, finite RSSI untouched.
+void inject_numerical_fault(CsiPacket& packet, NumericalFaultKind kind,
+                            const LinkConfig& link, Rng& rng);
+
 }  // namespace spotfi

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/constants.hpp"
+#include "linalg/numerics.hpp"
 
 namespace spotfi {
 namespace {
@@ -37,6 +38,37 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
   const std::size_t n = points.rows();
   const std::size_t dim = points.cols();
 
+  // Per-dimension data variance fixes the scale of the relative floor.
+  RVector floor_d(dim, config.variance_floor);
+  bool degenerate_data = n >= 2;
+  {
+    RVector data_mean(dim, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t d = 0; d < dim; ++d) data_mean[d] += points(i, d);
+    for (auto& m : data_mean) m /= static_cast<double>(n);
+    for (std::size_t d = 0; d < dim; ++d) {
+      double var = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double diff = points(i, d) - data_mean[d];
+        var += diff * diff;
+      }
+      var /= static_cast<double>(n);
+      if (std::isfinite(var)) {
+        floor_d[d] = std::max(config.variance_floor,
+                              config.relative_variance_floor * var);
+      }
+      if (!(var < config.variance_floor)) degenerate_data = false;
+    }
+  }
+  // Coincident input — the whole dataset has (sub-floor) zero spread in
+  // every dimension, so the fit is pinned at the variance floor and the
+  // component "shapes" carry no information. A single *component* hitting
+  // the floor is routine (grid-quantized estimates coincide by design);
+  // all-points-coincident is the numerical event worth reporting.
+  if (degenerate_data) {
+    count_numerics(&NumericsCounters::gmm_variance_floored);
+  }
+
   // Initialize from k-means: means = centroids, variances = per-cluster
   // scatter, weights = cluster fractions.
   const KMeansResult km = kmeans(points, k, rng);
@@ -48,7 +80,7 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
   for (std::size_t c = 0; c < k_eff; ++c) {
     auto& comp = result.components[c];
     comp.mean.assign(km.centroids.row(c).begin(), km.centroids.row(c).end());
-    comp.variance.assign(dim, config.variance_floor);
+    comp.variance.assign(floor_d.begin(), floor_d.end());
   }
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t c = km.assignment[i];
@@ -60,8 +92,9 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
   }
   for (std::size_t c = 0; c < k_eff; ++c) {
     const double cnt = std::max<double>(1.0, static_cast<double>(counts[c]));
-    for (auto& v : result.components[c].variance) {
-      v = std::max(v / cnt, config.variance_floor);
+    for (std::size_t d = 0; d < dim; ++d) {
+      auto& v = result.components[c].variance[d];
+      v = std::max(v / cnt, floor_d[d]);
     }
     result.components[c].weight =
         static_cast<double>(std::max<std::size_t>(counts[c], 1)) /
@@ -87,6 +120,13 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
         resp(i, c) = std::exp(logp[c] - lse);
       }
     }
+    if (!std::isfinite(ll)) {
+      // A poisoned likelihood means the responsibilities this iteration are
+      // garbage; keep the last consistent parameters instead of smearing
+      // NaN through the M step.
+      count_numerics(&NumericsCounters::gmm_nonfinite);
+      break;
+    }
     result.log_likelihood = ll;
     // M step.
     for (std::size_t c = 0; c < k_eff; ++c) {
@@ -109,7 +149,7 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
           const double diff = points(i, d) - comp.mean[d];
           var += resp(i, c) * diff * diff;
         }
-        comp.variance[d] = std::max(var / nk, config.variance_floor);
+        comp.variance[d] = std::max(var / nk, floor_d[d]);
       }
     }
     if (ll - prev_ll < config.log_likelihood_tolerance && iter > 0) break;

@@ -18,8 +18,14 @@ struct GmmConfig {
   std::size_t max_iterations = 200;
   /// Stop when the log-likelihood improves by less than this.
   double log_likelihood_tolerance = 1e-7;
-  /// Variance floor keeping components from collapsing onto one point.
+  /// Absolute variance floor keeping components from collapsing onto one
+  /// point.
   double variance_floor = 1e-8;
+  /// Relative variance floor: per dimension, the effective floor is
+  /// max(variance_floor, relative_variance_floor * data variance in that
+  /// dimension). Keeps the floor meaningful when the data lives at a scale
+  /// where 1e-8 is either enormous or invisible.
+  double relative_variance_floor = 1e-10;
 };
 
 struct GmmComponent {

@@ -37,6 +37,16 @@ class NumericalError : public std::runtime_error {
       : std::runtime_error(what_arg) {}
 };
 
+/// Thrown when signal detection finds no frame in a capture. This is an
+/// expected physical outcome (the channel was quiet or the preamble was
+/// buried in noise), not a numerical failure — callers that retry or skip
+/// on a missed detection should catch this instead of NumericalError.
+class DetectionError : public std::runtime_error {
+ public:
+  explicit DetectionError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
 /// Minimal expected-style result (std::expected is C++23; we target
 /// C++20). Holds either a value or an error describing why the operation
 /// degraded/failed — used by the streaming pipeline to keep fault handling

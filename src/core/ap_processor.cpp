@@ -103,6 +103,18 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
   SPOTFI_EXPECTS(!packets.empty(), "need at least one packet");
   ApOutcome out;
 
+  // Collect every numerical-fallback event fired while this group is
+  // processed; folds into any enclosing (per-round) scope on exit.
+  NumericsScope numerics_scope;
+  auto finish = [&]() -> ApOutcome& {
+    out.numerics = numerics_scope.counters();
+    if (out.numerics.any()) {
+      if (!out.note.empty()) out.note += "; ";
+      out.note += "numerics: " + out.numerics.summary();
+    }
+    return out;
+  };
+
   // Screen unconditionally on the robust path: it exists precisely
   // because input may be corrupt, so a missing quality config means
   // defaults, not no screening.
@@ -141,7 +153,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
                                                      : esprit_.estimate(csi);
                            });
         })) {
-      return out;
+      return finish();
     }
     if (config_.fallback.enabled) {
       const JointMusicEstimator relaxed(link_, relaxed_music(config_.music));
@@ -151,7 +163,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
                                return relaxed.estimate(csi);
                              });
           })) {
-        return out;
+        return finish();
       }
       if (primary_is_music &&
           attempt(ApStage::kEsprit, [&] {
@@ -160,7 +172,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
                                return esprit_.estimate(csi);
                              });
           })) {
-        return out;
+        return finish();
       }
     }
   } else {
@@ -187,7 +199,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
           rssi_sum / static_cast<double>(n_rssi);
       out.stage = ApStage::kRssiOnly;
       out.usable = true;
-      return out;
+      return finish();
     }
     if (!out.note.empty()) out.note += "; ";
     out.note += "rssi-only: no finite RSSI in the group";
@@ -198,7 +210,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
   out.result.observation.likelihood = 0.0;  // ignored by the localizer
   out.stage = ApStage::kFailed;
   out.usable = false;
-  return out;
+  return finish();
 }
 
 }  // namespace spotfi

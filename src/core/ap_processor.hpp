@@ -15,6 +15,7 @@
 #include "core/direct_path.hpp"
 #include "csi/quality.hpp"
 #include "csi/sanitize.hpp"
+#include "linalg/numerics.hpp"
 #include "localize/observation.hpp"
 #include "music/esprit.hpp"
 
@@ -83,8 +84,14 @@ struct ApOutcome {
   ApStage stage = ApStage::kPrimary;
   /// True when `result.observation` can enter the Eq. 9 fusion.
   bool usable = false;
-  /// Why the chain degraded past kPrimary (empty otherwise).
+  /// Why the chain degraded past kPrimary (empty otherwise). When any
+  /// numerics counter fired, a "numerics: ..." digest is appended even at
+  /// kPrimary — a successful stage that leaned on regularization is worth
+  /// knowing about.
   std::string note;
+  /// Numerical-fallback events (regularized solves, non-convergences,
+  /// variance floors, ...) recorded while this group was processed.
+  NumericsCounters numerics;
 };
 
 class ApProcessor {

@@ -34,6 +34,11 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     return RoundError{"need at least two AP captures", 0};
   }
 
+  // Round-wide numerics telemetry: per-AP scopes inside process_robust
+  // fold into this one, and fusion-stage events (localizer multi-start
+  // rejections, LOO subset solves) land here directly.
+  NumericsScope numerics_scope;
+
   LocalizationRound round;
   round.ap_results.reserve(captures.size());
   round.ap_stages.reserve(captures.size());
@@ -59,6 +64,12 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
           "ap " + std::to_string(i) + ": " + to_string(outcome.stage);
       if (!outcome.note.empty()) note += " (" + outcome.note + ")";
       round.notes.push_back(std::move(note));
+    } else if (outcome.numerics.any()) {
+      // The primary estimator succeeded but leaned on a numerical
+      // fallback. Worth a note — not a degradation: `degraded` keeps
+      // meaning "past the primary estimator or an outlier was rejected".
+      round.notes.push_back("ap " + std::to_string(i) +
+                            ": numerics: " + outcome.numerics.summary());
     }
     if (outcome.usable) {
       usable.push_back(outcome.result.observation);
@@ -128,6 +139,7 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
       usable_ap.erase(usable_ap.begin() + static_cast<std::ptrdiff_t>(worst));
     }
   }
+  round.numerics = numerics_scope.counters();
   return round;
 }
 

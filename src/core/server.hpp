@@ -70,8 +70,14 @@ struct LocalizationRound {
   /// residual check, in rejection order.
   std::vector<std::size_t> rejected_aps;
   /// True when any AP degraded past its primary estimator or an outlier
-  /// was rejected.
+  /// was rejected. Numerical-fallback activity alone (a regularized solve
+  /// inside an otherwise-primary round) does NOT set this — it is
+  /// reported through `numerics`/`notes` instead.
   bool degraded = false;
+  /// Round-wide numerical-fallback telemetry: the sum of every AP's
+  /// counters plus anything the fusion stage (localizer, LOO solves)
+  /// triggered. try_localize only.
+  NumericsCounters numerics;
 };
 
 /// Why a fault-tolerant round produced no location.

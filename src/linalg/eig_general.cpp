@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/rng.hpp"
 
@@ -46,6 +47,43 @@ CVector solve_complex(const CMatrix& a, std::span<const cplx> b) {
     x[ii] = sum / lu(ii, ii);
   }
   return x;
+}
+
+CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
+                      const NumericsPolicy& policy) {
+  SPOTFI_EXPECTS(a.rows() == a.cols(), "solve_complex requires square A");
+  SPOTFI_EXPECTS(a.rows() == b.size(), "solve_complex shape mismatch");
+  for (const cplx& v : a.flat()) {
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+      throw NumericalError("solve_complex: matrix has non-finite entries");
+    }
+  }
+  for (const cplx& v : b) {
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+      throw NumericalError("solve_complex: rhs has non-finite entries");
+    }
+  }
+  try {
+    return solve_complex(a, b);
+  } catch (const NumericalError&) {
+    // Fall through to the jitter ladder.
+  }
+  const double scale = std::max(a.max_abs(), 1e-300);
+  double ridge = policy.initial_ridge * scale;
+  for (int attempt = 0; attempt < policy.max_ridge_steps; ++attempt) {
+    CMatrix damped = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      damped(i, i) += cplx(ridge, 0.0);
+    }
+    try {
+      CVector x = solve_complex(damped, b);
+      count_numerics(&NumericsCounters::solve_regularized);
+      return x;
+    } catch (const NumericalError&) {
+      ridge *= policy.ridge_growth;
+    }
+  }
+  throw NumericalError("solve_complex: regularization ladder exhausted");
 }
 
 namespace {
@@ -129,6 +167,19 @@ GeneralEig eig_general(const CMatrix& input) {
   const std::size_t n = input.rows();
   GeneralEig result;
   if (n == 0) return result;
+  for (const cplx& v : input.flat()) {
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+      // Poisoned input: the QR iteration would only churn NaN until the
+      // stall limit. Report a non-convergence up front.
+      result.converged = false;
+      result.max_residual = std::numeric_limits<double>::infinity();
+      result.eigenvalues.assign(
+          n, cplx(std::numeric_limits<double>::quiet_NaN(), 0.0));
+      result.eigenvectors = CMatrix::identity(n);
+      count_numerics(&NumericsCounters::eig_general_nonconverged);
+      return result;
+    }
+  }
   if (n == 1) {
     result.eigenvalues = {input(0, 0)};
     result.eigenvectors = CMatrix::identity(1);
@@ -158,7 +209,11 @@ GeneralEig eig_general(const CMatrix& input) {
     }
     if (m == 0) break;
     if (++iterations_since_deflation > kMaxPerEigenvalue) {
-      throw NumericalError("eig_general: QR iteration failed to converge");
+      // Stalled (near-defective input): keep the partial Schur diagonal as
+      // the eigenvalue estimates and surface the stall via diagnostics.
+      result.converged = false;
+      count_numerics(&NumericsCounters::eig_general_nonconverged);
+      break;
     }
     // Exceptional shift every 20 stalled iterations.
     const cplx mu = (iterations_since_deflation % 20 == 0)
@@ -227,6 +282,21 @@ GeneralEig eig_general(const CMatrix& input) {
     const double nv = norm2(std::span<const cplx>(v));
     SPOTFI_ASSERT(nv > 0.0, "inverse iteration collapsed");
     for (std::size_t i = 0; i < n; ++i) result.eigenvectors(i, k) = v[i] / nv;
+  }
+
+  // Residual diagnostic: how well each pair satisfies A v = lambda v,
+  // relative to the matrix scale. Cheap at ESPRIT sizes (n <= ~16).
+  for (std::size_t k = 0; k < n; ++k) {
+    double res = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cplx acc = -result.eigenvalues[k] * result.eigenvectors(i, k);
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += input(i, j) * result.eigenvectors(j, k);
+      }
+      res += std::norm(acc);
+    }
+    result.max_residual =
+        std::max(result.max_residual, std::sqrt(res) / scale);
   }
   return result;
 }

@@ -7,9 +7,16 @@
 // pairs the two parameter sets. Implementation: Householder reduction to
 // upper Hessenberg, shifted complex QR iteration for eigenvalues, inverse
 // iteration for eigenvectors.
+//
+// Failure semantics: eig_general never throws for convergence. Near-
+// defective shift-invariance operators (coherent paths) can stall the QR
+// iteration; the result then carries `converged = false` plus a residual
+// diagnostic, and the stall is counted in
+// NumericsCounters::eig_general_nonconverged.
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "linalg/numerics.hpp"
 
 namespace spotfi {
 
@@ -17,16 +24,31 @@ namespace spotfi {
 /// pivoting. Throws NumericalError if A is singular to working precision.
 [[nodiscard]] CVector solve_complex(const CMatrix& a, std::span<const cplx> b);
 
+/// Policy variant: on a singular pivot, retries with an escalating
+/// diagonal jitter (relative Tikhonov ridge) per the policy's ladder,
+/// counting each fallback in NumericsCounters::solve_regularized. Throws
+/// only for non-finite inputs or an exhausted ladder.
+[[nodiscard]] CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
+                                    const NumericsPolicy& policy);
+
 struct GeneralEig {
   /// Eigenvalues in the order discovered by the QR iteration.
   CVector eigenvalues;
   /// Unit-norm right eigenvectors; column k pairs with eigenvalues[k].
   CMatrix eigenvectors;
+  /// False when the QR iteration stalled before deflating every
+  /// eigenvalue; eigenvalues/eigenvectors are then approximations.
+  bool converged = true;
+  /// max_k ||A v_k - lambda_k v_k||_2 / scale — how well each
+  /// (eigenvalue, eigenvector) pair actually satisfies the eigen
+  /// equation. Near-defective inputs show large residuals even when the
+  /// iteration "converged".
+  double max_residual = 0.0;
 };
 
 /// Eigendecomposition of a general complex matrix. Intended for the small
 /// (L <= ~16) matrices ESPRIT produces; cost is O(n^3) per QR sweep.
-/// Throws NumericalError if the QR iteration fails to converge.
+/// Never throws for convergence — inspect `converged` / `max_residual`.
 [[nodiscard]] GeneralEig eig_general(const CMatrix& a);
 
 }  // namespace spotfi

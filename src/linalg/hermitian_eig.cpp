@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
+
+#include "linalg/numerics.hpp"
 
 namespace spotfi {
 namespace {
@@ -21,6 +24,23 @@ HermitianEig eigh(const CMatrix& input) {
   SPOTFI_EXPECTS(input.rows() == input.cols(), "eigh requires a square matrix");
   const std::size_t n = input.rows();
   if (n == 0) return {};
+
+  // A poisoned input would only churn NaN through all 64 sweeps; report
+  // it as a non-convergence immediately.
+  for (const cplx& v : input.flat()) {
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+      HermitianEig poisoned;
+      poisoned.converged = false;
+      poisoned.rcond = 0.0;
+      poisoned.off_diagonal_residual =
+          std::numeric_limits<double>::infinity();
+      poisoned.eigenvalues.assign(n,
+                                  std::numeric_limits<double>::quiet_NaN());
+      poisoned.eigenvectors = CMatrix::identity(n);
+      count_numerics(&NumericsCounters::eigh_nonconverged);
+      return poisoned;
+    }
+  }
 
   // Symmetrize: a <- (a + a^H)/2. Also measures how non-Hermitian the
   // input was so grossly wrong inputs fail fast.
@@ -102,8 +122,15 @@ HermitianEig eigh(const CMatrix& input) {
       }
     }
   }
-  if (sweep == kMaxSweeps && off_diagonal_mass(a) > tol) {
-    throw NumericalError("eigh: Jacobi iteration failed to converge");
+  HermitianEig result;
+  result.sweeps = sweep;
+  const double final_mass = off_diagonal_mass(a);
+  result.off_diagonal_residual = final_mass / (scale * scale);
+  if (sweep == kMaxSweeps && final_mass > tol) {
+    // Surface the partial decomposition with diagnostics instead of a
+    // bare convergence throw; callers (noise_subspace, ESPRIT) decide.
+    result.converged = false;
+    count_numerics(&NumericsCounters::eigh_nonconverged);
   }
 
   // Sort ascending, permuting eigenvector columns to match.
@@ -113,7 +140,6 @@ HermitianEig eigh(const CMatrix& input) {
     return a(i, i).real() < a(j, j).real();
   });
 
-  HermitianEig result;
   result.eigenvalues.resize(n);
   result.eigenvectors = CMatrix(n, n);
   for (std::size_t k = 0; k < n; ++k) {
@@ -121,6 +147,13 @@ HermitianEig eigh(const CMatrix& input) {
     for (std::size_t i = 0; i < n; ++i)
       result.eigenvectors(i, k) = v(i, order[k]);
   }
+  double abs_min = std::abs(result.eigenvalues.front());
+  double abs_max = abs_min;
+  for (const double ev : result.eigenvalues) {
+    abs_min = std::min(abs_min, std::abs(ev));
+    abs_max = std::max(abs_max, std::abs(ev));
+  }
+  result.rcond = abs_max > 0.0 ? abs_min / abs_max : 0.0;
   return result;
 }
 
@@ -132,6 +165,10 @@ SymmetricEig eigh(const RMatrix& a) {
 
   SymmetricEig result;
   result.eigenvalues = std::move(he.eigenvalues);
+  result.converged = he.converged;
+  result.sweeps = he.sweeps;
+  result.off_diagonal_residual = he.off_diagonal_residual;
+  result.rcond = he.rcond;
   result.eigenvectors = RMatrix(a.rows(), a.cols());
   // Eigenvectors of a real symmetric matrix are real up to a unit complex
   // phase; rotate each column so its largest entry is real before dropping

@@ -6,6 +6,14 @@
 // configuration), so a cyclic complex Jacobi iteration is the right choice:
 // unconditionally stable, delivers orthonormal eigenvectors to machine
 // precision, and costs microseconds at this size.
+//
+// Failure semantics: eigh never throws for convergence. Coherent multipath
+// routinely drives the covariance to (near) rank deficiency, so instead of
+// a bare NumericalError the result carries condition and residual
+// diagnostics (`converged`, `off_diagonal_residual`, `rcond`, `sweeps`) and
+// callers decide what a partial decomposition is worth. Non-convergence is
+// counted in NumericsCounters::eigh_nonconverged when a NumericsScope is
+// active.
 #pragma once
 
 #include "linalg/matrix.hpp"
@@ -19,21 +27,39 @@ namespace spotfi {
 struct HermitianEig {
   RVector eigenvalues;
   CMatrix eigenvectors;
+  /// False when the sweep limit was reached before the off-diagonal mass
+  /// dropped below tolerance; the decomposition is then approximate (does
+  /// not happen for genuinely Hermitian input).
+  bool converged = true;
+  /// Jacobi sweeps consumed.
+  int sweeps = 0;
+  /// Final off-diagonal Frobenius mass relative to the squared matrix
+  /// scale — a residual measure of how far from diagonal the iteration
+  /// stopped (0 for a clean decomposition).
+  double off_diagonal_residual = 0.0;
+  /// Reciprocal condition number min|lambda| / max|lambda| (1.0 for the
+  /// empty/scalar case, 0.0 for an exactly singular input). Rank-deficient
+  /// covariances are *expected* in MUSIC — this is a diagnostic, not an
+  /// error signal.
+  double rcond = 1.0;
 };
 
 /// Eigendecomposition of a Hermitian matrix via cyclic complex Jacobi.
 ///
 /// Preconditions: `a` is square and Hermitian to within roundoff (the
 /// routine symmetrizes internally and checks the asymmetry is small).
-/// Throws NumericalError if the sweep limit is reached before the
-/// off-diagonal mass drops below tolerance (does not happen for genuinely
-/// Hermitian input).
+/// Never throws for convergence — inspect `converged` and the residual
+/// diagnostics instead.
 [[nodiscard]] HermitianEig eigh(const CMatrix& a);
 
 /// Real symmetric convenience wrapper (used by tests and PCA-style code).
 struct SymmetricEig {
   RVector eigenvalues;
   RMatrix eigenvectors;
+  bool converged = true;
+  int sweeps = 0;
+  double off_diagonal_residual = 0.0;
+  double rcond = 1.0;
 };
 [[nodiscard]] SymmetricEig eigh(const RMatrix& a);
 

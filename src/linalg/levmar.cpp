@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/numerics.hpp"
 #include "linalg/solve.hpp"
 
 namespace spotfi {
@@ -13,13 +14,31 @@ double half_squared_norm(std::span<const double> r) {
   return 0.5 * s;
 }
 
+bool all_finite(std::span<const double> v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool all_finite(const RMatrix& a) {
+  for (const double v : a.flat()) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 RMatrix finite_difference_jacobian(const ResidualFn& f,
-                                   std::span<const double> x,
-                                   std::size_t m, double h) {
+                                   std::span<const double> x, std::size_t m,
+                                   const LevMarOptions& options) {
   RVector xp(x.begin(), x.end());
   RMatrix j(m, x.size());
   for (std::size_t col = 0; col < x.size(); ++col) {
-    const double step = h * std::max(1.0, std::abs(x[col]));
+    const double scale = options.fd_scales.empty()
+                             ? 1.0
+                             : std::abs(options.fd_scales[col]);
+    const double step =
+        options.fd_step * std::max(std::abs(x[col]), std::max(scale, 1e-300));
     const double orig = xp[col];
     xp[col] = orig + step;
     const RVector rp = f(xp);
@@ -42,25 +61,60 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
                                  const JacobianFn& jacobian) {
   SPOTFI_EXPECTS(!x0.empty(), "levenberg_marquardt requires parameters");
   SPOTFI_EXPECTS(options.max_iterations > 0, "max_iterations must be > 0");
+  SPOTFI_EXPECTS(
+      options.fd_scales.empty() || options.fd_scales.size() == x0.size(),
+      "fd_scales must be empty or match the parameter count");
 
   LevMarResult result;
   result.x.assign(x0.begin(), x0.end());
+
+  if (!all_finite(result.x)) {
+    result.diverged = true;
+    result.reason = "non-finite initial parameters";
+    count_numerics(&NumericsCounters::levmar_poisoned);
+    return result;
+  }
+
   RVector r = residuals(result.x);
   SPOTFI_EXPECTS(r.size() >= x0.size(),
                  "need at least as many residuals as parameters");
   result.cost = half_squared_norm(r);
+  if (!all_finite(r) || !std::isfinite(result.cost)) {
+    // The start itself sits in a non-finite region; there is no finite
+    // gradient to follow out of it.
+    result.diverged = true;
+    result.reason = "non-finite residuals at the initial point";
+    count_numerics(&NumericsCounters::levmar_poisoned);
+    return result;
+  }
 
   const std::size_t n = x0.size();
   const std::size_t m = r.size();
   double lambda = options.initial_lambda;
 
+  // Characteristic parameter scale for the step-size trust guard.
+  double x_scale = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    const double s = options.fd_scales.empty() ? 1.0 : options.fd_scales[a];
+    x_scale = std::max(x_scale, std::max(std::abs(result.x[a]), s));
+  }
+  x_scale = std::max(x_scale, 1e-300);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const RMatrix j =
-        jacobian ? jacobian(result.x)
-                 : finite_difference_jacobian(residuals, result.x, m,
-                                              options.fd_step);
+    const RMatrix j = jacobian ? jacobian(result.x)
+                               : finite_difference_jacobian(residuals, result.x,
+                                                            m, options);
     SPOTFI_EXPECTS(j.rows() == m && j.cols() == n, "jacobian shape mismatch");
+    if (!all_finite(j)) {
+      // The current point is finite but its neighborhood is not (FD probes
+      // crossed into a NaN region, or an analytic Jacobian blew up). No
+      // usable descent direction exists.
+      result.diverged = true;
+      result.reason = "non-finite Jacobian";
+      count_numerics(&NumericsCounters::levmar_poisoned);
+      return result;
+    }
 
     // Normal equations: (J^T J + lambda * diag(J^T J)) dx = -J^T r.
     RMatrix jtj(n, n);
@@ -77,7 +131,9 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
     }
 
     bool stepped = false;
+    bool saw_nonfinite_trial = false;
     for (int attempt = 0; attempt < 12 && !stepped; ++attempt) {
+      if (lambda > options.max_lambda) break;
       RMatrix damped = jtj;
       for (std::size_t a = 0; a < n; ++a) {
         damped(a, a) += lambda * std::max(jtj(a, a), 1e-12);
@@ -89,6 +145,16 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
       try {
         dx = solve_spd(damped, neg_jtr);
       } catch (const NumericalError&) {
+        count_numerics(&NumericsCounters::levmar_solve_failed);
+        lambda *= options.lambda_up;
+        continue;
+      }
+      const double step_norm = norm2(std::span<const double>(dx));
+      if (!std::isfinite(step_norm) ||
+          step_norm > options.max_step_factor * x_scale) {
+        // Trust guard: a near-singular system produced an absurd step;
+        // treat it like an uphill trial and damp harder.
+        count_numerics(&NumericsCounters::levmar_solve_failed);
         lambda *= options.lambda_up;
         continue;
       }
@@ -97,11 +163,18 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
       for (std::size_t a = 0; a < n; ++a) x_try[a] += dx[a];
       const RVector r_try = residuals(x_try);
       const double cost_try = half_squared_norm(r_try);
+      if (!all_finite(r_try) || !std::isfinite(cost_try)) {
+        // Stepped into a non-finite region: reject and shrink the step.
+        ++result.nonfinite_trials;
+        saw_nonfinite_trial = true;
+        count_numerics(&NumericsCounters::levmar_nonfinite_trials);
+        lambda *= options.lambda_up;
+        continue;
+      }
 
       if (cost_try < result.cost) {
         const double improvement =
             (result.cost - cost_try) / std::max(result.cost, 1e-300);
-        const double step_norm = norm2(std::span<const double>(dx));
         result.x = std::move(x_try);
         r = r_try;
         result.cost = cost_try;
@@ -117,6 +190,14 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
       }
     }
     if (!stepped) {
+      if (saw_nonfinite_trial) {
+        // Every surviving trial this iteration was non-finite: the iterate
+        // is pinned against a NaN/Inf wall, not at a genuine minimum.
+        result.diverged = true;
+        result.reason = "surrounded by non-finite residuals";
+        count_numerics(&NumericsCounters::levmar_poisoned);
+        return result;
+      }
       // Damping maxed out without improvement: local minimum.
       result.converged = true;
       return result;

@@ -1,0 +1,105 @@
+// Numerical fault containment: the shared policy and telemetry layer for
+// the dense-linalg kernels.
+//
+// SpotFi's estimate chain feeds its kernels adversarial inputs by physics:
+// coherent multipath collapses the smoothed covariance toward rank
+// deficiency before eigh ever runs, the Eq. 9 objective is non-convex, and
+// ill-conditioning — not noise — is the dominant failure mode for
+// super-resolution CSI estimators. Instead of every kernel throwing
+// NumericalError and every caller catching ad hoc, the kernels share:
+//
+//  * NumericsPolicy — a retry ladder (exact -> escalating Tikhonov/jitter
+//    regularization -> pivoted/pseudo-inverse fallback) with scales
+//    expressed *relative* to the input, so the same policy works for
+//    metre-scale geometry and nanosecond-scale ToF systems alike.
+//  * NumericsCounters — a telemetry struct counting every time a kernel
+//    had to leave the exact path. ApProcessor::process_robust and
+//    SpotFiServer::try_localize surface these in ApOutcome::note /
+//    LocalizationRound::notes so a degraded fix always says *why*.
+//  * NumericsScope — a thread-local RAII collector. Kernels report through
+//    count_numerics() without threading a counters pointer through every
+//    signature; scopes nest, and a child folds its tallies into its parent
+//    on destruction (per-AP scopes inside a per-round scope sum up).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace spotfi {
+
+/// Knobs for the regularized retry ladders. All regularization scales are
+/// relative to the magnitude of the input matrix (its largest diagonal or
+/// absolute entry), never absolute.
+struct NumericsPolicy {
+  /// Regularized attempts after the exact factorization fails. Each step
+  /// multiplies the ridge by `ridge_growth`.
+  int max_ridge_steps = 6;
+  /// First ridge, as a fraction of the matrix scale.
+  double initial_ridge = 1e-12;
+  /// Ridge escalation factor between attempts.
+  double ridge_growth = 100.0;
+  /// Let lstsq fall through to a truncated-eigenvalue pseudo-inverse when
+  /// even the ridged normal equations fail.
+  bool allow_pseudoinverse = true;
+  /// Relative eigenvalue cutoff for the pseudo-inverse: eigenvalues below
+  /// `pinv_rcond * lambda_max` are treated as exact zeros.
+  double pinv_rcond = 1e-10;
+
+  /// The library-wide default policy.
+  [[nodiscard]] static const NumericsPolicy& defaults();
+};
+
+/// Telemetry: how many times each containment mechanism fired. One counter
+/// per mechanism, so a degradation note can name the exact fallback that
+/// saved (or failed to save) a round.
+struct NumericsCounters {
+  std::size_t cholesky_regularized = 0;   ///< SPD solve needed a ridge
+  std::size_t lstsq_regularized = 0;      ///< QR failed; ridged normal eqs
+  std::size_t lstsq_pseudoinverse = 0;    ///< terminal pseudo-inverse used
+  std::size_t solve_regularized = 0;      ///< complex LU needed jitter
+  std::size_t eigh_nonconverged = 0;      ///< Jacobi hit the sweep limit
+  std::size_t eig_general_nonconverged = 0;  ///< QR hit the iteration limit
+  std::size_t levmar_nonfinite_trials = 0;   ///< trial residuals NaN/Inf
+  std::size_t levmar_poisoned = 0;        ///< LM entered/hit non-finite terrain
+  std::size_t levmar_solve_failed = 0;    ///< damped normal eqs not PD
+  std::size_t localizer_starts_rejected = 0;  ///< diverged multi-start seeds
+  std::size_t gmm_variance_floored = 0;   ///< GMM fed all-coincident points
+  std::size_t gmm_nonfinite = 0;          ///< EM saw a non-finite likelihood
+  std::size_t gdop_degenerate = 0;        ///< collinear bearing geometry
+
+  [[nodiscard]] std::size_t total() const;
+  [[nodiscard]] bool any() const { return total() > 0; }
+  void merge(const NumericsCounters& other);
+  /// Comma-separated "name=count" for the non-zero counters; empty string
+  /// when nothing fired. This is what lands in degradation notes.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// RAII telemetry collector. While alive on a thread, count_numerics()
+/// calls on that thread accumulate into it. Scopes nest: when a scope is
+/// destroyed its counters fold into the enclosing scope (if any), so a
+/// per-AP scope reports locally *and* contributes to the round total.
+class NumericsScope {
+ public:
+  NumericsScope();
+  ~NumericsScope();
+  NumericsScope(const NumericsScope&) = delete;
+  NumericsScope& operator=(const NumericsScope&) = delete;
+
+  [[nodiscard]] const NumericsCounters& counters() const { return counters_; }
+
+ private:
+  friend void count_numerics(std::size_t NumericsCounters::*field,
+                             std::size_t n);
+  NumericsCounters counters_;
+  NumericsScope* parent_;
+};
+
+/// Increments `field` on the innermost active scope of this thread; no-op
+/// when no scope is active (strict/bench paths pay one branch).
+void count_numerics(std::size_t NumericsCounters::*field, std::size_t n = 1);
+
+/// True when a NumericsScope is active on this thread.
+[[nodiscard]] bool numerics_scope_active();
+
+}  // namespace spotfi

@@ -3,12 +3,13 @@
 #include <cmath>
 
 #include "linalg/hermitian_eig.hpp"
+#include "linalg/numerics.hpp"
 #include "linalg/solve.hpp"
 
 namespace spotfi {
 
-GdopResult bearing_gdop(std::span<const ArrayPose> aps, Vec2 point,
-                        double sigma_aoa_rad) {
+Expected<GdopResult, std::string> try_bearing_gdop(
+    std::span<const ArrayPose> aps, Vec2 point, double sigma_aoa_rad) {
   SPOTFI_EXPECTS(aps.size() >= 2, "GDOP needs at least two APs");
   SPOTFI_EXPECTS(sigma_aoa_rad > 0.0, "AoA sigma must be positive");
 
@@ -31,8 +32,12 @@ GdopResult bearing_gdop(std::span<const ArrayPose> aps, Vec2 point,
 
   // Covariance = FIM^-1; its eigenvalues are the squared ellipse axes.
   const double det = fim(0, 0) * fim(1, 1) - fim(0, 1) * fim(1, 0);
-  if (det <= 1e-12 * (1.0 + fim.max_abs() * fim.max_abs())) {
-    throw NumericalError("bearing_gdop: degenerate geometry");
+  if (!(det > 1e-12 * (1.0 + fim.max_abs() * fim.max_abs()))) {
+    // !(>) also rejects a NaN determinant from non-finite poses.
+    count_numerics(&NumericsCounters::gdop_degenerate);
+    return std::string(
+        "bearing_gdop: degenerate geometry (all bearings parallel — "
+        "APs collinear with the query point, or non-finite input)");
   }
   RMatrix cov(2, 2);
   cov(0, 0) = fim(1, 1) / det;
@@ -46,6 +51,14 @@ GdopResult bearing_gdop(std::span<const ArrayPose> aps, Vec2 point,
   result.major_m = std::sqrt(std::max(eig.eigenvalues[1], 0.0));
   result.drms_m = std::hypot(result.major_m, result.minor_m);
   return result;
+}
+
+GdopResult bearing_gdop(std::span<const ArrayPose> aps, Vec2 point,
+                        double sigma_aoa_rad) {
+  Expected<GdopResult, std::string> r =
+      try_bearing_gdop(aps, point, sigma_aoa_rad);
+  if (!r) throw NumericalError(r.error());
+  return std::move(*r);
 }
 
 }  // namespace spotfi

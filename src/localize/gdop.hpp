@@ -26,8 +26,15 @@ struct GdopResult {
 /// from `aps`, each with independent AoA noise `sigma_aoa_rad`. A bearing
 /// from AP i constrains the component of the position error perpendicular
 /// to the line of sight with standard deviation d_i * sigma; the combined
-/// Fisher information is summed and inverted. Throws NumericalError when
-/// the bearings are degenerate (all APs collinear with the point).
+/// Fisher information is summed and inverted. Degenerate geometry (all
+/// APs collinear with the point, so the Fisher information is singular)
+/// returns the reason as the error alternative; the count lands in
+/// NumericsCounters::gdop_degenerate when a scope is active.
+[[nodiscard]] Expected<GdopResult, std::string> try_bearing_gdop(
+    std::span<const ArrayPose> aps, Vec2 point, double sigma_aoa_rad);
+
+/// Throwing convenience wrapper over try_bearing_gdop: raises
+/// NumericalError on degenerate geometry.
 [[nodiscard]] GdopResult bearing_gdop(std::span<const ArrayPose> aps,
                                       Vec2 point, double sigma_aoa_rad);
 

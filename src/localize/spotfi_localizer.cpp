@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/angles.hpp"
+#include "linalg/numerics.hpp"
 
 namespace spotfi {
 namespace {
@@ -148,15 +150,33 @@ LocationEstimate SpotFiLocalizer::locate(
 
   LocationEstimate best;
   best.cost = std::numeric_limits<double>::max();
+  bool have_winner = false;
   for (const auto& seed : seeds) {
+    ++best.starts_tried;
     const RVector x0{seed.x, seed.y};
     const LevMarResult res =
         levenberg_marquardt(residuals, x0, config_.levmar);
+    // A diverged run carries no usable solution, and a NaN cost would
+    // silently lose every `<` comparison — either way the start must be
+    // rejected explicitly, never allowed to leave `best` default-initialized
+    // at the origin as if (0, 0) were an estimate.
+    if (res.diverged || !std::isfinite(res.cost) ||
+        !std::isfinite(res.x[0]) || !std::isfinite(res.x[1])) {
+      ++best.starts_rejected;
+      count_numerics(&NumericsCounters::localizer_starts_rejected);
+      continue;
+    }
     if (res.cost < best.cost) {
       best.cost = res.cost;
       best.position = {res.x[0], res.x[1]};
       best.converged = res.converged;
+      have_winner = true;
     }
+  }
+  if (!have_winner) {
+    throw NumericalError(
+        "locate: all " + std::to_string(best.starts_tried) +
+        " multi-start seeds diverged; observations are numerically unusable");
   }
   best.path_loss = fit_path_loss(best.position);
   // LM cost is 0.5*||r||^2; report the Eq. 9 value.

@@ -63,6 +63,12 @@ struct LocationEstimate {
   /// Final value of the Eq. 9 objective.
   double cost = 0.0;
   bool converged = false;
+  /// Multi-start bookkeeping: seeds attempted, and seeds whose LM run was
+  /// rejected (diverged, or finished on a non-finite cost/position). A
+  /// rejected start never wins the multi-start comparison, whatever its
+  /// recorded cost.
+  std::size_t starts_tried = 0;
+  std::size_t starts_rejected = 0;
 };
 
 class SpotFiLocalizer {
@@ -70,7 +76,9 @@ class SpotFiLocalizer {
   explicit SpotFiLocalizer(LocalizerConfig config = {});
 
   /// Localizes from >= 2 AP observations. Observations with non-positive
-  /// likelihood are ignored; throws if fewer than two remain.
+  /// likelihood are ignored; throws ContractViolation if fewer than two
+  /// remain, and NumericalError if *every* multi-start seed diverged (the
+  /// observations are numerically unusable — e.g. non-finite RSSI).
   [[nodiscard]] LocationEstimate locate(
       std::span<const ApObservation> observations) const;
 

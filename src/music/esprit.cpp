@@ -11,7 +11,9 @@ namespace spotfi {
 namespace {
 
 /// Least-squares solution of A X = B for skinny complex A via the normal
-/// equations (columns of X solved independently).
+/// equations (columns of X solved independently). A rank-deficient normal
+/// matrix — coherent paths collapsing the signal subspace — goes through
+/// the policy's regularization ladder instead of failing outright.
 CMatrix complex_lstsq(const CMatrix& a, const CMatrix& b) {
   SPOTFI_EXPECTS(a.rows() == b.rows() && a.rows() >= a.cols(),
                  "complex_lstsq shape mismatch");
@@ -20,7 +22,8 @@ CMatrix complex_lstsq(const CMatrix& a, const CMatrix& b) {
   const CMatrix atb = at * b;
   CMatrix x(a.cols(), b.cols());
   for (std::size_t j = 0; j < b.cols(); ++j) {
-    const CVector col = solve_complex(ata, atb.col(j));
+    const CVector col =
+        solve_complex(ata, atb.col(j), NumericsPolicy::defaults());
     x.set_col(j, col);
   }
   return x;
@@ -81,6 +84,7 @@ std::vector<PathEstimate> JointEspritEstimator::estimate(
   const std::size_t n_signal = sub.n_signal;
   // Signal basis: the top-n_signal eigenvectors of the covariance.
   const HermitianEig eig = eigh(x.gram());
+  if (!eig.converged) return {};  // no trustworthy signal basis
   CMatrix es(dim, n_signal);
   for (std::size_t k = 0; k < n_signal; ++k) {
     for (std::size_t i = 0; i < dim; ++i) {
@@ -104,20 +108,20 @@ std::vector<PathEstimate> JointEspritEstimator::estimate(
   }
 
   // Joint diagonalization: eigenvectors of F_tau diagonalize F_phi too
-  // (in the noiseless case the operators commute).
-  GeneralEig te;
-  try {
-    te = eig_general(f_tau);
-  } catch (const NumericalError&) {
-    return estimates;
-  }
+  // (in the noiseless case the operators commute). eig_general never
+  // throws for convergence; a stalled iteration (near-defective operator
+  // from coherent paths) surfaces through the `converged` flag instead.
+  const GeneralEig te = eig_general(f_tau);
+  if (!te.converged) return estimates;
   // Phi eigenvalues paired through the same basis: T^-1 F_phi T diagonal.
   CMatrix phi_in_basis(n_signal, n_signal);
   try {
-    // Solve T * Y = F_phi * T for Y, then take the diagonal.
+    // Solve T * Y = F_phi * T for Y, then take the diagonal. A defective
+    // eigenvector basis is near-singular; lean on the jitter ladder.
     const CMatrix rhs = f_phi * te.eigenvectors;
     for (std::size_t j = 0; j < n_signal; ++j) {
-      const CVector col = solve_complex(te.eigenvectors, rhs.col(j));
+      const CVector col =
+          solve_complex(te.eigenvectors, rhs.col(j), NumericsPolicy::defaults());
       phi_in_basis.set_col(j, col);
     }
   } catch (const NumericalError&) {

@@ -9,6 +9,19 @@
 namespace spotfi {
 namespace {
 
+/// eigh never throws for convergence; the subspace split is where a
+/// partial decomposition becomes unusable (noise/signal separation is
+/// meaningless without orthonormal eigenvectors), so the throw that the
+/// MUSIC pipeline's fallback ladder expects is re-raised here.
+void require_converged(const HermitianEig& eig) {
+  if (!eig.converged) {
+    throw NumericalError(
+        "noise_subspace: covariance eigendecomposition did not converge "
+        "(off-diagonal residual " +
+        std::to_string(eig.off_diagonal_residual) + ")");
+  }
+}
+
 Subspaces split(const HermitianEig& eig, std::size_t n_signal) {
   const std::size_t dim = eig.eigenvalues.size();
   SPOTFI_EXPECTS(n_signal < dim, "signal subspace must leave noise dims");
@@ -76,6 +89,7 @@ Subspaces noise_subspace(const CMatrix& measurement,
                      config.relative_threshold < 1.0,
                  "relative_threshold must be in (0, 1)");
   const HermitianEig eig = eigh(measurement.gram());
+  require_converged(eig);
   const std::size_t dim = eig.eigenvalues.size();
 
   std::size_t n_signal = 0;
@@ -101,7 +115,9 @@ Subspaces noise_subspace(const CMatrix& measurement,
 Subspaces noise_subspace_fixed(const CMatrix& measurement,
                                std::size_t n_signal) {
   SPOTFI_EXPECTS(measurement.rows() >= 2, "measurement matrix too small");
-  return split(eigh(measurement.gram()), n_signal);
+  const HermitianEig eig = eigh(measurement.gram());
+  require_converged(eig);
+  return split(eig, n_signal);
 }
 
 }  // namespace spotfi

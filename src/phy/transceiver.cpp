@@ -110,7 +110,7 @@ PhyCsiResult receive_csi(const CMatrix& rx_streams, const PhyConfig& cfg) {
   }
   const auto peak_it = std::max_element(corr.begin(), corr.end());
   if (*peak_it <= 1e-9 * core_energy) {
-    throw NumericalError("receive_csi: no frame detected");
+    throw DetectionError("receive_csi: no frame detected");
   }
   std::size_t start = static_cast<std::size_t>(peak_it - corr.begin());
   // The repeated LTF produces equal peaks one symbol apart; take the

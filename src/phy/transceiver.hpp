@@ -65,7 +65,8 @@ struct PhyCsiResult {
 
 /// Receiver: detects the frame, estimates the channel on the occupied
 /// subcarriers from the LTF symbols, and reports the 5300's subcarrier
-/// subset. Throws NumericalError if no plausible frame is found.
+/// subset. Throws DetectionError if no plausible frame is found — a missed
+/// detection is a channel outcome, not a numerical failure.
 [[nodiscard]] PhyCsiResult receive_csi(const CMatrix& rx_streams,
                                        const PhyConfig& cfg);
 

@@ -199,7 +199,7 @@ TEST(FallbackChain, PrimaryOnCleanGroup) {
   EXPECT_TRUE(outcome.usable);
   EXPECT_EQ(outcome.stage, ApStage::kPrimary);
   EXPECT_TRUE(outcome.result.observation.has_aoa);
-  EXPECT_TRUE(outcome.note.empty());
+  EXPECT_EQ(outcome.note, "");  // a clean group must not report numerics
 }
 
 TEST(FallbackChain, RssiOnlyWhenCsiCorrupt) {

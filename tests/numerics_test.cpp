@@ -1,0 +1,400 @@
+// Edge-case tests for the numerical fault containment layer: the
+// NumericsScope telemetry, the regularized retry ladders in the dense
+// solvers, eigensolver diagnostics on defective/rank-deficient inputs,
+// Levenberg-Marquardt's non-finite containment and per-parameter FD
+// scaling, GMM flooring on coincident data, and degenerate GDOP geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/gmm.hpp"
+#include "common/rng.hpp"
+#include "linalg/eig_general.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "linalg/levmar.hpp"
+#include "linalg/numerics.hpp"
+#include "linalg/solve.hpp"
+#include "localize/gdop.hpp"
+
+namespace spotfi {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// --- NumericsScope / counters ---
+
+TEST(NumericsScope, CountsOnlyWhileActive) {
+  EXPECT_FALSE(numerics_scope_active());
+  count_numerics(&NumericsCounters::cholesky_regularized);  // no-op, no scope
+  {
+    NumericsScope scope;
+    EXPECT_TRUE(numerics_scope_active());
+    count_numerics(&NumericsCounters::cholesky_regularized);
+    count_numerics(&NumericsCounters::gdop_degenerate, 3);
+    EXPECT_EQ(scope.counters().cholesky_regularized, 1u);
+    EXPECT_EQ(scope.counters().gdop_degenerate, 3u);
+    EXPECT_EQ(scope.counters().total(), 4u);
+    EXPECT_TRUE(scope.counters().any());
+  }
+  EXPECT_FALSE(numerics_scope_active());
+}
+
+TEST(NumericsScope, NestedScopesFoldIntoParent) {
+  NumericsScope outer;
+  count_numerics(&NumericsCounters::lstsq_regularized);
+  {
+    NumericsScope inner;
+    count_numerics(&NumericsCounters::lstsq_regularized);
+    count_numerics(&NumericsCounters::eigh_nonconverged);
+    // While the inner scope is active, events land there, not in outer.
+    EXPECT_EQ(inner.counters().lstsq_regularized, 1u);
+    EXPECT_EQ(outer.counters().lstsq_regularized, 1u);
+  }
+  // Destruction folded the inner tallies into the outer scope.
+  EXPECT_EQ(outer.counters().lstsq_regularized, 2u);
+  EXPECT_EQ(outer.counters().eigh_nonconverged, 1u);
+}
+
+TEST(NumericsCounters, SummaryNamesOnlyNonZero) {
+  NumericsCounters c;
+  EXPECT_EQ(c.summary(), "");
+  c.cholesky_regularized = 2;
+  c.gmm_variance_floored = 1;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("cholesky-regularized=2"), std::string::npos);
+  EXPECT_NE(s.find("gmm-variance-floored=1"), std::string::npos);
+  EXPECT_EQ(s.find("lstsq"), std::string::npos);
+}
+
+// --- cholesky / solve ladders ---
+
+TEST(RetryLadder, CholeskyRecoversSingularPsdMatrix) {
+  // Rank-1 PSD: strictly not positive definite, so the exact factorization
+  // fails and the ladder must step in.
+  const RMatrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((void)cholesky(a), NumericalError);
+
+  NumericsScope scope;
+  const RegularizedCholesky rc = cholesky(a, NumericsPolicy::defaults());
+  EXPECT_GT(rc.ridge, 0.0);
+  EXPECT_GE(rc.attempts, 1);
+  EXPECT_GE(scope.counters().cholesky_regularized, 1u);
+  // The factor reproduces the damped matrix: L L^T = A + ridge I.
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < 2; ++k) s += rc.l(i, k) * rc.l(j, k);
+      const double expected = a(i, j) + (i == j ? rc.ridge : 0.0);
+      EXPECT_NEAR(s, expected, 1e-9 * (1.0 + std::abs(expected)));
+    }
+  }
+}
+
+TEST(RetryLadder, CholeskyRejectsNonFiniteInput) {
+  RMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+  a(0, 1) = kNan;
+  EXPECT_THROW((void)cholesky(a, NumericsPolicy::defaults()), NumericalError);
+}
+
+TEST(RetryLadder, StrictCholeskyCatchesNanPivot) {
+  // A NaN on the diagonal must fail the factorization, not propagate.
+  RMatrix a{{1.0, 0.0}, {0.0, 1.0}};
+  a(1, 1) = kNan;
+  EXPECT_THROW((void)cholesky(a), NumericalError);
+}
+
+TEST(RetryLadder, LstsqRecoversRankDeficientSystem) {
+  // Columns are exact multiples: rank 1, so strict QR refuses.
+  const RMatrix a{{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  const RVector b{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)lstsq(a, b), NumericalError);
+
+  NumericsScope scope;
+  const RVector x = lstsq(a, b, NumericsPolicy::defaults());
+  EXPECT_GE(scope.counters().lstsq_regularized +
+                scope.counters().lstsq_pseudoinverse,
+            1u);
+  // b lies in the column space, so the regularized solution must still
+  // reproduce it: A x ~= b.
+  for (std::size_t i = 0; i < 3; ++i) {
+    double ax = 0.0;
+    for (std::size_t j = 0; j < 2; ++j) ax += a(i, j) * x[j];
+    EXPECT_NEAR(ax, b[i], 1e-5);
+  }
+}
+
+TEST(RetryLadder, SolveComplexRegularizesSingularMatrix) {
+  const CMatrix a{{cplx(1.0, 0.0), cplx(2.0, 0.0)},
+                  {cplx(2.0, 0.0), cplx(4.0, 0.0)}};
+  const CVector b{cplx(1.0, 0.0), cplx(2.0, 0.0)};
+  EXPECT_THROW((void)solve_complex(a, b), NumericalError);
+
+  NumericsScope scope;
+  const CVector x = solve_complex(a, b, NumericsPolicy::defaults());
+  EXPECT_GE(scope.counters().solve_regularized, 1u);
+  // The rhs is in the range of A; the jittered solve must reproduce it.
+  for (std::size_t i = 0; i < 2; ++i) {
+    cplx ax{};
+    for (std::size_t j = 0; j < 2; ++j) ax += a(i, j) * x[j];
+    EXPECT_NEAR(std::abs(ax - b[i]), 0.0, 1e-5);
+  }
+}
+
+TEST(RetryLadder, SolveComplexRejectsNonFiniteRhs) {
+  const CMatrix a{{cplx(1.0, 0.0), cplx{}}, {cplx{}, cplx(1.0, 0.0)}};
+  const CVector b{cplx(kNan, 0.0), cplx(1.0, 0.0)};
+  EXPECT_THROW((void)solve_complex(a, b, NumericsPolicy::defaults()),
+               NumericalError);
+}
+
+// --- eigh diagnostics ---
+
+TEST(EighDiagnostics, RankOneOuterProductIsDiagnosedNotThrown) {
+  // v v^H: one eigenvalue ||v||^2, the rest exactly zero — the covariance
+  // MUSIC sees under a single fully coherent path bundle.
+  Rng rng(7);
+  const std::size_t n = 6;
+  CVector v(n);
+  for (auto& e : v) e = cplx(rng.normal(), rng.normal());
+  CMatrix a(n, n);
+  double norm_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = v[i] * std::conj(v[j]);
+    norm_sq += std::norm(v[i]);
+  }
+
+  const HermitianEig eig = eigh(a);
+  EXPECT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues.back(), norm_sq, 1e-9 * norm_sq);
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    EXPECT_NEAR(eig.eigenvalues[k], 0.0, 1e-9 * norm_sq);
+  }
+  // Exactly singular: rcond reports it, but that is a diagnostic, not an
+  // error — rank deficiency is MUSIC's normal operating regime.
+  EXPECT_LT(eig.rcond, 1e-9);
+  // Eigenvectors stay orthonormal even for the defective-looking input.
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      cplx dot{};
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += std::conj(eig.eigenvectors(i, p)) * eig.eigenvectors(i, q);
+      }
+      EXPECT_NEAR(std::abs(dot), p == q ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(EighDiagnostics, ClusteredEigenvaluesStillConverge) {
+  // Nearly equal eigenvalues are the classic Jacobi stress case.
+  Rng rng(8);
+  const std::size_t n = 5;
+  CMatrix q(n, n);
+  for (auto& e : q.flat()) e = cplx(rng.normal(), rng.normal());
+  // Orthonormalize columns (Gram-Schmidt) to build a unitary basis.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < j; ++k) {
+      cplx proj{};
+      for (std::size_t i = 0; i < n; ++i) proj += std::conj(q(i, k)) * q(i, j);
+      for (std::size_t i = 0; i < n; ++i) q(i, j) -= proj * q(i, k);
+    }
+    double nv = 0.0;
+    for (std::size_t i = 0; i < n; ++i) nv += std::norm(q(i, j));
+    nv = std::sqrt(nv);
+    for (std::size_t i = 0; i < n; ++i) q(i, j) /= nv;
+  }
+  const RVector lambda{1.0, 1.0 + 1e-13, 1.0 + 2e-13, 1.0 + 3e-13, 2.0};
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cplx s{};
+      for (std::size_t k = 0; k < n; ++k) {
+        s += q(i, k) * lambda[k] * std::conj(q(j, k));
+      }
+      a(i, j) = s;
+    }
+  }
+  // Symmetrize exactly to stay within eigh's Hermitian tolerance.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const cplx avg = 0.5 * (a(i, j) + std::conj(a(j, i)));
+      a(i, j) = avg;
+      a(j, i) = std::conj(avg);
+    }
+  }
+  const HermitianEig eig = eigh(a);
+  EXPECT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues.back(), 2.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues.front(), 1.0, 1e-9);
+}
+
+TEST(EighDiagnostics, NanInputReportsNonConvergenceInsteadOfChurning) {
+  CMatrix a(4, 4);
+  a(1, 2) = cplx(kNan, 0.0);
+  NumericsScope scope;
+  const HermitianEig eig = eigh(a);
+  EXPECT_FALSE(eig.converged);
+  EXPECT_EQ(eig.rcond, 0.0);
+  EXPECT_TRUE(std::isinf(eig.off_diagonal_residual));
+  EXPECT_EQ(scope.counters().eigh_nonconverged, 1u);
+}
+
+// --- eig_general diagnostics ---
+
+TEST(EigGeneralDiagnostics, JordanBlockDoesNotThrow) {
+  // Nilpotent Jordan block: defective (single eigenvector), the worst
+  // case for both QR deflation and inverse iteration. The contract is
+  // "no throw, diagnostics populated" — not accuracy.
+  const std::size_t n = 4;
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) a(i, i + 1) = cplx(1.0, 0.0);
+  const GeneralEig eig = eig_general(a);
+  EXPECT_EQ(eig.eigenvalues.size(), n);
+  for (const cplx& ev : eig.eigenvalues) {
+    EXPECT_TRUE(std::isfinite(ev.real()) && std::isfinite(ev.imag()));
+  }
+  EXPECT_TRUE(std::isfinite(eig.max_residual));
+}
+
+TEST(EigGeneralDiagnostics, CleanMatrixHasTinyResidual) {
+  Rng rng(9);
+  CMatrix a(4, 4);
+  for (auto& e : a.flat()) e = cplx(rng.normal(), rng.normal());
+  const GeneralEig eig = eig_general(a);
+  EXPECT_TRUE(eig.converged);
+  EXPECT_LT(eig.max_residual, 1e-6);
+}
+
+TEST(EigGeneralDiagnostics, NanInputIsPoisonedNotLooped) {
+  CMatrix a(3, 3);
+  a(0, 0) = cplx(kNan, 0.0);
+  NumericsScope scope;
+  const GeneralEig eig = eig_general(a);
+  EXPECT_FALSE(eig.converged);
+  EXPECT_TRUE(std::isinf(eig.max_residual));
+  EXPECT_EQ(scope.counters().eig_general_nonconverged, 1u);
+}
+
+// --- Levenberg-Marquardt containment ---
+
+TEST(LevMarContainment, NonFiniteStartIsDivergedNotChurned) {
+  const ResidualFn f = [](std::span<const double> x) {
+    return RVector{x[0] - 1.0, kNan};
+  };
+  NumericsScope scope;
+  const LevMarResult res = levenberg_marquardt(f, RVector{0.0});
+  EXPECT_TRUE(res.diverged);
+  EXPECT_FALSE(res.converged);
+  EXPECT_FALSE(res.reason.empty());
+  EXPECT_GE(scope.counters().levmar_poisoned, 1u);
+}
+
+TEST(LevMarContainment, NanWallIsContainedAndResultStaysFinite) {
+  // Residual valid only for x < 1; the optimum pull is toward larger x.
+  // Trials crossing the wall must be rejected like uphill steps and the
+  // returned iterate must stay finite.
+  const ResidualFn f = [](std::span<const double> x) {
+    if (x[0] >= 1.0) return RVector{kNan, kNan};
+    return RVector{10.0 * (x[0] - 5.0), 0.1 * x[0]};
+  };
+  NumericsScope scope;
+  const LevMarResult res = levenberg_marquardt(f, RVector{0.5});
+  EXPECT_TRUE(std::isfinite(res.cost));
+  EXPECT_TRUE(std::isfinite(res.x[0]));
+  EXPECT_LT(res.x[0], 1.0);
+  EXPECT_GT(res.nonfinite_trials, 0u);
+  EXPECT_EQ(scope.counters().levmar_nonfinite_trials, res.nonfinite_trials);
+}
+
+TEST(LevMarContainment, FdScalesResolveTinyParameters) {
+  // Root of sin(1e8 * p - 3): the parameter lives at 3e-8. The default
+  // FD step (1e-6 * max(1, |p|) = 1e-6) spans 100 radians of the
+  // argument — pure aliasing. A per-parameter scale of 1e-8 shrinks the
+  // step to ~1e-14, giving an accurate derivative.
+  const ResidualFn f = [](std::span<const double> p) {
+    return RVector{std::sin(1e8 * p[0] - 3.0)};
+  };
+  LevMarOptions scaled;
+  scaled.fd_scales = RVector{1e-8};
+  const LevMarResult good = levenberg_marquardt(f, RVector{2e-8}, scaled);
+  EXPECT_TRUE(good.converged);
+  EXPECT_NEAR(good.x[0], 3e-8, 1e-10);
+
+  const LevMarResult bad = levenberg_marquardt(f, RVector{2e-8});
+  // Whatever the aliased run does, it cannot have tracked the true root
+  // with a 1e-6 step; it must not be trusted at the 1e-10 level.
+  EXPECT_TRUE(std::isfinite(bad.cost));
+  EXPECT_GT(std::abs(bad.x[0] - 3e-8), 1e-9);
+}
+
+TEST(LevMarContainment, FdScalesShapeIsValidated) {
+  const ResidualFn f = [](std::span<const double> x) {
+    return RVector{x[0], x[1]};
+  };
+  LevMarOptions opts;
+  opts.fd_scales = RVector{1.0};  // two parameters, one scale
+  EXPECT_THROW(
+      (void)levenberg_marquardt(f, RVector{1.0, 2.0}, opts),
+      ContractViolation);
+}
+
+// --- GMM coincident data ---
+
+TEST(GmmDegenerate, CoincidentPointsFloorVarianceAndCount) {
+  RMatrix points(10, 2);
+  for (std::size_t i = 0; i < 10; ++i) {
+    points(i, 0) = 0.4;
+    points(i, 1) = -1.3;
+  }
+  Rng rng(11);
+  NumericsScope scope;
+  const GmmResult gmm = fit_gmm(points, 3, rng);
+  EXPECT_GE(scope.counters().gmm_variance_floored, 1u);
+  for (const auto& comp : gmm.components) {
+    for (const double v : comp.variance) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GT(v, 0.0);
+    }
+    for (const double m : comp.mean) EXPECT_TRUE(std::isfinite(m));
+  }
+  EXPECT_TRUE(std::isfinite(gmm.log_likelihood));
+}
+
+TEST(GmmDegenerate, SpreadDataDoesNotCount) {
+  Rng rng(12);
+  RMatrix points(40, 2);
+  for (auto& v : points.flat()) v = rng.normal();
+  NumericsScope scope;
+  (void)fit_gmm(points, 3, rng);
+  EXPECT_EQ(scope.counters().gmm_variance_floored, 0u);
+  EXPECT_EQ(scope.counters().gmm_nonfinite, 0u);
+}
+
+// --- GDOP degenerate geometry ---
+
+TEST(GdopDegenerate, CollinearApsReturnErrorAndCount) {
+  // Three APs on the x-axis, query point also on the x-axis: every
+  // bearing is parallel, the Fisher information is rank one.
+  const std::vector<ArrayPose> aps = {
+      {{0.0, 0.0}, 0.0}, {{2.0, 0.0}, 0.0}, {{4.0, 0.0}, 0.0}};
+  NumericsScope scope;
+  const auto r = try_bearing_gdop(aps, {10.0, 0.0}, 0.02);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_NE(r.error().find("degenerate"), std::string::npos);
+  EXPECT_EQ(scope.counters().gdop_degenerate, 1u);
+  EXPECT_THROW((void)bearing_gdop(aps, {10.0, 0.0}, 0.02), NumericalError);
+}
+
+TEST(GdopDegenerate, OffAxisPointIsWellPosed) {
+  const std::vector<ArrayPose> aps = {
+      {{0.0, 0.0}, 0.0}, {{2.0, 0.0}, 0.0}, {{4.0, 0.0}, 0.0}};
+  NumericsScope scope;
+  const auto r = try_bearing_gdop(aps, {2.0, 5.0}, 0.02);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->drms_m, 0.0);
+  EXPECT_GE(r->major_m, r->minor_m);
+  EXPECT_EQ(scope.counters().gdop_degenerate, 0u);
+}
+
+}  // namespace
+}  // namespace spotfi

@@ -176,7 +176,7 @@ TEST(Transceiver, CsiShapeIs3x30) {
 TEST(Transceiver, NoSignalThrows) {
   const PhyConfig cfg;
   CMatrix silence(3, 1000);
-  EXPECT_THROW(receive_csi(silence, cfg), NumericalError);
+  EXPECT_THROW(receive_csi(silence, cfg), DetectionError);
 }
 
 TEST(Transceiver, AntennaPhaseMatchesAoaModel) {
