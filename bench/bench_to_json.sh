@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the two perf benches (perf_music,
+# perf_pipeline) in google-benchmark's JSON mode and merges them into a
+# single machine-diffable snapshot. The checked-in BENCH_<PR>.json files
+# give every future PR a perf trajectory to defend — regenerate on the
+# same machine and compare real_time per benchmark.
+#
+# Usage: bench/bench_to_json.sh <build-dir> <out.json> [--smoke]
+#   --smoke  near-zero min-time per benchmark: exercises the full runner
+#            path in seconds (CI uses this; numbers are NOT stable).
+#
+# Do not export SPOTFI_THREADS when running this: the pipeline benches
+# parameterize thread counts explicitly (threads:1 vs threads:4) and the
+# env override would collapse every variant onto one value.
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: bench_to_json.sh <build-dir> <out.json> [--smoke]}
+OUT=${2:?usage: bench_to_json.sh <build-dir> <out.json> [--smoke]}
+MODE=${3:-}
+
+MIN_TIME=0.5
+if [[ "${MODE}" == "--smoke" ]]; then
+  MIN_TIME=0.01
+fi
+
+if [[ -n "${SPOTFI_THREADS:-}" ]]; then
+  echo "bench_to_json: unset SPOTFI_THREADS first (it overrides the" \
+       "per-benchmark thread parameterization)" >&2
+  exit 1
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "${TMP}"' EXIT
+
+"${BUILD_DIR}/bench/perf_music" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_music.json"
+"${BUILD_DIR}/bench/perf_pipeline" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_pipeline.json"
+
+python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" "${OUT}" \
+  "${MODE}" <<'PY'
+import json
+import sys
+
+music_path, pipeline_path, out_path, mode = sys.argv[1:5]
+
+merged = {
+    "schema": "spotfi-bench-v1",
+    "smoke": mode == "--smoke",
+    "suites": {},
+}
+for name, path in (("perf_music", music_path),
+                   ("perf_pipeline", pipeline_path)):
+    with open(path) as f:
+        raw = json.load(f)
+    merged.setdefault("context", raw.get("context", {}))
+    merged["suites"][name] = [
+        {
+            "name": b["name"],
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "iterations": b["iterations"],
+        }
+        for b in raw.get("benchmarks", [])
+    ]
+
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

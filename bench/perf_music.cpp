@@ -43,6 +43,27 @@ void BM_HermitianEig30(benchmark::State& state) {
 }
 BENCHMARK(BM_HermitianEig30);
 
+void BM_Gram30(benchmark::State& state) {
+  // X X^H of the 30 x 32 smoothed CSI — the covariance build that feeds
+  // every eigendecomposition in the pipeline.
+  const CMatrix x = smoothed_csi(test_csi());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.gram());
+  }
+}
+BENCHMARK(BM_Gram30);
+
+void BM_MatMul30(benchmark::State& state) {
+  // 30 x 30 complex product (the eigensolver's rotation updates live in
+  // this regime).
+  const CMatrix x = smoothed_csi(test_csi());
+  const CMatrix cov = x.gram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cov * cov);
+  }
+}
+BENCHMARK(BM_MatMul30);
+
 void BM_SmoothedCsi(benchmark::State& state) {
   const CMatrix csi = test_csi();
   for (auto _ : state) {

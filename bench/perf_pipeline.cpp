@@ -2,8 +2,15 @@
 // (Algorithm 2 lines 2-10), the localization solve (line 12), and one
 // full 6-AP localization round — the numbers behind "SpotFi is
 // lightweight" (Sec. 4.4.4 wants small packet counts partly for latency).
+//
+// The group/round benches are parameterized by thread count (the bench
+// arg, shown as e.g. BM_FullRound6Aps/threads:4): thread counts are set
+// explicitly per benchmark here, so run these WITHOUT SPOTFI_THREADS in
+// the environment — the env var would override every parameterization
+// with one global value.
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.hpp"
 #include "testbed/experiment.hpp"
 
 namespace {
@@ -40,13 +47,17 @@ Fixture& fixture() {
 
 void BM_ApProcessorGroup10(benchmark::State& state) {
   auto& f = fixture();
-  const ApProcessor processor(f.link, f.captures[0].pose, {});
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  ApProcessorConfig cfg;
+  cfg.pool = threads > 1 ? &pool : nullptr;
+  const ApProcessor processor(f.link, f.captures[0].pose, cfg);
   Rng rng(11);
   for (auto _ : state) {
     benchmark::DoNotOptimize(processor.process(f.captures[0].packets, rng));
   }
 }
-BENCHMARK(BM_ApProcessorGroup10);
+BENCHMARK(BM_ApProcessorGroup10)->ArgName("threads")->Arg(1)->Arg(4);
 
 void BM_LocalizeSolve(benchmark::State& state) {
   auto& f = fixture();
@@ -62,13 +73,15 @@ BENCHMARK(BM_LocalizeSolve);
 
 void BM_FullRound6Aps(benchmark::State& state) {
   auto& f = fixture();
-  const SpotFiServer server(f.link, f.runner.config().server);
+  ServerConfig cfg = f.runner.config().server;
+  cfg.num_threads = static_cast<std::size_t>(state.range(0));
+  const SpotFiServer server(f.link, cfg);
   Rng rng(13);
   for (auto _ : state) {
     benchmark::DoNotOptimize(server.localize(f.captures, rng));
   }
 }
-BENCHMARK(BM_FullRound6Aps);
+BENCHMARK(BM_FullRound6Aps)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(6);
 
 void BM_ChannelSynthesis(benchmark::State& state) {
   auto& f = fixture();

@@ -1,0 +1,176 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+namespace spotfi {
+namespace {
+
+/// Set while a thread is executing pool tasks. A nested parallel_for on
+/// such a thread runs inline: the outer fan-out already owns the
+/// concurrency, and blocking a worker on sub-tasks other workers may
+/// never pick up is how pool deadlocks are made.
+thread_local bool t_on_worker = false;
+
+}  // namespace
+
+/// One parallel_for invocation. Lives on the calling thread's stack; the
+/// queue holds non-owning pointers, and the batch is removed from the
+/// queue by whichever participant first draws an out-of-range index.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  /// Next index to claim (lock-free fast path).
+  std::atomic<std::size_t> next{0};
+  /// Indices finished; guarded by the pool mutex.
+  std::size_t completed = 0;
+  /// Workers currently inside run_batch for this batch; guarded by the
+  /// pool mutex. The caller's wait requires this to reach zero: a worker
+  /// holds a raw pointer to the stack-allocated batch from the moment it
+  /// reads the queue front, so the batch must outlive every registered
+  /// participant, not just every index.
+  std::size_t workers_inside = 0;
+  /// First failure by *index* order (not completion order), so the
+  /// rethrown exception is deterministic. Guarded by the pool mutex.
+  std::size_t err_index = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+  std::condition_variable done_cv;
+};
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<Batch*> queue;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
+  if (n_threads == 0) n_threads = resolve_threads(0);
+  impl_->workers.reserve(n_threads > 0 ? n_threads - 1 : 0);
+  for (std::size_t i = 1; i < n_threads; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }
+
+std::size_t ThreadPool::resolve_threads(std::size_t requested) {
+  if (const char* env = std::getenv("SPOTFI_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') {
+      requested = static_cast<std::size_t>(v);
+    }
+  }
+  if (requested == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw == 0 ? 1 : hw;
+  }
+  return requested;
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Serial pool, single task, or a nested call from a worker: run inline.
+  // This is the byte-identical serial path — no synchronization, no
+  // worker handoff, exceptions propagate directly from the first failure.
+  if (impl_->workers.empty() || n == 1 || t_on_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(&batch);
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller works its own batch; workers that were idle join in.
+  run_batch(batch);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    batch.done_cv.wait(lock, [&] {
+      return batch.completed == batch.n && batch.workers_inside == 0;
+    });
+  }
+  if (batch.err) std::rethrow_exception(batch.err);
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) {
+      // Batch exhausted: the first over-drawing participant unlinks it so
+      // idle workers stop seeing it.
+      const std::lock_guard<std::mutex> lock(impl_->mutex);
+      const auto it =
+          std::find(impl_->queue.begin(), impl_->queue.end(), &batch);
+      if (it != impl_->queue.end()) impl_->queue.erase(it);
+      return;
+    }
+    std::exception_ptr err;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (err && i < batch.err_index) {
+      batch.err = err;
+      batch.err_index = i;
+    }
+    if (++batch.completed == batch.n) batch.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->work_cv.wait(
+          lock, [&] { return impl_->stop || !impl_->queue.empty(); });
+      if (impl_->stop) return;
+      batch = impl_->queue.front();
+      // Register before dropping the lock: once counted, the caller's
+      // completion wait cannot return (and destroy the batch) until this
+      // worker deregisters below.
+      ++batch->workers_inside;
+    }
+    run_batch(*batch);
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mutex);
+      if (--batch->workers_inside == 0 && batch->completed == batch->n) {
+        batch->done_cv.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace spotfi

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace spotfi {
 namespace {
 
@@ -23,21 +25,47 @@ JointMusicConfig relaxed_music(JointMusicConfig cfg) {
 }
 
 /// Shared per-group pipeline: sanitize -> estimate per packet -> pool ->
-/// cluster -> select. `estimate` is the front end under test.
+/// cluster -> select. `estimate` is the front end under test. Packets are
+/// independent until the pooling step, so the sanitize+estimate stage
+/// fans out over config.pool when one is set; per-packet outputs are
+/// slotted by index and folded in packet order (estimates, RSSI sum, and
+/// numerics counters alike), so the pooled result is byte-identical to
+/// the serial loop's.
 template <typename EstimateFn>
 ApResult run_group(std::span<const CsiPacket> packets, const LinkConfig& link,
                    const ArrayPose& pose, const ApProcessorConfig& config,
                    Rng& rng, EstimateFn&& estimate) {
-  ApResult result;
-  double rssi_sum = 0.0;
-  for (const auto& packet : packets) {
+  struct PacketOutput {
+    std::vector<PathEstimate> estimates;
+    NumericsCounters numerics;
+  };
+  std::vector<PacketOutput> outputs(packets.size());
+  const auto estimate_packet = [&](std::size_t i) {
+    // Detached: counters travel home in the task output and are merged
+    // by the dispatching thread below, never through the thread-local
+    // scope stack (which a pool worker does not share with the caller).
+    NumericsScope scope{kDetachedScope};
+    const CsiPacket& packet = packets[i];
     const CMatrix csi = config.sanitize
                             ? std::move(sanitize_tof(packet.csi, link).csi)
                             : packet.csi;
-    const auto estimates = estimate(csi);
+    outputs[i].estimates = estimate(csi);
+    outputs[i].numerics = scope.counters();
+  };
+  if (config.pool != nullptr) {
+    config.pool->parallel_for(packets.size(), estimate_packet);
+  } else {
+    for (std::size_t i = 0; i < packets.size(); ++i) estimate_packet(i);
+  }
+
+  ApResult result;
+  double rssi_sum = 0.0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
     result.pooled_estimates.insert(result.pooled_estimates.end(),
-                                   estimates.begin(), estimates.end());
-    rssi_sum += packet.rssi_dbm;
+                                   outputs[i].estimates.begin(),
+                                   outputs[i].estimates.end());
+    count_numerics(outputs[i].numerics);
+    rssi_sum += packets[i].rssi_dbm;
   }
   SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
                  "super-resolution produced no path estimates");
@@ -104,8 +132,12 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
   ApOutcome out;
 
   // Collect every numerical-fallback event fired while this group is
-  // processed; folds into any enclosing (per-round) scope on exit.
-  NumericsScope numerics_scope;
+  // processed. Detached: the counters are reported through
+  // ApOutcome::numerics only, and the caller (SpotFiServer::try_localize)
+  // merges them into its round scope explicitly — process_robust may run
+  // on a pool worker where an implicit thread-local fold would be lost,
+  // and an implicit fold on the inline path would then double-count.
+  NumericsScope numerics_scope{kDetachedScope};
   auto finish = [&]() -> ApOutcome& {
     out.numerics = numerics_scope.counters();
     if (out.numerics.any()) {

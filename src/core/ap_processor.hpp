@@ -21,6 +21,8 @@
 
 namespace spotfi {
 
+class ThreadPool;
+
 /// Which joint AoA/ToF estimator drives the per-packet stage.
 enum class FrontEnd {
   kMusic,   ///< the paper's 2-D MUSIC grid search
@@ -64,6 +66,13 @@ struct ApProcessorConfig {
   /// Estimator fallback chain used by process_robust (the throwing
   /// process() ignores this).
   ApFallbackConfig fallback{};
+  /// Non-owning thread pool for the per-packet estimation fan-out
+  /// (nullptr = serial). Results are pooled in packet order and the
+  /// per-packet numerics counters merged in packet order, so the output
+  /// is identical with and without a pool. When the processor itself
+  /// runs inside a pool task (the server's per-AP fan-out), nested
+  /// dispatch degrades to an inline loop automatically.
+  ThreadPool* pool = nullptr;
 };
 
 /// Everything the per-AP stage produces; the server consumes

@@ -8,19 +8,60 @@
 namespace spotfi {
 
 SpotFiServer::SpotFiServer(LinkConfig link, ServerConfig config)
-    : link_(link), config_(std::move(config)) {}
+    : link_(link), config_(std::move(config)) {
+  const std::size_t threads = ThreadPool::resolve_threads(config_.num_threads);
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+}
+
+std::size_t SpotFiServer::num_threads() const {
+  return pool_ ? pool_->size() : 1;
+}
+
+void SpotFiServer::for_each_ap(
+    std::size_t n, const std::function<void(std::size_t)>& task) const {
+  if (pool_) {
+    pool_->parallel_for(n, task);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) task(i);
+  }
+}
+
+ApProcessorConfig SpotFiServer::ap_config() const {
+  ApProcessorConfig cfg = config_.ap;
+  // The per-packet fan-out shares the per-AP pool: when the AP tasks
+  // already occupy the workers, nested dispatch runs inline; when there
+  // are fewer APs than lanes (or a caller drives ApProcessor directly),
+  // the packet loop picks up the slack.
+  cfg.pool = pool_.get();
+  return cfg;
+}
 
 LocalizationRound SpotFiServer::localize(std::span<const ApCapture> captures,
                                          Rng& rng) const {
   SPOTFI_EXPECTS(captures.size() >= 2, "need at least two APs");
 
+  // Fork one Rng stream per AP *before* dispatch, in capture order: the
+  // estimates are then a pure function of (captures, seed), independent
+  // of how many threads ran the APs or in which order they finished.
+  const std::size_t n = captures.size();
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) streams.push_back(rng.fork());
+
+  const ApProcessorConfig ap_cfg = ap_config();
+  std::vector<ApResult> results(n);
+  for_each_ap(n, [&](std::size_t i) {
+    const ApProcessor processor(link_, captures[i].pose, ap_cfg);
+    results[i] = processor.process(captures[i].packets, streams[i]);
+  });
+
   LocalizationRound round;
+  round.ap_results.reserve(n);
   std::vector<ApObservation> observations;
-  observations.reserve(captures.size());
-  for (const auto& capture : captures) {
-    const ApProcessor processor(link_, capture.pose, config_.ap);
-    round.ap_results.push_back(processor.process(capture.packets, rng));
-    observations.push_back(round.ap_results.back().observation);
+  observations.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    observations.push_back(results[i].observation);
+    round.ap_results.push_back(std::move(results[i]));
   }
 
   const SpotFiLocalizer localizer(config_.localizer);
@@ -34,29 +75,45 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     return RoundError{"need at least two AP captures", 0};
   }
 
-  // Round-wide numerics telemetry: per-AP scopes inside process_robust
-  // fold into this one, and fusion-stage events (localizer multi-start
-  // rejections, LOO subset solves) land here directly.
+  // Per-AP stage: same deterministic fan-out as localize(), but through
+  // the robust fallback chain. Each AP's numerics counters ride home in
+  // its ApOutcome (process_robust collects into a detached scope), and
+  // are merged into the round scope below in capture order.
+  const std::size_t n = captures.size();
+  std::vector<Rng> streams;
+  streams.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) streams.push_back(rng.fork());
+
+  const ApProcessorConfig ap_cfg = ap_config();
+  std::vector<ApOutcome> outcomes(n);
+  for_each_ap(n, [&](std::size_t i) {
+    if (captures[i].packets.empty()) return;  // folded below
+    const ApProcessor processor(link_, captures[i].pose, ap_cfg);
+    outcomes[i] = processor.process_robust(captures[i].packets, streams[i]);
+  });
+
+  // Round-wide numerics telemetry: the merged per-AP counters plus
+  // fusion-stage events (localizer multi-start rejections, LOO subset
+  // solves) land here.
   NumericsScope numerics_scope;
 
   LocalizationRound round;
-  round.ap_results.reserve(captures.size());
-  round.ap_stages.reserve(captures.size());
+  round.ap_results.reserve(n);
+  round.ap_stages.reserve(n);
   std::vector<ApObservation> usable;
   std::vector<std::size_t> usable_ap;  ///< capture index per usable obs
-  for (std::size_t i = 0; i < captures.size(); ++i) {
-    const auto& capture = captures[i];
-    if (capture.packets.empty()) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (captures[i].packets.empty()) {
       round.ap_results.emplace_back();
-      round.ap_results.back().observation.pose = capture.pose;
+      round.ap_results.back().observation.pose = captures[i].pose;
       round.ap_results.back().observation.likelihood = 0.0;
       round.ap_stages.push_back(ApStage::kFailed);
       round.notes.push_back("ap " + std::to_string(i) + ": empty capture");
       round.degraded = true;
       continue;
     }
-    const ApProcessor processor(link_, capture.pose, config_.ap);
-    ApOutcome outcome = processor.process_robust(capture.packets, rng);
+    ApOutcome& outcome = outcomes[i];
+    count_numerics(outcome.numerics);
     round.ap_stages.push_back(outcome.stage);
     if (outcome.stage != ApStage::kPrimary) {
       round.degraded = true;

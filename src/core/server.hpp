@@ -11,10 +11,12 @@
 //                     degradation reasons instead of throwing.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/ap_processor.hpp"
 #include "localize/spotfi_localizer.hpp"
 
@@ -53,6 +55,15 @@ struct ServerConfig {
   ApProcessorConfig ap{};
   LocalizerConfig localizer{};
   FusionConfig fusion{};
+  /// Lanes of concurrency for the per-AP (and nested per-packet) stages:
+  /// 0 = hardware concurrency, 1 = strictly serial (no worker threads
+  /// are created and no synchronization runs). The SPOTFI_THREADS
+  /// environment variable overrides this value at server construction.
+  /// Every estimate, note, and numerics digest is identical for every
+  /// setting: per-AP Rng streams are forked from the caller's generator
+  /// in capture order before dispatch, results are slotted by index, and
+  /// worker-side counters are merged in index order (see DESIGN.md §10).
+  std::size_t num_threads = 0;
 };
 
 /// Result of one localization round, with per-AP diagnostics. The
@@ -106,10 +117,23 @@ class SpotFiServer {
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const LinkConfig& link() const { return link_; }
+  /// Lanes of concurrency this server actually runs with (after the
+  /// SPOTFI_THREADS override and hardware-concurrency resolution).
+  [[nodiscard]] std::size_t num_threads() const;
 
  private:
+  /// Runs `task(i)` for every capture index, across the pool when one
+  /// exists.
+  void for_each_ap(std::size_t n,
+                   const std::function<void(std::size_t)>& task) const;
+  /// The per-AP processor config with the server's pool injected.
+  [[nodiscard]] ApProcessorConfig ap_config() const;
+
   LinkConfig link_;
   ServerConfig config_;
+  /// Null when resolved concurrency is 1 — the serial path never pays
+  /// for pool machinery. shared_ptr so servers stay copyable.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace spotfi

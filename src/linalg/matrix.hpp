@@ -127,17 +127,32 @@ class Matrix {
     return a;
   }
 
-  /// Matrix product (naive triple loop with row-major friendly ordering).
+  /// Matrix product. Row-major ikj ordering (B rows and the C row stream
+  /// through cache), k unrolled two-wide so each pass over the C row
+  /// does two multiply-adds per load/store — raw pointers throughout, no
+  /// bounds-checked element accessors on the hot path.
   [[nodiscard]] friend Matrix operator*(const Matrix& a, const Matrix& b) {
     SPOTFI_EXPECTS(a.cols_ == b.rows_, "shape mismatch in matrix product");
     Matrix c(a.rows_, b.cols_);
+    const std::size_t kk = a.cols_;
+    const std::size_t n = b.cols_;
     for (std::size_t i = 0; i < a.rows_; ++i) {
-      for (std::size_t k = 0; k < a.cols_; ++k) {
-        const T aik = a(i, k);
-        if (aik == T{}) continue;
-        const T* brow = &b.data_[k * b.cols_];
-        T* crow = &c.data_[i * c.cols_];
-        for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+      const T* arow = &a.data_[i * kk];
+      T* crow = &c.data_[i * n];
+      std::size_t k = 0;
+      for (; k + 1 < kk; k += 2) {
+        const T a0 = arow[k];
+        const T a1 = arow[k + 1];
+        const T* b0 = &b.data_[k * n];
+        const T* b1 = b0 + n;
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += a0 * b0[j] + a1 * b1[j];
+        }
+      }
+      if (k < kk) {
+        const T a0 = arow[k];
+        const T* b0 = &b.data_[k * n];
+        for (std::size_t j = 0; j < n; ++j) crow[j] += a0 * b0[j];
       }
     }
     return c;
@@ -166,25 +181,40 @@ class Matrix {
   }
 
   /// A * A^H — the (unnormalized) covariance MUSIC eigendecomposes.
+  /// Lower triangle only, mirrored; the row-dot runs two independent
+  /// accumulators so the (serial) multiply-add dependency chain halves.
   [[nodiscard]] Matrix gram() const {
     Matrix g(rows_, rows_);
     for (std::size_t i = 0; i < rows_; ++i) {
+      const T* ri = &data_[i * cols_];
+      T* grow = &g.data_[i * rows_];
       for (std::size_t j = 0; j <= i; ++j) {
-        T acc{};
-        const T* ri = &data_[i * cols_];
         const T* rj = &data_[j * cols_];
-        for (std::size_t k = 0; k < cols_; ++k) {
+        T acc0{};
+        T acc1{};
+        std::size_t k = 0;
+        for (; k + 1 < cols_; k += 2) {
           if constexpr (detail::is_complex<T>::value) {
-            acc += ri[k] * std::conj(rj[k]);
+            acc0 += ri[k] * std::conj(rj[k]);
+            acc1 += ri[k + 1] * std::conj(rj[k + 1]);
           } else {
-            acc += ri[k] * rj[k];
+            acc0 += ri[k] * rj[k];
+            acc1 += ri[k + 1] * rj[k + 1];
           }
         }
-        g(i, j) = acc;
+        if (k < cols_) {
+          if constexpr (detail::is_complex<T>::value) {
+            acc0 += ri[k] * std::conj(rj[k]);
+          } else {
+            acc0 += ri[k] * rj[k];
+          }
+        }
+        const T acc = acc0 + acc1;
+        grow[j] = acc;
         if constexpr (detail::is_complex<T>::value) {
-          g(j, i) = std::conj(acc);
+          g.data_[j * rows_ + i] = std::conj(acc);
         } else {
-          g(j, i) = acc;
+          g.data_[j * rows_ + i] = acc;
         }
       }
     }

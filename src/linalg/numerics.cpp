@@ -62,13 +62,22 @@ NumericsScope::NumericsScope() : parent_(g_active_scope) {
   g_active_scope = this;
 }
 
+NumericsScope::NumericsScope(DetachedScopeTag)
+    : parent_(g_active_scope), detached_(true) {
+  g_active_scope = this;
+}
+
 NumericsScope::~NumericsScope() {
   g_active_scope = parent_;
-  if (parent_ != nullptr) parent_->counters_.merge(counters_);
+  if (parent_ != nullptr && !detached_) parent_->counters_.merge(counters_);
 }
 
 void count_numerics(std::size_t NumericsCounters::*field, std::size_t n) {
   if (g_active_scope != nullptr) g_active_scope->counters_.*field += n;
+}
+
+void count_numerics(const NumericsCounters& counters) {
+  if (g_active_scope != nullptr) g_active_scope->counters_.merge(counters);
 }
 
 bool numerics_scope_active() { return g_active_scope != nullptr; }

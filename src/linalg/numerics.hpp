@@ -75,13 +75,30 @@ struct NumericsCounters {
   [[nodiscard]] std::string summary() const;
 };
 
+/// Tag selecting a detached NumericsScope (see below).
+struct DetachedScopeTag {
+  explicit DetachedScopeTag() = default;
+};
+inline constexpr DetachedScopeTag kDetachedScope{};
+
 /// RAII telemetry collector. While alive on a thread, count_numerics()
 /// calls on that thread accumulate into it. Scopes nest: when a scope is
 /// destroyed its counters fold into the enclosing scope (if any), so a
 /// per-AP scope reports locally *and* contributes to the round total.
+///
+/// A *detached* scope still collects while active but never folds into
+/// its parent — the counters leave only through counters(). Units of work
+/// that may run on a pool worker (where there is no enclosing scope) use
+/// detached scopes and hand their counters back in the task result; the
+/// dispatching thread then merges them explicitly, in task-index order,
+/// via count_numerics(const NumericsCounters&). That keeps the round
+/// totals byte-identical whether a task ran inline (an enclosing scope
+/// *was* active, but the detached child didn't double-report into it) or
+/// on a worker (no enclosing scope existed to catch an implicit fold).
 class NumericsScope {
  public:
   NumericsScope();
+  explicit NumericsScope(DetachedScopeTag);
   ~NumericsScope();
   NumericsScope(const NumericsScope&) = delete;
   NumericsScope& operator=(const NumericsScope&) = delete;
@@ -91,13 +108,20 @@ class NumericsScope {
  private:
   friend void count_numerics(std::size_t NumericsCounters::*field,
                              std::size_t n);
+  friend void count_numerics(const NumericsCounters& counters);
   NumericsCounters counters_;
   NumericsScope* parent_;
+  bool detached_ = false;
 };
 
 /// Increments `field` on the innermost active scope of this thread; no-op
 /// when no scope is active (strict/bench paths pay one branch).
 void count_numerics(std::size_t NumericsCounters::*field, std::size_t n = 1);
+
+/// Merges a whole counter set into the innermost active scope of this
+/// thread (no-op without one) — how a dispatching thread folds in the
+/// counters a detached, possibly-on-another-thread task reported.
+void count_numerics(const NumericsCounters& counters);
 
 /// True when a NumericsScope is active on this thread.
 [[nodiscard]] bool numerics_scope_active();

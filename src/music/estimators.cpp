@@ -9,14 +9,39 @@ namespace {
 
 RVector linspace_grid(double lo, double hi, double step) {
   SPOTFI_EXPECTS(step > 0.0 && hi > lo, "invalid grid parameters");
-  RVector g;
+  // A range that is an exact multiple of the step must include the
+  // endpoint on every platform. (hi - lo) / step carries rounding error
+  // proportional to its own magnitude, so the snap-to-integer tolerance
+  // must be relative: a fixed 1e-9 absolute slack either misses an exact
+  // multiple computed a few ulps low or swallows a genuine sub-step
+  // shortfall, and the grid gains/drops its endpoint depending on libm.
+  const double ratio = (hi - lo) / step;
+  const double nearest = std::round(ratio);
+  const double tol =
+      64.0 * std::numeric_limits<double>::epsilon() * std::max(1.0, ratio);
   const auto count =
-      static_cast<std::size_t>(std::floor((hi - lo) / step + 1e-9)) + 1;
+      std::abs(ratio - nearest) <= tol
+          ? static_cast<std::size_t>(nearest) + 1
+          : static_cast<std::size_t>(std::floor(ratio)) + 1;
+  RVector g;
   g.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     g.push_back(lo + static_cast<double>(i) * step);
   }
   return g;
+}
+
+/// Flattens steering vectors for every grid point into one row-major
+/// table: row i holds steer(grid[i]).
+template <typename SteerFn>
+CVector steering_table(const RVector& grid, std::size_t len, SteerFn&& steer) {
+  CVector table;
+  table.reserve(grid.size() * len);
+  for (const double x : grid) {
+    const CVector v = steer(x);
+    table.insert(table.end(), v.begin(), v.end());
+  }
+  return table;
 }
 
 }  // namespace
@@ -41,24 +66,26 @@ JointMusicEstimator::JointMusicEstimator(LinkConfig link,
     tof_max_s_ = config_.tof_max_s;
     tof_wraps_ = (tof_max_s_ - tof_min_s_) >= period - 2.0 * config_.tof_step_s;
   }
-}
-
-RVector JointMusicEstimator::aoa_grid() const {
-  return linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
-                       config_.aoa_step_rad);
-}
-
-RVector JointMusicEstimator::tof_grid() const {
-  return linspace_grid(tof_min_s_, tof_max_s_, config_.tof_step_s);
+  aoa_grid_ = linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
+                            config_.aoa_step_rad);
+  tof_grid_ = linspace_grid(tof_min_s_, tof_max_s_, config_.tof_step_s);
+  ant_steering_ =
+      steering_table(aoa_grid_, config_.smoothing.ant_len, [&](double aoa) {
+        return aoa_steering(aoa, config_.smoothing.ant_len, link_);
+      });
+  sub_steering_ =
+      steering_table(tof_grid_, config_.smoothing.sub_len, [&](double tof) {
+        return tof_steering(tof, config_.smoothing.sub_len, link_);
+      });
 }
 
 AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
     const Subspaces& sub) const {
   AoaTofSpectrum sp;
-  sp.aoa_grid_rad = aoa_grid();
-  sp.tof_grid_s = tof_grid();
-  const std::size_t n_aoa = sp.aoa_grid_rad.size();
-  const std::size_t n_tof = sp.tof_grid_s.size();
+  sp.aoa_grid_rad = aoa_grid_;
+  sp.tof_grid_s = tof_grid_;
+  const std::size_t n_aoa = aoa_grid_.size();
+  const std::size_t n_tof = tof_grid_.size();
   const std::size_t n_noise = sub.noise.cols();
   const std::size_t ant_len = config_.smoothing.ant_len;
   const std::size_t sub_len = config_.smoothing.sub_len;
@@ -66,11 +93,13 @@ AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
   // The joint steering vector factors as ant(theta) (x) sub(tau) with
   // antenna-major rows, so for noise eigenvector e:
   //   e^H a(theta,tau) = sum_a ant_a * (sum_s conj(e[a*sub_len+s]) sub_s)
-  // Precompute the inner parenthesis g[tau][e][a] once, then the grid
-  // sweep is O(n_aoa * n_tof * n_noise * ant_len).
+  // Precompute the inner parenthesis g[tau][e][a] once per subspace
+  // (the steering tables themselves are cached at construction), then
+  // the grid sweep is O(n_aoa * n_tof * n_noise * ant_len) of pure
+  // flat-array inner products.
   std::vector<cplx> g(n_tof * n_noise * ant_len);
   for (std::size_t ti = 0; ti < n_tof; ++ti) {
-    const CVector sub_vec = tof_steering(sp.tof_grid_s[ti], sub_len, link_);
+    const cplx* sub_vec = &sub_steering_[ti * sub_len];
     for (std::size_t e = 0; e < n_noise; ++e) {
       for (std::size_t a = 0; a < ant_len; ++a) {
         cplx acc{};
@@ -84,7 +113,7 @@ AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
 
   sp.values = RMatrix(n_aoa, n_tof);
   for (std::size_t ai = 0; ai < n_aoa; ++ai) {
-    const CVector ant_vec = aoa_steering(sp.aoa_grid_rad[ai], ant_len, link_);
+    const cplx* ant_vec = &ant_steering_[ai * ant_len];
     for (std::size_t ti = 0; ti < n_tof; ++ti) {
       double denom = 0.0;
       const cplx* gt = &g[ti * n_noise * ant_len];
@@ -157,20 +186,20 @@ MusicAoaEstimator::MusicAoaEstimator(LinkConfig link, MusicAoaConfig config)
     : link_(link), config_(config) {
   SPOTFI_EXPECTS(config_.smoothing_ant_len <= link_.n_antennas,
                  "smoothing subarray exceeds the antenna count");
-}
-
-RVector MusicAoaEstimator::aoa_grid() const {
-  return linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
-                       config_.aoa_step_rad);
+  ant_len_ = config_.smoothing_ant_len == 0 ? link_.n_antennas
+                                            : config_.smoothing_ant_len;
+  aoa_grid_ = linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
+                            config_.aoa_step_rad);
+  ant_steering_ = steering_table(aoa_grid_, ant_len_, [&](double aoa) {
+    return aoa_steering(aoa, ant_len_, link_);
+  });
 }
 
 AoaSpectrum MusicAoaEstimator::spectrum(const CMatrix& csi) const {
   SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
                      csi.cols() == link_.n_subcarriers,
                  "CSI shape disagrees with the link config");
-  const std::size_t ant_len = config_.smoothing_ant_len == 0
-                                  ? link_.n_antennas
-                                  : config_.smoothing_ant_len;
+  const std::size_t ant_len = ant_len_;
   const CMatrix x = ant_len == link_.n_antennas
                         ? csi
                         : spatially_smoothed_snapshots(csi, ant_len);
@@ -179,11 +208,11 @@ AoaSpectrum MusicAoaEstimator::spectrum(const CMatrix& csi) const {
   const Subspaces sub = noise_subspace(x, sub_cfg);
 
   AoaSpectrum sp;
-  sp.aoa_grid_rad = aoa_grid();
+  sp.aoa_grid_rad = aoa_grid_;
   sp.values.resize(sp.aoa_grid_rad.size());
   const std::size_t n_noise = sub.noise.cols();
   for (std::size_t ai = 0; ai < sp.aoa_grid_rad.size(); ++ai) {
-    const CVector a = aoa_steering(sp.aoa_grid_rad[ai], ant_len, link_);
+    const cplx* a = &ant_steering_[ai * ant_len];
     double denom = 0.0;
     for (std::size_t e = 0; e < n_noise; ++e) {
       cplx proj{};

@@ -82,8 +82,8 @@ class JointMusicEstimator {
 
   [[nodiscard]] const JointMusicConfig& config() const { return config_; }
   [[nodiscard]] const LinkConfig& link() const { return link_; }
-  [[nodiscard]] RVector aoa_grid() const;
-  [[nodiscard]] RVector tof_grid() const;
+  [[nodiscard]] const RVector& aoa_grid() const { return aoa_grid_; }
+  [[nodiscard]] const RVector& tof_grid() const { return tof_grid_; }
   /// True when the ToF grid spans the full unambiguous period (grid wraps).
   [[nodiscard]] bool tof_axis_wraps() const { return tof_wraps_; }
 
@@ -96,6 +96,16 @@ class JointMusicEstimator {
   double tof_min_s_ = 0.0;
   double tof_max_s_ = 0.0;
   bool tof_wraps_ = false;
+  // The grids are fixed at construction, so the steering vectors the
+  // spectrum sweep needs are too. Precomputing them once (flat,
+  // row-per-grid-point tables) turns the per-packet sweep into pure
+  // inner products — no trig/cexp inside estimate() — and makes the
+  // estimator safely shareable across threads (all state is immutable
+  // after construction).
+  RVector aoa_grid_;
+  RVector tof_grid_;
+  CVector ant_steering_;  ///< aoa_grid_.size() x smoothing.ant_len, row-major
+  CVector sub_steering_;  ///< tof_grid_.size() x smoothing.sub_len, row-major
 };
 
 struct MusicAoaConfig {
@@ -121,11 +131,17 @@ class MusicAoaEstimator {
   [[nodiscard]] AoaSpectrum spectrum(const CMatrix& csi) const;
 
   [[nodiscard]] const MusicAoaConfig& config() const { return config_; }
-  [[nodiscard]] RVector aoa_grid() const;
+  [[nodiscard]] const RVector& aoa_grid() const { return aoa_grid_; }
 
  private:
   LinkConfig link_;
   MusicAoaConfig config_;
+  /// Cached grid and steering table (see JointMusicEstimator): the
+  /// subarray length is resolved at construction, so the steering matrix
+  /// is fixed for the estimator's lifetime.
+  std::size_t ant_len_ = 0;
+  RVector aoa_grid_;
+  CVector ant_steering_;  ///< aoa_grid_.size() x ant_len_, row-major
 };
 
 }  // namespace spotfi

@@ -335,6 +335,38 @@ TEST(JointMusic, WrongCsiShapeThrows) {
   EXPECT_THROW(estimator.estimate(CMatrix(2, 30)), ContractViolation);
 }
 
+TEST(JointMusic, DefaultGridSizesArePinned) {
+  // The default AoA range is an exact multiple of the step (180 x 1 deg)
+  // and the default ToF range an exact multiple of 2.5 ns — the grid
+  // builder must keep the endpoint on every platform/libm, never gaining
+  // or dropping a row. These sizes are part of the determinism contract
+  // (steering tables are cached against them at construction).
+  const JointMusicEstimator joint(kLink);
+  EXPECT_EQ(joint.aoa_grid().size(), 181u);
+  EXPECT_EQ(joint.tof_grid().size(), 320u);
+  EXPECT_EQ(joint.aoa_grid().front(), -kPi / 2.0);
+  EXPECT_EQ(joint.aoa_grid().back(),
+            -kPi / 2.0 + 180.0 * (kPi / 180.0));
+  const MusicAoaEstimator classic(kLink);
+  EXPECT_EQ(classic.aoa_grid().size(), 181u);
+
+  // A range deliberately short of an exact multiple must floor, not snap.
+  JointMusicConfig short_cfg;
+  short_cfg.aoa_min_rad = 0.0;
+  short_cfg.aoa_max_rad = 10.5 * kPi / 180.0;
+  short_cfg.aoa_step_rad = kPi / 180.0;
+  EXPECT_EQ(JointMusicEstimator(kLink, short_cfg).aoa_grid().size(), 11u);
+
+  // The relaxed fallback grid (2x step over the same span) is the other
+  // production configuration; 90 x 2 deg is again an exact multiple.
+  JointMusicConfig relaxed;
+  relaxed.aoa_step_rad *= 2.0;
+  relaxed.tof_step_s *= 2.0;
+  const JointMusicEstimator coarse(kLink, relaxed);
+  EXPECT_EQ(coarse.aoa_grid().size(), 91u);
+  EXPECT_EQ(coarse.tof_grid().size(), 160u);
+}
+
 // --- model order estimation ---
 
 TEST(ModelOrder, MdlCountsPathsOnCleanData) {
