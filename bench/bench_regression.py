@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: fail when the candidate run is >N% slower.
+
+Compares a fresh bench_to_json.sh snapshot against the checked-in
+baseline (BENCH_<PR>.json). Raw nanoseconds are not comparable across
+machines, so every benchmark is first normalized by a reference kernel
+measured in the *same* file (default: BM_MatMul30, a pure-compute
+kernel with no allocation or threading behavior to drift). The gate
+then compares normalized ratios:
+
+    regression = (t_cand / ref_cand) / (t_base / ref_base) - 1
+
+and fails when any benchmark regresses past the threshold (default
+15%). Benchmarks present on only one side are reported but do not
+fail the gate — new benches have no baseline yet, retired ones no
+candidate.
+
+The zero-allocation contract is machine-independent, so it is gated
+exactly: the steady-state packet benches (`BM_PacketEstimate_Workspace*`)
+must report 0 allocs/packet. Group-stage benches (`BM_GroupProcess_*`)
+are exempt — their counters intentionally report the constant per-group
+bookkeeping amortized over the group size, which is small but nonzero.
+
+Usage:
+    bench_regression.py <baseline.json> <candidate.json>
+        [--threshold 0.15] [--reference BM_MatMul30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        raw = json.load(f)
+    if raw.get("schema") != "spotfi-bench-v1":
+        sys.exit(f"{path}: not a spotfi-bench-v1 snapshot")
+    entries = {}
+    for suite in raw.get("suites", {}).values():
+        for b in suite:
+            entries[b["name"]] = b
+    return entries, bool(raw.get("smoke"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="maximum tolerated normalized slowdown (0.15 = 15%%)")
+    ap.add_argument("--reference", default="BM_MatMul30",
+                    help="kernel used to normalize out machine speed")
+    args = ap.parse_args()
+
+    base, base_smoke = load_entries(args.baseline)
+    cand, cand_smoke = load_entries(args.candidate)
+    if base_smoke or cand_smoke:
+        # Smoke numbers come from near-zero min-time runs and are pure
+        # noise; gating on them would make CI flaky.
+        sys.exit("bench_regression: refusing to gate on --smoke snapshots "
+                 "(regenerate without --smoke)")
+
+    for name, entries in (("baseline", base), ("candidate", cand)):
+        if args.reference not in entries:
+            sys.exit(f"bench_regression: reference {args.reference} "
+                     f"missing from {name}")
+    ref_base = base[args.reference]["real_time_ns"]
+    ref_cand = cand[args.reference]["real_time_ns"]
+    if ref_base <= 0 or ref_cand <= 0:
+        sys.exit("bench_regression: non-positive reference timing")
+
+    failures = []
+    print(f"reference {args.reference}: baseline {ref_base:.1f} ns, "
+          f"candidate {ref_cand:.1f} ns "
+          f"(machine-speed ratio {ref_cand / ref_base:.3f}x)")
+    for name in sorted(set(base) | set(cand)):
+        if name == args.reference:
+            continue
+        if name not in base:
+            print(f"  NEW      {name} (no baseline, not gated)")
+            continue
+        if name not in cand:
+            print(f"  RETIRED  {name} (no candidate, not gated)")
+            continue
+        norm_base = base[name]["real_time_ns"] / ref_base
+        norm_cand = cand[name]["real_time_ns"] / ref_cand
+        change = norm_cand / norm_base - 1.0
+        tag = "ok"
+        if change > args.threshold:
+            tag = "REGRESSED"
+            failures.append(f"{name}: {change * 100.0:+.1f}% normalized "
+                            f"(threshold {args.threshold * 100.0:.0f}%)")
+        print(f"  {tag:9s} {name}: {change * 100.0:+.1f}% normalized")
+
+    # Exact zero-allocation gate: only the steady-state per-packet bench
+    # promises 0. BM_GroupProcess_Workspace reports the per-group
+    # bookkeeping constant amortized over group size (nonzero by design).
+    for name, entry in sorted(cand.items()):
+        if "PacketEstimate_Workspace" in name and "allocs_per_packet" in entry:
+            allocs = entry["allocs_per_packet"]
+            if allocs > 0:
+                failures.append(f"{name}: {allocs} heap allocations per "
+                                "packet on the arena path (expected 0)")
+            else:
+                print(f"  ok        {name}: 0 allocs/packet")
+
+    if failures:
+        print("\nbench_regression: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench_regression: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

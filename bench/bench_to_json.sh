@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Benchmark-regression harness: runs the two perf benches (perf_music,
-# perf_pipeline) in google-benchmark's JSON mode and merges them into a
-# single machine-diffable snapshot. The checked-in BENCH_<PR>.json files
+# Benchmark-regression harness: runs the perf benches (perf_music,
+# perf_pipeline, perf_memory) in google-benchmark's JSON mode and merges
+# them into a single machine-diffable snapshot. The checked-in BENCH_<PR>.json files
 # give every future PR a perf trajectory to defend — regenerate on the
 # same machine and compare real_time per benchmark.
 #
@@ -38,13 +38,16 @@ trap 'rm -rf "${TMP}"' EXIT
 "${BUILD_DIR}/bench/perf_pipeline" \
   --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
   > "${TMP}/perf_pipeline.json"
+"${BUILD_DIR}/bench/perf_memory" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_memory.json"
 
-python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" "${OUT}" \
-  "${MODE}" <<'PY'
+python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" \
+  "${TMP}/perf_memory.json" "${OUT}" "${MODE}" <<'PY'
 import json
 import sys
 
-music_path, pipeline_path, out_path, mode = sys.argv[1:5]
+music_path, pipeline_path, memory_path, out_path, mode = sys.argv[1:6]
 
 merged = {
     "schema": "spotfi-bench-v1",
@@ -52,19 +55,28 @@ merged = {
     "suites": {},
 }
 for name, path in (("perf_music", music_path),
-                   ("perf_pipeline", pipeline_path)):
+                   ("perf_pipeline", pipeline_path),
+                   ("perf_memory", memory_path)):
     with open(path) as f:
         raw = json.load(f)
     merged.setdefault("context", raw.get("context", {}))
-    merged["suites"][name] = [
-        {
+    suite = []
+    for b in raw.get("benchmarks", []):
+        entry = {
             "name": b["name"],
             "real_time_ns": b["real_time"],
             "cpu_time_ns": b["cpu_time"],
             "iterations": b["iterations"],
         }
-        for b in raw.get("benchmarks", [])
-    ]
+        # Memory benches attach custom counters (allocs/bytes per packet,
+        # arena high-water); keep them so the zero-allocation contract is
+        # visible in the snapshot.
+        for key in ("allocs_per_packet", "bytes_per_packet",
+                    "arena_high_water_bytes"):
+            if key in b:
+                entry[key] = b[key]
+        suite.append(entry)
+    merged["suites"][name] = suite
 
 with open(out_path, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)

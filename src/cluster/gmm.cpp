@@ -33,16 +33,24 @@ double log_sum_exp(std::span<const double> v) {
 
 GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
                   const GmmConfig& config) {
+  return fit_gmm(ConstRMatrixView(points), k, rng, config,
+                 thread_workspace());
+}
+
+GmmResult fit_gmm(ConstRMatrixView points, std::size_t k, Rng& rng,
+                  const GmmConfig& config, Workspace& ws) {
   SPOTFI_EXPECTS(points.rows() >= 1, "fit_gmm needs at least one point");
   SPOTFI_EXPECTS(k >= 1, "fit_gmm needs at least one component");
   const std::size_t n = points.rows();
   const std::size_t dim = points.cols();
 
+  Workspace::Frame frame(ws);
   // Per-dimension data variance fixes the scale of the relative floor.
-  RVector floor_d(dim, config.variance_floor);
+  const std::span<double> floor_d = ws.take<double>(dim);
+  std::fill(floor_d.begin(), floor_d.end(), config.variance_floor);
   bool degenerate_data = n >= 2;
   {
-    RVector data_mean(dim, 0.0);
+    const std::span<double> data_mean = ws.take<double>(dim);
     for (std::size_t i = 0; i < n; ++i)
       for (std::size_t d = 0; d < dim; ++d) data_mean[d] += points(i, d);
     for (auto& m : data_mean) m /= static_cast<double>(n);
@@ -71,12 +79,12 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
 
   // Initialize from k-means: means = centroids, variances = per-cluster
   // scatter, weights = cluster fractions.
-  const KMeansResult km = kmeans(points, k, rng);
+  const KMeansResult km = kmeans(points, k, rng, KMeansConfig{}, ws);
   const std::size_t k_eff = km.centroids.rows();
 
   GmmResult result;
   result.components.resize(k_eff);
-  std::vector<std::size_t> counts(k_eff, 0);
+  const std::span<std::size_t> counts = ws.take<std::size_t>(k_eff);
   for (std::size_t c = 0; c < k_eff; ++c) {
     auto& comp = result.components[c];
     comp.mean.assign(km.centroids.row(c).begin(), km.centroids.row(c).end());
@@ -102,8 +110,8 @@ GmmResult fit_gmm(const RMatrix& points, std::size_t k, Rng& rng,
   }
 
   // EM iterations with log-space responsibilities.
-  RMatrix resp(n, k_eff);
-  RVector logp(k_eff);
+  const RMatrixView resp = workspace_matrix<double>(ws, n, k_eff);
+  const std::span<double> logp = ws.take<double>(k_eff);
   double prev_ll = -std::numeric_limits<double>::max();
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;

@@ -49,4 +49,12 @@ struct GmmResult {
 [[nodiscard]] GmmResult fit_gmm(const RMatrix& points, std::size_t k,
                                 Rng& rng, const GmmConfig& config = {});
 
+/// Workspace overload: EM scratch (responsibilities, per-point log
+/// probabilities, variance floors) and the k-means initialization's
+/// iteration buffers live on `ws`; only the returned result allocates.
+/// The default overload wraps this one; results are bit-identical.
+[[nodiscard]] GmmResult fit_gmm(ConstRMatrixView points, std::size_t k,
+                                Rng& rng, const GmmConfig& config,
+                                Workspace& ws);
+
 }  // namespace spotfi

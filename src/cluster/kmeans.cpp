@@ -18,18 +18,19 @@ double squared_distance(std::span<const double> a, std::span<const double> b) {
 
 /// k-means++ seeding: first centroid uniform, then each next centroid
 /// drawn with probability proportional to squared distance from the
-/// nearest chosen centroid.
-std::vector<std::size_t> seed_kmeanspp(const RMatrix& points, std::size_t k,
-                                       Rng& rng) {
+/// nearest chosen centroid. Fills at most `seeds.size()` entries of the
+/// caller's buffer; returns the count actually seeded.
+std::size_t seed_kmeanspp(ConstRMatrixView points, Rng& rng,
+                          std::span<std::size_t> seeds, std::span<double> d2) {
   const std::size_t n = points.rows();
-  std::vector<std::size_t> seeds;
-  seeds.push_back(rng.uniform_index(n));
-  std::vector<double> d2(n, std::numeric_limits<double>::max());
-  while (seeds.size() < k) {
+  std::size_t n_seeds = 0;
+  seeds[n_seeds++] = rng.uniform_index(n);
+  std::fill(d2.begin(), d2.end(), std::numeric_limits<double>::max());
+  while (n_seeds < seeds.size()) {
     double total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      d2[i] = std::min(d2[i],
-                       squared_distance(points.row(i), points.row(seeds.back())));
+      d2[i] = std::min(
+          d2[i], squared_distance(points.row(i), points.row(seeds[n_seeds - 1])));
       total += d2[i];
     }
     if (total <= 0.0) break;  // all remaining points coincide with seeds
@@ -42,32 +43,43 @@ std::vector<std::size_t> seed_kmeanspp(const RMatrix& points, std::size_t k,
         break;
       }
     }
-    seeds.push_back(chosen);
+    seeds[n_seeds++] = chosen;
   }
-  return seeds;
+  return n_seeds;
 }
 
 }  // namespace
 
 KMeansResult kmeans(const RMatrix& points, std::size_t k, Rng& rng,
                     const KMeansConfig& config) {
+  return kmeans(ConstRMatrixView(points), k, rng, config, thread_workspace());
+}
+
+KMeansResult kmeans(ConstRMatrixView points, std::size_t k, Rng& rng,
+                    const KMeansConfig& config, Workspace& ws) {
   SPOTFI_EXPECTS(points.rows() >= 1, "kmeans needs at least one point");
   SPOTFI_EXPECTS(k >= 1, "kmeans needs at least one cluster");
   const std::size_t n = points.rows();
   const std::size_t dim = points.cols();
   k = std::min(k, n);
 
-  const auto seeds = seed_kmeanspp(points, k, rng);
-  const std::size_t k_eff = seeds.size();
+  Workspace::Frame frame(ws);
+  const std::span<std::size_t> seed_buf = ws.take<std::size_t>(k);
+  const std::span<double> d2_buf = ws.take<double>(n);
+  const std::size_t k_eff = seed_kmeanspp(points, rng, seed_buf, d2_buf);
   RMatrix centroids(k_eff, dim);
   for (std::size_t c = 0; c < k_eff; ++c) {
-    const auto row = points.row(seeds[c]);
+    const auto row = points.row(seed_buf[c]);
     std::copy(row.begin(), row.end(), centroids.row(c).begin());
   }
 
   KMeansResult result;
   result.assignment.assign(n, 0);
-  std::vector<std::size_t> counts(k_eff);
+  const std::span<std::size_t> counts = ws.take<std::size_t>(k_eff);
+  // Hoisted centroid accumulator: zeroed each iteration instead of
+  // reallocated (the value-initialized RMatrix it replaces started at
+  // zero too, so the sums are unchanged).
+  const RMatrixView next = workspace_matrix<double>(ws, k_eff, dim);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
     result.iterations = iter + 1;
     // Assign.
@@ -89,7 +101,9 @@ KMeansResult kmeans(const RMatrix& points, std::size_t k, Rng& rng,
     }
     if (!changed && iter > 0) break;
     // Update.
-    RMatrix next(k_eff, dim);
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      std::fill(next.row(c).begin(), next.row(c).end(), 0.0);
+    }
     std::fill(counts.begin(), counts.end(), 0u);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t c = result.assignment[i];
@@ -107,8 +121,16 @@ KMeansResult kmeans(const RMatrix& points, std::size_t k, Rng& rng,
         next(c, d) /= static_cast<double>(counts[c]);
       }
     }
-    const double shift = (next - centroids).max_abs();
-    centroids = std::move(next);
+    double shift = 0.0;
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        shift = std::max(shift, std::abs(next(c, d) - centroids(c, d)));
+      }
+    }
+    for (std::size_t c = 0; c < k_eff; ++c) {
+      std::copy(next.row(c).begin(), next.row(c).end(),
+                centroids.row(c).begin());
+    }
     if (shift < config.centroid_tolerance) break;
   }
 

@@ -35,4 +35,12 @@ struct KMeansResult {
 [[nodiscard]] KMeansResult kmeans(const RMatrix& points, std::size_t k,
                                   Rng& rng, const KMeansConfig& config = {});
 
+/// Workspace overload: all iteration scratch (seeding distances, counts,
+/// the per-iteration centroid accumulator) lives on `ws`, so the loop
+/// allocates nothing — only the returned result touches the heap. The
+/// default overload wraps this one; results are bit-identical.
+[[nodiscard]] KMeansResult kmeans(ConstRMatrixView points, std::size_t k,
+                                  Rng& rng, const KMeansConfig& config,
+                                  Workspace& ws);
+
 }  // namespace spotfi

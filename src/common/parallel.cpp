@@ -19,6 +19,14 @@ namespace {
 /// never pick up is how pool deadlocks are made.
 thread_local bool t_on_worker = false;
 
+/// Which pool the calling thread is a worker of (null off-pool), and its
+/// 1-based lane there. ThreadPool::workspace() keys arena selection on
+/// the *owning* pool, never the slot alone: a worker of pool A running a
+/// nested-inline task that targets pool B must not borrow one of B's
+/// arenas — B's own worker in the same slot may be using it.
+thread_local const void* t_owner_pool = nullptr;
+thread_local std::size_t t_worker_slot = 0;
+
 }  // namespace
 
 /// One parallel_for invocation. Lives on the calling thread's stack; the
@@ -46,6 +54,10 @@ struct ThreadPool::Batch {
 
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
+  /// One scratch arena per worker lane, index-aligned with `workers`.
+  /// Created before the threads spawn and never resized after, so
+  /// workspace() reads the vector without a lock.
+  std::vector<std::unique_ptr<Workspace>> arenas;
   std::mutex mutex;
   std::condition_variable work_cv;
   std::deque<Batch*> queue;
@@ -54,9 +66,12 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
   if (n_threads == 0) n_threads = resolve_threads(0);
-  impl_->workers.reserve(n_threads > 0 ? n_threads - 1 : 0);
+  const std::size_t n_workers = n_threads > 0 ? n_threads - 1 : 0;
+  impl_->workers.reserve(n_workers);
+  impl_->arenas.reserve(n_workers);
   for (std::size_t i = 1; i < n_threads; ++i) {
-    impl_->workers.emplace_back([this] { worker_loop(); });
+    impl_->arenas.push_back(std::make_unique<Workspace>());
+    impl_->workers.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -88,6 +103,22 @@ std::size_t ThreadPool::resolve_threads(std::size_t requested) {
 }
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+Workspace& ThreadPool::workspace() const {
+  if (t_owner_pool == impl_ && t_worker_slot > 0) {
+    return *impl_->arenas[t_worker_slot - 1];
+  }
+  return thread_workspace();
+}
+
+std::vector<WorkspaceStats> ThreadPool::worker_workspace_stats() const {
+  std::vector<WorkspaceStats> stats;
+  stats.reserve(impl_->arenas.size());
+  // Stats reads race benignly with worker-side checkouts only if called
+  // mid-batch; callers sample between rounds, when workers are parked.
+  for (const auto& a : impl_->arenas) stats.push_back(a->stats());
+  return stats;
+}
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
@@ -148,8 +179,10 @@ void ThreadPool::run_batch(Batch& batch) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t slot) {
   t_on_worker = true;
+  t_owner_pool = impl_;
+  t_worker_slot = slot;
   for (;;) {
     Batch* batch = nullptr;
     {

@@ -30,6 +30,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/workspace.hpp"
+
 namespace spotfi {
 
 class ThreadPool {
@@ -76,11 +78,24 @@ class ThreadPool {
   /// (any pool). Used for the nested-submit inline fallback and tests.
   [[nodiscard]] static bool on_worker_thread();
 
+  /// The calling thread's scratch arena for work dispatched through this
+  /// pool. A worker of *this* pool gets the arena of its lane (owned by
+  /// the pool, created at construction); any other thread — the caller
+  /// participating in its own batch, a serial pipeline, or a worker of a
+  /// different pool running a nested-inline task — gets its process-wide
+  /// thread_workspace(). Either way the arena is exclusive to the
+  /// calling thread, so checkouts need no synchronization.
+  [[nodiscard]] Workspace& workspace() const;
+
+  /// Scratch-arena accounting summed across this pool's worker lanes
+  /// (the caller's thread_workspace() is not included). Telemetry only.
+  [[nodiscard]] std::vector<WorkspaceStats> worker_workspace_stats() const;
+
  private:
   struct Batch;
   struct Impl;
 
-  void worker_loop();
+  void worker_loop(std::size_t slot);
   void run_batch(Batch& batch);
 
   Impl* impl_;

@@ -1,0 +1,123 @@
+#include "common/workspace.hpp"
+
+#include <algorithm>
+
+namespace spotfi {
+namespace {
+
+constexpr std::size_t align_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+}  // namespace
+
+void* Workspace::take_bytes(std::size_t bytes) {
+  bytes = align_up(bytes, kAlign);
+
+  void* p = nullptr;
+  // Fast path: the active block has room past its (aligned) cursor.
+  if (!blocks_.empty()) {
+    Block& b = blocks_[active_];
+    const std::size_t off = align_up(b.used, kAlign);
+    if (off + bytes <= b.capacity) {
+      p = b.data.get() + off;
+      used_total_ += (off - b.used) + bytes;
+      b.used = off + bytes;
+    } else if (active_ + 1 < blocks_.size() &&
+               blocks_[active_ + 1].capacity >= bytes) {
+      // Spill: a later block left over from a rewind is big enough.
+      ++active_;
+      Block& nb = blocks_[active_];
+      p = nb.data.get();
+      used_total_ += bytes;
+      nb.used = bytes;
+    } else {
+      // Anything past the active block is too small and holds no live
+      // data — drop it so the block list cannot accumulate unusable
+      // stubs across growth cycles.
+      blocks_.resize(active_ + 1);
+    }
+  }
+
+  if (p == nullptr) {
+    // Grow: double the footprint (at least the default block, at least
+    // the request). Existing blocks — and every outstanding checkout in
+    // them — stay where they are; reset() coalesces later.
+    std::size_t capacity = kDefaultBlockBytes;
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.capacity;
+    capacity = std::max(capacity, total);
+    capacity = std::max(capacity, bytes);
+    capacity = align_up(capacity, kAlign);
+
+    Block nb;
+    nb.data = std::make_unique<std::byte[]>(capacity);
+    nb.capacity = capacity;
+    nb.used = bytes;
+    ++block_allocations_;
+    blocks_.push_back(std::move(nb));
+    active_ = blocks_.size() - 1;
+    used_total_ += bytes;
+    p = blocks_.back().data.get();
+  }
+
+  high_water_ = std::max(high_water_, used_total_);
+  if (top_frame_ != nullptr) {
+    top_frame_->peak_ =
+        std::max(top_frame_->peak_, used_total_ - top_frame_->baseline_);
+  }
+  ++checkouts_;
+  return p;
+}
+
+void Workspace::rewind(std::pair<std::size_t, std::size_t> mark,
+                       std::size_t baseline) {
+  SPOTFI_ASSERT(mark.first <= active_, "workspace rewind out of order");
+  if (!blocks_.empty()) {
+    for (std::size_t b = mark.first + 1; b <= active_; ++b) {
+      blocks_[b].used = 0;
+    }
+    active_ = mark.first;
+    blocks_[active_].used = mark.second;
+  }
+  used_total_ = baseline;
+}
+
+void Workspace::reset() {
+  SPOTFI_EXPECTS(top_frame_ == nullptr,
+                 "workspace reset with an open frame — checkouts would "
+                 "dangle");
+  if (blocks_.size() > 1) {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.capacity;
+    blocks_.clear();
+    Block nb;
+    nb.data = std::make_unique<std::byte[]>(total);
+    nb.capacity = total;
+    ++block_allocations_;
+    blocks_.push_back(std::move(nb));
+  } else if (!blocks_.empty()) {
+    blocks_[0].used = 0;
+  }
+  active_ = 0;
+  used_total_ = 0;
+  ++resets_;
+}
+
+WorkspaceStats Workspace::stats() const {
+  WorkspaceStats s;
+  for (const Block& b : blocks_) s.capacity_bytes += b.capacity;
+  s.used_bytes = used_total_;
+  s.high_water_bytes = high_water_;
+  s.checkouts = checkouts_;
+  s.block_allocations = block_allocations_;
+  s.resets = resets_;
+  return s;
+}
+
+Workspace& thread_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace spotfi

@@ -24,33 +24,56 @@ JointMusicConfig relaxed_music(JointMusicConfig cfg) {
   return cfg;
 }
 
+/// The scratch arena of the calling thread for work dispatched through
+/// `config.pool` (a worker's lane arena, or the caller's process-wide
+/// one). Serial runs use the process-wide arena directly.
+Workspace& group_workspace(const ApProcessorConfig& config) {
+  return config.pool != nullptr ? config.pool->workspace()
+                                : thread_workspace();
+}
+
 /// Shared per-group pipeline: sanitize -> estimate per packet -> pool ->
-/// cluster -> select. `estimate` is the front end under test. Packets are
-/// independent until the pooling step, so the sanitize+estimate stage
-/// fans out over config.pool when one is set; per-packet outputs are
-/// slotted by index and folded in packet order (estimates, RSSI sum, and
-/// numerics counters alike), so the pooled result is byte-identical to
-/// the serial loop's.
+/// cluster -> select. `estimate` is the front end under test, with the
+/// arena calling convention (csi view + workspace in, estimates out;
+/// at most `max_paths` of them). Packets are independent until the
+/// pooling step, so the sanitize+estimate stage fans out over
+/// config.pool when one is set; per-packet outputs are slotted by index
+/// into one group-wide buffer and folded in packet order (estimates,
+/// RSSI sum, and numerics counters alike), so the pooled result is
+/// byte-identical to the serial loop's.
+///
+/// Allocation discipline: the group allocates its slot buffers and the
+/// result vectors once; every per-packet buffer is frame-scoped arena
+/// scratch, so a warmed steady-state packet never touches the heap.
+/// `ws_peak_out` (when set) receives the largest single-frame footprint
+/// seen while processing the group.
 template <typename EstimateFn>
 ApResult run_group(std::span<const CsiPacket> packets, const LinkConfig& link,
                    const ArrayPose& pose, const ApProcessorConfig& config,
-                   Rng& rng, EstimateFn&& estimate) {
+                   Rng& rng, std::size_t max_paths, EstimateFn&& estimate,
+                   std::size_t* ws_peak_out = nullptr) {
   struct PacketOutput {
-    std::vector<PathEstimate> estimates;
+    std::size_t count = 0;
+    std::size_t ws_peak_bytes = 0;
     NumericsCounters numerics;
   };
   std::vector<PacketOutput> outputs(packets.size());
+  std::vector<PathEstimate> slots(packets.size() * max_paths);
   const auto estimate_packet = [&](std::size_t i) {
     // Detached: counters travel home in the task output and are merged
     // by the dispatching thread below, never through the thread-local
     // scope stack (which a pool worker does not share with the caller).
     NumericsScope scope{kDetachedScope};
+    Workspace& ws = group_workspace(config);
+    Workspace::Frame frame(ws);
     const CsiPacket& packet = packets[i];
-    const CMatrix csi = config.sanitize
-                            ? std::move(sanitize_tof(packet.csi, link).csi)
-                            : packet.csi;
-    outputs[i].estimates = estimate(csi);
+    ConstCMatrixView csi(packet.csi);
+    if (config.sanitize) csi = sanitize_tof(csi, link, ws);
+    outputs[i].count = estimate(
+        csi, ws,
+        std::span<PathEstimate>(slots).subspan(i * max_paths, max_paths));
     outputs[i].numerics = scope.counters();
+    outputs[i].ws_peak_bytes = frame.peak_bytes();
   };
   if (config.pool != nullptr) {
     config.pool->parallel_for(packets.size(), estimate_packet);
@@ -60,19 +83,32 @@ ApResult run_group(std::span<const CsiPacket> packets, const LinkConfig& link,
 
   ApResult result;
   double rssi_sum = 0.0;
+  std::size_t total = 0;
+  std::size_t ws_peak = 0;
+  for (const auto& out : outputs) total += out.count;
+  result.pooled_estimates.reserve(total);
   for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto packet_slots =
+        std::span<const PathEstimate>(slots).subspan(i * max_paths,
+                                                     outputs[i].count);
     result.pooled_estimates.insert(result.pooled_estimates.end(),
-                                   outputs[i].estimates.begin(),
-                                   outputs[i].estimates.end());
+                                   packet_slots.begin(), packet_slots.end());
     count_numerics(outputs[i].numerics);
     rssi_sum += packets[i].rssi_dbm;
+    ws_peak = std::max(ws_peak, outputs[i].ws_peak_bytes);
   }
   SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
                  "super-resolution produced no path estimates");
 
-  result.clusters =
-      cluster_path_estimates(result.pooled_estimates, link, packets.size(),
-                             rng, config.direct_path);
+  {
+    Workspace& ws = group_workspace(config);
+    Workspace::Frame frame(ws);
+    result.clusters =
+        cluster_path_estimates(result.pooled_estimates, link, packets.size(),
+                               rng, config.direct_path, ws);
+    ws_peak = std::max(ws_peak, frame.peak_bytes());
+  }
+  if (ws_peak_out != nullptr) *ws_peak_out = ws_peak;
   const std::size_t pick = select_spotfi(result.clusters);
   result.observation.pose = pose;
   result.observation.direct_aoa_rad = result.clusters[pick].mean_aoa_rad;
@@ -117,13 +153,35 @@ ApResult ApProcessor::process(std::span<const CsiPacket> packets,
 
   return config_.front_end == FrontEnd::kMusic
              ? run_group(packets, link_, pose_, config_, rng,
-                         [this](const CMatrix& csi) {
-                           return music_.estimate(csi);
+                         config_.music.max_paths,
+                         [this](ConstCMatrixView csi, Workspace& ws,
+                                std::span<PathEstimate> out) {
+                           return music_.estimate_into(csi, ws, out);
                          })
              : run_group(packets, link_, pose_, config_, rng,
-                         [this](const CMatrix& csi) {
-                           return esprit_.estimate(csi);
+                         config_.esprit.max_paths,
+                         [this](ConstCMatrixView csi, Workspace& ws,
+                                std::span<PathEstimate> out) {
+                           return esprit_.estimate_into(csi, ws, out);
                          });
+}
+
+std::size_t ApProcessor::max_paths() const {
+  return config_.front_end == FrontEnd::kMusic ? config_.music.max_paths
+                                               : config_.esprit.max_paths;
+}
+
+std::size_t ApProcessor::estimate_packet(const CsiPacket& packet,
+                                         Workspace& ws,
+                                         std::span<PathEstimate> out) const {
+  SPOTFI_EXPECTS(out.size() >= max_paths(),
+                 "estimate_packet output span below max_paths()");
+  Workspace::Frame frame(ws);
+  ConstCMatrixView csi(packet.csi);
+  if (config_.sanitize) csi = sanitize_tof(csi, link_, ws);
+  return config_.front_end == FrontEnd::kMusic
+             ? music_.estimate_into(csi, ws, out)
+             : esprit_.estimate_into(csi, ws, out);
 }
 
 ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
@@ -179,30 +237,40 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
     const std::span<const CsiPacket> group(screened);
     const bool primary_is_music = config_.front_end == FrontEnd::kMusic;
     if (attempt(ApStage::kPrimary, [&] {
-          return run_group(group, link_, pose_, config_, rng,
-                           [&](const CMatrix& csi) {
-                             return primary_is_music ? music_.estimate(csi)
-                                                     : esprit_.estimate(csi);
-                           });
+          return run_group(
+              group, link_, pose_, config_, rng, max_paths(),
+              [&](ConstCMatrixView csi, Workspace& ws,
+                  std::span<PathEstimate> dst) {
+                return primary_is_music ? music_.estimate_into(csi, ws, dst)
+                                        : esprit_.estimate_into(csi, ws, dst);
+              },
+              &out.workspace_peak_bytes);
         })) {
       return finish();
     }
     if (config_.fallback.enabled) {
       const JointMusicEstimator relaxed(link_, relaxed_music(config_.music));
       if (attempt(ApStage::kRelaxedMusic, [&] {
-            return run_group(group, link_, pose_, config_, rng,
-                             [&](const CMatrix& csi) {
-                               return relaxed.estimate(csi);
-                             });
+            return run_group(
+                group, link_, pose_, config_, rng,
+                relaxed.config().max_paths,
+                [&](ConstCMatrixView csi, Workspace& ws,
+                    std::span<PathEstimate> dst) {
+                  return relaxed.estimate_into(csi, ws, dst);
+                },
+                &out.workspace_peak_bytes);
           })) {
         return finish();
       }
       if (primary_is_music &&
           attempt(ApStage::kEsprit, [&] {
-            return run_group(group, link_, pose_, config_, rng,
-                             [&](const CMatrix& csi) {
-                               return esprit_.estimate(csi);
-                             });
+            return run_group(
+                group, link_, pose_, config_, rng, config_.esprit.max_paths,
+                [&](ConstCMatrixView csi, Workspace& ws,
+                    std::span<PathEstimate> dst) {
+                  return esprit_.estimate_into(csi, ws, dst);
+                },
+                &out.workspace_peak_bytes);
           })) {
         return finish();
       }

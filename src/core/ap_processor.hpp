@@ -101,6 +101,11 @@ struct ApOutcome {
   /// Numerical-fallback events (regularized solves, non-convergences,
   /// variance floors, ...) recorded while this group was processed.
   NumericsCounters numerics;
+  /// Peak scratch-arena bytes of any single frame (per-packet estimation
+  /// or the group's clustering) opened while this group was processed —
+  /// the per-group memory footprint of the winning stage. Capacity
+  /// regressions (a config change blowing up the arena) surface here.
+  std::size_t workspace_peak_bytes = 0;
 };
 
 class ApProcessor {
@@ -121,6 +126,21 @@ class ApProcessor {
   /// observation; `stage`/`note` record how far it had to degrade.
   [[nodiscard]] ApOutcome process_robust(std::span<const CsiPacket> packets,
                                          Rng& rng) const;
+
+  /// One packet through the sanitize -> super-resolution stage of the
+  /// configured front end, every scratch buffer drawn from `ws`
+  /// (frame-scoped internally, so the arena is returned unchanged).
+  /// Writes at most max_paths() estimates into `out` and returns the
+  /// count. This is the per-packet inner loop of process(); a warmed
+  /// arena makes it perform zero heap allocations (tests/alloc_test.cpp
+  /// pins that contract).
+  [[nodiscard]] std::size_t estimate_packet(const CsiPacket& packet,
+                                            Workspace& ws,
+                                            std::span<PathEstimate> out) const;
+
+  /// Estimate capacity estimate_packet needs: the configured front end's
+  /// max_paths.
+  [[nodiscard]] std::size_t max_paths() const;
 
   [[nodiscard]] const ArrayPose& pose() const { return pose_; }
   [[nodiscard]] const ApProcessorConfig& config() const { return config_; }

@@ -10,6 +10,14 @@ namespace spotfi {
 std::vector<ClusterSummary> cluster_path_estimates(
     std::span<const PathEstimate> estimates, const LinkConfig& link,
     std::size_t n_packets, Rng& rng, const DirectPathConfig& config) {
+  return cluster_path_estimates(estimates, link, n_packets, rng, config,
+                                thread_workspace());
+}
+
+std::vector<ClusterSummary> cluster_path_estimates(
+    std::span<const PathEstimate> estimates, const LinkConfig& link,
+    std::size_t n_packets, Rng& rng, const DirectPathConfig& config,
+    Workspace& ws) {
   SPOTFI_EXPECTS(!estimates.empty(), "need at least one path estimate");
   SPOTFI_EXPECTS(config.n_clusters >= 1, "need at least one cluster");
   SPOTFI_EXPECTS(n_packets >= 1, "need at least one packet");
@@ -23,7 +31,8 @@ std::vector<ClusterSummary> cluster_path_estimates(
                                : config.tof_scale_s;
   SPOTFI_EXPECTS(tof_scale > 0.0, "ToF scale must be positive");
 
-  RMatrix points(estimates.size(), 2);
+  Workspace::Frame frame(ws);
+  const RMatrixView points = workspace_matrix<double>(ws, estimates.size(), 2);
   for (std::size_t i = 0; i < estimates.size(); ++i) {
     points(i, 0) = estimates[i].aoa_rad / aoa_scale;
     points(i, 1) = estimates[i].tof_s / tof_scale;
@@ -32,12 +41,14 @@ std::vector<ClusterSummary> cluster_path_estimates(
   std::vector<std::size_t> assignment;
   std::size_t k_eff = 0;
   if (config.use_gmm) {
-    const GmmResult gmm = fit_gmm(points, config.n_clusters, rng);
-    assignment = gmm.assignment;
+    GmmResult gmm =
+        fit_gmm(ConstRMatrixView(points), config.n_clusters, rng, {}, ws);
+    assignment = std::move(gmm.assignment);
     k_eff = gmm.components.size();
   } else {
-    const KMeansResult km = kmeans(points, config.n_clusters, rng);
-    assignment = km.assignment;
+    KMeansResult km =
+        kmeans(ConstRMatrixView(points), config.n_clusters, rng, {}, ws);
+    assignment = std::move(km.assignment);
     k_eff = km.centroids.rows();
   }
 
@@ -49,7 +60,7 @@ std::vector<ClusterSummary> cluster_path_estimates(
     double sum_power = 0.0;
     std::size_t n = 0;
   };
-  std::vector<Acc> acc(k_eff);
+  const std::span<Acc> acc = ws.take<Acc>(k_eff);
   for (std::size_t i = 0; i < estimates.size(); ++i) {
     Acc& a = acc[assignment[i]];
     const double na = points(i, 0);

@@ -67,6 +67,15 @@ struct DirectPathConfig {
     std::span<const PathEstimate> estimates, const LinkConfig& link,
     std::size_t n_packets, Rng& rng, const DirectPathConfig& config = {});
 
+/// Workspace overload: the normalized point matrix, the clustering
+/// scratch, and the per-cluster accumulators live on `ws`; only the
+/// returned summaries (and the clusterers' own result structs) allocate.
+/// The default overload wraps this one; results are bit-identical.
+[[nodiscard]] std::vector<ClusterSummary> cluster_path_estimates(
+    std::span<const PathEstimate> estimates, const LinkConfig& link,
+    std::size_t n_packets, Rng& rng, const DirectPathConfig& config,
+    Workspace& ws);
+
 /// Selection rules compared in Fig. 8(b). Each returns an index into
 /// `clusters` (which must be non-empty).
 [[nodiscard]] std::size_t select_spotfi(

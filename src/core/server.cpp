@@ -1,5 +1,6 @@
 #include "core/server.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/angles.hpp"
@@ -97,6 +98,11 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
   // solves) land here.
   NumericsScope numerics_scope;
 
+  // Fusion-stage scratch comes off the dispatching thread's arena; the
+  // frame also meters the stage's peak footprint for the round telemetry.
+  Workspace& ws = pool_ ? pool_->workspace() : thread_workspace();
+  Workspace::Frame fusion_frame(ws);
+
   LocalizationRound round;
   round.ap_results.reserve(n);
   round.ap_stages.reserve(n);
@@ -114,6 +120,8 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     }
     ApOutcome& outcome = outcomes[i];
     count_numerics(outcome.numerics);
+    round.workspace_peak_bytes =
+        std::max(round.workspace_peak_bytes, outcome.workspace_peak_bytes);
     round.ap_stages.push_back(outcome.stage);
     if (outcome.stage != ApStage::kPrimary) {
       round.degraded = true;
@@ -141,7 +149,7 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
 
   const SpotFiLocalizer localizer(config_.localizer);
   try {
-    round.location = localizer.locate(usable);
+    round.location = localizer.locate(usable, ws);
   } catch (const std::exception& e) {
     return RoundError{std::string("localizer: ") + e.what(), usable.size()};
   }
@@ -162,13 +170,15 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
       LocationEstimate worst_estimate;
       for (std::size_t drop = 0; drop < usable.size(); ++drop) {
         if (!usable[drop].has_aoa) continue;  // no bearing to disagree with
-        std::vector<ApObservation> subset;
-        subset.reserve(usable.size() - 1);
+        Workspace::Frame loo_frame(ws);
+        const std::span<ApObservation> subset =
+            ws.take<ApObservation>(usable.size() - 1);
+        std::size_t fill = 0;
         for (std::size_t j = 0; j < usable.size(); ++j) {
-          if (j != drop) subset.push_back(usable[j]);
+          if (j != drop) subset[fill++] = usable[j];
         }
         try {
-          const LocationEstimate est = localizer.locate(subset);
+          const LocationEstimate est = localizer.locate(subset, ws);
           const double miss = std::abs(
               wrap_pi(usable[drop].pose.apparent_aoa_of(est.position) -
                       usable[drop].direct_aoa_rad));
@@ -197,6 +207,8 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     }
   }
   round.numerics = numerics_scope.counters();
+  round.workspace_peak_bytes =
+      std::max(round.workspace_peak_bytes, fusion_frame.peak_bytes());
   return round;
 }
 

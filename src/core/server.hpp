@@ -89,6 +89,11 @@ struct LocalizationRound {
   /// counters plus anything the fusion stage (localizer, LOO solves)
   /// triggered. try_localize only.
   NumericsCounters numerics;
+  /// Scratch-arena footprint of the round: the largest single frame
+  /// opened anywhere — max over every AP's
+  /// ApOutcome::workspace_peak_bytes and the fusion stage's own frame
+  /// (localizer multi-starts, LOO subset solves). try_localize only.
+  std::size_t workspace_peak_bytes = 0;
 };
 
 /// Why a fault-tolerant round produced no location.

@@ -29,4 +29,18 @@ RMatrix unwrapped_phase(const CMatrix& csi) {
   return phase;
 }
 
+RMatrixView unwrapped_phase(ConstCMatrixView csi, Workspace& ws) {
+  const RMatrixView phase =
+      workspace_matrix<double>(ws, csi.rows(), csi.cols());
+  for (std::size_t i = 0; i < csi.rows(); ++i) {
+    for (std::size_t j = 0; j < csi.cols(); ++j) {
+      phase(i, j) = std::arg(csi(i, j));
+    }
+  }
+  for (std::size_t m = 0; m < phase.rows(); ++m) {
+    unwrap_in_place(phase.row(m));
+  }
+  return phase;
+}
+
 }  // namespace spotfi

@@ -17,4 +17,9 @@ void unwrap_in_place(std::span<double> phase);
 /// axis — psi(m, n) in the paper's notation.
 [[nodiscard]] RMatrix unwrapped_phase(const CMatrix& csi);
 
+/// Workspace variant: the unwrapped phase is checked out of `ws` and
+/// lives until the caller's enclosing frame closes. Same arithmetic as
+/// the value flavour, entry for entry.
+[[nodiscard]] RMatrixView unwrapped_phase(ConstCMatrixView csi, Workspace& ws);
+
 }  // namespace spotfi

@@ -5,18 +5,15 @@
 #include "csi/phase.hpp"
 
 namespace spotfi {
+namespace {
 
-SanitizeResult sanitize_tof(const CMatrix& csi, const LinkConfig& link) {
-  SPOTFI_EXPECTS(csi.rows() >= 1 && csi.cols() >= 2,
-                 "sanitize_tof needs >= 1 antenna and >= 2 subcarriers");
-  const std::size_t m_ant = csi.rows();
-  const std::size_t n_sub = csi.cols();
-  const RMatrix psi = unwrapped_phase(csi);
-
-  // Closed-form least squares for
-  //   min_{rho,beta} sum_{m,n} (psi(m,n) + g_n * rho + beta)^2,
-  // where g_n = 2*pi*f_delta*(n-1) is common to every antenna.
-  const double two_pi_fd = 2.0 * kPi * link.subcarrier_spacing_hz;
+/// Closed-form least squares for
+///   min_{rho,beta} sum_{m,n} (psi(m,n) + g_n * rho + beta)^2,
+/// where g_n = 2*pi*f_delta*(n-1) is common to every antenna. Shared by
+/// both sanitize_tof flavours so the fit is bit-identical.
+SanitizeFit fit_sto(ConstRMatrixView psi, double two_pi_fd) {
+  const std::size_t m_ant = psi.rows();
+  const std::size_t n_sub = psi.cols();
   double s_g = 0.0, s_gg = 0.0, s_psi = 0.0, s_gpsi = 0.0;
   for (std::size_t n = 0; n < n_sub; ++n) {
     const double g = two_pi_fd * static_cast<double>(n);
@@ -30,21 +27,53 @@ SanitizeResult sanitize_tof(const CMatrix& csi, const LinkConfig& link) {
   const double total = static_cast<double>(m_ant * n_sub);
   const double denom = total * s_gg - s_g * s_g;
   SPOTFI_ASSERT(denom > 0.0, "degenerate subcarrier grid");
-  const double rho = (s_g * s_psi - total * s_gpsi) / denom;
-  const double beta = -(s_psi + rho * s_g) / total;
+  SanitizeFit fit;
+  fit.fitted_sto_s = (s_g * s_psi - total * s_gpsi) / denom;
+  fit.fitted_offset_rad = -(s_psi + fit.fitted_sto_s * s_g) / total;
+  return fit;
+}
+
+/// Step 2 of Algorithm 1: psi_hat(m,n) = psi(m,n) + g_n * rho_hat, which
+/// on the complex CSI is a per-subcarrier unit rotation.
+void remove_sto(CMatrixView csi, double two_pi_fd, double rho) {
+  for (std::size_t n = 0; n < csi.cols(); ++n) {
+    const cplx rot = std::polar(1.0, two_pi_fd * static_cast<double>(n) * rho);
+    for (std::size_t m = 0; m < csi.rows(); ++m) csi(m, n) *= rot;
+  }
+}
+
+}  // namespace
+
+SanitizeResult sanitize_tof(const CMatrix& csi, const LinkConfig& link) {
+  SPOTFI_EXPECTS(csi.rows() >= 1 && csi.cols() >= 2,
+                 "sanitize_tof needs >= 1 antenna and >= 2 subcarriers");
+  const double two_pi_fd = 2.0 * kPi * link.subcarrier_spacing_hz;
+  const RMatrix psi = unwrapped_phase(csi);
+  const SanitizeFit fit = fit_sto(psi, two_pi_fd);
 
   SanitizeResult result;
-  result.fitted_sto_s = rho;
-  result.fitted_offset_rad = beta;
+  result.fitted_sto_s = fit.fitted_sto_s;
+  result.fitted_offset_rad = fit.fitted_offset_rad;
   result.csi = csi;
-  // Step 2 of Algorithm 1: psi_hat(m,n) = psi(m,n) + g_n * rho_hat, which
-  // on the complex CSI is a per-subcarrier unit rotation.
-  for (std::size_t n = 0; n < n_sub; ++n) {
-    const cplx rot =
-        std::polar(1.0, two_pi_fd * static_cast<double>(n) * rho);
-    for (std::size_t m = 0; m < m_ant; ++m) result.csi(m, n) *= rot;
-  }
+  remove_sto(result.csi.view(), two_pi_fd, fit.fitted_sto_s);
   return result;
+}
+
+CMatrixView sanitize_tof(ConstCMatrixView csi, const LinkConfig& link,
+                         Workspace& ws, SanitizeFit* fit_out) {
+  SPOTFI_EXPECTS(csi.rows() >= 1 && csi.cols() >= 2,
+                 "sanitize_tof needs >= 1 antenna and >= 2 subcarriers");
+  const double two_pi_fd = 2.0 * kPi * link.subcarrier_spacing_hz;
+  // The result outlives the scratch frame holding the phase matrix.
+  const CMatrixView out = workspace_clone<cplx>(ws, csi);
+  SanitizeFit fit;
+  {
+    Workspace::Frame scratch(ws);
+    fit = fit_sto(unwrapped_phase(csi, ws), two_pi_fd);
+  }
+  remove_sto(out, two_pi_fd, fit.fitted_sto_s);
+  if (fit_out != nullptr) *fit_out = fit;
+  return out;
 }
 
 }  // namespace spotfi

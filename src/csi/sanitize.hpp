@@ -34,4 +34,19 @@ struct SanitizeResult {
 [[nodiscard]] SanitizeResult sanitize_tof(const CMatrix& csi,
                                           const LinkConfig& link);
 
+/// The fitted linear-phase parameters alone (for the workspace overload,
+/// whose matrix result lives on the arena).
+struct SanitizeFit {
+  double fitted_sto_s = 0.0;
+  double fitted_offset_rad = 0.0;
+};
+
+/// Workspace variant: the unwrapped-phase scratch and the sanitized CSI
+/// are checked out of `ws`; the returned view stays valid until the
+/// caller's enclosing frame closes. Both flavours share the fitting
+/// arithmetic, so the sanitized entries are bit-identical.
+[[nodiscard]] CMatrixView sanitize_tof(ConstCMatrixView csi,
+                                       const LinkConfig& link, Workspace& ws,
+                                       SanitizeFit* fit = nullptr);
+
 }  // namespace spotfi

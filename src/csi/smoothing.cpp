@@ -15,14 +15,13 @@ std::size_t smoothed_cols(std::size_t n_antennas, std::size_t n_subcarriers,
   return (n_subcarriers - cfg.sub_len + 1) * (n_antennas - cfg.ant_len + 1);
 }
 
-CMatrix smoothed_csi(const CMatrix& csi, const SmoothingConfig& cfg) {
+namespace {
+
+void fill_smoothed(ConstCMatrixView csi, const SmoothingConfig& cfg,
+                   CMatrixView x) {
   const std::size_t m_ant = csi.rows();
   const std::size_t n_sub = csi.cols();
-  const std::size_t rows = smoothed_rows(cfg);
-  const std::size_t cols = smoothed_cols(m_ant, n_sub, cfg);
   const std::size_t sub_shifts = n_sub - cfg.sub_len + 1;
-
-  CMatrix x(rows, cols);
   std::size_t col = 0;
   for (std::size_t da = 0; da + cfg.ant_len <= m_ant; ++da) {
     for (std::size_t ds = 0; ds < sub_shifts; ++ds, ++col) {
@@ -34,6 +33,24 @@ CMatrix smoothed_csi(const CMatrix& csi, const SmoothingConfig& cfg) {
       }
     }
   }
+}
+
+}  // namespace
+
+CMatrix smoothed_csi(const CMatrix& csi, const SmoothingConfig& cfg) {
+  const std::size_t rows = smoothed_rows(cfg);
+  const std::size_t cols = smoothed_cols(csi.rows(), csi.cols(), cfg);
+  CMatrix x(rows, cols);
+  fill_smoothed(csi.view(), cfg, x.view());
+  return x;
+}
+
+CMatrixView smoothed_csi(ConstCMatrixView csi, Workspace& ws,
+                         const SmoothingConfig& cfg) {
+  const std::size_t rows = smoothed_rows(cfg);
+  const std::size_t cols = smoothed_cols(csi.rows(), csi.cols(), cfg);
+  CMatrixView x = workspace_matrix<cplx>(ws, rows, cols);
+  fill_smoothed(csi, cfg, x);
   return x;
 }
 

@@ -42,6 +42,11 @@ struct SmoothingConfig {
 [[nodiscard]] CMatrix smoothed_csi(const CMatrix& csi,
                                    const SmoothingConfig& cfg = {});
 
+/// Arena variant: the smoothed matrix is checked out of `ws` and lives
+/// until the caller's enclosing frame closes. Identical layout/values.
+[[nodiscard]] CMatrixView smoothed_csi(ConstCMatrixView csi, Workspace& ws,
+                                       const SmoothingConfig& cfg = {});
+
 /// Smoothing for the classic antenna-only MUSIC baseline (Sec. 3.1.1):
 /// each column of the CSI (one subcarrier) is a snapshot of the M-antenna
 /// array; forward spatial smoothing over antenna subarrays of length

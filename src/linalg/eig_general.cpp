@@ -8,14 +8,15 @@
 
 namespace spotfi {
 
-CVector solve_complex(const CMatrix& a, std::span<const cplx> b) {
+void solve_complex_into(ConstCMatrixView a, std::span<const cplx> b,
+                        std::span<cplx> x, Workspace& ws) {
   SPOTFI_EXPECTS(a.rows() == a.cols(), "solve_complex requires square A");
   SPOTFI_EXPECTS(a.rows() == b.size(), "solve_complex shape mismatch");
+  SPOTFI_EXPECTS(x.size() == b.size(), "solve_complex solution size mismatch");
   const std::size_t n = a.rows();
-  CMatrix lu = a;
-  CVector x(b.begin(), b.end());
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  Workspace::Frame frame(ws);
+  const CMatrixView lu = workspace_clone<cplx>(ws, a);
+  std::copy(b.begin(), b.end(), x.begin());
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting on column k.
@@ -46,16 +47,25 @@ CVector solve_complex(const CMatrix& a, std::span<const cplx> b) {
     for (std::size_t j = ii + 1; j < n; ++j) sum -= lu(ii, j) * x[j];
     x[ii] = sum / lu(ii, ii);
   }
+}
+
+CVector solve_complex(const CMatrix& a, std::span<const cplx> b) {
+  CVector x(b.size());
+  solve_complex_into(ConstCMatrixView(a), b, x, thread_workspace());
   return x;
 }
 
-CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
-                      const NumericsPolicy& policy) {
+void solve_complex_into(ConstCMatrixView a, std::span<const cplx> b,
+                        std::span<cplx> x, const NumericsPolicy& policy,
+                        Workspace& ws) {
   SPOTFI_EXPECTS(a.rows() == a.cols(), "solve_complex requires square A");
   SPOTFI_EXPECTS(a.rows() == b.size(), "solve_complex shape mismatch");
-  for (const cplx& v : a.flat()) {
-    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
-      throw NumericalError("solve_complex: matrix has non-finite entries");
+  const std::size_t n = a.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const cplx& v : a.row(i)) {
+      if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        throw NumericalError("solve_complex: matrix has non-finite entries");
+      }
     }
   }
   for (const cplx& v : b) {
@@ -64,26 +74,41 @@ CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
     }
   }
   try {
-    return solve_complex(a, b);
+    solve_complex_into(a, b, x, ws);
+    return;
   } catch (const NumericalError&) {
     // Fall through to the jitter ladder.
   }
-  const double scale = std::max(a.max_abs(), 1e-300);
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const cplx& v : a.row(i)) max_abs = std::max(max_abs, std::abs(v));
+  }
+  const double scale = std::max(max_abs, 1e-300);
   double ridge = policy.initial_ridge * scale;
+  Workspace::Frame frame(ws);
+  const CMatrixView damped = workspace_matrix<cplx>(ws, n, n);
   for (int attempt = 0; attempt < policy.max_ridge_steps; ++attempt) {
-    CMatrix damped = a;
-    for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx* src = a.row_ptr(i);
+      std::copy(src, src + n, damped.row_ptr(i));
       damped(i, i) += cplx(ridge, 0.0);
     }
     try {
-      CVector x = solve_complex(damped, b);
+      solve_complex_into(ConstCMatrixView(damped), b, x, ws);
       count_numerics(&NumericsCounters::solve_regularized);
-      return x;
+      return;
     } catch (const NumericalError&) {
       ridge *= policy.ridge_growth;
     }
   }
   throw NumericalError("solve_complex: regularization ladder exhausted");
+}
+
+CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
+                      const NumericsPolicy& policy) {
+  CVector x(b.size());
+  solve_complex_into(ConstCMatrixView(a), b, x, policy, thread_workspace());
+  return x;
 }
 
 namespace {
@@ -106,7 +131,8 @@ Givens make_givens(cplx a, cplx b) {
 }
 
 /// Householder reduction of A to upper Hessenberg form (in place).
-void hessenberg(CMatrix& h) {
+/// `v` is reflector scratch of size n, contents clobbered.
+void hessenberg(CMatrixView h, std::span<cplx> v) {
   const std::size_t n = h.rows();
   for (std::size_t k = 0; k + 2 < n; ++k) {
     // Zero column k below the subdiagonal with a Householder reflector on
@@ -119,7 +145,7 @@ void hessenberg(CMatrix& h) {
     const cplx alpha =
         std::abs(pivot) > 0.0 ? -(pivot / std::abs(pivot)) * norm
                               : cplx(-norm, 0.0);
-    CVector v(n, cplx{});
+    std::fill(v.begin(), v.end(), cplx{});
     v[k + 1] = pivot - alpha;
     for (std::size_t i = k + 2; i < n; ++i) v[i] = h(i, k);
     double vtv = 0.0;
@@ -147,7 +173,7 @@ void hessenberg(CMatrix& h) {
 }
 
 /// Wilkinson shift: eigenvalue of the trailing 2x2 closest to h(m, m).
-cplx wilkinson_shift(const CMatrix& h, std::size_t m) {
+cplx wilkinson_shift(ConstCMatrixView h, std::size_t m) {
   const cplx a = h(m - 1, m - 1);
   const cplx b = h(m - 1, m);
   const cplx c = h(m, m - 1);
@@ -159,38 +185,52 @@ cplx wilkinson_shift(const CMatrix& h, std::size_t m) {
   return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
 }
 
+double max_abs_of(ConstCMatrixView a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (const cplx& v : a.row(i)) m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
 }  // namespace
 
-GeneralEig eig_general(const CMatrix& input) {
+GeneralEigRef eig_general(ConstCMatrixView input, Workspace& ws) {
   SPOTFI_EXPECTS(input.rows() == input.cols(),
                  "eig_general requires a square matrix");
   const std::size_t n = input.rows();
-  GeneralEig result;
+  GeneralEigRef result;
+  result.eigenvalues = ws.take<cplx>(n);
+  result.eigenvectors = workspace_matrix<cplx>(ws, n, n);
   if (n == 0) return result;
-  for (const cplx& v : input.flat()) {
-    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+  for (std::size_t row = 0; row < n; ++row) {
+    for (const cplx& v : input.row(row)) {
+      if (std::isfinite(v.real()) && std::isfinite(v.imag())) continue;
       // Poisoned input: the QR iteration would only churn NaN until the
       // stall limit. Report a non-convergence up front.
       result.converged = false;
       result.max_residual = std::numeric_limits<double>::infinity();
-      result.eigenvalues.assign(
-          n, cplx(std::numeric_limits<double>::quiet_NaN(), 0.0));
-      result.eigenvectors = CMatrix::identity(n);
+      std::fill(result.eigenvalues.begin(), result.eigenvalues.end(),
+                cplx(std::numeric_limits<double>::quiet_NaN(), 0.0));
+      for (std::size_t i = 0; i < n; ++i) result.eigenvectors(i, i) = 1.0;
       count_numerics(&NumericsCounters::eig_general_nonconverged);
       return result;
     }
   }
   if (n == 1) {
-    result.eigenvalues = {input(0, 0)};
-    result.eigenvectors = CMatrix::identity(1);
+    result.eigenvalues[0] = input(0, 0);
+    result.eigenvectors(0, 0) = 1.0;
     return result;
   }
 
-  CMatrix h = input;
-  hessenberg(h);
-  const double scale = std::max(h.max_abs(), 1e-300);
+  Workspace::Frame scratch(ws);
+  const CMatrixView h = workspace_clone<cplx>(ws, input);
+  const std::span<cplx> reflector = ws.take<cplx>(n);
+  hessenberg(h, reflector);
+  const double scale = std::max(max_abs_of(ConstCMatrixView(h)), 1e-300);
 
   // Shifted QR with deflation on the active block [0, m].
+  const std::span<Givens> rotations = ws.take<Givens>(n - 1);
   std::size_t m = n - 1;
   int iterations_since_deflation = 0;
   constexpr int kMaxPerEigenvalue = 60;
@@ -218,11 +258,10 @@ GeneralEig eig_general(const CMatrix& input) {
     // Exceptional shift every 20 stalled iterations.
     const cplx mu = (iterations_since_deflation % 20 == 0)
                         ? h(m, m) + cplx(std::abs(h(m, m - 1)), 0.0)
-                        : wilkinson_shift(h, m);
+                        : wilkinson_shift(ConstCMatrixView(h), m);
 
     // Explicit shifted QR step on the active block via Givens rotations:
     // H - mu I = Q R, then H <- R Q + mu I.
-    std::vector<Givens> rotations(m);
     for (std::size_t i = 0; i <= m; ++i) h(i, i) -= mu;
     for (std::size_t k = 0; k < m; ++k) {
       const Givens g = make_givens(h(k, k), h(k + 1, k));
@@ -252,11 +291,12 @@ GeneralEig eig_general(const CMatrix& input) {
     for (std::size_t i = 0; i <= m; ++i) h(i, i) += mu;
   }
 
-  result.eigenvalues.resize(n);
   for (std::size_t i = 0; i < n; ++i) result.eigenvalues[i] = h(i, i);
 
   // Eigenvectors by inverse iteration on the original matrix.
-  result.eigenvectors = CMatrix(n, n);
+  const CMatrixView shifted = workspace_matrix<cplx>(ws, n, n);
+  const std::span<cplx> v = ws.take<cplx>(n);
+  const std::span<cplx> v_next = ws.take<cplx>(n);
   Rng rng(0x5eedf00d);
   for (std::size_t k = 0; k < n; ++k) {
     const cplx lambda = result.eigenvalues[k];
@@ -264,17 +304,20 @@ GeneralEig eig_general(const CMatrix& input) {
     const cplx shift =
         lambda + cplx(1e-9 * (1.0 + std::abs(lambda)),
                       1e-10 * (1.0 + std::abs(lambda)));
-    CMatrix shifted = input;
-    for (std::size_t i = 0; i < n; ++i) shifted(i, i) -= shift;
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx* src = input.row_ptr(i);
+      std::copy(src, src + n, shifted.row_ptr(i));
+      shifted(i, i) -= shift;
+    }
 
-    CVector v(n);
     for (auto& e : v) e = cplx(rng.normal(), rng.normal());
     for (int iter = 0; iter < 3; ++iter) {
       try {
-        v = solve_complex(shifted, v);
+        solve_complex_into(ConstCMatrixView(shifted), v, v_next, ws);
       } catch (const NumericalError&) {
         break;  // exactly singular: v already spans the null direction
       }
+      std::copy(v_next.begin(), v_next.end(), v.begin());
       const double nv = norm2(std::span<const cplx>(v));
       if (nv < 1e-300) break;
       for (auto& e : v) e /= nv;
@@ -297,6 +340,23 @@ GeneralEig eig_general(const CMatrix& input) {
     }
     result.max_residual =
         std::max(result.max_residual, std::sqrt(res) / scale);
+  }
+  return result;
+}
+
+GeneralEig eig_general(const CMatrix& input) {
+  Workspace& ws = thread_workspace();
+  Workspace::Frame frame(ws);
+  const GeneralEigRef ref = eig_general(ConstCMatrixView(input), ws);
+  GeneralEig result;
+  result.converged = ref.converged;
+  result.max_residual = ref.max_residual;
+  result.eigenvalues.assign(ref.eigenvalues.begin(), ref.eigenvalues.end());
+  const std::size_t n = input.rows();
+  result.eigenvectors = CMatrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx* src = ref.eigenvectors.row_ptr(i);
+    std::copy(src, src + n, result.eigenvectors.row(i).data());
   }
   return result;
 }

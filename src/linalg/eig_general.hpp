@@ -24,12 +24,25 @@ namespace spotfi {
 /// pivoting. Throws NumericalError if A is singular to working precision.
 [[nodiscard]] CVector solve_complex(const CMatrix& a, std::span<const cplx> b);
 
+/// Strict workspace variant: the LU working copy lives on `ws`, the
+/// solution is written into `x` (size = A's dimension, must not alias
+/// `b`). The value flavour wraps this one; same arithmetic, same throws.
+/// On a singular-matrix throw `x` holds partially eliminated scratch.
+void solve_complex_into(ConstCMatrixView a, std::span<const cplx> b,
+                        std::span<cplx> x, Workspace& ws);
+
 /// Policy variant: on a singular pivot, retries with an escalating
 /// diagonal jitter (relative Tikhonov ridge) per the policy's ladder,
 /// counting each fallback in NumericsCounters::solve_regularized. Throws
 /// only for non-finite inputs or an exhausted ladder.
 [[nodiscard]] CVector solve_complex(const CMatrix& a, std::span<const cplx> b,
                                     const NumericsPolicy& policy);
+
+/// Workspace variant of the policy solver; the damped retry copies live
+/// on `ws`. Same ladder, same counters, same throws as the value flavour.
+void solve_complex_into(ConstCMatrixView a, std::span<const cplx> b,
+                        std::span<cplx> x, const NumericsPolicy& policy,
+                        Workspace& ws);
 
 struct GeneralEig {
   /// Eigenvalues in the order discovered by the QR iteration.
@@ -50,5 +63,21 @@ struct GeneralEig {
 /// (L <= ~16) matrices ESPRIT produces; cost is O(n^3) per QR sweep.
 /// Never throws for convergence — inspect `converged` / `max_residual`.
 [[nodiscard]] GeneralEig eig_general(const CMatrix& a);
+
+/// Arena variant of GeneralEig: the eigenvalue span and eigenvector view
+/// are checked out of the Workspace passed to eig_general() and stay
+/// valid until the caller's enclosing frame closes (or the arena resets).
+struct GeneralEigRef {
+  std::span<cplx> eigenvalues;
+  CMatrixView eigenvectors;
+  bool converged = true;
+  double max_residual = 0.0;
+};
+
+/// Zero-allocation eig_general: results are checked out of `ws`, all
+/// scratch (Hessenberg copy, Givens rotations, inverse-iteration solves)
+/// is taken and released inside an internal frame. Same arithmetic as
+/// the value overload — identical bits; the value flavour wraps this one.
+[[nodiscard]] GeneralEigRef eig_general(ConstCMatrixView a, Workspace& ws);
 
 }  // namespace spotfi

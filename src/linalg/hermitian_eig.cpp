@@ -11,40 +11,57 @@ namespace spotfi {
 namespace {
 
 /// Sum of squared magnitudes of the strict upper triangle.
-double off_diagonal_mass(const CMatrix& a) {
+double off_diagonal_mass(ConstCMatrixView a) {
   double s = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t j = i + 1; j < a.cols(); ++j) s += std::norm(a(i, j));
   return s;
 }
 
+double max_abs(ConstCMatrixView a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j)));
+  return m;
+}
+
 }  // namespace
 
-HermitianEig eigh(const CMatrix& input) {
-  SPOTFI_EXPECTS(input.rows() == input.cols(), "eigh requires a square matrix");
+HermitianEigRef eigh(ConstCMatrixView input, Workspace& ws) {
+  SPOTFI_EXPECTS(input.rows() == input.cols(),
+                 "eigh requires a square matrix");
   const std::size_t n = input.rows();
-  if (n == 0) return {};
+
+  // Results first: they must outlive the scratch frame below.
+  HermitianEigRef result;
+  result.eigenvalues = ws.take<double>(n);
+  result.eigenvectors = workspace_matrix<cplx>(ws, n, n);
+  if (n == 0) return result;
 
   // A poisoned input would only churn NaN through all 64 sweeps; report
   // it as a non-convergence immediately.
-  for (const cplx& v : input.flat()) {
-    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
-      HermitianEig poisoned;
-      poisoned.converged = false;
-      poisoned.rcond = 0.0;
-      poisoned.off_diagonal_residual =
-          std::numeric_limits<double>::infinity();
-      poisoned.eigenvalues.assign(n,
-                                  std::numeric_limits<double>::quiet_NaN());
-      poisoned.eigenvectors = CMatrix::identity(n);
-      count_numerics(&NumericsCounters::eigh_nonconverged);
-      return poisoned;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const cplx& v : input.row(i)) {
+      if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
+        result.converged = false;
+        result.rcond = 0.0;
+        result.off_diagonal_residual =
+            std::numeric_limits<double>::infinity();
+        std::fill(result.eigenvalues.begin(), result.eigenvalues.end(),
+                  std::numeric_limits<double>::quiet_NaN());
+        for (std::size_t k = 0; k < n; ++k) result.eigenvectors(k, k) = 1.0;
+        count_numerics(&NumericsCounters::eigh_nonconverged);
+        return result;
+      }
     }
   }
 
+  Workspace::Frame scratch(ws);
+
   // Symmetrize: a <- (a + a^H)/2. Also measures how non-Hermitian the
   // input was so grossly wrong inputs fail fast.
-  CMatrix a = input;
+  CMatrixView a = workspace_clone<cplx>(ws, input);
   double asym = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i; j < n; ++j) {
@@ -57,11 +74,12 @@ HermitianEig eigh(const CMatrix& input) {
     }
     a(i, i) = cplx(a(i, i).real(), 0.0);
   }
-  const double scale = std::max(a.max_abs(), 1e-300);
+  const double scale = std::max(max_abs(a), 1e-300);
   SPOTFI_EXPECTS(asym <= 1e-8 * std::max(scale, 1.0),
                  "eigh input is not Hermitian");
 
-  CMatrix v = CMatrix::identity(n);
+  CMatrixView v = workspace_matrix<cplx>(ws, n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
   const double tol = 1e-26 * scale * scale * static_cast<double>(n * n);
   constexpr int kMaxSweeps = 64;
 
@@ -122,7 +140,6 @@ HermitianEig eigh(const CMatrix& input) {
       }
     }
   }
-  HermitianEig result;
   result.sweeps = sweep;
   const double final_mass = off_diagonal_mass(a);
   result.off_diagonal_residual = final_mass / (scale * scale);
@@ -134,14 +151,12 @@ HermitianEig eigh(const CMatrix& input) {
   }
 
   // Sort ascending, permuting eigenvector columns to match.
-  std::vector<std::size_t> order(n);
+  const std::span<std::size_t> order = ws.take<std::size_t>(n);
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
     return a(i, i).real() < a(j, j).real();
   });
 
-  result.eigenvalues.resize(n);
-  result.eigenvectors = CMatrix(n, n);
   for (std::size_t k = 0; k < n; ++k) {
     result.eigenvalues[k] = a(order[k], order[k]).real();
     for (std::size_t i = 0; i < n; ++i)
@@ -155,6 +170,27 @@ HermitianEig eigh(const CMatrix& input) {
   }
   result.rcond = abs_max > 0.0 ? abs_min / abs_max : 0.0;
   return result;
+}
+
+HermitianEig eigh(const CMatrix& input) {
+  Workspace& ws = thread_workspace();
+  Workspace::Frame frame(ws);
+  const HermitianEigRef r = eigh(input.view(), ws);
+
+  HermitianEig out;
+  out.converged = r.converged;
+  out.sweeps = r.sweeps;
+  out.off_diagonal_residual = r.off_diagonal_residual;
+  out.rcond = r.rcond;
+  out.eigenvalues.assign(r.eigenvalues.begin(), r.eigenvalues.end());
+  const std::size_t n = input.rows();
+  out.eigenvectors = CMatrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const cplx* src = r.eigenvectors.row_ptr(i);
+    cplx* dst = out.eigenvectors.row(i).data();
+    std::copy(src, src + n, dst);
+  }
+  return out;
 }
 
 SymmetricEig eigh(const RMatrix& a) {

@@ -52,6 +52,23 @@ struct HermitianEig {
 /// diagnostics instead.
 [[nodiscard]] HermitianEig eigh(const CMatrix& a);
 
+/// Arena variant of HermitianEig: the eigenvalue span and eigenvector
+/// view live in the Workspace passed to eigh() and stay valid until the
+/// caller's enclosing frame closes (or the arena resets).
+struct HermitianEigRef {
+  std::span<double> eigenvalues;
+  CMatrixView eigenvectors;
+  bool converged = true;
+  int sweeps = 0;
+  double off_diagonal_residual = 0.0;
+  double rcond = 1.0;
+};
+
+/// Zero-allocation eigh: results are checked out of `ws` (then scratch
+/// is taken and released inside an internal frame). Same arithmetic as
+/// the value overload — identical bits in eigenvalues and eigenvectors.
+[[nodiscard]] HermitianEigRef eigh(ConstCMatrixView a, Workspace& ws);
+
 /// Real symmetric convenience wrapper (used by tests and PCA-style code).
 struct SymmetricEig {
   RVector eigenvalues;

@@ -21,18 +21,22 @@ bool all_finite(std::span<const double> v) {
   return true;
 }
 
-bool all_finite(const RMatrix& a) {
-  for (const double v : a.flat()) {
-    if (!std::isfinite(v)) return false;
+bool all_finite(ConstRMatrixView a) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (const double v : a.row(i)) {
+      if (!std::isfinite(v)) return false;
+    }
   }
   return true;
 }
 
-RMatrix finite_difference_jacobian(const ResidualFn& f,
-                                   std::span<const double> x, std::size_t m,
-                                   const LevMarOptions& options) {
-  RVector xp(x.begin(), x.end());
-  RMatrix j(m, x.size());
+/// Central-difference Jacobian written into a caller-provided slab. `xp`
+/// is the perturbed-parameter scratch (size n).
+void finite_difference_jacobian(const ResidualFn& f,
+                                std::span<const double> x, std::size_t m,
+                                const LevMarOptions& options, RMatrixView j,
+                                std::span<double> xp) {
+  std::copy(x.begin(), x.end(), xp.begin());
   for (std::size_t col = 0; col < x.size(); ++col) {
     const double scale = options.fd_scales.empty()
                              ? 1.0
@@ -50,7 +54,6 @@ RMatrix finite_difference_jacobian(const ResidualFn& f,
     for (std::size_t row = 0; row < m; ++row)
       j(row, col) = (rp[row] - rm[row]) / (2.0 * step);
   }
-  return j;
 }
 
 }  // namespace
@@ -59,6 +62,14 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
                                  std::span<const double> x0,
                                  const LevMarOptions& options,
                                  const JacobianFn& jacobian) {
+  return levenberg_marquardt(residuals, x0, options, jacobian,
+                             thread_workspace());
+}
+
+LevMarResult levenberg_marquardt(const ResidualFn& residuals,
+                                 std::span<const double> x0,
+                                 const LevMarOptions& options,
+                                 const JacobianFn& jacobian, Workspace& ws) {
   SPOTFI_EXPECTS(!x0.empty(), "levenberg_marquardt requires parameters");
   SPOTFI_EXPECTS(options.max_iterations > 0, "max_iterations must be > 0");
   SPOTFI_EXPECTS(
@@ -100,13 +111,33 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
   }
   x_scale = std::max(x_scale, 1e-300);
 
+  // All per-iteration buffers are hoisted out of the loop and fully
+  // overwritten on every use, so steady-state iterations cost zero
+  // allocations beyond the caller's residual closure.
+  Workspace::Frame frame(ws);
+  const RMatrixView j = workspace_matrix<double>(ws, m, n);
+  const RMatrixView jtj = workspace_matrix<double>(ws, n, n);
+  const RMatrixView damped = workspace_matrix<double>(ws, n, n);
+  const std::span<double> jtr = ws.take<double>(n);
+  const std::span<double> neg_jtr = ws.take<double>(n);
+  const std::span<double> dx = ws.take<double>(n);
+  const std::span<double> x_try = ws.take<double>(n);
+  const std::span<double> fd_x = ws.take<double>(n);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
-    const RMatrix j = jacobian ? jacobian(result.x)
-                               : finite_difference_jacobian(residuals, result.x,
-                                                            m, options);
-    SPOTFI_EXPECTS(j.rows() == m && j.cols() == n, "jacobian shape mismatch");
-    if (!all_finite(j)) {
+    if (jacobian) {
+      const RMatrix ja = jacobian(result.x);
+      SPOTFI_EXPECTS(ja.rows() == m && ja.cols() == n,
+                     "jacobian shape mismatch");
+      for (std::size_t row = 0; row < m; ++row) {
+        const auto src = ja.row(row);
+        std::copy(src.begin(), src.end(), j.row(row).begin());
+      }
+    } else {
+      finite_difference_jacobian(residuals, result.x, m, options, j, fd_x);
+    }
+    if (!all_finite(ConstRMatrixView(j))) {
       // The current point is finite but its neighborhood is not (FD probes
       // crossed into a NaN region, or an analytic Jacobian blew up). No
       // usable descent direction exists.
@@ -117,8 +148,6 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
     }
 
     // Normal equations: (J^T J + lambda * diag(J^T J)) dx = -J^T r.
-    RMatrix jtj(n, n);
-    RVector jtr(n, 0.0);
     for (std::size_t a = 0; a < n; ++a) {
       for (std::size_t b = a; b < n; ++b) {
         double s = 0.0;
@@ -134,16 +163,15 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
     bool saw_nonfinite_trial = false;
     for (int attempt = 0; attempt < 12 && !stepped; ++attempt) {
       if (lambda > options.max_lambda) break;
-      RMatrix damped = jtj;
       for (std::size_t a = 0; a < n; ++a) {
+        const auto src = jtj.row(a);
+        std::copy(src.begin(), src.end(), damped.row(a).begin());
         damped(a, a) += lambda * std::max(jtj(a, a), 1e-12);
       }
-      RVector neg_jtr(n);
       for (std::size_t a = 0; a < n; ++a) neg_jtr[a] = -jtr[a];
 
-      RVector dx;
       try {
-        dx = solve_spd(damped, neg_jtr);
+        solve_spd_into(ConstRMatrixView(damped), neg_jtr, dx, ws);
       } catch (const NumericalError&) {
         count_numerics(&NumericsCounters::levmar_solve_failed);
         lambda *= options.lambda_up;
@@ -159,9 +187,8 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
         continue;
       }
 
-      RVector x_try(result.x);
-      for (std::size_t a = 0; a < n; ++a) x_try[a] += dx[a];
-      const RVector r_try = residuals(x_try);
+      for (std::size_t a = 0; a < n; ++a) x_try[a] = result.x[a] + dx[a];
+      RVector r_try = residuals(std::span<const double>(x_try));
       const double cost_try = half_squared_norm(r_try);
       if (!all_finite(r_try) || !std::isfinite(cost_try)) {
         // Stepped into a non-finite region: reject and shrink the step.
@@ -175,8 +202,8 @@ LevMarResult levenberg_marquardt(const ResidualFn& residuals,
       if (cost_try < result.cost) {
         const double improvement =
             (result.cost - cost_try) / std::max(result.cost, 1e-300);
-        result.x = std::move(x_try);
-        r = r_try;
+        std::copy(x_try.begin(), x_try.end(), result.x.begin());
+        r = std::move(r_try);
         result.cost = cost_try;
         lambda = std::max(lambda * options.lambda_down, 1e-12);
         stepped = true;

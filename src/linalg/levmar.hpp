@@ -81,4 +81,12 @@ struct LevMarResult {
     const ResidualFn& residuals, std::span<const double> x0,
     const LevMarOptions& options = {}, const JacobianFn& jacobian = {});
 
+/// Workspace variant: the Jacobian, normal-equation, and trial buffers
+/// live on `ws` (hoisted once per call, reused across iterations); only
+/// the result struct and the caller's residual closures allocate. The
+/// default overload wraps this one; results are bit-identical.
+[[nodiscard]] LevMarResult levenberg_marquardt(
+    const ResidualFn& residuals, std::span<const double> x0,
+    const LevMarOptions& options, const JacobianFn& jacobian, Workspace& ws);
+
 }  // namespace spotfi

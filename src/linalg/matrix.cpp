@@ -5,27 +5,39 @@
 namespace spotfi {
 
 CVector matvec(const CMatrix& a, std::span<const cplx> x) {
-  SPOTFI_EXPECTS(a.cols() == x.size(), "matvec shape mismatch");
   CVector y(a.rows());
+  matvec_into(a.view(), x, y);
+  return y;
+}
+
+RVector matvec(const RMatrix& a, std::span<const double> x) {
+  RVector y(a.rows());
+  matvec_into(a.view(), x, y);
+  return y;
+}
+
+void matvec_into(ConstCMatrixView a, std::span<const cplx> x,
+                 std::span<cplx> y) {
+  SPOTFI_EXPECTS(a.cols() == x.size(), "matvec shape mismatch");
+  SPOTFI_EXPECTS(a.rows() == y.size(), "matvec output size mismatch");
   for (std::size_t i = 0; i < a.rows(); ++i) {
     cplx acc{};
     const auto row = a.row(i);
     for (std::size_t j = 0; j < x.size(); ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
-  return y;
 }
 
-RVector matvec(const RMatrix& a, std::span<const double> x) {
+void matvec_into(ConstRMatrixView a, std::span<const double> x,
+                 std::span<double> y) {
   SPOTFI_EXPECTS(a.cols() == x.size(), "matvec shape mismatch");
-  RVector y(a.rows());
+  SPOTFI_EXPECTS(a.rows() == y.size(), "matvec output size mismatch");
   for (std::size_t i = 0; i < a.rows(); ++i) {
     double acc = 0.0;
     const auto row = a.row(i);
     for (std::size_t j = 0; j < x.size(); ++j) acc += row[j] * x[j];
     y[i] = acc;
   }
-  return y;
 }
 
 cplx dot(std::span<const cplx> x, std::span<const cplx> y) {

@@ -5,6 +5,17 @@
 // 30x30-ish matrices, so a straightforward dense implementation with
 // cache-friendly row-major storage is the right tool; no external linear
 // algebra dependency is used anywhere in the repository.
+//
+// Two calling conventions share one set of kernels:
+//  * Owning Matrix<T> values — the ergonomic API for tests, examples,
+//    and cold paths.
+//  * Non-owning MatrixView<T>/ConstMatrixView<T> — stride-aware windows
+//    over memory someone else owns (a Matrix, or a Workspace arena
+//    checkout via workspace_matrix). The hot path threads views through
+//    the pipeline so a steady-state packet allocates nothing.
+// The value operators delegate to the view kernels (matmul_into,
+// gram_into, ...), so both conventions execute the exact same arithmetic
+// in the exact same order: results are byte-identical by construction.
 #pragma once
 
 #include <complex>
@@ -14,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/workspace.hpp"
 
 namespace spotfi {
 
@@ -25,6 +37,197 @@ struct is_complex : std::false_type {};
 template <typename U>
 struct is_complex<std::complex<U>> : std::true_type {};
 }  // namespace detail
+
+template <typename T>
+class Matrix;
+
+/// Mutable non-owning window: `rows x cols` elements over row-major
+/// storage with a row stride (stride == cols when contiguous). Cheap to
+/// copy (pointer + three sizes); never owns or frees memory. The
+/// underlying storage must outlive the view — arena-backed views die
+/// with their Workspace::Frame.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    SPOTFI_ASSERT(stride >= cols, "row stride below row width");
+  }
+  MatrixView(T* data, std::size_t rows, std::size_t cols)
+      : MatrixView(data, rows, cols, cols) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] T* data() const { return data_; }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    SPOTFI_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * stride_ + j];
+  }
+
+  [[nodiscard]] T* row_ptr(std::size_t i) const {
+    SPOTFI_ASSERT(i < rows_, "row index out of range");
+    return data_ + i * stride_;
+  }
+  [[nodiscard]] std::span<T> row(std::size_t i) const {
+    return {row_ptr(i), cols_};
+  }
+
+  /// A rows x cols sub-window anchored at (r0, c0); shares the stride.
+  [[nodiscard]] MatrixView block(std::size_t r0, std::size_t c0,
+                                 std::size_t rows, std::size_t cols) const {
+    SPOTFI_ASSERT(r0 + rows <= rows_ && c0 + cols <= cols_,
+                  "block out of range");
+    return {data_ + r0 * stride_ + c0, rows, cols, stride_};
+  }
+
+  void fill(const T& v) const {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      T* r = row_ptr(i);
+      for (std::size_t j = 0; j < cols_; ++j) r[j] = v;
+    }
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// Read-only counterpart of MatrixView. Implicitly constructible from a
+/// MatrixView or a (const) Matrix, so kernels written against const
+/// views accept every storage flavor.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() = default;
+  ConstMatrixView(const T* data, std::size_t rows, std::size_t cols,
+                  std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    SPOTFI_ASSERT(stride >= cols, "row stride below row width");
+  }
+  ConstMatrixView(const T* data, std::size_t rows, std::size_t cols)
+      : ConstMatrixView(data, rows, cols, cols) {}
+  ConstMatrixView(MatrixView<T> m)  // NOLINT(google-explicit-constructor)
+      : ConstMatrixView(m.data(), m.rows(), m.cols(), m.stride()) {}
+  ConstMatrixView(const Matrix<T>& m);  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+  [[nodiscard]] const T* data() const { return data_; }
+
+  const T& operator()(std::size_t i, std::size_t j) const {
+    SPOTFI_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * stride_ + j];
+  }
+
+  [[nodiscard]] const T* row_ptr(std::size_t i) const {
+    SPOTFI_ASSERT(i < rows_, "row index out of range");
+    return data_ + i * stride_;
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t i) const {
+    return {row_ptr(i), cols_};
+  }
+
+  [[nodiscard]] ConstMatrixView block(std::size_t r0, std::size_t c0,
+                                      std::size_t rows,
+                                      std::size_t cols) const {
+    SPOTFI_ASSERT(r0 + rows <= rows_ && c0 + cols <= cols_,
+                  "block out of range");
+    return {data_ + r0 * stride_ + c0, rows, cols, stride_};
+  }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+/// c += a * b. Row-major ikj ordering (B rows and the C row stream
+/// through cache), k unrolled two-wide so each pass over the C row does
+/// two multiply-adds per load/store — raw row pointers throughout, no
+/// bounds-checked element accessors on the hot path. `c` must arrive
+/// zero-initialized for a plain product (Matrix construction and
+/// Workspace checkouts both guarantee that).
+template <typename T>
+void matmul_into(ConstMatrixView<T> a, ConstMatrixView<T> b,
+                 MatrixView<T> c) {
+  SPOTFI_EXPECTS(a.cols() == b.rows(), "shape mismatch in matrix product");
+  SPOTFI_EXPECTS(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "output shape mismatch in matrix product");
+  const std::size_t kk = a.cols();
+  const std::size_t n = b.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* arow = a.row_ptr(i);
+    T* crow = c.row_ptr(i);
+    std::size_t k = 0;
+    for (; k + 1 < kk; k += 2) {
+      const T a0 = arow[k];
+      const T a1 = arow[k + 1];
+      const T* b0 = b.row_ptr(k);
+      const T* b1 = b.row_ptr(k + 1);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += a0 * b0[j] + a1 * b1[j];
+      }
+    }
+    if (k < kk) {
+      const T a0 = arow[k];
+      const T* b0 = b.row_ptr(k);
+      for (std::size_t j = 0; j < n; ++j) crow[j] += a0 * b0[j];
+    }
+  }
+}
+
+/// g = a * a^H — the (unnormalized) covariance MUSIC eigendecomposes.
+/// Lower triangle only, mirrored; the row-dot runs two independent
+/// accumulators so the (serial) multiply-add dependency chain halves.
+/// Overwrites g completely.
+template <typename T>
+void gram_into(ConstMatrixView<T> a, MatrixView<T> g) {
+  SPOTFI_EXPECTS(g.rows() == a.rows() && g.cols() == a.rows(),
+                 "output shape mismatch in gram");
+  const std::size_t cols = a.cols();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* ri = a.row_ptr(i);
+    T* grow = g.row_ptr(i);
+    for (std::size_t j = 0; j <= i; ++j) {
+      const T* rj = a.row_ptr(j);
+      T acc0{};
+      T acc1{};
+      std::size_t k = 0;
+      for (; k + 1 < cols; k += 2) {
+        if constexpr (detail::is_complex<T>::value) {
+          acc0 += ri[k] * std::conj(rj[k]);
+          acc1 += ri[k + 1] * std::conj(rj[k + 1]);
+        } else {
+          acc0 += ri[k] * rj[k];
+          acc1 += ri[k + 1] * rj[k + 1];
+        }
+      }
+      if (k < cols) {
+        if constexpr (detail::is_complex<T>::value) {
+          acc0 += ri[k] * std::conj(rj[k]);
+        } else {
+          acc0 += ri[k] * rj[k];
+        }
+      }
+      const T acc = acc0 + acc1;
+      grow[j] = acc;
+      if constexpr (detail::is_complex<T>::value) {
+        g(j, i) = std::conj(acc);
+      } else {
+        g(j, i) = acc;
+      }
+    }
+  }
+}
 
 template <typename T>
 class Matrix {
@@ -58,6 +261,16 @@ class Matrix {
   [[nodiscard]] std::size_t cols() const { return cols_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Non-owning windows over this matrix's storage. The matrix must
+  /// outlive (and not reallocate under) the view.
+  [[nodiscard]] MatrixView<T> view() {
+    return {data_.data(), rows_, cols_, cols_};
+  }
+  [[nodiscard]] ConstMatrixView<T> view() const {
+    return {data_.data(), rows_, cols_, cols_};
+  }
+  [[nodiscard]] ConstMatrixView<T> cview() const { return view(); }
 
   T& operator()(std::size_t i, std::size_t j) {
     SPOTFI_ASSERT(i < rows_ && j < cols_, "matrix index out of range");
@@ -127,34 +340,11 @@ class Matrix {
     return a;
   }
 
-  /// Matrix product. Row-major ikj ordering (B rows and the C row stream
-  /// through cache), k unrolled two-wide so each pass over the C row
-  /// does two multiply-adds per load/store — raw pointers throughout, no
-  /// bounds-checked element accessors on the hot path.
+  /// Matrix product; thin wrapper over the view kernel matmul_into.
   [[nodiscard]] friend Matrix operator*(const Matrix& a, const Matrix& b) {
     SPOTFI_EXPECTS(a.cols_ == b.rows_, "shape mismatch in matrix product");
     Matrix c(a.rows_, b.cols_);
-    const std::size_t kk = a.cols_;
-    const std::size_t n = b.cols_;
-    for (std::size_t i = 0; i < a.rows_; ++i) {
-      const T* arow = &a.data_[i * kk];
-      T* crow = &c.data_[i * n];
-      std::size_t k = 0;
-      for (; k + 1 < kk; k += 2) {
-        const T a0 = arow[k];
-        const T a1 = arow[k + 1];
-        const T* b0 = &b.data_[k * n];
-        const T* b1 = b0 + n;
-        for (std::size_t j = 0; j < n; ++j) {
-          crow[j] += a0 * b0[j] + a1 * b1[j];
-        }
-      }
-      if (k < kk) {
-        const T a0 = arow[k];
-        const T* b0 = &b.data_[k * n];
-        for (std::size_t j = 0; j < n; ++j) crow[j] += a0 * b0[j];
-      }
-    }
+    matmul_into<T>(a.view(), b.view(), c.view());
     return c;
   }
 
@@ -180,44 +370,10 @@ class Matrix {
     return t;
   }
 
-  /// A * A^H — the (unnormalized) covariance MUSIC eigendecomposes.
-  /// Lower triangle only, mirrored; the row-dot runs two independent
-  /// accumulators so the (serial) multiply-add dependency chain halves.
+  /// A * A^H; thin wrapper over the view kernel gram_into.
   [[nodiscard]] Matrix gram() const {
     Matrix g(rows_, rows_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-      const T* ri = &data_[i * cols_];
-      T* grow = &g.data_[i * rows_];
-      for (std::size_t j = 0; j <= i; ++j) {
-        const T* rj = &data_[j * cols_];
-        T acc0{};
-        T acc1{};
-        std::size_t k = 0;
-        for (; k + 1 < cols_; k += 2) {
-          if constexpr (detail::is_complex<T>::value) {
-            acc0 += ri[k] * std::conj(rj[k]);
-            acc1 += ri[k + 1] * std::conj(rj[k + 1]);
-          } else {
-            acc0 += ri[k] * rj[k];
-            acc1 += ri[k + 1] * rj[k + 1];
-          }
-        }
-        if (k < cols_) {
-          if constexpr (detail::is_complex<T>::value) {
-            acc0 += ri[k] * std::conj(rj[k]);
-          } else {
-            acc0 += ri[k] * rj[k];
-          }
-        }
-        const T acc = acc0 + acc1;
-        grow[j] = acc;
-        if constexpr (detail::is_complex<T>::value) {
-          g.data_[j * rows_ + i] = std::conj(acc);
-        } else {
-          g.data_[j * rows_ + i] = acc;
-        }
-      }
-    }
+    gram_into<T>(view(), g.view());
     return g;
   }
 
@@ -245,14 +401,51 @@ class Matrix {
   std::vector<T> data_;
 };
 
+template <typename T>
+ConstMatrixView<T>::ConstMatrixView(const Matrix<T>& m)
+    : ConstMatrixView(m.view()) {}
+
 using RMatrix = Matrix<double>;
 using CMatrix = Matrix<cplx>;
 using RVector = std::vector<double>;
 using CVector = std::vector<cplx>;
 
+using RMatrixView = MatrixView<double>;
+using CMatrixView = MatrixView<cplx>;
+using ConstRMatrixView = ConstMatrixView<double>;
+using ConstCMatrixView = ConstMatrixView<cplx>;
+
+/// Checks a zero-filled rows x cols view out of a workspace arena. The
+/// view lives until the enclosing Workspace::Frame closes.
+template <typename T>
+[[nodiscard]] MatrixView<T> workspace_matrix(Workspace& ws, std::size_t rows,
+                                             std::size_t cols) {
+  return {ws.take<T>(rows * cols).data(), rows, cols, cols};
+}
+
+/// Copies src into an arena checkout (contiguous), e.g. to mutate a
+/// caller's matrix without touching it or the heap.
+template <typename T>
+[[nodiscard]] MatrixView<T> workspace_clone(Workspace& ws,
+                                            ConstMatrixView<T> src) {
+  MatrixView<T> dst = workspace_matrix<T>(ws, src.rows(), src.cols());
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    const T* s = src.row_ptr(i);
+    T* d = dst.row_ptr(i);
+    for (std::size_t j = 0; j < src.cols(); ++j) d[j] = s[j];
+  }
+  return dst;
+}
+
 /// y = A x for a complex matrix and vector.
 [[nodiscard]] CVector matvec(const CMatrix& a, std::span<const cplx> x);
 [[nodiscard]] RVector matvec(const RMatrix& a, std::span<const double> x);
+
+/// y = A x into a caller-provided output (no allocation).
+void matvec_into(ConstCMatrixView a, std::span<const cplx> x,
+                 std::span<cplx> y);
+void matvec_into(ConstRMatrixView a, std::span<const double> x,
+                 std::span<double> y);
 
 /// Hermitian inner product <x, y> = sum_i conj(x_i) y_i.
 [[nodiscard]] cplx dot(std::span<const cplx> x, std::span<const cplx> y);

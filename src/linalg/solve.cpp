@@ -46,12 +46,12 @@ RVector cholesky_solve(const RMatrix& l, std::span<const double> b) {
   return x;
 }
 
-}  // namespace
-
-RMatrix cholesky(const RMatrix& a) {
+/// Factors A = L L^T into a caller-provided slab whose upper triangle must
+/// arrive zeroed (workspace checkouts are). Same loops and throws as the
+/// value flavour.
+void cholesky_into(ConstRMatrixView a, RMatrixView l) {
   SPOTFI_EXPECTS(a.rows() == a.cols(), "cholesky requires a square matrix");
   const std::size_t n = a.rows();
-  RMatrix l(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       double sum = a(i, j);
@@ -68,6 +68,15 @@ RMatrix cholesky(const RMatrix& a) {
       }
     }
   }
+}
+
+}  // namespace
+
+RMatrix cholesky(const RMatrix& a) {
+  SPOTFI_EXPECTS(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  RMatrix l(n, n);
+  cholesky_into(ConstRMatrixView(a), l.view());
   return l;
 }
 
@@ -103,8 +112,30 @@ RegularizedCholesky cholesky(const RMatrix& a, const NumericsPolicy& policy) {
 }
 
 RVector solve_spd(const RMatrix& a, std::span<const double> b) {
+  RVector x(b.size());
+  solve_spd_into(ConstRMatrixView(a), b, x, thread_workspace());
+  return x;
+}
+
+void solve_spd_into(ConstRMatrixView a, std::span<const double> b,
+                    std::span<double> x, Workspace& ws) {
   SPOTFI_EXPECTS(a.rows() == b.size(), "solve_spd shape mismatch");
-  return cholesky_solve(cholesky(a), b);
+  SPOTFI_EXPECTS(x.size() == a.cols(), "solve_spd solution size mismatch");
+  const std::size_t n = a.rows();
+  Workspace::Frame frame(ws);
+  const RMatrixView l = workspace_matrix<double>(ws, n, n);
+  cholesky_into(a, l);
+  const std::span<double> y = ws.take<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l(k, ii) * x[k];
+    x[ii] = sum / l(ii, ii);
+  }
 }
 
 RVector solve_spd(const RMatrix& a, std::span<const double> b,
@@ -119,12 +150,25 @@ RVector solve_spd(const RMatrix& a, std::span<const double> b,
 RVector lstsq(const RMatrix& a, std::span<const double> b) {
   SPOTFI_EXPECTS(a.rows() >= a.cols(), "lstsq requires rows >= cols");
   SPOTFI_EXPECTS(a.rows() == b.size(), "lstsq shape mismatch");
+  RVector x(a.cols());
+  lstsq_into(ConstRMatrixView(a), b, x, thread_workspace());
+  return x;
+}
+
+void lstsq_into(ConstRMatrixView a, std::span<const double> b,
+                std::span<double> x, Workspace& ws) {
+  SPOTFI_EXPECTS(a.rows() >= a.cols(), "lstsq requires rows >= cols");
+  SPOTFI_EXPECTS(a.rows() == b.size(), "lstsq shape mismatch");
+  SPOTFI_EXPECTS(x.size() == a.cols(), "lstsq solution size mismatch");
   const std::size_t m = a.rows();
   const std::size_t n = a.cols();
 
   // Householder QR, transforming b alongside.
-  RMatrix r = a;
-  RVector rhs(b.begin(), b.end());
+  Workspace::Frame frame(ws);
+  const RMatrixView r = workspace_clone<double>(ws, a);
+  const std::span<double> rhs = ws.take<double>(m);
+  std::copy(b.begin(), b.end(), rhs.begin());
+  const std::span<double> v_buf = ws.take<double>(m);
   for (std::size_t k = 0; k < n; ++k) {
     double norm = 0.0;
     for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
@@ -137,7 +181,7 @@ RVector lstsq(const RMatrix& a, std::span<const double> b) {
     }
     const double alpha = r(k, k) >= 0.0 ? -norm : norm;
     // Householder vector v (implicitly stored), v_k = r(k,k) - alpha.
-    RVector v(m - k);
+    const std::span<double> v = v_buf.first(m - k);
     v[0] = r(k, k) - alpha;
     for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
     const double vtv = dot(std::span<const double>(v), v);
@@ -158,7 +202,6 @@ RVector lstsq(const RMatrix& a, std::span<const double> b) {
   }
 
   // Back substitution on the upper-triangular leading block.
-  RVector x(n);
   for (std::size_t ii = n; ii-- > 0;) {
     double sum = rhs[ii];
     for (std::size_t j = ii + 1; j < n; ++j) sum -= r(ii, j) * x[j];
@@ -167,7 +210,6 @@ RVector lstsq(const RMatrix& a, std::span<const double> b) {
     }
     x[ii] = sum / r(ii, ii);
   }
-  return x;
 }
 
 RVector lstsq(const RMatrix& a, std::span<const double> b,

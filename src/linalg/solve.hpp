@@ -41,6 +41,12 @@ struct RegularizedCholesky {
 /// Solves A x = b for symmetric positive definite A via Cholesky (strict).
 [[nodiscard]] RVector solve_spd(const RMatrix& a, std::span<const double> b);
 
+/// Strict workspace variant: the factor and the intermediate solve live on
+/// `ws`, the solution is written into `x` (size = A's dimension). The
+/// value flavour wraps this one; same arithmetic, same throws.
+void solve_spd_into(ConstRMatrixView a, std::span<const double> b,
+                    std::span<double> x, Workspace& ws);
+
 /// Policy variant: regularized retry ladder on the factorization.
 [[nodiscard]] RVector solve_spd(const RMatrix& a, std::span<const double> b,
                                 const NumericsPolicy& policy);
@@ -48,6 +54,12 @@ struct RegularizedCholesky {
 /// Minimizes ||A x - b||_2 for A with rows >= cols and full column rank,
 /// using Householder QR. Throws NumericalError on rank deficiency.
 [[nodiscard]] RVector lstsq(const RMatrix& a, std::span<const double> b);
+
+/// Strict workspace variant of lstsq: the QR working copy, transformed
+/// rhs, and Householder vectors live on `ws`; the solution is written
+/// into `x` (size = A's column count). The value flavour wraps this one.
+void lstsq_into(ConstRMatrixView a, std::span<const double> b,
+                std::span<double> x, Workspace& ws);
 
 /// Policy variant: QR first; on rank deficiency the ridged normal
 /// equations (Tikhonov ladder), and finally a truncated-eigenvalue

@@ -69,11 +69,23 @@ double SpotFiLocalizer::objective(std::span<const ApObservation> observations,
 
 LocationEstimate SpotFiLocalizer::locate(
     std::span<const ApObservation> observations) const {
-  std::vector<ApObservation> used;
-  used.reserve(observations.size());
+  return locate(observations, thread_workspace());
+}
+
+LocationEstimate SpotFiLocalizer::locate(
+    std::span<const ApObservation> observations, Workspace& ws) const {
+  Workspace::Frame frame(ws);
+  std::size_t n_used = 0;
   for (const auto& obs : observations) {
-    if (obs.likelihood > 0.0) used.push_back(obs);
+    if (obs.likelihood > 0.0) ++n_used;
   }
+  const std::span<ApObservation> used_store =
+      ws.take<ApObservation>(n_used);
+  std::size_t fill = 0;
+  for (const auto& obs : observations) {
+    if (obs.likelihood > 0.0) used_store[fill++] = obs;
+  }
+  const std::span<const ApObservation> used = used_store;
   SPOTFI_EXPECTS(used.size() >= 2,
                  "need at least two usable AP observations to localize");
 
@@ -132,30 +144,30 @@ LocationEstimate SpotFiLocalizer::locate(
 
   // Multi-start seeds: a coarse grid over the search area, plus the
   // centroid of the AP positions.
-  std::vector<Vec2> seeds;
   const std::size_t g = config_.seed_grid;
+  const std::span<Vec2> seeds = ws.take<Vec2>(g * g + 1);
   for (std::size_t ix = 0; ix < g; ++ix) {
     for (std::size_t iy = 0; iy < g; ++iy) {
       const double fx = (static_cast<double>(ix) + 0.5) / static_cast<double>(g);
       const double fy = (static_cast<double>(iy) + 0.5) / static_cast<double>(g);
-      seeds.push_back({config_.area_min.x +
-                           fx * (config_.area_max.x - config_.area_min.x),
-                       config_.area_min.y +
-                           fy * (config_.area_max.y - config_.area_min.y)});
+      seeds[ix * g + iy] = {config_.area_min.x +
+                                fx * (config_.area_max.x - config_.area_min.x),
+                            config_.area_min.y +
+                                fy * (config_.area_max.y - config_.area_min.y)};
     }
   }
   Vec2 centroid{};
   for (const auto& obs : used) centroid += obs.pose.position;
-  seeds.push_back(centroid / static_cast<double>(used.size()));
+  seeds[g * g] = centroid / static_cast<double>(used.size());
 
   LocationEstimate best;
   best.cost = std::numeric_limits<double>::max();
   bool have_winner = false;
   for (const auto& seed : seeds) {
     ++best.starts_tried;
-    const RVector x0{seed.x, seed.y};
+    const double x0[2] = {seed.x, seed.y};
     const LevMarResult res =
-        levenberg_marquardt(residuals, x0, config_.levmar);
+        levenberg_marquardt(residuals, x0, config_.levmar, {}, ws);
     // A diverged run carries no usable solution, and a NaN cost would
     // silently lose every `<` comparison — either way the start must be
     // rejected explicitly, never allowed to leave `best` default-initialized

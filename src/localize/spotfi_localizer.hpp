@@ -82,6 +82,14 @@ class SpotFiLocalizer {
   [[nodiscard]] LocationEstimate locate(
       std::span<const ApObservation> observations) const;
 
+  /// Workspace variant: the usable-observation list, the multi-start seed
+  /// grid, and the LM solver scratch (Jacobian, normal equations, trial
+  /// points) live on `ws`, frame-scoped; only the residual closure's
+  /// return vectors allocate. The value flavour wraps this one; results
+  /// are identical.
+  [[nodiscard]] LocationEstimate locate(
+      std::span<const ApObservation> observations, Workspace& ws) const;
+
   /// The Eq. 9 objective at a given location/path-loss (diagnostics and
   /// tests).
   [[nodiscard]] double objective(std::span<const ApObservation> observations,

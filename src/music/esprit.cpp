@@ -13,28 +13,44 @@ namespace {
 /// Least-squares solution of A X = B for skinny complex A via the normal
 /// equations (columns of X solved independently). A rank-deficient normal
 /// matrix — coherent paths collapsing the signal subspace — goes through
-/// the policy's regularization ladder instead of failing outright.
-CMatrix complex_lstsq(const CMatrix& a, const CMatrix& b) {
+/// the policy's regularization ladder instead of failing outright. The
+/// result is checked out of `ws` (caller's frame); all scratch is
+/// released before returning.
+CMatrixView complex_lstsq(ConstCMatrixView a, ConstCMatrixView b,
+                          Workspace& ws) {
   SPOTFI_EXPECTS(a.rows() == b.rows() && a.rows() >= a.cols(),
                  "complex_lstsq shape mismatch");
-  const CMatrix at = a.adjoint();
-  const CMatrix ata = at * a;
-  const CMatrix atb = at * b;
-  CMatrix x(a.cols(), b.cols());
+  const CMatrixView x = workspace_matrix<cplx>(ws, a.cols(), b.cols());
+  Workspace::Frame scratch(ws);
+  const CMatrixView at = workspace_matrix<cplx>(ws, a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) at(j, i) = std::conj(a(i, j));
+  }
+  const CMatrixView ata = workspace_matrix<cplx>(ws, a.cols(), a.cols());
+  matmul_into<cplx>(at, a, ata);
+  const CMatrixView atb = workspace_matrix<cplx>(ws, a.cols(), b.cols());
+  matmul_into<cplx>(at, b, atb);
+  const std::span<cplx> rhs = ws.take<cplx>(a.cols());
+  const std::span<cplx> sol = ws.take<cplx>(a.cols());
   for (std::size_t j = 0; j < b.cols(); ++j) {
-    const CVector col =
-        solve_complex(ata, atb.col(j), NumericsPolicy::defaults());
-    x.set_col(j, col);
+    for (std::size_t i = 0; i < a.cols(); ++i) rhs[i] = atb(i, j);
+    solve_complex_into(ConstCMatrixView(ata), rhs, sol,
+                       NumericsPolicy::defaults(), ws);
+    for (std::size_t i = 0; i < a.cols(); ++i) x(i, j) = sol[i];
   }
   return x;
 }
 
-/// Rows of `es` whose subarray index satisfies a predicate.
-CMatrix select_rows(const CMatrix& es, const SmoothingConfig& cfg,
-                    bool by_subcarrier, bool upper) {
+/// Rows of `es` whose subarray index satisfies a predicate; the selection
+/// is checked out of `ws`.
+CMatrixView select_rows(ConstCMatrixView es, const SmoothingConfig& cfg,
+                        bool by_subcarrier, bool upper, Workspace& ws) {
   const std::size_t sub_len = cfg.sub_len;
   const std::size_t ant_len = cfg.ant_len;
-  std::vector<std::size_t> rows;
+  const std::size_t n_rows = by_subcarrier ? ant_len * (sub_len - 1)
+                                           : (ant_len - 1) * sub_len;
+  const CMatrixView out = workspace_matrix<cplx>(ws, n_rows, es.cols());
+  std::size_t r = 0;
   for (std::size_t a = 0; a < ant_len; ++a) {
     for (std::size_t s = 0; s < sub_len; ++s) {
       bool keep;
@@ -43,15 +59,13 @@ CMatrix select_rows(const CMatrix& es, const SmoothingConfig& cfg,
       } else {
         keep = upper ? (a >= 1) : (a + 1 < ant_len);
       }
-      if (keep) rows.push_back(a * sub_len + s);
+      if (!keep) continue;
+      const cplx* src = es.row_ptr(a * sub_len + s);
+      std::copy(src, src + es.cols(), out.row_ptr(r));
+      ++r;
     }
   }
-  CMatrix out(rows.size(), es.cols());
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    for (std::size_t j = 0; j < es.cols(); ++j) {
-      out(i, j) = es(rows[i], j);
-    }
-  }
+  SPOTFI_ASSERT(r == n_rows, "row selection count mismatch");
   return out;
 }
 
@@ -70,22 +84,40 @@ JointEspritEstimator::JointEspritEstimator(LinkConfig link,
 
 std::vector<PathEstimate> JointEspritEstimator::estimate(
     const CMatrix& csi) const {
+  Workspace& ws = thread_workspace();
+  Workspace::Frame frame(ws);
+  const std::span<PathEstimate> buf = ws.take<PathEstimate>(config_.max_paths);
+  const std::size_t n = estimate_into(ConstCMatrixView(csi), ws, buf);
+  return {buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n)};
+}
+
+std::size_t JointEspritEstimator::estimate_into(
+    ConstCMatrixView csi, Workspace& ws, std::span<PathEstimate> out) const {
   SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
                      csi.cols() == link_.n_subcarriers,
                  "CSI shape disagrees with the link config");
-  const CMatrix x = smoothed_csi(csi, config_.smoothing);
+  SPOTFI_EXPECTS(out.size() >= config_.max_paths,
+                 "estimate_into output span smaller than max_paths");
+  Workspace::Frame frame(ws);
+  const CMatrixView x = smoothed_csi(csi, ws, config_.smoothing);
 
   // Signal subspace: eigenvectors of the top-L eigenvalues.
   SubspaceConfig sub_cfg = config_.subspace;
   sub_cfg.max_signal_dims =
       std::min(sub_cfg.max_signal_dims, config_.max_paths);
-  const Subspaces sub = noise_subspace(x, sub_cfg);
+  const SubspacesRef sub =
+      noise_subspace(ConstCMatrixView(x), sub_cfg, ws);
   const std::size_t dim = x.rows();
   const std::size_t n_signal = sub.n_signal;
-  // Signal basis: the top-n_signal eigenvectors of the covariance.
-  const HermitianEig eig = eigh(x.gram());
-  if (!eig.converged) return {};  // no trustworthy signal basis
-  CMatrix es(dim, n_signal);
+  // Signal basis: the top-n_signal eigenvectors of the covariance. The
+  // model-order split above keeps only the noise columns, so the
+  // decomposition runs once more for the signal side — same cost shape
+  // as the value path, all scratch on the arena.
+  const CMatrixView g = workspace_matrix<cplx>(ws, dim, dim);
+  gram_into<cplx>(x, g);
+  const HermitianEigRef eig = eigh(ConstCMatrixView(g), ws);
+  if (!eig.converged) return 0;  // no trustworthy signal basis
+  const CMatrixView es = workspace_matrix<cplx>(ws, dim, n_signal);
   for (std::size_t k = 0; k < n_signal; ++k) {
     for (std::size_t i = 0; i < dim; ++i) {
       es(i, k) = eig.eigenvectors(i, dim - n_signal + k);
@@ -93,41 +125,53 @@ std::vector<PathEstimate> JointEspritEstimator::estimate(
   }
 
   // Shift-invariance operators.
-  const CMatrix es_sub_lo = select_rows(es, config_.smoothing, true, false);
-  const CMatrix es_sub_hi = select_rows(es, config_.smoothing, true, true);
-  const CMatrix es_ant_lo = select_rows(es, config_.smoothing, false, false);
-  const CMatrix es_ant_hi = select_rows(es, config_.smoothing, false, true);
+  const ConstCMatrixView es_view(es);
+  const CMatrixView es_sub_lo =
+      select_rows(es_view, config_.smoothing, true, false, ws);
+  const CMatrixView es_sub_hi =
+      select_rows(es_view, config_.smoothing, true, true, ws);
+  const CMatrixView es_ant_lo =
+      select_rows(es_view, config_.smoothing, false, false, ws);
+  const CMatrixView es_ant_hi =
+      select_rows(es_view, config_.smoothing, false, true, ws);
 
-  std::vector<PathEstimate> estimates;
-  CMatrix f_tau, f_phi;
+  CMatrixView f_tau, f_phi;
   try {
-    f_tau = complex_lstsq(es_sub_lo, es_sub_hi);
-    f_phi = complex_lstsq(es_ant_lo, es_ant_hi);
+    f_tau = complex_lstsq(es_sub_lo, es_sub_hi, ws);
+    f_phi = complex_lstsq(es_ant_lo, es_ant_hi, ws);
   } catch (const NumericalError&) {
-    return estimates;  // degenerate subspace: no estimates
+    return 0;  // degenerate subspace: no estimates
   }
 
   // Joint diagonalization: eigenvectors of F_tau diagonalize F_phi too
   // (in the noiseless case the operators commute). eig_general never
   // throws for convergence; a stalled iteration (near-defective operator
   // from coherent paths) surfaces through the `converged` flag instead.
-  const GeneralEig te = eig_general(f_tau);
-  if (!te.converged) return estimates;
+  const GeneralEigRef te = eig_general(ConstCMatrixView(f_tau), ws);
+  if (!te.converged) return 0;
   // Phi eigenvalues paired through the same basis: T^-1 F_phi T diagonal.
-  CMatrix phi_in_basis(n_signal, n_signal);
+  const CMatrixView phi_in_basis =
+      workspace_matrix<cplx>(ws, n_signal, n_signal);
   try {
     // Solve T * Y = F_phi * T for Y, then take the diagonal. A defective
     // eigenvector basis is near-singular; lean on the jitter ladder.
-    const CMatrix rhs = f_phi * te.eigenvectors;
+    const CMatrixView rhs = workspace_matrix<cplx>(ws, n_signal, n_signal);
+    matmul_into<cplx>(ConstCMatrixView(f_phi),
+                      ConstCMatrixView(te.eigenvectors), rhs);
+    const std::span<cplx> col = ws.take<cplx>(n_signal);
+    const std::span<cplx> sol = ws.take<cplx>(n_signal);
     for (std::size_t j = 0; j < n_signal; ++j) {
-      const CVector col =
-          solve_complex(te.eigenvectors, rhs.col(j), NumericsPolicy::defaults());
-      phi_in_basis.set_col(j, col);
+      for (std::size_t i = 0; i < n_signal; ++i) col[i] = rhs(i, j);
+      solve_complex_into(ConstCMatrixView(te.eigenvectors), col, sol,
+                         NumericsPolicy::defaults(), ws);
+      for (std::size_t i = 0; i < n_signal; ++i) phi_in_basis(i, j) = sol[i];
     }
   } catch (const NumericalError&) {
-    return estimates;
+    return 0;
   }
 
+  const std::span<PathEstimate> estimates = ws.take<PathEstimate>(n_signal);
+  std::size_t n_est = 0;
   const double two_pi_fd = 2.0 * kPi * link_.subcarrier_spacing_hz;
   const double sin_scale = link_.wavelength() /
                            (2.0 * kPi * link_.antenna_spacing_m);
@@ -140,23 +184,24 @@ std::vector<PathEstimate> JointEspritEstimator::estimate(
     const double sin_theta = -std::arg(phi) * sin_scale;
     if (std::abs(sin_theta) > 1.0 - config_.endfire_margin) continue;
     est.aoa_rad = std::asin(sin_theta);
-    estimates.push_back(est);
+    estimates[n_est++] = est;
   }
 
   // Path powers: least-squares fit of the joint steering matrix to the
   // smoothed measurement.
-  if (!estimates.empty()) {
-    CMatrix steering(dim, estimates.size());
-    for (std::size_t k = 0; k < estimates.size(); ++k) {
-      const CVector a =
-          joint_steering(estimates[k].aoa_rad, estimates[k].tof_s,
-                         config_.smoothing.ant_len, config_.smoothing.sub_len,
-                         link_);
-      steering.set_col(k, a);
+  if (n_est > 0) {
+    const CMatrixView steering = workspace_matrix<cplx>(ws, dim, n_est);
+    const std::span<cplx> a_col = ws.take<cplx>(dim);
+    for (std::size_t k = 0; k < n_est; ++k) {
+      joint_steering_into(estimates[k].aoa_rad, estimates[k].tof_s,
+                          config_.smoothing.ant_len, config_.smoothing.sub_len,
+                          link_, a_col);
+      for (std::size_t i = 0; i < dim; ++i) steering(i, k) = a_col[i];
     }
     try {
-      const CMatrix gains = complex_lstsq(steering, x);
-      for (std::size_t k = 0; k < estimates.size(); ++k) {
+      const CMatrixView gains =
+          complex_lstsq(ConstCMatrixView(steering), ConstCMatrixView(x), ws);
+      for (std::size_t k = 0; k < n_est; ++k) {
         double p = 0.0;
         for (std::size_t j = 0; j < gains.cols(); ++j) {
           p += std::norm(gains(k, j));
@@ -165,17 +210,19 @@ std::vector<PathEstimate> JointEspritEstimator::estimate(
       }
     } catch (const NumericalError&) {
       // Nearly collinear steering vectors: keep unit powers.
-      for (auto& est : estimates) est.power = 1.0;
+      for (std::size_t k = 0; k < n_est; ++k) estimates[k].power = 1.0;
     }
   }
-  std::sort(estimates.begin(), estimates.end(),
+  std::sort(estimates.begin(),
+            estimates.begin() + static_cast<std::ptrdiff_t>(n_est),
             [](const PathEstimate& a, const PathEstimate& b) {
               return a.power > b.power;
             });
-  if (estimates.size() > config_.max_paths) {
-    estimates.resize(config_.max_paths);
-  }
-  return estimates;
+  const std::size_t n_out = std::min(n_est, config_.max_paths);
+  std::copy(estimates.begin(),
+            estimates.begin() + static_cast<std::ptrdiff_t>(n_out),
+            out.begin());
+  return n_out;
 }
 
 }  // namespace spotfi

@@ -79,16 +79,16 @@ JointMusicEstimator::JointMusicEstimator(LinkConfig link,
       });
 }
 
-AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
-    const Subspaces& sub) const {
-  AoaTofSpectrum sp;
-  sp.aoa_grid_rad = aoa_grid_;
-  sp.tof_grid_s = tof_grid_;
+void JointMusicEstimator::spectrum_values(ConstCMatrixView noise,
+                                          Workspace& ws,
+                                          RMatrixView values) const {
   const std::size_t n_aoa = aoa_grid_.size();
   const std::size_t n_tof = tof_grid_.size();
-  const std::size_t n_noise = sub.noise.cols();
+  const std::size_t n_noise = noise.cols();
   const std::size_t ant_len = config_.smoothing.ant_len;
   const std::size_t sub_len = config_.smoothing.sub_len;
+  SPOTFI_EXPECTS(values.rows() == n_aoa && values.cols() == n_tof,
+                 "spectrum grid shape disagrees with the estimator grids");
 
   // The joint steering vector factors as ant(theta) (x) sub(tau) with
   // antenna-major rows, so for noise eigenvector e:
@@ -97,21 +97,21 @@ AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
   // (the steering tables themselves are cached at construction), then
   // the grid sweep is O(n_aoa * n_tof * n_noise * ant_len) of pure
   // flat-array inner products.
-  std::vector<cplx> g(n_tof * n_noise * ant_len);
+  Workspace::Frame frame(ws);
+  const std::span<cplx> g = ws.take<cplx>(n_tof * n_noise * ant_len);
   for (std::size_t ti = 0; ti < n_tof; ++ti) {
     const cplx* sub_vec = &sub_steering_[ti * sub_len];
     for (std::size_t e = 0; e < n_noise; ++e) {
       for (std::size_t a = 0; a < ant_len; ++a) {
         cplx acc{};
         for (std::size_t s = 0; s < sub_len; ++s) {
-          acc += std::conj(sub.noise(a * sub_len + s, e)) * sub_vec[s];
+          acc += std::conj(noise(a * sub_len + s, e)) * sub_vec[s];
         }
         g[(ti * n_noise + e) * ant_len + a] = acc;
       }
     }
   }
 
-  sp.values = RMatrix(n_aoa, n_tof);
   for (std::size_t ai = 0; ai < n_aoa; ++ai) {
     const cplx* ant_vec = &ant_steering_[ai * ant_len];
     for (std::size_t ti = 0; ti < n_tof; ++ti) {
@@ -124,9 +124,19 @@ AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
         }
         denom += std::norm(proj);
       }
-      sp.values(ai, ti) = 1.0 / std::max(denom, 1e-12);
+      values(ai, ti) = 1.0 / std::max(denom, 1e-12);
     }
   }
+}
+
+AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
+    const Subspaces& sub) const {
+  AoaTofSpectrum sp;
+  sp.aoa_grid_rad = aoa_grid_;
+  sp.tof_grid_s = tof_grid_;
+  sp.values = RMatrix(aoa_grid_.size(), tof_grid_.size());
+  spectrum_values(ConstCMatrixView(sub.noise), thread_workspace(),
+                  sp.values.view());
   return sp;
 }
 
@@ -138,48 +148,66 @@ AoaTofSpectrum JointMusicEstimator::spectrum(const CMatrix& csi) const {
   return spectrum_from_subspace(noise_subspace(x, config_.subspace));
 }
 
-std::vector<PathEstimate> JointMusicEstimator::estimate(
-    const CMatrix& csi) const {
-  const AoaTofSpectrum sp = spectrum(csi);
-  auto peaks = find_peaks_2d(sp.values, tof_wraps_,
-                             config_.max_paths + (config_.exclude_aoa_edges
-                                                      ? config_.max_paths
-                                                      : 0),
-                             config_.min_relative_peak);
-  if (config_.exclude_aoa_edges) {
-    const std::size_t last = sp.aoa_grid_rad.size() - 1;
-    std::erase_if(peaks, [&](const GridPeak& p) {
-      return p.i == 0 || p.i == last;
-    });
-    if (peaks.size() > config_.max_paths) peaks.resize(config_.max_paths);
-  }
-  std::vector<PathEstimate> estimates;
-  estimates.reserve(peaks.size());
-  const std::size_t n_tof = sp.tof_grid_s.size();
-  for (const auto& pk : peaks) {
+std::size_t JointMusicEstimator::estimate_into(
+    ConstCMatrixView csi, Workspace& ws, std::span<PathEstimate> out) const {
+  SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
+                     csi.cols() == link_.n_subcarriers,
+                 "CSI shape disagrees with the link config");
+  SPOTFI_EXPECTS(out.size() >= config_.max_paths,
+                 "estimate_into output span smaller than max_paths");
+  Workspace::Frame frame(ws);
+  const CMatrixView x = smoothed_csi(csi, ws, config_.smoothing);
+  const SubspacesRef sub =
+      noise_subspace(ConstCMatrixView(x), config_.subspace, ws);
+  const RMatrixView values =
+      workspace_matrix<double>(ws, aoa_grid_.size(), tof_grid_.size());
+  spectrum_values(sub.noise, ws, values);
+
+  std::span<const GridPeak> peaks = find_peaks_2d(
+      ConstRMatrixView(values), tof_wraps_,
+      config_.max_paths + (config_.exclude_aoa_edges ? config_.max_paths : 0),
+      config_.min_relative_peak, ws);
+
+  const std::size_t n_tof = tof_grid_.size();
+  const std::size_t last = aoa_grid_.size() - 1;
+  std::size_t n_out = 0;
+  for (const GridPeak& pk : peaks) {
+    // Same surviving set as the value path's erase_if + resize: skip edge
+    // rows in order, cap at max_paths.
+    if (config_.exclude_aoa_edges && (pk.i == 0 || pk.i == last)) continue;
+    if (n_out == config_.max_paths) break;
     PathEstimate est;
     est.power = pk.value;
     double di = 0.0;
     double dj = 0.0;
     if (config_.refine_peaks) {
-      if (pk.i > 0 && pk.i + 1 < sp.aoa_grid_rad.size()) {
-        di = parabolic_offset(sp.values(pk.i - 1, pk.j), sp.values(pk.i, pk.j),
-                              sp.values(pk.i + 1, pk.j));
+      if (pk.i > 0 && pk.i + 1 < aoa_grid_.size()) {
+        di = parabolic_offset(values(pk.i - 1, pk.j), values(pk.i, pk.j),
+                              values(pk.i + 1, pk.j));
       }
       const std::size_t jm =
           pk.j > 0 ? pk.j - 1 : (tof_wraps_ ? n_tof - 1 : pk.j);
       const std::size_t jp =
           pk.j + 1 < n_tof ? pk.j + 1 : (tof_wraps_ ? 0 : pk.j);
       if (jm != pk.j && jp != pk.j) {
-        dj = parabolic_offset(sp.values(pk.i, jm), sp.values(pk.i, pk.j),
-                              sp.values(pk.i, jp));
+        dj = parabolic_offset(values(pk.i, jm), values(pk.i, pk.j),
+                              values(pk.i, jp));
       }
     }
-    est.aoa_rad = sp.aoa_grid_rad[pk.i] + di * config_.aoa_step_rad;
-    est.tof_s = sp.tof_grid_s[pk.j] + dj * config_.tof_step_s;
-    estimates.push_back(est);
+    est.aoa_rad = aoa_grid_[pk.i] + di * config_.aoa_step_rad;
+    est.tof_s = tof_grid_[pk.j] + dj * config_.tof_step_s;
+    out[n_out++] = est;
   }
-  return estimates;
+  return n_out;
+}
+
+std::vector<PathEstimate> JointMusicEstimator::estimate(
+    const CMatrix& csi) const {
+  Workspace& ws = thread_workspace();
+  Workspace::Frame frame(ws);
+  const std::span<PathEstimate> buf = ws.take<PathEstimate>(config_.max_paths);
+  const std::size_t n = estimate_into(ConstCMatrixView(csi), ws, buf);
+  return {buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n)};
 }
 
 MusicAoaEstimator::MusicAoaEstimator(LinkConfig link, MusicAoaConfig config)

@@ -77,6 +77,15 @@ class JointMusicEstimator {
   /// peaks. CSI must be antennas x subcarriers per the link config.
   [[nodiscard]] std::vector<PathEstimate> estimate(const CMatrix& csi) const;
 
+  /// Zero-allocation packet path: the same pipeline, but every scratch
+  /// buffer (smoothed matrix, covariance, eigendecomposition, spectrum
+  /// grid, peak list) is checked out of `ws` and the estimates are
+  /// written into `out`, which must hold at least `config().max_paths`
+  /// entries. Returns the number of estimates written. Bit-identical to
+  /// estimate() — the value overload is a wrapper over this path.
+  [[nodiscard]] std::size_t estimate_into(ConstCMatrixView csi, Workspace& ws,
+                                          std::span<PathEstimate> out) const;
+
   /// The pseudospectrum (for inspection / the spectrum_explorer example).
   [[nodiscard]] AoaTofSpectrum spectrum(const CMatrix& csi) const;
 
@@ -90,6 +99,11 @@ class JointMusicEstimator {
  private:
   [[nodiscard]] AoaTofSpectrum spectrum_from_subspace(
       const Subspaces& sub) const;
+  /// Core pseudospectrum sweep shared by both pipelines: reads a noise
+  /// basis view, takes its g-table scratch from `ws`, writes into the
+  /// caller-provided grid.
+  void spectrum_values(ConstCMatrixView noise, Workspace& ws,
+                       RMatrixView values) const;
 
   LinkConfig link_;
   JointMusicConfig config_;

@@ -20,6 +20,63 @@ void sort_and_trim(std::vector<GridPeak>& peaks, std::size_t max_peaks,
   if (peaks.size() > max_peaks) peaks.resize(max_peaks);
 }
 
+/// Span flavor of sort_and_trim: after the descending sort every
+/// below-floor peak sits in the tail, so erase_if reduces to shortening
+/// the prefix — same surviving set and order as the vector flavor.
+std::size_t sort_and_trim(std::span<GridPeak> peaks, std::size_t max_peaks,
+                          double min_relative, double global_max) {
+  std::sort(peaks.begin(), peaks.end(),
+            [](const GridPeak& a, const GridPeak& b) {
+              return a.value > b.value;
+            });
+  const double floor_value = min_relative * global_max;
+  std::size_t n = peaks.size();
+  while (n > 0 && peaks[n - 1].value < floor_value) --n;
+  return std::min(n, max_peaks);
+}
+
+/// The 8-neighbourhood local-maximum test shared by both find_peaks_2d
+/// flavors. Out-of-range neighbours simply do not exist (they neither
+/// block a peak nor count as dominated); the column axis optionally
+/// wraps. Flat regions are not peaks: dominance over at least one
+/// neighbour is required so constant grids yield nothing.
+bool is_peak_2d(ConstRMatrixView grid, bool wrap_cols, std::size_t i,
+                std::size_t j) {
+  const std::size_t rows = grid.rows();
+  const std::size_t cols = grid.cols();
+  const double v = grid(i, j);
+  auto value_at = [&](std::ptrdiff_t ii,
+                      std::ptrdiff_t jj) -> std::optional<double> {
+    if (ii < 0 || ii >= static_cast<std::ptrdiff_t>(rows)) return std::nullopt;
+    if (wrap_cols) {
+      const auto c = static_cast<std::ptrdiff_t>(cols);
+      jj = ((jj % c) + c) % c;
+    } else if (jj < 0 || jj >= static_cast<std::ptrdiff_t>(cols)) {
+      return std::nullopt;
+    }
+    return grid(static_cast<std::size_t>(ii), static_cast<std::size_t>(jj));
+  };
+  bool strictly_above_one = false;
+  for (int di = -1; di <= 1; ++di) {
+    for (int dj = -1; dj <= 1; ++dj) {
+      if (di == 0 && dj == 0) continue;
+      const auto nb = value_at(static_cast<std::ptrdiff_t>(i) + di,
+                               static_cast<std::ptrdiff_t>(j) + dj);
+      if (!nb) continue;
+      if (*nb > v) return false;
+      if (*nb < v) strictly_above_one = true;
+    }
+  }
+  return strictly_above_one;
+}
+
+double grid_max_abs(ConstRMatrixView grid) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < grid.rows(); ++i)
+    for (const double v : grid.row(i)) m = std::max(m, std::abs(v));
+  return m;
+}
+
 }  // namespace
 
 std::vector<GridPeak> find_peaks_1d(std::span<const double> f,
@@ -51,50 +108,44 @@ std::vector<GridPeak> find_peaks_2d(const RMatrix& grid, bool wrap_cols,
                                     double min_relative) {
   SPOTFI_EXPECTS(max_peaks > 0, "max_peaks must be positive");
   SPOTFI_EXPECTS(grid.rows() >= 1 && grid.cols() >= 1, "empty grid");
-  const std::size_t rows = grid.rows();
-  const std::size_t cols = grid.cols();
-  const double global_max = grid.max_abs();
-
-  // Out-of-range neighbours simply do not exist (they neither block a peak
-  // nor count as dominated); the column axis optionally wraps.
-  auto value_at = [&](std::ptrdiff_t i,
-                      std::ptrdiff_t j) -> std::optional<double> {
-    if (i < 0 || i >= static_cast<std::ptrdiff_t>(rows)) return std::nullopt;
-    if (wrap_cols) {
-      const auto c = static_cast<std::ptrdiff_t>(cols);
-      j = ((j % c) + c) % c;
-    } else if (j < 0 || j >= static_cast<std::ptrdiff_t>(cols)) {
-      return std::nullopt;
-    }
-    return grid(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
-  };
-
+  const ConstRMatrixView g(grid);
   std::vector<GridPeak> peaks;
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (std::size_t j = 0; j < cols; ++j) {
-      const double v = grid(i, j);
-      bool is_peak = true;
-      bool strictly_above_one = false;
-      for (int di = -1; di <= 1 && is_peak; ++di) {
-        for (int dj = -1; dj <= 1; ++dj) {
-          if (di == 0 && dj == 0) continue;
-          const auto nb = value_at(static_cast<std::ptrdiff_t>(i) + di,
-                                   static_cast<std::ptrdiff_t>(j) + dj);
-          if (!nb) continue;
-          if (*nb > v) {
-            is_peak = false;
-            break;
-          }
-          if (*nb < v) strictly_above_one = true;
-        }
-      }
-      // Flat regions are not peaks; require dominance over at least one
-      // neighbour to reject constant grids.
-      if (is_peak && strictly_above_one) peaks.push_back({i, j, v});
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    for (std::size_t j = 0; j < g.cols(); ++j) {
+      if (is_peak_2d(g, wrap_cols, i, j)) peaks.push_back({i, j, g(i, j)});
     }
   }
-  sort_and_trim(peaks, max_peaks, min_relative, global_max);
+  sort_and_trim(peaks, max_peaks, min_relative, grid_max_abs(g));
   return peaks;
+}
+
+std::span<const GridPeak> find_peaks_2d(ConstRMatrixView grid, bool wrap_cols,
+                                        std::size_t max_peaks,
+                                        double min_relative, Workspace& ws) {
+  SPOTFI_EXPECTS(max_peaks > 0, "max_peaks must be positive");
+  SPOTFI_EXPECTS(grid.rows() >= 1 && grid.cols() >= 1, "empty grid");
+
+  // Pass 1: count candidates so the checkout is sized exactly.
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < grid.rows(); ++i) {
+    for (std::size_t j = 0; j < grid.cols(); ++j) {
+      if (is_peak_2d(grid, wrap_cols, i, j)) ++count;
+    }
+  }
+
+  // Pass 2: refill in the same row-major order the vector flavor uses,
+  // then the same descending sort, so the surviving set and order match
+  // bit for bit (the sort is unstable; identical input order matters).
+  std::span<GridPeak> peaks = ws.take<GridPeak>(count);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < grid.rows(); ++i) {
+    for (std::size_t j = 0; j < grid.cols(); ++j) {
+      if (is_peak_2d(grid, wrap_cols, i, j)) peaks[k++] = {i, j, grid(i, j)};
+    }
+  }
+  const std::size_t n =
+      sort_and_trim(peaks, max_peaks, min_relative, grid_max_abs(grid));
+  return peaks.first(n);
 }
 
 double parabolic_offset(double f_m1, double f_0, double f_p1) {

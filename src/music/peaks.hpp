@@ -29,6 +29,17 @@ struct GridPeak {
                                                   std::size_t max_peaks,
                                                   double min_relative = 0.0);
 
+/// Arena variant: peaks are collected in two passes (count, then fill)
+/// into a `ws` checkout sized exactly, so the unbounded candidate set
+/// never forces a heap allocation. The returned span lives until the
+/// caller's enclosing frame closes. Identical peaks, order, and values
+/// to the value overload.
+[[nodiscard]] std::span<const GridPeak> find_peaks_2d(ConstRMatrixView grid,
+                                                      bool wrap_cols,
+                                                      std::size_t max_peaks,
+                                                      double min_relative,
+                                                      Workspace& ws);
+
 /// Sub-grid offset in [-0.5, 0.5] of the extremum of the parabola through
 /// (-1, f_m1), (0, f_0), (+1, f_p1). Returns 0 when the points are
 /// degenerate or f_0 is not the largest.

@@ -42,14 +42,32 @@ CVector tof_steering(double tof_s, std::size_t n_subcarriers,
 
 CVector joint_steering(double aoa_rad, double tof_s, std::size_t ant_len,
                        std::size_t sub_len, const LinkConfig& link) {
-  const CVector ant = aoa_steering(aoa_rad, ant_len, link);
-  const CVector sub = tof_steering(tof_s, sub_len, link);
   CVector a(ant_len * sub_len);
+  joint_steering_into(aoa_rad, tof_s, ant_len, sub_len, link, a);
+  return a;
+}
+
+void joint_steering_into(double aoa_rad, double tof_s, std::size_t ant_len,
+                         std::size_t sub_len, const LinkConfig& link,
+                         std::span<cplx> out) {
+  SPOTFI_EXPECTS(ant_len >= 1 && sub_len >= 1,
+                 "need at least one antenna and one subcarrier");
+  SPOTFI_EXPECTS(out.size() == ant_len * sub_len,
+                 "joint steering output size mismatch");
+  const cplx phi = phi_factor(aoa_rad, link);
+  const cplx omega = omega_factor(tof_s, link);
+  // Same cumulative-product recurrences as aoa_steering/tof_steering, so
+  // the products match the value flavour bit for bit.
+  cplx ant{1.0, 0.0};
   std::size_t r = 0;
   for (std::size_t m = 0; m < ant_len; ++m) {
-    for (std::size_t s = 0; s < sub_len; ++s, ++r) a[r] = ant[m] * sub[s];
+    cplx sub{1.0, 0.0};
+    for (std::size_t s = 0; s < sub_len; ++s, ++r) {
+      out[r] = ant * sub;
+      sub *= omega;
+    }
+    ant *= phi;
   }
-  return a;
 }
 
 double tof_period(const LinkConfig& link) {

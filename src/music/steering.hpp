@@ -33,6 +33,13 @@ namespace spotfi {
                                      std::size_t ant_len, std::size_t sub_len,
                                      const LinkConfig& link);
 
+/// Allocation-free flavour: writes the Eq. 7 vector into `out` (size
+/// ant_len * sub_len). Same recurrences as joint_steering — identical
+/// bits; the value flavour wraps this one.
+void joint_steering_into(double aoa_rad, double tof_s, std::size_t ant_len,
+                         std::size_t sub_len, const LinkConfig& link,
+                         std::span<cplx> out);
+
 /// The ToF at which Omega aliases: tau and tau + tof_period are
 /// indistinguishable on the subcarrier grid (1 / f_delta; 800 ns for the
 /// 5300's 1.25 MHz reported spacing).

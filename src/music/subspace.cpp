@@ -13,13 +13,43 @@ namespace {
 /// partial decomposition becomes unusable (noise/signal separation is
 /// meaningless without orthonormal eigenvectors), so the throw that the
 /// MUSIC pipeline's fallback ladder expects is re-raised here.
-void require_converged(const HermitianEig& eig) {
-  if (!eig.converged) {
+void require_converged(bool converged, double off_diagonal_residual) {
+  if (!converged) {
     throw NumericalError(
         "noise_subspace: covariance eigendecomposition did not converge "
         "(off-diagonal residual " +
-        std::to_string(eig.off_diagonal_residual) + ")");
+        std::to_string(off_diagonal_residual) + ")");
   }
+}
+
+void require_converged(const HermitianEig& eig) {
+  require_converged(eig.converged, eig.off_diagonal_residual);
+}
+
+/// Shared model-order selection on ascending eigenvalues (Algorithm 2,
+/// line 5, plus the MDL/AIC information criteria and the dimension caps).
+std::size_t select_signal_dims(std::span<const double> eigenvalues,
+                               std::size_t n_snapshots,
+                               const SubspaceConfig& config) {
+  const std::size_t dim = eigenvalues.size();
+  std::size_t n_signal = 0;
+  if (config.order_method == OrderMethod::kThreshold) {
+    const double lambda_max = eigenvalues.back();
+    const double cut = config.relative_threshold * std::max(lambda_max, 0.0);
+    for (std::size_t k = dim; k-- > 0;) {
+      if (eigenvalues[k] > cut) ++n_signal;
+      else break;
+    }
+  } else {
+    n_signal =
+        estimate_model_order(eigenvalues, n_snapshots, config.order_method);
+  }
+  n_signal = std::min(n_signal, config.max_signal_dims);
+  const std::size_t max_signal =
+      dim > config.min_noise_dims ? dim - config.min_noise_dims : 0;
+  n_signal = std::min(n_signal, max_signal);
+  n_signal = std::max<std::size_t>(n_signal, 1);
+  return n_signal;
 }
 
 Subspaces split(const HermitianEig& eig, std::size_t n_signal) {
@@ -90,26 +120,50 @@ Subspaces noise_subspace(const CMatrix& measurement,
                  "relative_threshold must be in (0, 1)");
   const HermitianEig eig = eigh(measurement.gram());
   require_converged(eig);
-  const std::size_t dim = eig.eigenvalues.size();
+  const std::size_t n_signal =
+      select_signal_dims(eig.eigenvalues, measurement.cols(), config);
+  return split(eig, n_signal);
+}
+
+SubspacesRef noise_subspace(ConstCMatrixView measurement,
+                            const SubspaceConfig& config, Workspace& ws) {
+  SPOTFI_EXPECTS(measurement.rows() >= 2, "measurement matrix too small");
+  SPOTFI_EXPECTS(config.relative_threshold > 0.0 &&
+                     config.relative_threshold < 1.0,
+                 "relative_threshold must be in (0, 1)");
+  const std::size_t dim = measurement.rows();
+
+  // Results first (they outlive the scratch frame): the eigenvalue copy
+  // and a dim x dim slab whose leading columns become the noise basis.
+  const std::span<double> evals_out = ws.take<double>(dim);
+  const CMatrixView noise_store = workspace_matrix<cplx>(ws, dim, dim);
 
   std::size_t n_signal = 0;
-  if (config.order_method == OrderMethod::kThreshold) {
-    const double lambda_max = eig.eigenvalues.back();
-    const double cut = config.relative_threshold * std::max(lambda_max, 0.0);
-    for (std::size_t k = dim; k-- > 0;) {
-      if (eig.eigenvalues[k] > cut) ++n_signal;
-      else break;
+  {
+    Workspace::Frame frame(ws);
+    const CMatrixView g = workspace_matrix<cplx>(ws, dim, dim);
+    gram_into<cplx>(measurement, g);
+    const HermitianEigRef eig = eigh(ConstCMatrixView(g), ws);
+    require_converged(eig.converged, eig.off_diagonal_residual);
+    n_signal = select_signal_dims(eig.eigenvalues, measurement.cols(), config);
+    const std::size_t n_noise = dim - n_signal;
+    std::copy(eig.eigenvalues.begin(), eig.eigenvalues.end(),
+              evals_out.begin());
+    // Eigenvalues are ascending, so the first n_noise columns are noise.
+    for (std::size_t i = 0; i < dim; ++i) {
+      const cplx* src = eig.eigenvectors.row_ptr(i);
+      cplx* dst = noise_store.row_ptr(i);
+      std::copy(src, src + n_noise, dst);
     }
-  } else {
-    n_signal = estimate_model_order(eig.eigenvalues, measurement.cols(),
-                                    config.order_method);
   }
-  n_signal = std::min(n_signal, config.max_signal_dims);
-  const std::size_t max_signal =
-      dim > config.min_noise_dims ? dim - config.min_noise_dims : 0;
-  n_signal = std::min(n_signal, max_signal);
-  n_signal = std::max<std::size_t>(n_signal, 1);
-  return split(eig, n_signal);
+
+  SubspacesRef s;
+  s.n_signal = n_signal;
+  s.eigenvalues = evals_out;
+  // The noise basis is the leading-column window of the slab; row stride
+  // stays `dim`.
+  s.noise = ConstCMatrixView(noise_store.data(), dim, dim - n_signal, dim);
+  return s;
 }
 
 Subspaces noise_subspace_fixed(const CMatrix& measurement,

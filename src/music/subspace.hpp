@@ -53,6 +53,22 @@ struct Subspaces {
 [[nodiscard]] Subspaces noise_subspace(const CMatrix& measurement,
                                        const SubspaceConfig& config = {});
 
+/// Arena variant of Subspaces: the basis and eigenvalues live in the
+/// caller's Workspace until its enclosing frame closes.
+struct SubspacesRef {
+  ConstCMatrixView noise;
+  std::size_t n_signal = 0;
+  std::span<const double> eigenvalues;
+};
+
+/// Zero-allocation subspace split: covariance, eigendecomposition, and
+/// the split all run on `ws` scratch; same arithmetic (and bits) as the
+/// value overload. Throws NumericalError when the eigendecomposition
+/// does not converge, like the value overload.
+[[nodiscard]] SubspacesRef noise_subspace(ConstCMatrixView measurement,
+                                          const SubspaceConfig& config,
+                                          Workspace& ws);
+
 /// Same split with an explicitly chosen signal dimension.
 [[nodiscard]] Subspaces noise_subspace_fixed(const CMatrix& measurement,
                                              std::size_t n_signal);

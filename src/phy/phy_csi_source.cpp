@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace spotfi {
 
@@ -58,11 +59,11 @@ CsiPacket PhyCsiSynthesizer::synthesize(std::span<const PathComponent> paths,
   for (auto& p : shifted) p.gain_db -= strongest;
 
   const CMatrix rx = apply_multipath_channel(frame_, shifted, phy, rng);
-  const PhyCsiResult received = receive_csi(rx, phy);
+  PhyCsiResult received = receive_csi(rx, phy);
 
   CsiPacket packet;
   packet.timestamp_s = timestamp_s;
-  packet.csi = received.csi;
+  packet.csi = std::move(received.csi);
 
   if (impairments_.random_common_phase) {
     const cplx cpo = std::polar(1.0, rng.uniform(0.0, 2.0 * kPi));

@@ -3,13 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <complex>
+#include <cstdint>
 #include <set>
+#include <span>
 
 #include "common/angles.hpp"
 #include "common/constants.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/workspace.hpp"
 
 namespace spotfi {
 namespace {
@@ -224,6 +228,125 @@ TEST(Contracts, ExpectsThrowsWithContext) {
     EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("common_test"), std::string::npos);
   }
+}
+
+TEST(Workspace, CheckoutsAreZeroFilledAndAligned) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  const auto d = ws.take<double>(7);
+  ASSERT_EQ(d.size(), 7u);
+  for (const double v : d) EXPECT_EQ(v, 0.0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % Workspace::kAlign,
+            0u);
+  const auto c = ws.take<std::complex<double>>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c.data()) % Workspace::kAlign,
+            0u);
+  for (const auto& v : c) EXPECT_EQ(v, std::complex<double>{});
+}
+
+TEST(Workspace, FrameRewindReleasesCheckouts) {
+  Workspace ws;
+  {
+    Workspace::Frame frame(ws);
+    (void)ws.take<double>(100);
+    EXPECT_EQ(ws.stats().used_bytes, 800u);
+  }
+  EXPECT_EQ(ws.stats().used_bytes, 0u);
+  EXPECT_EQ(ws.stats().high_water_bytes, 800u);
+  // A frame that dirties memory then rewinds must not leak values into
+  // the next checkout at the same address.
+  {
+    Workspace::Frame frame(ws);
+    auto d = ws.take<double>(10);
+    for (auto& v : d) v = 42.0;
+  }
+  {
+    Workspace::Frame frame(ws);
+    const auto d = ws.take<double>(10);
+    for (const double v : d) EXPECT_EQ(v, 0.0);
+  }
+}
+
+TEST(Workspace, SpansStayValidAcrossGrowth) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  auto first = ws.take<double>(8);
+  first[0] = 1.25;
+  const double* addr = first.data();
+  // Force several growth blocks while `first` is outstanding.
+  for (int i = 0; i < 8; ++i) {
+    (void)ws.take<std::byte>(Workspace::kDefaultBlockBytes);
+  }
+  EXPECT_EQ(first.data(), addr);
+  EXPECT_EQ(first[0], 1.25);
+  EXPECT_GE(ws.stats().block_allocations, 2u);
+}
+
+TEST(Workspace, ResetCoalescesIntoOneBlock) {
+  Workspace ws;
+  {
+    Workspace::Frame frame(ws);
+    for (int i = 0; i < 4; ++i) {
+      (void)ws.take<std::byte>(Workspace::kDefaultBlockBytes);
+    }
+  }
+  const WorkspaceStats before = ws.stats();
+  ws.reset();
+  const WorkspaceStats after = ws.stats();
+  EXPECT_EQ(after.capacity_bytes, before.capacity_bytes);
+  EXPECT_EQ(after.used_bytes, 0u);
+  EXPECT_EQ(after.block_allocations, before.block_allocations + 1);
+  // A warmed arena serves the same workload without further heap growth.
+  {
+    Workspace::Frame frame(ws);
+    for (int i = 0; i < 4; ++i) {
+      (void)ws.take<std::byte>(Workspace::kDefaultBlockBytes);
+    }
+  }
+  EXPECT_EQ(ws.stats().block_allocations, after.block_allocations);
+}
+
+TEST(Workspace, NestedFramePeaksFoldIntoParent) {
+  Workspace ws;
+  Workspace::Frame outer(ws);
+  (void)ws.take<double>(2);  // 16 bytes
+  {
+    Workspace::Frame inner(ws);
+    (void)ws.take<double>(10);  // 80 bytes scratch
+    EXPECT_EQ(inner.peak_bytes(), 80u);
+  }
+  // Parent peak covers its own 16 bytes plus the inner frame's 80, even
+  // though the inner scratch has been rewound.
+  EXPECT_EQ(outer.peak_bytes(), 96u);
+  EXPECT_EQ(ws.stats().used_bytes, 16u);
+}
+
+TEST(Workspace, CommitKeepsBytesAlivePastFrame) {
+  Workspace ws;
+  Workspace::Frame outer(ws);
+  std::span<double> kept;
+  {
+    Workspace::Frame inner(ws);
+    kept = ws.take<double>(4);
+    kept[0] = 3.5;
+    inner.commit();
+  }
+  (void)ws.take<double>(4);  // must not overlap the committed span
+  EXPECT_EQ(kept[0], 3.5);
+  EXPECT_EQ(ws.stats().used_bytes, 64u);
+}
+
+TEST(Workspace, ResetWithOpenFrameThrows) {
+  Workspace ws;
+  Workspace::Frame frame(ws);
+  (void)ws.take<double>(1);
+  EXPECT_THROW(ws.reset(), ContractViolation);
+}
+
+TEST(Workspace, ThreadWorkspaceIsStablePerThread) {
+  Workspace& a = thread_workspace();
+  Workspace& b = thread_workspace();
+  EXPECT_EQ(&a, &b);
 }
 
 }  // namespace
