@@ -17,9 +17,13 @@ candidate.
 
 The zero-allocation contract is machine-independent, so it is gated
 exactly: the steady-state packet benches (`BM_PacketEstimate_Workspace*`)
-must report 0 allocs/packet. Group-stage benches (`BM_GroupProcess_*`)
-are exempt — their counters intentionally report the constant per-group
-bookkeeping amortized over the group size, which is small but nonzero.
+and the session-layer admission bench (`BM_SessionAdmit_Steady*`) must
+report 0 allocs/packet — shedding under overload must never touch the
+heap. Group-stage benches (`BM_GroupProcess_*`) are exempt — their
+counters intentionally report the constant per-group bookkeeping
+amortized over the group size, which is small but nonzero. The session
+throughput benches (`BM_SessionRounds/*`) participate in the normalized
+>threshold gate like every other benchmark.
 
 Usage:
     bench_regression.py <baseline.json> <candidate.json>
@@ -93,15 +97,18 @@ def main():
                             f"(threshold {args.threshold * 100.0:.0f}%)")
         print(f"  {tag:9s} {name}: {change * 100.0:+.1f}% normalized")
 
-    # Exact zero-allocation gate: only the steady-state per-packet bench
-    # promises 0. BM_GroupProcess_Workspace reports the per-group
-    # bookkeeping constant amortized over group size (nonzero by design).
+    # Exact zero-allocation gate: only the steady-state benches promise
+    # 0 — the per-packet arena path and the session admission/shed path.
+    # BM_GroupProcess_Workspace reports the per-group bookkeeping
+    # constant amortized over group size (nonzero by design).
+    zero_alloc_patterns = ("PacketEstimate_Workspace", "SessionAdmit_Steady")
     for name, entry in sorted(cand.items()):
-        if "PacketEstimate_Workspace" in name and "allocs_per_packet" in entry:
+        if (any(p in name for p in zero_alloc_patterns)
+                and "allocs_per_packet" in entry):
             allocs = entry["allocs_per_packet"]
             if allocs > 0:
                 failures.append(f"{name}: {allocs} heap allocations per "
-                                "packet on the arena path (expected 0)")
+                                "packet on the steady-state path (expected 0)")
             else:
                 print(f"  ok        {name}: 0 allocs/packet")
 

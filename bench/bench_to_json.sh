@@ -41,13 +41,17 @@ trap 'rm -rf "${TMP}"' EXIT
 "${BUILD_DIR}/bench/perf_memory" \
   --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
   > "${TMP}/perf_memory.json"
+"${BUILD_DIR}/bench/perf_sessions" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_sessions.json"
 
 python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" \
-  "${TMP}/perf_memory.json" "${OUT}" "${MODE}" <<'PY'
+  "${TMP}/perf_memory.json" "${TMP}/perf_sessions.json" "${OUT}" "${MODE}" <<'PY'
 import json
 import sys
 
-music_path, pipeline_path, memory_path, out_path, mode = sys.argv[1:6]
+music_path, pipeline_path, memory_path, sessions_path, out_path, mode = (
+    sys.argv[1:7])
 
 merged = {
     "schema": "spotfi-bench-v1",
@@ -56,7 +60,8 @@ merged = {
 }
 for name, path in (("perf_music", music_path),
                    ("perf_pipeline", pipeline_path),
-                   ("perf_memory", memory_path)):
+                   ("perf_memory", memory_path),
+                   ("perf_sessions", sessions_path)):
     with open(path) as f:
         raw = json.load(f)
     merged.setdefault("context", raw.get("context", {}))
@@ -69,10 +74,11 @@ for name, path in (("perf_music", music_path),
             "iterations": b["iterations"],
         }
         # Memory benches attach custom counters (allocs/bytes per packet,
-        # arena high-water); keep them so the zero-allocation contract is
-        # visible in the snapshot.
+        # arena high-water); session benches attach p99 round latency.
+        # Keep them so the zero-allocation contract and the tail-latency
+        # trajectory are visible in the snapshot.
         for key in ("allocs_per_packet", "bytes_per_packet",
-                    "arena_high_water_bytes"):
+                    "arena_high_water_bytes", "p99_round_ms", "sessions"):
             if key in b:
                 entry[key] = b[key]
         suite.append(entry)

@@ -1,0 +1,36 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+double MonotonicClock::now_s() const {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}
+
+void FakeClock::advance(double dt_s) {
+  SPOTFI_EXPECTS(dt_s >= 0.0, "FakeClock::advance: time must move forward");
+  // CAS loop instead of fetch_add: atomic<double>::fetch_add needs
+  // hardware support some targets lack, and this path is never hot.
+  double cur = now_s_.load(std::memory_order_relaxed);
+  while (!now_s_.compare_exchange_weak(cur, cur + dt_s,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void FakeClock::set(double t_s) {
+  double cur = now_s_.load(std::memory_order_relaxed);
+  for (;;) {
+    SPOTFI_EXPECTS(t_s >= cur, "FakeClock::set: time must move forward");
+    if (now_s_.compare_exchange_weak(cur, t_s, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace spotfi

@@ -1,0 +1,56 @@
+// Monotonic deadline clock for the session layer's overload machinery.
+//
+// The streaming pipeline keeps all of its *round-firing* logic in stream
+// time (packet timestamps) so replays are deterministic — see
+// core/streaming.hpp. Service deadlines are different: "this round must
+// finish within 250 ms" is a statement about wall-clock compute budget,
+// not about when the packets were captured. The session layer therefore
+// measures round cost and deadline slack against a Clock, injected so
+// tests can fake time: a FakeClock advanced by hand makes deadline
+// sheds, cost-model updates, and latency accounting fully deterministic,
+// while production uses the steady-clock-backed MonotonicClock.
+#pragma once
+
+#include <atomic>
+
+namespace spotfi {
+
+/// Monotonic time source. Implementations must be safe to read from any
+/// thread; now_s() never decreases.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Seconds since an arbitrary (per-process) epoch.
+  [[nodiscard]] virtual double now_s() const = 0;
+};
+
+/// std::chrono::steady_clock behind the Clock interface — the production
+/// time source for deadlines and round-cost measurement.
+class MonotonicClock final : public Clock {
+ public:
+  [[nodiscard]] double now_s() const override;
+};
+
+/// Hand-advanced clock for tests: time moves only when the test says so,
+/// which turns "the round overran its deadline" into a deterministic
+/// scenario instead of a machine-speed-dependent one. advance()/set()
+/// and now_s() may be called from different threads.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(double start_s = 0.0) : now_s_(start_s) {}
+
+  [[nodiscard]] double now_s() const override {
+    return now_s_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by dt_s (>= 0; a fake clock is still monotonic).
+  void advance(double dt_s);
+
+  /// Jumps to t_s. Must not move time backwards.
+  void set(double t_s);
+
+ private:
+  std::atomic<double> now_s_;
+};
+
+}  // namespace spotfi

@@ -2,13 +2,17 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "common/error.hpp"
 
 namespace spotfi {
 namespace {
@@ -76,24 +80,49 @@ ThreadPool::ThreadPool(std::size_t n_threads) : impl_(new Impl) {
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown();
+  delete impl_;
+}
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
+  // Workers drain out: one parked in wait() wakes and exits; one inside
+  // run_batch finishes its current batch first (the dispatching caller
+  // picks up whatever indices it leaves unclaimed). Idempotent because
+  // the joined threads are dropped — a second call joins nothing.
   for (auto& w : impl_->workers) w.join();
-  delete impl_;
+  impl_->workers.clear();
 }
 
 std::size_t ThreadPool::size() const { return impl_->workers.size() + 1; }
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {
   if (const char* env = std::getenv("SPOTFI_THREADS")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0') {
-      requested = static_cast<std::size_t>(v);
+    // Strict parse: plain non-negative base-10 digits, bounded. strtoull
+    // alone is too forgiving — it accepts "-1" (wrapping to 2^64-1),
+    // leading whitespace, and "3x" prefixes, all of which are operator
+    // typos that must fail loudly rather than configure something.
+    const std::string value(env);
+    const bool all_digits =
+        !value.empty() && value.find_first_not_of("0123456789") ==
+                              std::string::npos;
+    if (!all_digits) {
+      throw ContractViolation(
+          "SPOTFI_THREADS must be a plain non-negative integer, got \"" +
+          value + "\"");
     }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (errno == ERANGE || v > kMaxEnvThreads) {
+      throw ContractViolation("SPOTFI_THREADS=" + value + " is out of range (max " +
+                              std::to_string(kMaxEnvThreads) + ")");
+    }
+    requested = static_cast<std::size_t>(v);
   }
   if (requested == 0) {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -49,6 +49,22 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Stops and joins the worker threads. Idempotent; the destructor
+  /// calls it. After shutdown the pool is still usable: size() is 1 and
+  /// every parallel_for runs as the plain inline serial loop, so
+  /// submit-after-shutdown is well-defined (correct, just serial)
+  /// rather than UB.
+  ///
+  /// Shutdown concurrent with an in-flight parallel_for is safe: a
+  /// worker that observes the stop flag exits without claiming further
+  /// indices, and the dispatching caller — which always participates in
+  /// its own batch — finishes the remaining indices inline. The batch
+  /// completes, its exceptions propagate as usual, and no index is ever
+  /// lost or run twice. What shutdown does NOT do is interrupt a task
+  /// already running: a task that blocks forever blocks shutdown
+  /// forever (tasks are not cancellable).
+  void shutdown();
+
   /// Total lanes of concurrency, including the calling thread (>= 1).
   [[nodiscard]] std::size_t size() const;
 
@@ -70,9 +86,20 @@ class ThreadPool {
   }
 
   /// Resolves a configured thread count to an actual one: SPOTFI_THREADS
-  /// (when set to a valid non-negative integer) replaces `requested`,
-  /// then 0 maps to std::thread::hardware_concurrency() (minimum 1).
+  /// (when set) replaces `requested`, then 0 maps to
+  /// std::thread::hardware_concurrency() (minimum 1).
+  ///
+  /// SPOTFI_THREADS is parsed strictly: it must be a plain base-10
+  /// non-negative integer no larger than kMaxEnvThreads. Anything else —
+  /// empty, signs, whitespace, trailing junk, or an overflowing value —
+  /// throws ContractViolation naming the offending value, instead of
+  /// being silently ignored or wrapped: an operator who typo'd the knob
+  /// should find out at startup, not after a day of serial throughput.
   [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+  /// Upper bound accepted from SPOTFI_THREADS. Far above any plausible
+  /// machine; a value past it is a typo, not a request.
+  static constexpr std::size_t kMaxEnvThreads = 4096;
 
   /// True when the calling thread is one of this process's pool workers
   /// (any pool). Used for the nested-submit inline fallback and tests.

@@ -1,0 +1,108 @@
+// Bounded lock-free single-producer/single-consumer queue.
+//
+// The session layer's ingest path: one capture point (producer) pushes
+// CSI packets at line rate, one pump thread (consumer) drains them into
+// the estimation pipeline. The queue is the backpressure boundary —
+// capacity is fixed at construction, try_push fails instead of blocking
+// or growing, and the producer turns that failure into an explicit
+// Shed verdict (core/overload.hpp). Nothing in here waits: a full queue
+// costs the producer one failed CAS-free check, never a stall, which is
+// what keeps "no round blocks past its deadline waiting for admission"
+// true by construction.
+//
+// Contract: exactly one producer thread (try_push) and one consumer
+// thread (try_pop) at a time. size()/high_water() may be read from any
+// thread and are approximate while both sides are moving. The classic
+// ring with one wasted slot: head == tail means empty, head == next(tail)
+// means full.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace spotfi {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity + 1) {
+    SPOTFI_EXPECTS(capacity >= 1, "SpscQueue capacity must be positive");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true, or
+  /// returns false (value untouched beyond the move attempt) when the
+  /// queue is full. Wait-free.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = next_index(tail);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (next == head) return false;  // full — shed at the boundary
+    slots_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    // Producer-only high-water bookkeeping: depth as this push observed
+    // it. Monotone, so a stale read by a telemetry thread only lags.
+    const std::size_t depth = ring_distance(head, next);
+    if (depth > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(depth, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Consumer side. Pops the oldest element, or nullopt when empty.
+  /// Wait-free. The vacated slot is reset to T{} so popped payloads do
+  /// not linger in the ring (bounded memory means bounded *live* memory).
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return std::nullopt;
+    std::optional<T> out(std::move(slots_[head]));
+    slots_[head] = T{};
+    head_.store(next_index(head), std::memory_order_release);
+    return out;
+  }
+
+  /// Elements currently queued. Exact when the queue is quiescent,
+  /// approximate (never negative, never above capacity) mid-flight.
+  [[nodiscard]] std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return ring_distance(head, tail);
+  }
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Deepest occupancy ever observed by the producer. The bounded-memory
+  /// telemetry: by construction this can never exceed capacity().
+  [[nodiscard]] std::size_t high_water() const {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  [[nodiscard]] std::size_t next_index(std::size_t i) const {
+    return i + 1 == slots_.size() ? 0 : i + 1;
+  }
+  [[nodiscard]] std::size_t ring_distance(std::size_t head,
+                                          std::size_t tail) const {
+    return tail >= head ? tail - head : slots_.size() - head + tail;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  /// Producer and consumer cursors on separate cache lines so the two
+  /// sides never false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::atomic<std::size_t> high_water_{0};
+};
+
+}  // namespace spotfi

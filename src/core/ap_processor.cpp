@@ -233,10 +233,23 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
     }
   };
 
+  // The overload ladder's entry point: stages before `entry` are skipped
+  // outright; the entry stage itself always runs; stages after it run
+  // only when the fallback chain is enabled.
+  const ApStage entry = config_.fallback.entry_stage;
+  SPOTFI_EXPECTS(entry != ApStage::kFailed,
+                 "entry_stage must name a runnable stage");
+  const auto stage_allowed = [&](ApStage stage) {
+    if (stage < entry) return false;
+    if (stage == entry) return true;
+    return config_.fallback.enabled;
+  };
+
   if (!screened.empty()) {
     const std::span<const CsiPacket> group(screened);
     const bool primary_is_music = config_.front_end == FrontEnd::kMusic;
-    if (attempt(ApStage::kPrimary, [&] {
+    if (stage_allowed(ApStage::kPrimary) &&
+        attempt(ApStage::kPrimary, [&] {
           return run_group(
               group, link_, pose_, config_, rng, max_paths(),
               [&](ConstCMatrixView csi, Workspace& ws,
@@ -248,7 +261,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
         })) {
       return finish();
     }
-    if (config_.fallback.enabled) {
+    if (stage_allowed(ApStage::kRelaxedMusic)) {
       const JointMusicEstimator relaxed(link_, relaxed_music(config_.music));
       if (attempt(ApStage::kRelaxedMusic, [&] {
             return run_group(
@@ -262,8 +275,13 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
           })) {
         return finish();
       }
-      if (primary_is_music &&
-          attempt(ApStage::kEsprit, [&] {
+    }
+    // Retrying ESPRIT after an ESPRIT-primary failure is redundant —
+    // unless the ladder *enters* at ESPRIT, in which case it is the
+    // requested estimator, not a retry.
+    if (stage_allowed(ApStage::kEsprit) &&
+        (primary_is_music || entry == ApStage::kEsprit)) {
+      if (attempt(ApStage::kEsprit, [&] {
             return run_group(
                 group, link_, pose_, config_, rng, config_.esprit.max_paths,
                 [&](ConstCMatrixView csi, Workspace& ws,
@@ -279,7 +297,7 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
     out.note = "quality screen rejected every packet in the group";
   }
 
-  if (config_.fallback.enabled) {
+  if (stage_allowed(ApStage::kRssiOnly)) {
     // Last resort: RSSI-only. Even a packet whose CSI matrix is corrupt
     // can carry a valid RSSI report, so average over the raw group.
     double rssi_sum = 0.0;

@@ -49,6 +49,15 @@ struct ApFallbackConfig {
   /// AP's AoA always dominates, but positive, so the range constraint
   /// still anchors the Eq. 9 solve when bearings are scarce.
   double rssi_only_likelihood = 0.05;
+  /// Where process_robust enters the chain. kPrimary is the normal full-
+  /// fidelity path; a later stage skips the more expensive ones entirely
+  /// — this is how the overload ladder (core/overload.hpp) sheds compute:
+  /// a degraded round enters at the rung it is entitled to instead of
+  /// running the full estimator and discarding it. The entry stage is
+  /// always attempted even when `enabled` is false (entering the chain
+  /// at a stage is a request to run that stage, not a request for its
+  /// fallbacks). Must not be kFailed.
+  ApStage entry_stage = ApStage::kPrimary;
 };
 
 struct ApProcessorConfig {

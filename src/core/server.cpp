@@ -10,6 +10,13 @@ namespace spotfi {
 
 SpotFiServer::SpotFiServer(LinkConfig link, ServerConfig config)
     : link_(link), config_(std::move(config)) {
+  if (config_.shared_pool) {
+    // An injected pool wins outright; a pool of size 1 (post-shutdown or
+    // deliberately serial) still routes through it, which keeps arena
+    // selection consistent across the sessions sharing it.
+    pool_ = config_.shared_pool;
+    return;
+  }
   const std::size_t threads = ThreadPool::resolve_threads(config_.num_threads);
   if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
 }

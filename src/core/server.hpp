@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/ap_processor.hpp"
+#include "core/overload.hpp"
 #include "localize/spotfi_localizer.hpp"
 
 namespace spotfi {
@@ -64,6 +65,13 @@ struct ServerConfig {
   /// in capture order before dispatch, results are slotted by index, and
   /// worker-side counters are merged in index order (see DESIGN.md §10).
   std::size_t num_threads = 0;
+  /// When set, the server uses this pool instead of constructing its own
+  /// and `num_threads` is ignored. The multi-tenant session layer hands
+  /// every session (and every per-fidelity server variant) one shared
+  /// pool so N sessions contend for one set of workers instead of
+  /// spawning N of them. Determinism is unaffected — results are slotted
+  /// by index regardless of which pool ran them.
+  std::shared_ptr<ThreadPool> shared_pool;
 };
 
 /// Result of one localization round, with per-AP diagnostics. The
@@ -94,6 +102,10 @@ struct LocalizationRound {
   /// ApOutcome::workspace_peak_bytes and the fusion stage's own frame
   /// (localizer multi-starts, LOO subset solves). try_localize only.
   std::size_t workspace_peak_bytes = 0;
+  /// The fidelity this round ran at. kFull outside the session layer;
+  /// a shed-degraded round records the ladder rung that produced it
+  /// (every AP entered the fallback chain at that rung's stage).
+  ShedLevel fidelity = ShedLevel::kFull;
 };
 
 /// Why a fault-tolerant round produced no location.
@@ -125,6 +137,12 @@ class SpotFiServer {
   /// Lanes of concurrency this server actually runs with (after the
   /// SPOTFI_THREADS override and hardware-concurrency resolution).
   [[nodiscard]] std::size_t num_threads() const;
+  /// The pool this server dispatches on (null = serial). Lets the
+  /// session layer derive per-fidelity server variants that share one
+  /// pool: `cfg.shared_pool = base.shared_pool()`.
+  [[nodiscard]] std::shared_ptr<ThreadPool> shared_pool() const {
+    return pool_;
+  }
 
  private:
   /// Runs `task(i)` for every capture index, across the pool when one

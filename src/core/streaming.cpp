@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace spotfi {
 
@@ -23,6 +24,25 @@ StreamingLocalizer::StreamingLocalizer(LinkConfig link,
   SPOTFI_EXPECTS(d.round_deadline_s >= 0.0, "round_deadline_s must be >= 0");
   SPOTFI_EXPECTS(d.dead_after_s >= d.degraded_after_s,
                  "dead_after_s must be >= degraded_after_s");
+  // The full-fidelity server (and its pool, when concurrency resolves
+  // past 1) is built once here, not per round: rounds reuse it, and the
+  // degraded variants derive from it on first use.
+  servers_[0] = std::make_shared<const SpotFiServer>(link_, config_.server);
+}
+
+const SpotFiServer& StreamingLocalizer::server_for(ShedLevel level) {
+  auto& slot = servers_[static_cast<std::size_t>(level)];
+  if (!slot) {
+    ServerConfig cfg = config_.server;
+    cfg.shared_pool = servers_[0]->shared_pool();
+    // A serial base server stays serial in every variant — a null
+    // shared_pool would otherwise re-resolve SPOTFI_THREADS here and
+    // could spawn a pool the full-fidelity path never had.
+    if (!cfg.shared_pool) cfg.num_threads = 1;
+    cfg.ap.fallback.entry_stage = entry_stage_for(level);
+    slot = std::make_shared<const SpotFiServer>(link_, cfg);
+  }
+  return *slot;
 }
 
 std::size_t StreamingLocalizer::add_ap(const ArrayPose& pose) {
@@ -77,7 +97,7 @@ void StreamingLocalizer::update_health(double now_s) {
 }
 
 std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
-                                                    const CsiPacket& packet,
+                                                    CsiPacket packet,
                                                     Rng& rng) {
   if (ap_id >= buffers_.size()) {
     throw ContractViolation(
@@ -100,13 +120,13 @@ std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
     }
   }
   if (accepted) {
-    buffer.packets.push_back(packet);
     ++buffer.state.accepted;
     buffer.state.last_accepted_s =
         std::max(buffer.state.last_accepted_s, packet.timestamp_s);
     if (std::isnan(buffer.state.last_accepted_s)) {
       buffer.state.last_accepted_s = packet.timestamp_s;
     }
+    buffer.packets.push_back(std::move(packet));
   }
 
   age_out(now_s_);
@@ -130,7 +150,9 @@ std::vector<LocationFix> StreamingLocalizer::ingest(std::size_t ap_id,
       ++shape_drops;
       continue;
     }
-    if (auto fix = push(ap_id, packet, rng)) fixes.push_back(std::move(*fix));
+    if (auto fix = push(ap_id, std::move(packet), rng)) {
+      fixes.push_back(std::move(*fix));
+    }
   }
   // Reclassify shape-dropped records so the merged account stays
   // consistent: they were well-formed bytes, but no record reached the
@@ -223,7 +245,24 @@ std::optional<LocationFix> StreamingLocalizer::fire_round(
     captures.push_back(std::move(capture));
   }
 
-  const SpotFiServer server(link_, config_.server);
+  // Overload planning happens *after* the captures are popped: a shed
+  // round still drains its backlog (that is the point of shedding), it
+  // just never reaches the estimator.
+  ShedLevel level = fidelity_;
+  const char* plan_reason = "";
+  if (planner_) {
+    const RoundPlan plan = planner_(ap_ids.size(), now_s);
+    if (!plan.run) {
+      ++shed_rounds_;
+      last_shed_ =
+          RoundFailure{std::string("round shed: ") + plan.reason, now_s};
+      return std::nullopt;
+    }
+    level = plan.level;
+    plan_reason = plan.reason;
+  }
+
+  const SpotFiServer& server = server_for(level);
   auto outcome = server.try_localize(captures, rng);
   if (!outcome) {
     ++failed_rounds_;
@@ -233,11 +272,21 @@ std::optional<LocationFix> StreamingLocalizer::fire_round(
 
   LocationFix fix;
   fix.round = std::move(outcome).value();
+  fix.round.fidelity = level;
   fix.raw = fix.round.location.position;
   fix.time_s = latest_t;
   fix.aps_used = ap_ids;
-  fix.degraded = deadline_round || fix.round.degraded;
+  fix.degraded = deadline_round || fix.round.degraded ||
+                 level != ShedLevel::kFull;
   fix.reasons = fix.round.notes;
+  if (level != ShedLevel::kFull) {
+    std::string reason = std::string("overload: round ran at ") +
+                         to_string(level) + " fidelity";
+    if (plan_reason[0] != '\0') {
+      reason += std::string(" (") + plan_reason + ")";
+    }
+    fix.reasons.insert(fix.reasons.begin(), std::move(reason));
+  }
   if (deadline_round) {
     fix.reasons.insert(fix.reasons.begin(),
                        "deadline round: " + std::to_string(ap_ids.size()) +

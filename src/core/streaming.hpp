@@ -12,12 +12,15 @@
 // reported as recoverable diagnostics, never exceptions.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "core/overload.hpp"
 #include "core/server.hpp"
 #include "core/tracker.hpp"
 #include "csi/quality.hpp"
@@ -103,6 +106,13 @@ struct LocationFix {
   std::vector<std::string> reasons;
 };
 
+/// Decides what happens to one about-to-fire round: the fidelity rung it
+/// runs at, or that it is dropped (plan.run == false). Installed by the
+/// session layer, which owns queue-occupancy and deadline state; the
+/// streaming localizer stays mechanical. Consulted *after* the round's
+/// captures are popped, so even a shed round drains its packet backlog.
+using RoundPlanner = std::function<RoundPlan(std::size_t n_aps, double now_s)>;
+
 class StreamingLocalizer {
  public:
   StreamingLocalizer(LinkConfig link, StreamingConfig config = {});
@@ -116,10 +126,11 @@ class StreamingLocalizer {
   /// failures (estimator breakdown, too few usable APs) are recorded via
   /// last_failure()/failed_rounds() and never escape as exceptions; only
   /// misuse (unknown ap_id, fewer than two registered APs) throws
-  /// ContractViolation.
+  /// ContractViolation. Takes the packet by value: the session layer's
+  /// ingest path moves packets straight from its bounded queue into the
+  /// AP buffer without a copy.
   [[nodiscard]] std::optional<LocationFix> push(std::size_t ap_id,
-                                                const CsiPacket& packet,
-                                                Rng& rng);
+                                                CsiPacket packet, Rng& rng);
 
   /// Advances stream time without a packet (a timer tick): ages buffers,
   /// updates AP health, and fires a deadline round if one is due. Useful
@@ -161,6 +172,20 @@ class StreamingLocalizer {
   /// Successful fixes emitted so far.
   [[nodiscard]] std::size_t fix_count() const { return fix_count_; }
 
+  /// Fidelity rung for rounds fired while no planner is installed (the
+  /// manual knob; kFull by default). With a planner, the plan wins.
+  void set_fidelity(ShedLevel level) { fidelity_ = level; }
+  [[nodiscard]] ShedLevel fidelity() const { return fidelity_; }
+  /// Installs (or clears, with nullptr) the per-round overload planner.
+  void set_round_planner(RoundPlanner planner) {
+    planner_ = std::move(planner);
+  }
+  /// Rounds dropped by the planner (captures consumed, nothing run).
+  [[nodiscard]] std::size_t shed_rounds() const { return shed_rounds_; }
+  [[nodiscard]] const std::optional<RoundFailure>& last_shed() const {
+    return last_shed_;
+  }
+
  private:
   struct ApBuffer {
     ArrayPose pose;
@@ -176,10 +201,20 @@ class StreamingLocalizer {
   [[nodiscard]] std::optional<LocationFix> fire_round(
       const std::vector<std::size_t>& ap_ids, bool deadline_round,
       double now_s, Rng& rng);
+  /// The cached server variant for one fidelity rung. kFull is built at
+  /// construction; the degraded variants are derived lazily from the
+  /// same config with the chain entry stage moved — all of them dispatch
+  /// on the kFull server's pool, so shedding never spawns threads.
+  [[nodiscard]] const SpotFiServer& server_for(ShedLevel level);
 
   LinkConfig link_;
   StreamingConfig config_;
   std::vector<ApBuffer> buffers_;
+  std::array<std::shared_ptr<const SpotFiServer>, kShedLevelCount> servers_;
+  ShedLevel fidelity_ = ShedLevel::kFull;
+  RoundPlanner planner_;
+  std::size_t shed_rounds_ = 0;
+  std::optional<RoundFailure> last_shed_;
   LocationTracker tracker_;
   IngestReport ingest_report_;
   std::size_t rejected_ = 0;

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/server.hpp"
 #include "testbed/deployment.hpp"
@@ -44,8 +47,44 @@ TEST(ResolveThreads, EnvOverrideWins) {
   EXPECT_EQ(ThreadPool::resolve_threads(0), 3u);
   setenv("SPOTFI_THREADS", "0", 1);
   EXPECT_GE(ThreadPool::resolve_threads(5), 1u);  // 0 -> hardware
-  setenv("SPOTFI_THREADS", "not-a-number", 1);
-  EXPECT_EQ(ThreadPool::resolve_threads(5), 5u);  // garbage ignored
+  unsetenv("SPOTFI_THREADS");
+}
+
+TEST(ResolveThreads, MalformedEnvValuesThrowInsteadOfBeingIgnored) {
+  // An operator typo must fail at startup, not silently fall back to the
+  // configured count. One case per distinct failure shape.
+  const char* bad[] = {
+      "",                      // empty string
+      "not-a-number",          // pure garbage
+      "3x",                    // trailing junk after valid digits
+      "x3",                    // leading junk
+      "-1",                    // negative (strtoull would wrap it)
+      "+4",                    // explicit sign is not "plain digits"
+      " 4",                    // leading whitespace
+      "4 ",                    // trailing whitespace
+      "0x10",                  // hex is not base-10
+      "3.5",                   // fractional
+  };
+  for (const char* value : bad) {
+    setenv("SPOTFI_THREADS", value, 1);
+    EXPECT_THROW((void)ThreadPool::resolve_threads(5), ContractViolation)
+        << "value: \"" << value << '"';
+  }
+  unsetenv("SPOTFI_THREADS");
+}
+
+TEST(ResolveThreads, OutOfRangeEnvValuesThrow) {
+  // Above the sanity cap but representable.
+  setenv("SPOTFI_THREADS",
+         std::to_string(ThreadPool::kMaxEnvThreads + 1).c_str(), 1);
+  EXPECT_THROW((void)ThreadPool::resolve_threads(1), ContractViolation);
+  // Overflows unsigned long long entirely (ERANGE path).
+  setenv("SPOTFI_THREADS", "99999999999999999999999999", 1);
+  EXPECT_THROW((void)ThreadPool::resolve_threads(1), ContractViolation);
+  // The cap itself is accepted.
+  setenv("SPOTFI_THREADS",
+         std::to_string(ThreadPool::kMaxEnvThreads).c_str(), 1);
+  EXPECT_EQ(ThreadPool::resolve_threads(1), ThreadPool::kMaxEnvThreads);
   unsetenv("SPOTFI_THREADS");
 }
 
@@ -142,6 +181,78 @@ TEST(ThreadPool, SurvivesManySmallBatches) {
     total += sum.load();
   }
   EXPECT_EQ(total, 200u * (7u * 8u / 2u));
+}
+
+// --- shutdown contract ---
+
+TEST(ThreadPoolShutdown, IdempotentAndSubmitAfterShutdownRunsInline) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.shutdown();
+  pool.shutdown();  // second call must be a no-op, not a crash
+  EXPECT_EQ(pool.size(), 1u);
+
+  // Submit-after-shutdown: well-defined, correct, and inline-serial.
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(16, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+
+  const auto out = pool.parallel_map(8, [](std::size_t i) { return 2 * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 2 * i);
+}
+
+TEST(ThreadPoolShutdown, ShutdownWithTasksStillQueuedLosesNoIndex) {
+  // Destroy/shutdown racing an in-flight batch: the dispatching thread
+  // must still see every index run exactly once — workers that observe
+  // the stop flag abandon the queue and the caller finishes inline.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 64;
+    std::vector<std::atomic<int>> hits(kN);
+    std::atomic<bool> started{false};
+    std::thread submitter([&] {
+      pool.parallel_for(kN, [&](std::size_t i) {
+        started.store(true);
+        // Slow tasks keep the batch alive across the shutdown call.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        hits[i].fetch_add(1);
+      });
+    });
+    while (!started.load()) std::this_thread::yield();
+    pool.shutdown();
+    submitter.join();
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolShutdown, DestroyAfterMidBatchShutdownIsClean) {
+  // The documented teardown order for a pool with work in flight on
+  // another thread: shutdown() (safe concurrently), join the
+  // dispatching thread (its parallel_for drains the batch inline), then
+  // destroy. The destructor re-runs shutdown on an already-stopped pool
+  // — the idempotent path — and must neither hang nor double-join.
+  constexpr std::size_t kN = 48;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> started{false};
+  {
+    ThreadPool pool(4);
+    std::thread submitter([&] {
+      pool.parallel_for(kN, [&](std::size_t i) {
+        started.store(true);
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        hits[i].fetch_add(1);
+      });
+    });
+    while (!started.load()) std::this_thread::yield();
+    pool.shutdown();
+    submitter.join();
+  }  // ~ThreadPool after an explicit mid-batch shutdown
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
 // --- pipeline determinism: 1 thread vs 4 threads, same seed ---

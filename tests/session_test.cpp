@@ -1,0 +1,417 @@
+// Tests for the multi-tenant session layer: admission verdicts, bounded
+// ingest queues, the load-shedding fidelity ladder, deadline planning,
+// telemetry accounting, and the byte-identical-acceptance contract
+// against the single-tenant streaming path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/session_manager.hpp"
+#include "testbed/deployment.hpp"
+#include "testbed/experiment.hpp"
+
+namespace spotfi {
+namespace {
+
+const LinkConfig kLink = LinkConfig::intel5300_40mhz();
+
+/// Simulated feed: one office target, packets interleaved across APs.
+struct Feed {
+  ExperimentRunner runner;
+  std::vector<ApCapture> captures;
+
+  explicit Feed(std::size_t packets, Vec2 target = {6.0, 3.5})
+      : runner(kLink, office_deployment(), make_config(packets)) {
+    Rng rng(11);
+    captures = runner.simulate_captures(target, rng);
+  }
+  static ExperimentConfig make_config(std::size_t packets) {
+    ExperimentConfig config;
+    config.packets_per_group = packets;
+    return config;
+  }
+  [[nodiscard]] std::vector<ArrayPose> poses() const {
+    std::vector<ArrayPose> out;
+    for (const auto& capture : captures) out.push_back(capture.pose);
+    return out;
+  }
+};
+
+SessionConfig base_session(const Feed& feed, std::size_t group_size) {
+  SessionConfig cfg;
+  cfg.streaming.group_size = group_size;
+  cfg.streaming.server.localizer.area_min = feed.runner.deployment().area_min;
+  cfg.streaming.server.localizer.area_max = feed.runner.deployment().area_max;
+  cfg.aps = feed.poses();
+  cfg.seed = 77;
+  return cfg;
+}
+
+// --- lifecycle and contracts ---
+
+TEST(SessionManager, OpenRequiresTwoAps) {
+  SessionManager manager(kLink);
+  SessionConfig cfg;
+  cfg.aps.resize(1);
+  EXPECT_THROW((void)manager.open_session(cfg), ContractViolation);
+  EXPECT_EQ(manager.session_count(), 0u);
+}
+
+TEST(SessionManager, UnknownSessionIdThrowsEverywhere) {
+  SessionManager manager(kLink);
+  Rng rng(1);
+  EXPECT_THROW((void)manager.offer(42, 0, CsiPacket{}), ContractViolation);
+  EXPECT_THROW((void)manager.pump(42), ContractViolation);
+  EXPECT_THROW((void)manager.poll(42, 0.0), ContractViolation);
+  EXPECT_THROW((void)manager.session_stats(42), ContractViolation);
+  EXPECT_THROW((void)manager.localizer(42), ContractViolation);
+  EXPECT_THROW(manager.close_session(42), ContractViolation);
+}
+
+TEST(SessionManager, IdsAreNeverReused) {
+  Feed feed(2);
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId a = manager.open_session(base_session(feed, 4));
+  manager.close_session(a);
+  const SessionId b = manager.open_session(base_session(feed, 4));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(manager.session_count(), 1u);
+}
+
+// --- admission control ---
+
+TEST(SessionAdmission, VerdictsGradeOccupancyAndFullQueueSheds) {
+  Feed feed(2);
+  SessionConfig cfg = base_session(feed, 1000);  // rounds never fire
+  cfg.overload.queue_capacity = 8;
+  cfg.overload.degrade_coarse_at = 0.50;   // depth >= 4
+  cfg.overload.degrade_esprit_at = 0.75;   // depth >= 6
+  cfg.overload.degrade_rssi_at = 0.90;     // depth >= 8 (ceil(7.2))
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+
+  // Fill the queue without pumping; the entitlement must degrade
+  // monotonically with depth and the 9th packet must shed.
+  std::vector<AdmissionVerdict> verdicts;
+  for (int i = 0; i < 10; ++i) {
+    verdicts.push_back(
+        manager.offer(id, 0, feed.captures[0].packets[0]));
+  }
+  // Depth observed before each push: 0..9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(verdicts[i].kind, AdmissionVerdict::Kind::kAccepted) << i;
+    EXPECT_EQ(verdicts[i].level, ShedLevel::kFull) << i;
+  }
+  EXPECT_EQ(verdicts[4].kind, AdmissionVerdict::Kind::kDegraded);
+  EXPECT_EQ(verdicts[4].level, ShedLevel::kCoarse);
+  EXPECT_EQ(verdicts[6].level, ShedLevel::kEsprit);
+  EXPECT_EQ(verdicts[8].kind, AdmissionVerdict::Kind::kShed);
+  EXPECT_FALSE(verdicts[8].admitted());
+  EXPECT_EQ(verdicts[9].kind, AdmissionVerdict::Kind::kShed);
+
+  // Monotone degradation: entitlement never upgrades as depth rises.
+  for (std::size_t i = 1; i < verdicts.size(); ++i) {
+    EXPECT_GE(verdicts[i].level, verdicts[i - 1].level) << i;
+  }
+
+  const SessionStats stats = manager.session_stats(id);
+  EXPECT_EQ(stats.offered, 10u);
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.shed_packets, 2u);
+  EXPECT_EQ(stats.offered, stats.accepted + stats.shed_packets);
+  EXPECT_EQ(stats.degraded_admissions, 4u);  // depths 4..7
+  EXPECT_EQ(stats.queue_high_water, 8u);
+  EXPECT_LE(stats.queue_high_water, stats.queue_capacity);
+}
+
+// --- accepted rounds are byte-identical to the single-tenant path ---
+
+TEST(SessionDeterminism, AcceptedFixesMatchStandaloneAtAnyThreadCount) {
+  unsetenv("SPOTFI_THREADS");
+  constexpr std::size_t kGroup = 4;
+  Feed feed(kGroup);
+
+  // Reference: a standalone single-tenant StreamingLocalizer, serial.
+  std::vector<Vec2> reference;
+  {
+    StreamingConfig cfg;
+    cfg.group_size = kGroup;
+    cfg.server.num_threads = 1;
+    cfg.server.localizer.area_min = feed.runner.deployment().area_min;
+    cfg.server.localizer.area_max = feed.runner.deployment().area_max;
+    StreamingLocalizer standalone(kLink, cfg);
+    for (const auto& capture : feed.captures) standalone.add_ap(capture.pose);
+    Rng rng(77);  // == SessionConfig::seed below
+    for (std::size_t p = 0; p < kGroup; ++p) {
+      for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+        if (auto fix = standalone.push(a, feed.captures[a].packets[p], rng)) {
+          reference.push_back(fix->raw);
+        }
+      }
+    }
+    ASSERT_EQ(reference.size(), 1u);
+  }
+
+  // The same stream through a session, serial and parallel. Pumping
+  // after every offer keeps the queue shallow, so every round is
+  // admitted at full fidelity — the accepted path.
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SessionManagerConfig mgr_cfg;
+    mgr_cfg.num_threads = threads;
+    SessionManager manager(kLink, mgr_cfg);
+    const SessionId id = manager.open_session(base_session(feed, kGroup));
+    std::vector<LocationFix> fixes;
+    for (std::size_t p = 0; p < kGroup; ++p) {
+      for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+        const auto verdict =
+            manager.offer(id, a, feed.captures[a].packets[p]);
+        ASSERT_EQ(verdict.kind, AdmissionVerdict::Kind::kAccepted);
+        for (auto& fix : manager.pump(id)) fixes.push_back(std::move(fix));
+      }
+    }
+    ASSERT_EQ(fixes.size(), reference.size()) << threads << " threads";
+    for (std::size_t i = 0; i < fixes.size(); ++i) {
+      // Bitwise equality: the multi-tenant accepted path must not
+      // reorder a single floating-point operation.
+      EXPECT_EQ(fixes[i].raw.x, reference[i].x) << threads << " threads";
+      EXPECT_EQ(fixes[i].raw.y, reference[i].y) << threads << " threads";
+      EXPECT_EQ(fixes[i].round.fidelity, ShedLevel::kFull);
+    }
+    const SessionStats stats = manager.session_stats(id);
+    EXPECT_EQ(stats.rounds_full, 1u);
+    EXPECT_EQ(stats.rounds_degraded, 0u);
+    EXPECT_EQ(stats.rounds_shed, 0u);
+    EXPECT_EQ(stats.fixes, 1u);
+  }
+}
+
+// --- backlog degrades fidelity, and the books balance ---
+
+TEST(SessionOverload, BacklogDegradesRoundsAndCountersAccount) {
+  constexpr std::size_t kGroup = 3;
+  Feed feed(3 * kGroup);
+  SessionConfig cfg = base_session(feed, kGroup);
+  // Any backlog at all entitles only coarse fidelity and below.
+  cfg.overload.queue_capacity = 256;
+  cfg.overload.degrade_coarse_at = 0.0;
+  cfg.overload.degrade_esprit_at = 1.0;
+  cfg.overload.degrade_rssi_at = 1.0;
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+
+  // Offer three full rounds' worth of packets before pumping once: at
+  // every round-fire the queue still holds a backlog, so every round
+  // must run degraded (coarse), and the fixes must say so.
+  for (std::size_t p = 0; p < 3 * kGroup; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      const auto verdict = manager.offer(id, a, feed.captures[a].packets[p]);
+      ASSERT_TRUE(verdict.admitted());
+    }
+  }
+  std::vector<LocationFix> fixes;
+  for (auto& fix : manager.pump(id)) fixes.push_back(std::move(fix));
+
+  const SessionStats stats = manager.session_stats(id);
+  // The first two rounds fire with a backlog still queued behind them —
+  // degraded. The third fires on the very last pop, backlog drained —
+  // full fidelity again (the ladder recovers when pressure does).
+  EXPECT_EQ(stats.rounds_degraded, 2u);
+  EXPECT_EQ(stats.rounds_full, 1u);
+  EXPECT_EQ(stats.rounds_shed, 0u);
+  EXPECT_EQ(stats.failed_rounds, 0u);
+  // Every planned round is exactly one of full/degraded/shed, and the
+  // degraded counter accounts for exactly the non-full fixes.
+  EXPECT_EQ(stats.fixes + stats.failed_rounds,
+            stats.rounds_full + stats.rounds_degraded);
+  EXPECT_EQ(stats.fixes, fixes.size());
+  std::size_t non_full = 0;
+  for (const auto& fix : fixes) {
+    if (fix.round.fidelity != ShedLevel::kFull) {
+      ++non_full;
+      EXPECT_TRUE(fix.degraded);
+      EXPECT_EQ(fix.round.fidelity, ShedLevel::kCoarse);
+    }
+  }
+  EXPECT_EQ(non_full, stats.rounds_degraded);
+  EXPECT_LE(stats.queue_high_water, stats.queue_capacity);
+}
+
+// --- deadline planning with a fake clock ---
+
+TEST(SessionDeadline, UnaffordableFullFidelityDegradesUpFront) {
+  constexpr std::size_t kGroup = 4;
+  Feed feed(kGroup);
+  SessionConfig cfg = base_session(feed, kGroup);
+  cfg.overload.round_deadline_s = 0.06;
+  // Deterministic cost model: full and coarse can't meet the deadline,
+  // ESPRIT can. (With a FakeClock nothing is ever measured, so the
+  // seeds are the whole model until a round observes dt >= 0.)
+  cfg.overload.seed_cost_s = {0.2, 0.1, 0.05, 0.01};
+  FakeClock clock(0.0);
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  mgr_cfg.clock = &clock;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+
+  std::vector<LocationFix> fixes;
+  for (std::size_t p = 0; p < kGroup; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      (void)manager.offer(id, a, feed.captures[a].packets[p]);
+      for (auto& fix : manager.pump(id)) fixes.push_back(std::move(fix));
+    }
+  }
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes.front().round.fidelity, ShedLevel::kEsprit);
+  const SessionStats stats = manager.session_stats(id);
+  EXPECT_EQ(stats.deadline_limited_rounds, 1u);
+  EXPECT_EQ(stats.rounds_degraded, 1u);
+  EXPECT_EQ(stats.rounds_shed, 0u);
+  // The FakeClock never advanced, so the measured duration (0) met the
+  // deadline: no miss.
+  EXPECT_EQ(stats.deadline_misses, 0u);
+}
+
+TEST(SessionDeadline, UnmeetableDeadlineShedsTheRoundUpFront) {
+  constexpr std::size_t kGroup = 4;
+  Feed feed(kGroup);
+  SessionConfig cfg = base_session(feed, kGroup);
+  cfg.overload.round_deadline_s = 0.005;
+  cfg.overload.seed_cost_s = {0.2, 0.1, 0.05, 0.01};  // even RSSI: 10 ms
+  FakeClock clock(0.0);
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  mgr_cfg.clock = &clock;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+
+  std::size_t fixes = 0;
+  for (std::size_t p = 0; p < kGroup; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      (void)manager.offer(id, a, feed.captures[a].packets[p]);
+      fixes += manager.pump(id).size();
+    }
+  }
+  // The round was rejected up front — consumed, never run late.
+  EXPECT_EQ(fixes, 0u);
+  const SessionStats stats = manager.session_stats(id);
+  EXPECT_EQ(stats.rounds_shed, 1u);
+  EXPECT_EQ(stats.deadline_limited_rounds, 1u);
+  EXPECT_EQ(stats.rounds_full, 0u);
+  EXPECT_EQ(stats.rounds_degraded, 0u);
+  // The backlog was still drained.
+  const auto& localizer = manager.localizer(id);
+  for (std::size_t a = 0; a < localizer.ap_count(); ++a) {
+    EXPECT_EQ(localizer.buffered(a), 0u);
+  }
+}
+
+/// Advances by a fixed step on every read: a round "measures" exactly
+/// one step between its start and end stamps, which makes the
+/// deadline-miss and cost-model-feedback paths deterministic.
+class SteppingClock final : public Clock {
+ public:
+  explicit SteppingClock(double step_s) : step_s_(step_s) {}
+  [[nodiscard]] double now_s() const override {
+    return static_cast<double>(
+               reads_.fetch_add(1, std::memory_order_relaxed)) *
+           step_s_;
+  }
+
+ private:
+  double step_s_;
+  mutable std::atomic<std::uint64_t> reads_{0};
+};
+
+TEST(SessionDeadline, MeasuredOverrunCountsAsMissAndRetrainsTheModel) {
+  constexpr std::size_t kGroup = 4;
+  Feed feed(kGroup);
+  SessionConfig cfg = base_session(feed, kGroup);
+  cfg.overload.round_deadline_s = 0.5;
+  cfg.overload.seed_cost_s = {0.1, 0.05, 0.02, 0.01};  // all look affordable
+  // Every round measures 1 s of wall clock — double the budget.
+  SteppingClock clock(1.0);
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  mgr_cfg.clock = &clock;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+
+  auto run_round = [&] {
+    std::vector<LocationFix> fixes;
+    for (std::size_t p = 0; p < kGroup; ++p) {
+      for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+        (void)manager.offer(id, a, feed.captures[a].packets[p]);
+        for (auto& fix : manager.pump(id)) fixes.push_back(std::move(fix));
+      }
+    }
+    return fixes;
+  };
+
+  // Round 1: the seeds said full fidelity fits, so the plan approves it
+  // — but the measured duration (1 s) blows the 0.5 s budget. That is a
+  // deadline miss, recorded, and the cost model now knows better.
+  auto fixes = run_round();
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_EQ(fixes.front().round.fidelity, ShedLevel::kFull);
+  SessionStats stats = manager.session_stats(id);
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.deadline_limited_rounds, 0u);
+
+  // Round 2: full fidelity now estimates ~1 s > 0.5 s, so the planner
+  // degrades up front instead of running late again.
+  fixes = run_round();
+  ASSERT_EQ(fixes.size(), 1u);
+  EXPECT_NE(fixes.front().round.fidelity, ShedLevel::kFull);
+  stats = manager.session_stats(id);
+  EXPECT_EQ(stats.deadline_limited_rounds, 1u);
+  EXPECT_EQ(stats.rounds_degraded, 1u);
+}
+
+// --- stats folding across sessions ---
+
+TEST(SessionStatsFold, CloseRetiresCountersIntoGlobalTotals) {
+  Feed feed(2);
+  SessionConfig cfg = base_session(feed, 1000);  // rounds never fire
+  cfg.overload.queue_capacity = 4;
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId a = manager.open_session(cfg);
+  const SessionId b = manager.open_session(cfg);
+
+  for (int i = 0; i < 6; ++i) {  // 4 accepted + 2 shed per session
+    (void)manager.offer(a, 0, feed.captures[0].packets[0]);
+    (void)manager.offer(b, 0, feed.captures[0].packets[0]);
+  }
+  const SessionStats sa = manager.session_stats(a);
+  EXPECT_EQ(sa.accepted, 4u);
+  EXPECT_EQ(sa.shed_packets, 2u);
+
+  SessionStats global = manager.global_stats();
+  EXPECT_EQ(global.offered, 12u);
+  EXPECT_EQ(global.accepted, 8u);
+  EXPECT_EQ(global.shed_packets, 4u);
+
+  manager.close_session(a);
+  EXPECT_EQ(manager.session_count(), 1u);
+  global = manager.global_stats();  // retired + live must still add up
+  EXPECT_EQ(global.offered, 12u);
+  EXPECT_EQ(global.accepted, 8u);
+  EXPECT_EQ(global.shed_packets, 4u);
+  EXPECT_THROW((void)manager.session_stats(a), ContractViolation);
+}
+
+}  // namespace
+}  // namespace spotfi

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "core/streaming.hpp"
 #include "testbed/experiment.hpp"
@@ -338,6 +340,188 @@ TEST(Streaming, UnknownApIdThrowsWithClearMessage) {
   // Health accessors share the bounds contract.
   EXPECT_THROW(server.ap_health(99), ContractViolation);
   EXPECT_THROW(server.ap_state(99), ContractViolation);
+}
+
+// --- AP health state machine: property-style interleavings ---
+
+TEST(ApHealthProperty, RandomInterleavingsNeverStickAndAlwaysTrackSilence) {
+  // Property: whatever interleaving of packet arrivals and silent time
+  // advances an AP experiences, its health is a pure function of its
+  // current silence — never a sticky artifact of the path taken. In
+  // particular an AP that just delivered a packet at stream time `now`
+  // is healthy, no matter how many times it died and recovered before.
+  const double kDegradedAfter = 1.0, kDeadAfter = 3.0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Feed feed(2);
+    StreamingConfig cfg;
+    // Rounds never fire: this test is about the health machine only.
+    cfg.group_size = 100000;
+    cfg.max_packet_age_s = 1e9;
+    cfg.degradation.degraded_after_s = kDegradedAfter;
+    cfg.degradation.dead_after_s = kDeadAfter;
+    StreamingLocalizer server(kLink, cfg);
+    const std::size_t n_aps = feed.captures.size();
+    for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+
+    Rng events(1000 + seed);
+    Rng packet_rng(2000 + seed);
+    double now = 0.0;
+    std::vector<double> last_accepted(n_aps,
+                                      std::numeric_limits<double>::quiet_NaN());
+    std::optional<double> stream_start;
+    std::vector<std::size_t> recoveries(n_aps, 0);
+
+    for (int step = 0; step < 200; ++step) {
+      const bool is_push = events.uniform() < 0.6;
+      // Dead (>= 3 s) and degraded (>= 1 s) silences must both be
+      // reachable: jumps up to 2.2 s, so two in a row can kill an AP.
+      now += events.uniform(0.0, 2.2);
+      if (is_push) {
+        const auto ap = static_cast<std::size_t>(events.uniform_index(n_aps));
+        // Before the stream starts every AP reads healthy, so this is
+        // false there and a true dead -> healthy edge everywhere else.
+        const bool was_dead = server.ap_health(ap) == ApHealth::kDead;
+        CsiPacket packet = good_packet(packet_rng, now);
+        ASSERT_FALSE(server.push(ap, std::move(packet), events).has_value());
+        if (!stream_start) stream_start = now;
+        last_accepted[ap] = now;
+        if (was_dead) ++recoveries[ap];
+      } else {
+        ASSERT_FALSE(server.poll(now, events).has_value());
+      }
+      if (!stream_start) continue;
+      for (std::size_t a = 0; a < n_aps; ++a) {
+        const double last =
+            std::isnan(last_accepted[a]) ? *stream_start : last_accepted[a];
+        const double silence = now - last;
+        ApHealth expected = ApHealth::kHealthy;
+        if (silence >= kDeadAfter) {
+          expected = ApHealth::kDead;
+        } else if (silence >= kDegradedAfter) {
+          expected = ApHealth::kDegraded;
+        }
+        ASSERT_EQ(server.ap_health(a), expected)
+            << "seed " << seed << " step " << step << " ap " << a
+            << " silence " << silence;
+        ASSERT_EQ(server.ap_state(a).recoveries, recoveries[a])
+            << "seed " << seed << " step " << step << " ap " << a;
+      }
+    }
+  }
+}
+
+// --- overload fidelity ladder through the streaming localizer ---
+
+/// Streaming config sized so one interleaved pass of `packets` packets
+/// per AP fires exactly one round.
+StreamingConfig one_round_config(const Feed& feed, std::size_t packets) {
+  StreamingConfig cfg;
+  cfg.group_size = packets;
+  cfg.server.localizer.area_min = feed.runner.deployment().area_min;
+  cfg.server.localizer.area_max = feed.runner.deployment().area_max;
+  return cfg;
+}
+
+std::optional<LocationFix> push_one_round(StreamingLocalizer& server,
+                                          const Feed& feed,
+                                          std::size_t packets, Rng& rng) {
+  std::optional<LocationFix> fired;
+  for (std::size_t p = 0; p < packets; ++p) {
+    for (std::size_t a = 0; a < feed.captures.size(); ++a) {
+      if (auto fix = server.push(a, feed.captures[a].packets[p], rng)) {
+        fired = std::move(fix);
+      }
+    }
+  }
+  return fired;
+}
+
+TEST(OverloadFidelity, ManualEspritFidelityEntersChainAtEsprit) {
+  Feed feed(6);
+  StreamingLocalizer server(kLink, one_round_config(feed, 6));
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  server.set_fidelity(ShedLevel::kEsprit);
+  EXPECT_EQ(server.fidelity(), ShedLevel::kEsprit);
+
+  Rng rng(21);
+  const auto fix = push_one_round(server, feed, 6, rng);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->round.fidelity, ShedLevel::kEsprit);
+  EXPECT_TRUE(fix->degraded);
+  ASSERT_FALSE(fix->reasons.empty());
+  EXPECT_NE(fix->reasons[0].find("overload"), std::string::npos);
+  // Every AP entered the fallback chain at ESPRIT — no stage above it.
+  for (const ApStage stage : fix->round.ap_stages) {
+    EXPECT_GE(stage, ApStage::kEsprit);
+  }
+  EXPECT_LT(distance(fix->raw, {6.0, 3.5}), 4.0);
+}
+
+TEST(OverloadFidelity, RssiOnlyFidelityYieldsBearinglessRound) {
+  Feed feed(6);
+  StreamingLocalizer server(kLink, one_round_config(feed, 6));
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  server.set_fidelity(ShedLevel::kRssiOnly);
+
+  Rng rng(22);
+  const auto fix = push_one_round(server, feed, 6, rng);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->round.fidelity, ShedLevel::kRssiOnly);
+  for (const ApStage stage : fix->round.ap_stages) {
+    EXPECT_EQ(stage, ApStage::kRssiOnly);
+  }
+  for (const auto& result : fix->round.ap_results) {
+    EXPECT_FALSE(result.observation.has_aoa);
+  }
+}
+
+TEST(OverloadFidelity, PlannerShedDropsRoundButDrainsBacklog) {
+  Feed feed(6);
+  StreamingLocalizer server(kLink, one_round_config(feed, 6));
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  std::size_t planned = 0;
+  server.set_round_planner([&](std::size_t n_aps, double) {
+    ++planned;
+    EXPECT_EQ(n_aps, feed.captures.size());
+    RoundPlan plan;
+    plan.run = false;
+    plan.reason = "test shed";
+    return plan;
+  });
+
+  Rng rng(23);
+  const auto fix = push_one_round(server, feed, 6, rng);
+  EXPECT_FALSE(fix.has_value());
+  EXPECT_EQ(planned, 1u);
+  EXPECT_EQ(server.shed_rounds(), 1u);
+  EXPECT_EQ(server.fix_count(), 0u);
+  ASSERT_TRUE(server.last_shed().has_value());
+  EXPECT_NE(server.last_shed()->reason.find("test shed"), std::string::npos);
+  // The shed round still consumed its packet groups: backlog drained.
+  for (std::size_t a = 0; a < server.ap_count(); ++a) {
+    EXPECT_EQ(server.buffered(a), 0u);
+  }
+}
+
+TEST(OverloadFidelity, PlannerLevelOverridesManualFidelity) {
+  Feed feed(6);
+  StreamingLocalizer server(kLink, one_round_config(feed, 6));
+  for (const auto& capture : feed.captures) server.add_ap(capture.pose);
+  server.set_fidelity(ShedLevel::kRssiOnly);  // the plan must win
+  server.set_round_planner([](std::size_t, double) {
+    RoundPlan plan;
+    plan.level = ShedLevel::kCoarse;
+    plan.reason = "planner says coarse";
+    return plan;
+  });
+
+  Rng rng(24);
+  const auto fix = push_one_round(server, feed, 6, rng);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->round.fidelity, ShedLevel::kCoarse);
+  for (const ApStage stage : fix->round.ap_stages) {
+    EXPECT_GE(stage, ApStage::kRelaxedMusic);
+  }
 }
 
 }  // namespace
