@@ -101,7 +101,8 @@ def main():
     # 0 — the per-packet arena path and the session admission/shed path.
     # BM_GroupProcess_Workspace reports the per-group bookkeeping
     # constant amortized over group size (nonzero by design).
-    zero_alloc_patterns = ("PacketEstimate_Workspace", "SessionAdmit_Steady")
+    zero_alloc_patterns = ("PacketEstimate_Workspace", "SessionAdmit_Steady",
+                           "TransportDeliver_Steady")
     for name, entry in sorted(cand.items()):
         if (any(p in name for p in zero_alloc_patterns)
                 and "allocs_per_packet" in entry):

@@ -44,14 +44,18 @@ trap 'rm -rf "${TMP}"' EXIT
 "${BUILD_DIR}/bench/perf_sessions" \
   --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
   > "${TMP}/perf_sessions.json"
+"${BUILD_DIR}/bench/perf_transport" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_transport.json"
 
 python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" \
-  "${TMP}/perf_memory.json" "${TMP}/perf_sessions.json" "${OUT}" "${MODE}" <<'PY'
+  "${TMP}/perf_memory.json" "${TMP}/perf_sessions.json" \
+  "${TMP}/perf_transport.json" "${OUT}" "${MODE}" <<'PY'
 import json
 import sys
 
-music_path, pipeline_path, memory_path, sessions_path, out_path, mode = (
-    sys.argv[1:7])
+(music_path, pipeline_path, memory_path, sessions_path, transport_path,
+ out_path, mode) = sys.argv[1:8]
 
 merged = {
     "schema": "spotfi-bench-v1",
@@ -61,7 +65,8 @@ merged = {
 for name, path in (("perf_music", music_path),
                    ("perf_pipeline", pipeline_path),
                    ("perf_memory", memory_path),
-                   ("perf_sessions", sessions_path)):
+                   ("perf_sessions", sessions_path),
+                   ("perf_transport", transport_path)):
     with open(path) as f:
         raw = json.load(f)
     merged.setdefault("context", raw.get("context", {}))

@@ -1,0 +1,112 @@
+// Transport-layer benchmarks (DESIGN.md §13): steady-state frame
+// delivery over an established connection, plus the zero-allocation
+// contract on that path.
+//
+// BM_TransportDeliver_Steady is the allocation gate: once the
+// connection is established and the link/window/reorder buffers have
+// reached steady state, pushing a frame through send → wire → deliver →
+// ack → window advance must not touch the heap. Slots recycle their
+// payload storage, ack frames carry no payload, and the link's in-flight
+// heap is preallocated. bench_regression.py fails the build if the
+// allocs_per_packet counter ever reads nonzero.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "transport/transport.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+std::atomic<std::size_t> g_allocated_bytes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+// Same spurious-warning suppression as perf_memory.cpp: our operator
+// new hands out malloc'd memory, so free() is the matching deallocator.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace spotfi;
+
+/// One frame per iteration over a perfect link: send, tick both ends,
+/// collect the ack. An empty CsiPacket carries no heap storage, so the
+/// measured loop is pure protocol machinery — framing, checksum, wire
+/// queue, reorder window, cumulative ack, send-window advance.
+void BM_TransportDeliver_Steady(benchmark::State& state) {
+  LinkSimulator link(LinkFaultModel{});
+  TransportConfig cfg;
+  cfg.timer_jitter_frac = 0.0;
+  TransportSender sender(link, cfg);
+  std::uint64_t delivered = 0;
+  TransportReceiver receiver(
+      link,
+      [&delivered](std::size_t /*ap_id*/, CsiPacket& /*packet*/) {
+        ++delivered;
+        return true;
+      },
+      cfg);
+
+  // Warm up: establish the connection and push enough frames that every
+  // preallocated buffer has reached its steady footprint.
+  double t = 0.0;
+  const double dt = 1e-4;
+  for (int i = 0; i < 256; ++i, t += dt) {
+    CsiPacket p;
+    (void)sender.send(0, p, t);
+    sender.tick(t);
+    receiver.tick(t);
+  }
+
+  const std::size_t allocs = g_allocations.load();
+  const std::size_t bytes = g_allocated_bytes.load();
+  for (auto _ : state) {
+    CsiPacket p;
+    benchmark::DoNotOptimize(sender.send(0, p, t));
+    sender.tick(t);
+    receiver.tick(t);
+    t += dt;
+  }
+  // Snapshot both deltas before touching the counter map — inserting
+  // the first counter allocates and would pollute the second reading.
+  const double d_allocs = static_cast<double>(g_allocations.load() - allocs);
+  const double d_bytes = static_cast<double>(g_allocated_bytes.load() - bytes);
+  const double n = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["allocs_per_packet"] = benchmark::Counter(d_allocs / n);
+  state.counters["bytes_per_packet"] = benchmark::Counter(d_bytes / n);
+  state.counters["delivered"] =
+      benchmark::Counter(static_cast<double>(delivered));
+}
+BENCHMARK(BM_TransportDeliver_Steady);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,190 @@
+// Flaky uplink drill: two APs stream CSI to the localization session
+// over lossy, jittery simulated links, and the transport layer makes the
+// stream reliable anyway.
+//
+// Each AP gets its own connection (sender + receiver pair) over a link
+// that drops 5% of frames and jitters delivery by up to 50 ms. Midway
+// through the run AP 0's link goes hard-down for long enough to trip the
+// liveness timeout, forcing a full disconnect/reconnect cycle that
+// resumes from the last acked frame. The example prints fixes as they
+// fire, the reconnect when it happens, and closes with the per-AP
+// TransportStats and the localization error — demonstrating that a flaky
+// network changes *when* packets arrive, never *what* gets computed.
+//
+//   ./flaky_uplink [seed] [duration_s]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/session_manager.hpp"
+#include "testbed/experiment.hpp"
+#include "transport/transport.hpp"
+
+namespace {
+
+using namespace spotfi;
+
+void print_stats(const char* label, const TransportStats& tx,
+                 const TransportStats& rx, const LinkStats& wire) {
+  std::printf("%s\n", label);
+  std::printf("  sender  : sent %llu = acked %llu + pending %llu + "
+              "failed %llu; %llu transmissions (%llu retransmits), "
+              "%llu reconnects\n",
+              (unsigned long long)tx.sent, (unsigned long long)tx.acked,
+              (unsigned long long)tx.pending, (unsigned long long)tx.failed,
+              (unsigned long long)tx.transmissions,
+              (unsigned long long)tx.retransmissions,
+              (unsigned long long)tx.reconnects);
+  std::printf("  receiver: received %llu = delivered %llu + dup %llu + "
+              "out-of-window %llu + corrupt %llu + buffered %llu\n",
+              (unsigned long long)rx.received,
+              (unsigned long long)rx.delivered,
+              (unsigned long long)rx.duplicates,
+              (unsigned long long)rx.out_of_window,
+              (unsigned long long)rx.corrupt, (unsigned long long)rx.buffered);
+  std::printf("  wire    : %llu dropped, %llu duplicated, %llu corrupted, "
+              "%llu swallowed by the outage\n",
+              (unsigned long long)wire.dropped,
+              (unsigned long long)wire.duplicated,
+              (unsigned long long)wire.corrupted,
+              (unsigned long long)wire.disconnect_dropped);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+  const double duration_s = argc >= 3 ? std::atof(argv[2]) : 8.0;
+  if (duration_s < 2.0) {
+    std::fprintf(stderr, "duration must be >= 2 s (got %s)\n",
+                 argc >= 3 ? argv[2] : "?");
+    return 1;
+  }
+
+  const LinkConfig link_cfg = LinkConfig::intel5300_40mhz();
+  Deployment deployment = office_deployment();
+  deployment.aps.resize(2);  // two APs is the minimum that triangulates
+  ExperimentConfig ecfg;
+  ecfg.packets_per_group = static_cast<std::size_t>(duration_s / 0.1);
+  const ExperimentRunner runner(link_cfg, deployment, ecfg);
+  const Vec2 target{6.0, 3.5};
+  Rng capture_rng(seed);
+  const auto captures = runner.simulate_captures(target, capture_rng);
+
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(link_cfg, mgr_cfg);
+  SessionConfig scfg;
+  scfg.streaming.group_size = 5;
+  scfg.streaming.server.localizer.area_min = runner.deployment().area_min;
+  scfg.streaming.server.localizer.area_max = runner.deployment().area_max;
+  for (const auto& c : captures) scfg.aps.push_back(c.pose);
+  scfg.seed = seed;
+  const SessionId session = manager.open_session(scfg);
+
+  // The wire: 5% loss, up to 50 ms of jitter, and a hard outage on
+  // AP 0's link for the middle of the run — longer than the liveness
+  // timeout, so the sender must reconnect and resume.
+  const double outage_begin = duration_s * 0.4;
+  const double outage_end = outage_begin + 1.2;
+  TransportConfig tcfg;
+  tcfg.rto_initial_s = 0.1;
+  tcfg.heartbeat_interval_s = 0.25;
+  tcfg.liveness_timeout_s = 0.8;
+
+  struct Uplink {
+    std::unique_ptr<LinkSimulator> link;
+    std::unique_ptr<TransportSender> sender;
+    std::unique_ptr<TransportReceiver> receiver;
+    std::size_t next_packet = 0;
+    std::uint64_t reconnects_seen = 0;
+  };
+  std::vector<Uplink> uplinks(captures.size());
+  for (std::size_t a = 0; a < captures.size(); ++a) {
+    LinkFaultModel model;
+    model.delay_s = 0.005;
+    model.jitter_s = 0.050;
+    model.drop_prob = 0.05;
+    if (a == 0) model.down_windows = {{outage_begin, outage_end}};
+    uplinks[a].link = std::make_unique<LinkSimulator>(model, seed + 10 + a);
+    tcfg.seed = seed + 20 + a;
+    uplinks[a].sender =
+        std::make_unique<TransportSender>(*uplinks[a].link, tcfg);
+    uplinks[a].receiver = std::make_unique<TransportReceiver>(
+        *uplinks[a].link, make_session_sink(manager, session), tcfg);
+  }
+
+  std::printf("flaky uplink — 2 APs, %.1f s stream, seed=%llu\n",
+              duration_s, static_cast<unsigned long long>(seed));
+  std::printf("links: 5%% loss, 50 ms jitter; AP 0 hard-down in "
+              "[%.1f, %.1f) s\n\n",
+              outage_begin, outage_end);
+
+  std::vector<double> errors;
+  const std::size_t n_packets = captures.front().packets.size();
+  const double dt = 0.005;
+  for (double t = 0.0; t < duration_s + 30.0; t += dt) {
+    bool all_idle = true;
+    for (std::size_t a = 0; a < uplinks.size(); ++a) {
+      Uplink& up = uplinks[a];
+      // Pace the capture stream by its own timestamps; the send window
+      // applies backpressure when the wire falls behind.
+      while (up.next_packet < n_packets &&
+             captures[a].packets[up.next_packet].timestamp_s <= t) {
+        CsiPacket packet = captures[a].packets[up.next_packet];
+        if (!up.sender->send(a, packet, t).has_value()) break;
+        ++up.next_packet;
+      }
+      up.sender->tick(t);
+      up.receiver->tick(t);
+      const TransportStats tx = up.sender->stats();
+      if (tx.reconnects > up.reconnects_seen) {
+        up.reconnects_seen = tx.reconnects;
+        std::printf("t=%5.2f  AP %zu reconnected, resuming after seq %llu\n",
+                    t, a,
+                    (unsigned long long)up.sender->highest_acked());
+      }
+      all_idle = all_idle && up.next_packet == n_packets &&
+                 up.sender->quiescent() && up.receiver->quiescent();
+    }
+    for (const auto& fix : manager.pump(session)) {
+      const double err = distance(fix.raw, target);
+      errors.push_back(err);
+      std::printf("t=%5.2f  fix (%5.2f,%5.2f) err %.2f m%s\n", t, fix.raw.x,
+                  fix.raw.y, err, fix.degraded ? " [degraded]" : "");
+    }
+    if (all_idle) break;
+  }
+
+  std::printf("\n");
+  for (std::size_t a = 0; a < uplinks.size(); ++a) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "AP %zu uplink:", a);
+    print_stats(label, uplinks[a].sender->stats(),
+                uplinks[a].receiver->stats(), uplinks[a].link->stats());
+  }
+  // The cross-layer report: merged transport counters next to the
+  // session's own, tying delivered == accepted end to end.
+  std::vector<const TransportSender*> senders;
+  std::vector<const TransportReceiver*> receivers;
+  for (const Uplink& up : uplinks) {
+    senders.push_back(up.sender.get());
+    receivers.push_back(up.receiver.get());
+  }
+  const SessionIngestStats report =
+      session_ingest_report(manager, session, senders, receivers);
+  std::printf("session : offered %llu = accepted %llu + shed %llu "
+              "(transport delivered %llu)\n",
+              (unsigned long long)report.session.offered,
+              (unsigned long long)report.session.accepted,
+              (unsigned long long)report.session.shed_packets,
+              (unsigned long long)report.transport.delivered);
+  if (!errors.empty()) {
+    std::printf("fixes   : %zu, median error %.2f m, p80 %.2f m\n",
+                errors.size(), median(errors), percentile(errors, 80.0));
+  }
+  return 0;
+}

@@ -147,6 +147,13 @@ std::vector<std::uint8_t> corrupt_spans(
   out.reserve(log.size());
   out.insert(out.end(), log.begin(), log.begin() + preamble);
 
+  /// Duplicate copies waiting to resurface `after` frames from now.
+  struct PendingDup {
+    std::vector<std::uint8_t> bytes;
+    std::size_t after;
+  };
+  std::vector<PendingDup> in_flight;
+
   std::vector<std::uint8_t> frame;
   for (std::size_t i = 0; i < frames.size(); ++i) {
     const auto [off, len] = frames[i];
@@ -192,10 +199,32 @@ std::vector<std::uint8_t> corrupt_spans(
 
     out.insert(out.end(), frame.begin(), frame.end());
     if (duplicate) {
-      out.insert(out.end(), frame.begin(), frame.end());
       ++local.frames_duplicated;
+      std::size_t gap = 0;
+      if (plan.duplicate_gap_max > 0) {
+        gap = rng.uniform_index(plan.duplicate_gap_max + 1);
+      }
+      if (gap == 0) {
+        out.insert(out.end(), frame.begin(), frame.end());
+      } else {
+        // Cross-frame duplication: the copy lands behind `gap` newer
+        // frames, like a retransmission overtaken by fresh captures.
+        in_flight.push_back(PendingDup{frame, gap + 1});
+      }
     }
     if (corrupted) local.corrupted_frames.push_back(i);
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (--it->after == 0) {
+        out.insert(out.end(), it->bytes.begin(), it->bytes.end());
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Copies whose gap outran the log surface at the tail.
+  for (const PendingDup& dup : in_flight) {
+    out.insert(out.end(), dup.bytes.begin(), dup.bytes.end());
   }
 
   if (stats != nullptr) *stats = std::move(local);

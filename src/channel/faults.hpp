@@ -148,6 +148,13 @@ struct ByteFaultPlan {
   std::size_t garbage_len_max = 32;
   /// Emit the frame twice (retransmitted/duplicated capture).
   double duplicate_prob = 0.0;
+  /// When > 0, each duplicate copy resurfaces after a uniform 0..gap_max
+  /// *later frames* instead of immediately behind its original — the way
+  /// a real retransmission lands after newer captures already made it to
+  /// the log. 0 keeps the copy adjacent (and draws no extra randomness,
+  /// so existing seeded scenarios replay unchanged). Copies still in
+  /// flight when the log ends are appended at the tail.
+  std::size_t duplicate_gap_max = 0;
   /// Clobber the frame's framing field (csitool: the u16 big-endian
   /// length; trace: the Nrx shape byte) with a random value.
   double length_tamper_prob = 0.0;

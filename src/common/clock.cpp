@@ -1,6 +1,8 @@
 #include "common/clock.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -11,26 +13,85 @@ double MonotonicClock::now_s() const {
   return std::chrono::duration<double>(t).count();
 }
 
-void FakeClock::advance(double dt_s) {
-  SPOTFI_EXPECTS(dt_s >= 0.0, "FakeClock::advance: time must move forward");
-  // CAS loop instead of fetch_add: atomic<double>::fetch_add needs
-  // hardware support some targets lack, and this path is never hot.
+double FakeClock::now_s() const {
+  const double step = auto_step_.load(std::memory_order_relaxed);
+  if (step <= 0.0) return now_s_.load(std::memory_order_acquire);
+  // Post-increment read: return the time this sample observed, then
+  // charge the sample's cost. CAS loop for the same reason as raise_to.
   double cur = now_s_.load(std::memory_order_relaxed);
-  while (!now_s_.compare_exchange_weak(cur, cur + dt_s,
+  while (!now_s_.compare_exchange_weak(cur, cur + step,
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed)) {
   }
+  return cur;
 }
 
-void FakeClock::set(double t_s) {
+void FakeClock::set_auto_advance(double step_s) {
+  SPOTFI_EXPECTS(step_s >= 0.0,
+                 "FakeClock::set_auto_advance: step must be >= 0");
+  auto_step_.store(step_s, std::memory_order_relaxed);
+}
+
+void FakeClock::raise_to(double t_s) {
+  // CAS loop instead of a store: concurrent auto-advance readers may be
+  // bumping the clock too, and time must never go backwards. (Also,
+  // atomic<double>::fetch_add needs hardware support some targets lack.)
   double cur = now_s_.load(std::memory_order_relaxed);
-  for (;;) {
-    SPOTFI_EXPECTS(t_s >= cur, "FakeClock::set: time must move forward");
-    if (now_s_.compare_exchange_weak(cur, t_s, std::memory_order_acq_rel,
-                                     std::memory_order_relaxed)) {
-      return;
-    }
+  while (cur < t_s && !now_s_.compare_exchange_weak(
+                          cur, t_s, std::memory_order_acq_rel,
+                          std::memory_order_relaxed)) {
   }
+}
+
+void FakeClock::schedule(double at_s, std::function<void()> fn) {
+  SPOTFI_EXPECTS(static_cast<bool>(fn),
+                 "FakeClock::schedule: callback must be callable");
+  const std::lock_guard<std::mutex> lock(sched_mutex_);
+  scheduled_.push_back(Scheduled{at_s, next_order_++, std::move(fn)});
+}
+
+void FakeClock::move_to(double target_s) {
+  // Fire every callback due by target_s, earliest first (ties by
+  // registration order), stepping the clock to each callback's own
+  // timestamp so the callback observes now_s() == its at_s. Re-scan
+  // after every callback: it may have scheduled more work inside the
+  // span being traversed.
+  for (;;) {
+    std::function<void()> fn;
+    double fire_at = 0.0;
+    {
+      const std::lock_guard<std::mutex> lock(sched_mutex_);
+      const auto end = scheduled_.end();
+      auto it = end;
+      for (auto cand = scheduled_.begin(); cand != end; ++cand) {
+        if (cand->at_s > target_s) continue;
+        if (it == end || cand->at_s < it->at_s ||
+            (cand->at_s == it->at_s && cand->order < it->order)) {
+          it = cand;
+        }
+      }
+      if (it == end) break;
+      fire_at = it->at_s;
+      fn = std::move(it->fn);
+      scheduled_.erase(it);
+    }
+    raise_to(fire_at);  // no-op for callbacks scheduled in the past
+    fn();
+  }
+  raise_to(target_s);
+}
+
+void FakeClock::advance(double dt_s) {
+  SPOTFI_EXPECTS(dt_s >= 0.0, "FakeClock::advance: time must move forward");
+  move_to(now_s_.load(std::memory_order_relaxed) + dt_s);
+}
+
+void FakeClock::advance_to(double t_s) { set(t_s); }
+
+void FakeClock::set(double t_s) {
+  SPOTFI_EXPECTS(t_s >= now_s_.load(std::memory_order_relaxed),
+                 "FakeClock::set: time must move forward");
+  move_to(t_s);
 }
 
 }  // namespace spotfi

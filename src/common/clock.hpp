@@ -12,6 +12,10 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
 
 namespace spotfi {
 
@@ -33,24 +37,71 @@ class MonotonicClock final : public Clock {
 
 /// Hand-advanced clock for tests: time moves only when the test says so,
 /// which turns "the round overran its deadline" into a deterministic
-/// scenario instead of a machine-speed-dependent one. advance()/set()
-/// and now_s() may be called from different threads.
+/// scenario instead of a machine-speed-dependent one.
+///
+/// Threading: now_s() may be read from any thread concurrently with one
+/// writer thread calling advance()/advance_to()/set(). The scheduling
+/// helpers (schedule(), and the callbacks they register) belong to that
+/// single writer thread — they exist so a test can say "at t=3.2 the
+/// producer disconnects" and have it happen mid-advance, at exactly that
+/// timestamp, with the clock reading 3.2 inside the callback.
 class FakeClock final : public Clock {
  public:
   explicit FakeClock(double start_s = 0.0) : now_s_(start_s) {}
 
-  [[nodiscard]] double now_s() const override {
-    return now_s_.load(std::memory_order_acquire);
-  }
+  /// Current time. With set_auto_advance(step) active, each read returns
+  /// the current time and then steps the clock forward — a drop-in stand
+  /// in for "every clock sample costs `step` seconds" timing tests.
+  /// Auto-advance steps never fire scheduled callbacks.
+  [[nodiscard]] double now_s() const override;
 
-  /// Moves time forward by dt_s (>= 0; a fake clock is still monotonic).
+  /// Moves time forward by dt_s (>= 0; a fake clock is still monotonic),
+  /// firing any callbacks scheduled inside the traversed span in time
+  /// order.
   void advance(double dt_s);
 
-  /// Jumps to t_s. Must not move time backwards.
+  /// Jumps forward to t_s (equivalent to set(), reads better in tests
+  /// that think in absolute timelines), firing scheduled callbacks due
+  /// at or before t_s in time order, with the clock set to each
+  /// callback's own timestamp while it runs.
+  void advance_to(double t_s);
+
+  /// Jumps to t_s. Must not move time backwards. Fires due callbacks
+  /// like advance_to().
   void set(double t_s);
 
+  /// Registers fn to run when time reaches at_s via advance()/
+  /// advance_to()/set(). A callback may schedule further callbacks
+  /// (including within the span currently being traversed). Callbacks
+  /// scheduled at or before the current time fire on the next advance.
+  /// Ties fire in registration order.
+  void schedule(double at_s, std::function<void()> fn);
+
+  /// Makes every now_s() read step time forward by step_s after
+  /// returning (0 disables). Models a caller whose clock samples
+  /// themselves take time — deadline tests use it to make "the round
+  /// measurably overran" a deterministic fact.
+  void set_auto_advance(double step_s);
+
  private:
-  std::atomic<double> now_s_;
+  struct Scheduled {
+    double at_s = 0.0;
+    std::uint64_t order = 0;  ///< registration tie-break
+    std::function<void()> fn;
+  };
+
+  /// Raises the clock to t_s if that moves it forward (CAS instead of a
+  /// plain store so it composes with concurrent auto-advance readers).
+  void raise_to(double t_s);
+  /// Walks time to target_s, firing due callbacks at their timestamps.
+  void move_to(double target_s);
+
+  /// mutable: auto-advance steps time from within const now_s().
+  mutable std::atomic<double> now_s_;
+  std::atomic<double> auto_step_{0.0};
+  mutable std::mutex sched_mutex_;  ///< guards scheduled_/next_order_
+  std::vector<Scheduled> scheduled_;
+  std::uint64_t next_order_ = 0;
 };
 
 }  // namespace spotfi

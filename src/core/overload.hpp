@@ -1,0 +1,154 @@
+// Overload policy for the multi-tenant session layer (DESIGN.md §12):
+// admission verdicts, the load-shedding fidelity ladder, and per-round
+// deadline planning.
+//
+// The principle: overload is a first-class, *gracefully degraded*
+// condition, never an unbounded queue. Work is shed along the estimator
+// fallback chain PR 1 built (full MUSIC -> coarser grid -> ESPRIT ->
+// RSSI-only), driven by two signals:
+//
+//  * Queue depth — the per-session ingest queue's occupancy picks the
+//    fidelity rung a session is currently entitled to. A backlogged
+//    session trades resolution for drain rate before it trades
+//    availability.
+//  * Deadline slack — each round carries a wall-clock compute budget.
+//    A round that cannot meet its deadline at full fidelity (per the
+//    measured cost model) is degraded or rejected up front, never run
+//    late and discarded after the fact.
+//
+// Every decision is an explicit verdict (Accepted | Degraded{level} |
+// Shed{reason}) so callers and telemetry can account for exactly which
+// rounds ran below full fidelity and why.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/ap_processor.hpp"
+
+namespace spotfi {
+
+/// The load-shedding fidelity ladder, highest fidelity first. Each rung
+/// maps onto an entry stage of the per-AP estimator fallback chain
+/// (ApFallbackConfig::entry_stage), so a degraded round reuses exactly
+/// the containment machinery that already handles estimator failures.
+enum class ShedLevel : std::uint8_t {
+  kFull = 0,      ///< configured front end, full resolution
+  kCoarse = 1,    ///< MUSIC on the relaxed (coarser) grid
+  kEsprit = 2,    ///< search-free shift invariance
+  kRssiOnly = 3,  ///< no super-resolution; RSSI range constraint only
+};
+
+inline constexpr std::size_t kShedLevelCount = 4;
+
+[[nodiscard]] const char* to_string(ShedLevel level);
+
+/// The fallback-chain entry stage that implements a shed level.
+[[nodiscard]] ApStage entry_stage_for(ShedLevel level);
+
+/// Outcome of one admission decision (packet offer or round plan).
+/// Reasons are static strings so the accepted path allocates nothing.
+struct AdmissionVerdict {
+  enum class Kind : std::uint8_t {
+    kAccepted,  ///< admitted at full fidelity
+    kDegraded,  ///< admitted; the session is entitled to `level` only
+    kShed,      ///< rejected outright — `reason` says why
+  };
+  Kind kind = Kind::kAccepted;
+  /// Fidelity entitlement (kFull when accepted; meaningful for
+  /// kDegraded; the rung that was overloaded for kShed).
+  ShedLevel level = ShedLevel::kFull;
+  /// Why the work was shed or degraded ("" when accepted).
+  const char* reason = "";
+
+  /// True when the packet entered the queue (accepted or degraded).
+  [[nodiscard]] bool admitted() const { return kind != Kind::kShed; }
+};
+
+struct OverloadConfig {
+  /// Per-session ingest queue slots (the bounded-memory cap; the queue
+  /// high-water mark can never exceed it).
+  std::size_t queue_capacity = 64;
+  /// Occupancy fractions at which the ladder drops one fidelity rung:
+  /// depth >= fraction * capacity selects the rung. Must be
+  /// non-decreasing in [0, 1].
+  double degrade_coarse_at = 0.50;
+  double degrade_esprit_at = 0.75;
+  double degrade_rssi_at = 0.90;
+  /// Wall-clock compute budget for one localization round [s]; 0
+  /// disables deadline planning (occupancy alone drives the ladder).
+  double round_deadline_s = 0.0;
+  /// EWMA weight of the newest round-duration sample in the cost model.
+  double cost_ewma_alpha = 0.3;
+  /// Initial per-round cost estimates [s], indexed by ShedLevel. Zero
+  /// means "assume free until measured" — set these in tests (with a
+  /// FakeClock) to make deadline decisions deterministic.
+  std::array<double, kShedLevelCount> seed_cost_s{};
+};
+
+/// EWMA of measured round cost per fidelity level. Feeds deadline
+/// planning: "can a full-fidelity round still finish in time, or must
+/// this one enter the chain lower?" Single-threaded by contract (one
+/// model per session, touched only by the pump).
+class RoundCostModel {
+ public:
+  explicit RoundCostModel(const OverloadConfig& config);
+
+  /// Folds a measured round duration at `level` into the estimate.
+  void observe(ShedLevel level, double duration_s);
+
+  /// Current estimate for one round at `level` [s].
+  [[nodiscard]] double estimate_s(ShedLevel level) const {
+    return cost_s_[static_cast<std::size_t>(level)];
+  }
+
+ private:
+  double alpha_;
+  std::array<double, kShedLevelCount> cost_s_;
+  std::array<bool, kShedLevelCount> seen_{};
+};
+
+/// What to do with one about-to-fire round.
+struct RoundPlan {
+  /// False: drop the round outright (its packet group is consumed but
+  /// never estimated) — the shed of last resort.
+  bool run = true;
+  ShedLevel level = ShedLevel::kFull;
+  /// True when the deadline (not queue occupancy) forced the outcome.
+  bool deadline_limited = false;
+  /// Why the round was degraded or dropped ("" for a full-fidelity run).
+  const char* reason = "";
+};
+
+/// Pure decision logic — no state beyond the config, so one policy
+/// instance serves every session and may be consulted from any thread.
+class OverloadPolicy {
+ public:
+  explicit OverloadPolicy(OverloadConfig config);
+
+  [[nodiscard]] const OverloadConfig& config() const { return config_; }
+
+  /// The fidelity rung queue occupancy `depth` demands.
+  [[nodiscard]] ShedLevel level_for_depth(std::size_t depth) const;
+
+  /// Packet admission: `depth` is the queue occupancy observed before
+  /// the push. Never returns kShed — a failed try_push is the shed
+  /// signal (the queue itself is the arbiter of "full"); this grades the
+  /// fidelity entitlement the packet is admitted under.
+  [[nodiscard]] AdmissionVerdict admit(std::size_t depth) const;
+
+  /// Plans an about-to-fire round: starts at the occupancy rung, then
+  /// walks down the ladder until the cost model says the deadline fits.
+  /// When even an RSSI-only round cannot fit, the round is dropped
+  /// (run = false) — rejected up front rather than finished late.
+  [[nodiscard]] RoundPlan plan_round(std::size_t depth,
+                                     const RoundCostModel& cost) const;
+
+ private:
+  OverloadConfig config_;
+  /// Occupancy thresholds in packets, resolved from the fractions.
+  std::array<std::size_t, kShedLevelCount> rung_depth_;
+};
+
+}  // namespace spotfi

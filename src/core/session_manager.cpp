@@ -1,0 +1,307 @@
+#include "core/session_manager.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace spotfi {
+namespace {
+
+const Clock& default_clock() {
+  static const MonotonicClock clock;
+  return clock;
+}
+
+}  // namespace
+
+/// Per-tenant state. Address-stable (held by shared_ptr) because the
+/// round planner closure keeps a raw pointer back into it. Counters
+/// that cross the producer/consumer boundary are relaxed atomics —
+/// they are telemetry, not synchronization.
+struct SessionManager::Session {
+  Session(const LinkConfig& link, const SessionConfig& cfg,
+          StreamingConfig streaming)
+      : id(0),
+        localizer(link, std::move(streaming)),
+        queue(cfg.overload.queue_capacity),
+        policy(cfg.overload),
+        cost(cfg.overload),
+        rng(cfg.seed) {}
+
+  SessionId id;
+  StreamingLocalizer localizer;
+  SpscQueue<IngestItem> queue;
+  OverloadPolicy policy;
+  RoundCostModel cost;
+  Rng rng;
+
+  // Producer-side counters.
+  std::atomic<std::uint64_t> offered{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> degraded_admissions{0};
+  std::atomic<std::uint64_t> shed_packets{0};
+  // Pump-side counters (atomic so stats snapshots from other threads
+  // never race; only the pump thread writes them).
+  std::atomic<std::uint64_t> rounds_full{0};
+  std::atomic<std::uint64_t> rounds_degraded{0};
+  std::atomic<std::uint64_t> rounds_shed{0};
+  std::atomic<std::uint64_t> deadline_limited_rounds{0};
+  std::atomic<std::uint64_t> deadline_misses{0};
+  std::atomic<std::uint64_t> fixes{0};
+  std::atomic<std::uint64_t> failed_rounds{0};
+
+  /// The plan of the round currently firing, written by the planner
+  /// closure and read back by the pump right after push() returns.
+  /// Pump-thread-only.
+  RoundPlan last_plan{};
+
+  [[nodiscard]] SessionStats snapshot() const {
+    SessionStats s;
+    s.offered = offered.load(std::memory_order_relaxed);
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.degraded_admissions =
+        degraded_admissions.load(std::memory_order_relaxed);
+    s.shed_packets = shed_packets.load(std::memory_order_relaxed);
+    s.queue_high_water = queue.high_water();
+    s.queue_capacity = queue.capacity();
+    s.rounds_full = rounds_full.load(std::memory_order_relaxed);
+    s.rounds_degraded = rounds_degraded.load(std::memory_order_relaxed);
+    s.rounds_shed = rounds_shed.load(std::memory_order_relaxed);
+    s.deadline_limited_rounds =
+        deadline_limited_rounds.load(std::memory_order_relaxed);
+    s.deadline_misses = deadline_misses.load(std::memory_order_relaxed);
+    s.fixes = fixes.load(std::memory_order_relaxed);
+    s.failed_rounds = failed_rounds.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Runs one popped item through the localizer with full overload
+  /// accounting. Pump-thread-only.
+  [[nodiscard]] std::optional<LocationFix> run_item(IngestItem&& item,
+                                                    const Clock& clock,
+                                                    double deadline_s) {
+    const std::uint64_t shed_before = localizer.shed_rounds();
+    const std::uint64_t failed_before = localizer.failed_rounds();
+    last_plan = RoundPlan{};
+    const double t0 = clock.now_s();
+    auto fix = localizer.push(item.ap_id, std::move(item.packet), rng);
+    const double dt = clock.now_s() - t0;
+
+    const bool round_shed = localizer.shed_rounds() != shed_before;
+    const bool round_failed = localizer.failed_rounds() != failed_before;
+    const bool round_planned = fix.has_value() || round_shed || round_failed;
+    if (!round_planned) return fix;  // no round fired on this packet
+
+    if (last_plan.deadline_limited) {
+      deadline_limited_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (round_shed) {
+      rounds_shed.fetch_add(1, std::memory_order_relaxed);
+      return fix;
+    }
+    // The round actually ran: fold its measured cost back into the
+    // model so the next deadline decision sees it.
+    cost.observe(last_plan.level, dt);
+    if (last_plan.level == ShedLevel::kFull) {
+      rounds_full.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rounds_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (deadline_s > 0.0 && dt > deadline_s) {
+      deadline_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (round_failed) {
+      failed_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fix) fixes.fetch_add(1, std::memory_order_relaxed);
+    return fix;
+  }
+};
+
+SessionManager::SessionManager(LinkConfig link, SessionManagerConfig config)
+    : link_(link),
+      config_(config),
+      clock_(config.clock != nullptr ? config.clock : &default_clock()) {
+  const std::size_t threads = ThreadPool::resolve_threads(config_.num_threads);
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+}
+
+SessionManager::~SessionManager() = default;
+
+SessionId SessionManager::open_session(const SessionConfig& config) {
+  SPOTFI_EXPECTS(config.aps.size() >= 2,
+                 "a session needs at least two APs");
+  StreamingConfig streaming = config.streaming;
+  // One pool for every tenant: a session never spawns threads of its
+  // own, regardless of what its ServerConfig asked for.
+  streaming.server.shared_pool = pool_;
+  streaming.server.num_threads = pool_ ? pool_->size() : 1;
+
+  auto session = std::make_shared<Session>(link_, config, std::move(streaming));
+  for (const ArrayPose& pose : config.aps) {
+    (void)session->localizer.add_ap(pose);
+  }
+  // The planner closure is installed once per session (no per-packet
+  // std::function churn): occupancy comes straight off the SPSC queue,
+  // deadline slack from the session's own cost model.
+  Session* raw = session.get();
+  session->localizer.set_round_planner(
+      [raw](std::size_t /*n_aps*/, double /*now_s*/) {
+        raw->last_plan = raw->policy.plan_round(raw->queue.size(), raw->cost);
+        return raw->last_plan;
+      });
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  session->id = next_id_++;
+  sessions_.push_back(std::move(session));
+  return sessions_.back()->id;
+}
+
+void SessionManager::close_session(SessionId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      std::find_if(sessions_.begin(), sessions_.end(),
+                   [id](const auto& s) { return s->id == id; });
+  if (it == sessions_.end()) {
+    throw ContractViolation("close_session: unknown session id " +
+                            std::to_string(id));
+  }
+  fold_stats(retired_, (*it)->snapshot());
+  sessions_.erase(it);
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find(
+    SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it =
+      std::find_if(sessions_.begin(), sessions_.end(),
+                   [id](const auto& s) { return s->id == id; });
+  if (it == sessions_.end()) {
+    throw ContractViolation("unknown session id " + std::to_string(id));
+  }
+  return *it;
+}
+
+AdmissionVerdict SessionManager::offer(SessionId id, std::size_t ap_id,
+                                       CsiPacket packet) {
+  IngestItem item;
+  item.ap_id = ap_id;
+  item.packet = std::move(packet);
+  return offer_or_return(id, item);
+}
+
+AdmissionVerdict SessionManager::offer_or_return(SessionId id,
+                                                 IngestItem& item) {
+  const auto session = find(id);
+  session->offered.fetch_add(1, std::memory_order_relaxed);
+  // Grade the entitlement on the depth observed *before* the push, then
+  // let the queue itself arbitrate "full": try_push failure is the shed
+  // signal, so admission can never block and never lies about capacity.
+  // On failure try_push has not touched `item` — that guarantee is what
+  // lets the transport receiver retry a refused frame without copying.
+  AdmissionVerdict verdict = session->policy.admit(session->queue.size());
+  if (!session->queue.try_push(std::move(item))) {
+    verdict.kind = AdmissionVerdict::Kind::kShed;
+    verdict.reason = "ingest queue full";
+    session->shed_packets.fetch_add(1, std::memory_order_relaxed);
+    return verdict;
+  }
+  session->accepted.fetch_add(1, std::memory_order_relaxed);
+  if (verdict.kind == AdmissionVerdict::Kind::kDegraded) {
+    session->degraded_admissions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return verdict;
+}
+
+std::vector<LocationFix> SessionManager::pump(SessionId id) {
+  const auto session = find(id);
+  const double deadline_s = session->policy.config().round_deadline_s;
+  std::vector<LocationFix> out;
+  while (auto item = session->queue.try_pop()) {
+    if (auto fix = session->run_item(std::move(*item), *clock_, deadline_s)) {
+      out.push_back(std::move(*fix));
+    }
+  }
+  return out;
+}
+
+std::optional<LocationFix> SessionManager::poll(SessionId id, double now_s) {
+  const auto session = find(id);
+  const std::uint64_t shed_before = session->localizer.shed_rounds();
+  const std::uint64_t failed_before = session->localizer.failed_rounds();
+  session->last_plan = RoundPlan{};
+  const double t0 = clock_->now_s();
+  auto fix = session->localizer.poll(now_s, session->rng);
+  const double dt = clock_->now_s() - t0;
+  if (session->localizer.shed_rounds() != shed_before) {
+    session->rounds_shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (session->localizer.failed_rounds() != failed_before) {
+    session->failed_rounds.fetch_add(1, std::memory_order_relaxed);
+  } else if (fix) {
+    session->cost.observe(session->last_plan.level, dt);
+    if (session->last_plan.level == ShedLevel::kFull) {
+      session->rounds_full.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      session->rounds_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    session->fixes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fix;
+}
+
+std::size_t SessionManager::pump_all() {
+  std::vector<std::shared_ptr<Session>> live;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    live = sessions_;
+  }
+  std::size_t total = 0;
+  for (const auto& session : live) {
+    const double deadline_s = session->policy.config().round_deadline_s;
+    while (auto item = session->queue.try_pop()) {
+      if (session->run_item(std::move(*item), *clock_, deadline_s)) ++total;
+    }
+  }
+  return total;
+}
+
+SessionStats SessionManager::session_stats(SessionId id) const {
+  return find(id)->snapshot();
+}
+
+SessionStats SessionManager::global_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SessionStats total = retired_;
+  for (const auto& session : sessions_) {
+    fold_stats(total, session->snapshot());
+  }
+  return total;
+}
+
+const StreamingLocalizer& SessionManager::localizer(SessionId id) const {
+  return find(id)->localizer;
+}
+
+std::size_t SessionManager::session_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+void SessionManager::fold_stats(SessionStats& into, const SessionStats& from) {
+  into.offered += from.offered;
+  into.accepted += from.accepted;
+  into.degraded_admissions += from.degraded_admissions;
+  into.shed_packets += from.shed_packets;
+  into.queue_high_water =
+      std::max(into.queue_high_water, from.queue_high_water);
+  into.queue_capacity = std::max(into.queue_capacity, from.queue_capacity);
+  into.rounds_full += from.rounds_full;
+  into.rounds_degraded += from.rounds_degraded;
+  into.rounds_shed += from.rounds_shed;
+  into.deadline_limited_rounds += from.deadline_limited_rounds;
+  into.deadline_misses += from.deadline_misses;
+  into.fixes += from.fixes;
+  into.failed_rounds += from.failed_rounds;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,195 @@
+// Multi-tenant session layer (DESIGN.md §12): many independent
+// localization streams sharing one estimation engine without any of
+// them being able to stall or starve the others.
+//
+// The shape of the system:
+//
+//   producer threads            pump thread(s)          shared engine
+//   ----------------            --------------          -------------
+//   offer(session, pkt) --SPSC--> pump(session) --+--> ThreadPool
+//   offer(session, pkt) --SPSC--> pump(session) --+      (one pool,
+//        ...                        ...                   N sessions)
+//
+// Each session owns: its ID, a StreamingLocalizer (per-AP buffers,
+// ApHealthState machines, and the per-fidelity server variants with
+// their steering caches), a bounded lock-free SPSC ingest queue, a
+// forked Rng stream, and an overload controller (OverloadPolicy +
+// RoundCostModel). The ThreadPool — and with it the per-worker arena
+// lanes — is shared across every session: N tenants contend for one
+// set of workers instead of spawning N pools.
+//
+// Backpressure is explicit at both ends:
+//  * offer() grades every packet with an AdmissionVerdict. A full queue
+//    sheds the packet (wait-free — a producer is never blocked), a
+//    backlogged queue admits it under a degraded fidelity entitlement.
+//  * pump() plans every about-to-fire round against queue occupancy and
+//    the wall-clock deadline budget: rounds run at the fidelity rung the
+//    backlog permits, and a round that cannot meet its deadline even at
+//    RSSI-only fidelity is dropped up front, never run late.
+//
+// Threading contract: offer() for one session from exactly one producer
+// thread at a time, pump() for one session from exactly one consumer
+// thread at a time (different sessions freely on different threads).
+// open/close/stats are mutex-protected and safe from any thread;
+// session_stats() reads only atomic counters, so it may run concurrently
+// with both sides.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/spsc_queue.hpp"
+#include "core/streaming.hpp"
+
+namespace spotfi {
+
+using SessionId = std::uint64_t;
+
+/// One queued (AP, packet) pair — the unit of ingest.
+struct IngestItem {
+  std::size_t ap_id = 0;
+  CsiPacket packet;
+};
+
+struct SessionConfig {
+  /// The session's pipeline configuration. The manager injects its
+  /// shared pool into streaming.server; num_threads is ignored here.
+  StreamingConfig streaming{};
+  /// Queue capacity, degrade rungs, and the per-round deadline budget.
+  OverloadConfig overload{};
+  /// AP deployment for this tenant (>= 2 required).
+  std::vector<ArrayPose> aps;
+  /// Seed of the session's private Rng stream. Two sessions with the
+  /// same config, seed, and packet sequence produce byte-identical
+  /// fixes — and identical to a standalone StreamingLocalizer fed the
+  /// same way, at any thread count.
+  std::uint64_t seed = 1;
+};
+
+/// Telemetry snapshot for one session. Counter semantics: every offered
+/// packet is exactly one of accepted/shed; degraded_admissions counts
+/// the accepted subset admitted under a non-full entitlement. Every
+/// planned round is exactly one of rounds_full/rounds_degraded/
+/// rounds_shed (+ failed_rounds for rounds that ran but produced no
+/// fix, already included in full/degraded).
+struct SessionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  /// Accepted while the queue was past a degrade rung.
+  std::uint64_t degraded_admissions = 0;
+  /// Rejected at the queue boundary (queue full).
+  std::uint64_t shed_packets = 0;
+  /// Deepest ingest-queue occupancy ever observed (<= queue_capacity by
+  /// construction — the bounded-memory witness).
+  std::size_t queue_high_water = 0;
+  std::size_t queue_capacity = 0;
+  /// Rounds that ran at full fidelity.
+  std::uint64_t rounds_full = 0;
+  /// Rounds that ran below full fidelity (occupancy or deadline).
+  std::uint64_t rounds_degraded = 0;
+  /// Rounds dropped by the planner (deadline unmeetable at any rung).
+  std::uint64_t rounds_shed = 0;
+  /// Rounds whose plan was forced down (or out) by the deadline budget
+  /// rather than queue occupancy alone.
+  std::uint64_t deadline_limited_rounds = 0;
+  /// Rounds whose measured duration still exceeded the deadline budget.
+  std::uint64_t deadline_misses = 0;
+  /// Successful fixes emitted.
+  std::uint64_t fixes = 0;
+  /// Rounds that ran but produced no fix (estimator/fusion failure).
+  std::uint64_t failed_rounds = 0;
+};
+
+struct SessionManagerConfig {
+  /// Lanes of concurrency for the shared pool: 0 = hardware
+  /// concurrency, 1 = serial (no pool). SPOTFI_THREADS overrides.
+  std::size_t num_threads = 0;
+  /// Wall-clock source for deadline budgeting and the cost model.
+  /// Null = a process-wide MonotonicClock; tests inject a FakeClock
+  /// (paired with OverloadConfig::seed_cost_s) to make every deadline
+  /// decision deterministic. Not owned; must outlive the manager.
+  const Clock* clock = nullptr;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(LinkConfig link, SessionManagerConfig config = {});
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a session (>= 2 APs required). The returned id is unique
+  /// for the lifetime of the manager (never reused).
+  [[nodiscard]] SessionId open_session(const SessionConfig& config);
+
+  /// Retires a session; its counters fold into the global totals. The
+  /// caller must have quiesced the session's producer and pump first.
+  void close_session(SessionId id);
+
+  /// Producer side: offers one packet to `session`'s ingest queue and
+  /// returns the admission verdict. Wait-free past the session lookup —
+  /// a full queue sheds (kShed) instead of blocking, a backlogged one
+  /// admits under a degraded entitlement. The packet is consumed only
+  /// when the verdict says admitted().
+  AdmissionVerdict offer(SessionId id, std::size_t ap_id, CsiPacket packet);
+
+  /// Producer-side variant for retrying callers (the ingest transport):
+  /// identical admission semantics, but on a shed verdict `item` is
+  /// left intact — payload and all — so the caller can retry later
+  /// without a copy (SpscQueue::try_push moves nothing when full).
+  /// Every call counts as one offer, so offered == accepted + shed
+  /// still partitions exactly across retries.
+  AdmissionVerdict offer_or_return(SessionId id, IngestItem& item);
+
+  /// Consumer side: drains `session`'s queue through its localizer,
+  /// planning every round against occupancy and deadline, and returns
+  /// the fixes that fired. Runs on the calling thread; per-AP work
+  /// fans out over the shared pool.
+  [[nodiscard]] std::vector<LocationFix> pump(SessionId id);
+
+  /// Advances one session's stream time without a packet (timer tick):
+  /// deadline rounds for stalled tenants. Returns the fix if one fired.
+  [[nodiscard]] std::optional<LocationFix> poll(SessionId id, double now_s);
+
+  /// pump() over every live session (in id order); returns the total
+  /// number of fixes fired. For single-threaded drivers and benches —
+  /// multi-threaded deployments pump sessions from their own threads.
+  std::size_t pump_all();
+
+  [[nodiscard]] SessionStats session_stats(SessionId id) const;
+  /// Sum over live sessions plus everything closed sessions retired.
+  [[nodiscard]] SessionStats global_stats() const;
+
+  /// The session's localizer, for health/diagnostics introspection
+  /// (ap_state, fidelity, ingest report). Single-threaded use only —
+  /// do not call concurrently with that session's pump().
+  [[nodiscard]] const StreamingLocalizer& localizer(SessionId id) const;
+
+  [[nodiscard]] std::size_t session_count() const;
+  /// The shared pool (null when concurrency resolved to 1).
+  [[nodiscard]] std::shared_ptr<ThreadPool> pool() const { return pool_; }
+
+ private:
+  struct Session;
+
+  [[nodiscard]] std::shared_ptr<Session> find(SessionId id) const;
+  static void fold_stats(SessionStats& into, const SessionStats& from);
+
+  LinkConfig link_;
+  SessionManagerConfig config_;
+  const Clock* clock_;
+  std::shared_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mutex_;  ///< guards sessions_/next_id_/retired_
+  std::vector<std::shared_ptr<Session>> sessions_;
+  SessionId next_id_ = 1;
+  /// Aggregated counters of closed sessions.
+  SessionStats retired_{};
+};
+
+}  // namespace spotfi

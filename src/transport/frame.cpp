@@ -1,0 +1,56 @@
+#include "transport/frame.hpp"
+
+#include <cstring>
+
+namespace spotfi {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void fnv_bytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_double(std::uint64_t& h, double v) {
+  // Bit pattern, not value: the checksum must notice a flipped sign or
+  // exponent bit even when the damaged value compares equal (-0.0) or
+  // incomparable (NaN).
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv_bytes(h, &bits, sizeof(bits));
+}
+
+}  // namespace
+
+const char* to_string(FrameType type) {
+  switch (type) {
+    case FrameType::kConnect: return "connect";
+    case FrameType::kConnectAck: return "connect-ack";
+    case FrameType::kData: return "data";
+    case FrameType::kAck: return "ack";
+    case FrameType::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+std::uint64_t packet_checksum(const CsiPacket& packet) {
+  std::uint64_t h = kFnvOffset;
+  const std::uint64_t rows = packet.csi.rows();
+  const std::uint64_t cols = packet.csi.cols();
+  fnv_bytes(h, &rows, sizeof(rows));
+  fnv_bytes(h, &cols, sizeof(cols));
+  for (const cplx& v : packet.csi.flat()) {
+    fnv_double(h, v.real());
+    fnv_double(h, v.imag());
+  }
+  fnv_double(h, packet.rssi_dbm);
+  fnv_double(h, packet.timestamp_s);
+  return h;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,86 @@
+// Wire protocol for the fault-tolerant ingest transport (DESIGN.md §13).
+//
+// SpotFi's central localizer only works if per-AP CSI captures actually
+// reach it, and the distributed-testbed literature is blunt that the
+// shipping is the hard part: capture boxes sit on flaky WiFi/ethernet
+// backhauls that delay, drop, duplicate, reorder, and corrupt frames,
+// and the boxes themselves disconnect mid-run. This header defines the
+// small framed protocol the TransportSender/TransportReceiver pair
+// speaks over such a link:
+//
+//   kConnect / kConnectAck — connection (re)establishment. The ack
+//     carries the receiver's cumulative delivery mark, so a sender that
+//     reconnects after an outage resumes from the last acked frame
+//     instead of replaying the world or silently skipping ahead.
+//   kData — one (ap_id, CsiPacket) capture frame, tagged with a
+//     connection epoch, a per-connection sequence number, and a payload
+//     checksum. Sequence numbers start at 1 and survive reconnects
+//     (the seq space belongs to the session, not the epoch), which is
+//     what makes end-to-end dedup across reconnects possible.
+//   kAck — cumulative acknowledgement: every data frame with
+//     seq <= cumulative_ack has been *delivered* (handed to the session
+//     layer), not merely received. Out-of-order frames sit in the
+//     receiver's reorder window unacked, TCP-style, so an ack is a
+//     durable end-to-end claim the chaos harness can audit.
+//   kHeartbeat — sender-originated liveness probe; the receiver answers
+//     with a kAck so both directions carry traffic even when idle.
+//
+// Frames move as in-process values (this repo simulates the network —
+// see transport/link.hpp), so "serialization" reduces to the checksum:
+// packet_checksum() folds the payload's exact bit patterns, and the
+// receiver recomputes it on arrival. A mismatch means the link damaged
+// the frame in flight; the receiver counts it and treats the frame as a
+// drop, letting the retransmit machinery repair it.
+#pragma once
+
+#include <cstdint>
+
+#include "channel/csi_synthesis.hpp"
+
+namespace spotfi {
+
+enum class FrameType : std::uint8_t {
+  kConnect = 0,
+  kConnectAck = 1,
+  kData = 2,
+  kAck = 3,
+  kHeartbeat = 4,
+};
+
+[[nodiscard]] const char* to_string(FrameType type);
+
+struct FrameHeader {
+  FrameType type = FrameType::kData;
+  /// Connection generation; bumped by every (re)connect attempt so a
+  /// stale kConnectAck from a previous attempt cannot complete a newer
+  /// handshake.
+  std::uint32_t epoch = 0;
+  /// Data sequence number, 1-based, monotone per connection *lifetime*
+  /// (reconnects do not reset it). 0 for control frames.
+  std::uint64_t seq = 0;
+  /// Cumulative delivery mark: every data frame with seq <= this value
+  /// has been handed to the application exactly once. 0 = nothing yet.
+  /// Meaningful on kAck and kConnectAck.
+  std::uint64_t cumulative_ack = 0;
+  /// packet_checksum() of the payload at send time (kData only).
+  std::uint64_t checksum = 0;
+  /// Which AP captured the payload (kData only).
+  std::size_t ap_id = 0;
+  /// Link-time stamp of the transmission [s] (diagnostics only — packet
+  /// *capture* timestamps live inside the payload and are never touched
+  /// by the transport, which is what keeps replays byte-identical).
+  double sent_at_s = 0.0;
+};
+
+/// One frame in flight. Control frames carry an empty packet.
+struct TransportFrame {
+  FrameHeader header;
+  CsiPacket packet;
+};
+
+/// FNV-1a over the payload's exact bit patterns (CSI entries, RSSI,
+/// capture timestamp, and shape). Deterministic across platforms; any
+/// single-bit flip in the payload changes it.
+[[nodiscard]] std::uint64_t packet_checksum(const CsiPacket& packet);
+
+}  // namespace spotfi

@@ -1,0 +1,139 @@
+#include "transport/link.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace spotfi {
+namespace {
+
+/// Heap comparator: std::*_heap build a max-heap, so "greater-than" on
+/// (delivery time, submission order) makes the earliest frame the root.
+struct Later {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a.deliver_at_s > b.deliver_at_s ||
+           (a.deliver_at_s == b.deliver_at_s && a.order > b.order);
+  }
+};
+
+}  // namespace
+
+LinkSimulator::LinkSimulator(LinkFaultModel model, std::uint64_t seed,
+                             std::size_t reserve_in_flight)
+    : model_(std::move(model)), rng_(seed) {
+  SPOTFI_EXPECTS(model_.delay_s >= 0.0 && model_.jitter_s >= 0.0 &&
+                     model_.reorder_extra_s >= 0.0,
+                 "LinkSimulator: delays must be non-negative");
+  for (Channel& ch : channels_) ch.heap.reserve(reserve_in_flight);
+}
+
+bool LinkSimulator::down_at(double t_s) const {
+  for (const FaultWindow& w : model_.down_windows) {
+    if (w.contains(t_s)) return true;
+  }
+  return false;
+}
+
+void LinkSimulator::corrupt(TransportFrame& frame) {
+  auto flat = frame.packet.csi.flat();
+  if (!flat.empty()) {
+    // Flip one random bit somewhere in the payload's doubles. complex<T>
+    // is layout-compatible with T[2], so address the flat span as raw
+    // doubles.
+    const std::uint64_t n_doubles = 2 * flat.size();
+    const std::uint64_t which = rng_.uniform_index(n_doubles + 2);
+    double* target;
+    if (which < n_doubles) {
+      target = reinterpret_cast<double*>(flat.data()) + which;
+    } else if (which == n_doubles) {
+      target = &frame.packet.rssi_dbm;
+    } else {
+      target = &frame.packet.timestamp_s;
+    }
+    std::uint64_t bits;
+    std::memcpy(&bits, target, sizeof(bits));
+    bits ^= std::uint64_t{1} << rng_.uniform_index(64);
+    std::memcpy(target, &bits, sizeof(bits));
+  } else {
+    // No payload storage to damage (control frame or empty packet): flip
+    // a checksum bit instead. The receiver sees the same thing either
+    // way — a checksum mismatch.
+    frame.header.checksum ^= std::uint64_t{1} << rng_.uniform_index(64);
+  }
+}
+
+void LinkSimulator::enqueue(Channel& ch, TransportFrame&& frame,
+                            double deliver_at_s) {
+  ch.heap.push_back(InFlight{deliver_at_s, ch.next_order++, std::move(frame)});
+  std::push_heap(ch.heap.begin(), ch.heap.end(), Later{});
+}
+
+void LinkSimulator::send(LinkDirection dir, TransportFrame frame,
+                         double now_s) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  if (down_at(now_s)) {
+    ++stats_.disconnect_dropped;
+    return;
+  }
+  if (model_.drop_prob > 0.0 && rng_.uniform() < model_.drop_prob) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate =
+      model_.duplicate_prob > 0.0 && rng_.uniform() < model_.duplicate_prob;
+  const bool reorder =
+      model_.reorder_prob > 0.0 && rng_.uniform() < model_.reorder_prob;
+  if (model_.corrupt_prob > 0.0 && rng_.uniform() < model_.corrupt_prob) {
+    corrupt(frame);
+    ++stats_.corrupted;
+  }
+  double delay = model_.delay_s;
+  if (model_.jitter_s > 0.0) delay += rng_.uniform(0.0, model_.jitter_s);
+  if (reorder) {
+    delay += model_.reorder_extra_s;
+    if (model_.jitter_s > 0.0) delay += rng_.uniform(0.0, model_.jitter_s);
+    ++stats_.reordered;
+  }
+  Channel& ch = channels_[static_cast<std::size_t>(dir)];
+  if (duplicate) {
+    double dup_delay = model_.delay_s;
+    if (model_.jitter_s > 0.0) {
+      dup_delay += rng_.uniform(0.0, model_.jitter_s);
+    }
+    enqueue(ch, TransportFrame(frame), now_s + dup_delay);
+    ++stats_.duplicated;
+  }
+  enqueue(ch, std::move(frame), now_s + delay);
+}
+
+void LinkSimulator::poll(LinkDirection dir, double now_s,
+                         std::vector<TransportFrame>& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Channel& ch = channels_[static_cast<std::size_t>(dir)];
+  while (!ch.heap.empty() && ch.heap.front().deliver_at_s <= now_s) {
+    std::pop_heap(ch.heap.begin(), ch.heap.end(), Later{});
+    InFlight item = std::move(ch.heap.back());
+    ch.heap.pop_back();
+    if (down_at(item.deliver_at_s)) {
+      // The wire went dark before this frame landed.
+      ++stats_.disconnect_dropped;
+      continue;
+    }
+    ++stats_.delivered;
+    out.push_back(std::move(item.frame));
+  }
+}
+
+LinkStats LinkSimulator::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t LinkSimulator::in_flight(LinkDirection dir) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return channels_[static_cast<std::size_t>(dir)].heap.size();
+}
+
+}  // namespace spotfi

@@ -1,0 +1,124 @@
+// Deterministic lossy-link simulator for the ingest transport.
+//
+// The PR-1/PR-2 fault lineage damaged packets (channel/faults.hpp:
+// FaultInjector) and bytes at rest (corrupt_*_log). This layer damages
+// frames *in flight*: a bidirectional point-to-point link between one
+// TransportSender and one TransportReceiver that delays with jitter,
+// drops, duplicates, reorders, corrupts, and — during scheduled
+// disconnect windows — blackholes traffic entirely, in both directions.
+//
+// Determinism is the whole point. All randomness flows from one seeded
+// Rng, delivery is ordered by (delivery time, submission order), and
+// time is whatever the caller's Clock says: drive the same sends and
+// polls at the same timestamps with the same seed and every drop, every
+// duplicate, every reorder replays exactly. That is what lets the chaos
+// harness print a failing seed and have it reproduce.
+//
+// Threading: send() and poll() may be called concurrently from the two
+// endpoints' threads (one internal mutex serializes them — the "wire").
+// With multiple threads the *interleaving* of rng draws is scheduler-
+// dependent, so deterministic replay is a single-driver-thread property.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "channel/faults.hpp"
+#include "common/rng.hpp"
+#include "transport/frame.hpp"
+
+namespace spotfi {
+
+/// The two directions of one sender<->receiver link.
+enum class LinkDirection : std::uint8_t {
+  kUplink = 0,    ///< sender -> receiver (data, connect, heartbeat)
+  kDownlink = 1,  ///< receiver -> sender (acks, connect-ack)
+};
+
+/// Per-link fault model. Defaults are a perfect wire; probabilities are
+/// i.i.d. per frame and apply to both directions.
+struct LinkFaultModel {
+  /// Base one-way propagation delay [s].
+  double delay_s = 0.0;
+  /// Uniform extra delay in [0, jitter_s) per frame [s].
+  double jitter_s = 0.0;
+  /// Silently swallow the frame.
+  double drop_prob = 0.0;
+  /// Deliver a second, independently delayed copy of the frame.
+  double duplicate_prob = 0.0;
+  /// Hold the frame an extra reorder_extra_s (+ jitter), so later frames
+  /// overtake it.
+  double reorder_prob = 0.0;
+  double reorder_extra_s = 0.0;
+  /// Flip one random payload bit in flight (control frames and empty
+  /// payloads have their checksum field flipped instead — the receiver
+  /// cannot tell the difference, and the detection path is identical).
+  double corrupt_prob = 0.0;
+  /// Hard disconnects: while a window is active, frames submitted in
+  /// either direction are blackholed, and frames already in flight whose
+  /// delivery time lands inside a window are blackholed at delivery.
+  std::vector<FaultWindow> down_windows;
+};
+
+/// Every fault actually injected (not just configured), plus volume.
+struct LinkStats {
+  std::uint64_t submitted = 0;  ///< frames handed to send()
+  std::uint64_t delivered = 0;  ///< frames handed back by poll()
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies enqueued
+  std::uint64_t reordered = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t disconnect_dropped = 0;  ///< blackholed by a down window
+};
+
+class LinkSimulator {
+ public:
+  /// `reserve_in_flight` pre-sizes each direction's delivery queue so the
+  /// established-connection steady state never allocates on the wire.
+  explicit LinkSimulator(LinkFaultModel model, std::uint64_t seed = 1,
+                         std::size_t reserve_in_flight = 256);
+
+  LinkSimulator(const LinkSimulator&) = delete;
+  LinkSimulator& operator=(const LinkSimulator&) = delete;
+
+  /// Submits one frame at time `now_s`. The fault model decides its
+  /// fate here (drop/duplicate/delay/corrupt), so a later poll is pure
+  /// dequeue — no randomness is consumed at delivery.
+  void send(LinkDirection dir, TransportFrame frame, double now_s);
+
+  /// Appends every frame whose delivery time has arrived by `now_s`, in
+  /// delivery order (ties broken by submission order). Frames whose
+  /// delivery time falls inside a down window are blackholed here.
+  void poll(LinkDirection dir, double now_s, std::vector<TransportFrame>& out);
+
+  /// True when `t_s` is inside a configured disconnect window.
+  [[nodiscard]] bool down_at(double t_s) const;
+
+  [[nodiscard]] LinkStats stats() const;
+  /// Frames currently in flight in `dir`.
+  [[nodiscard]] std::size_t in_flight(LinkDirection dir) const;
+
+ private:
+  struct InFlight {
+    double deliver_at_s = 0.0;
+    std::uint64_t order = 0;  ///< submission tie-break
+    TransportFrame frame;
+  };
+  struct Channel {
+    /// Min-heap on (deliver_at_s, order), via std::push_heap/pop_heap.
+    std::vector<InFlight> heap;
+    std::uint64_t next_order = 0;
+  };
+
+  void enqueue(Channel& ch, TransportFrame&& frame, double deliver_at_s);
+  void corrupt(TransportFrame& frame);
+
+  mutable std::mutex mutex_;  ///< the wire: serializes both endpoints
+  LinkFaultModel model_;
+  Rng rng_;
+  Channel channels_[2];
+  LinkStats stats_;
+};
+
+}  // namespace spotfi

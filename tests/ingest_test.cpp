@@ -531,6 +531,76 @@ TEST(RecoveryRate, DuplicatedFramesYieldDuplicateRecords) {
   EXPECT_TRUE(out.errors.empty());
 }
 
+TEST(RecoveryRate, CrossFrameDuplicatesLandBehindNewerFrames) {
+  Rng gen_rng(31);
+  std::vector<BfeeRecord> records;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    records.push_back(random_record(gen_rng, i));
+  }
+  ByteFaultPlan plan;
+  plan.duplicate_prob = 1.0;
+  plan.duplicate_gap_max = 3;  // copies resurface up to 3 frames later
+  Rng rng(32);
+  ByteFaultStats stats;
+  const Bytes dirty =
+      corrupt_csitool_log(csitool_bytes(records), plan, rng, &stats);
+  EXPECT_EQ(stats.frames_duplicated, 10u);
+  const auto out = drain_csitool(dirty);
+  ASSERT_EQ(out.records.size(), 20u);
+  EXPECT_TRUE(out.errors.empty());
+  // Every original shows up exactly twice...
+  std::vector<int> copies(10, 0);
+  for (const auto& rec : out.records) ++copies[rec.timestamp_low];
+  for (const int c : copies) EXPECT_EQ(c, 2);
+  // ...but not as adjacent pairs: at least one retransmitted copy was
+  // overtaken by newer frames (the behavior duplicate_gap_max adds).
+  bool non_adjacent = false;
+  for (std::size_t k = 0; k + 1 < out.records.size(); k += 2) {
+    non_adjacent = non_adjacent || out.records[k].timestamp_low !=
+                                       out.records[k + 1].timestamp_low;
+  }
+  EXPECT_TRUE(non_adjacent);
+}
+
+TEST(RecoveryRate, TraceResyncRecoversAtADuplicatedFrameBoundary) {
+  const LinkConfig link = LinkConfig::intel5300_40mhz();
+  Rng rng(41);
+  std::vector<CsiPacket> packets;
+  for (int i = 0; i < 6; ++i) {
+    packets.push_back(random_packet(link, rng, 0.01 * i));
+  }
+  const Bytes clean = trace_bytes(link, packets);
+  constexpr std::size_t kHeader = 4 + 2 + 3 * 8 + 1 + 1;
+  const std::size_t pitch =
+      (8 + 7 + 4) + 2 * link.n_antennas * link.n_subcarriers;
+  ASSERT_EQ(clean.size(), kHeader + 6 * pitch);
+
+  // Splice the headless tail of record 1 immediately in front of its
+  // full duplicate: a retransmission whose head was lost. The reader
+  // loses framing inside the torn bytes (the span starts mid-CSI) and
+  // must resynchronize at the duplicated frame's own boundary.
+  Bytes dirty(clean.begin(), clean.begin() + kHeader + 2 * pitch);
+  const auto rec1 = clean.begin() + static_cast<std::ptrdiff_t>(kHeader + pitch);
+  dirty.insert(dirty.end(), rec1 + static_cast<std::ptrdiff_t>(pitch / 2),
+               rec1 + static_cast<std::ptrdiff_t>(pitch));
+  dirty.insert(dirty.end(), rec1, rec1 + static_cast<std::ptrdiff_t>(pitch));
+  dirty.insert(dirty.end(), clean.begin() + kHeader + 2 * pitch, clean.end());
+
+  const auto out = drain_trace(dirty);
+  ASSERT_TRUE(out.header_ok);
+  // All six originals plus the surviving duplicate of record 1 — nothing
+  // downstream of the torn bytes was lost.
+  ASSERT_EQ(out.packets.size(), 7u);
+  std::vector<int> copies(6, 0);
+  for (const auto& p : out.packets) {
+    ++copies[static_cast<std::size_t>(std::llround(p.timestamp_s * 100.0))];
+  }
+  EXPECT_EQ(copies, (std::vector<int>{1, 2, 1, 1, 1, 1}));
+  EXPECT_GE(out.report.resyncs, 1u);
+  EXPECT_GE(out.report.records_recovered, 5u);
+  EXPECT_FALSE(out.errors.empty());
+}
+
 // --- byte fault injector ---------------------------------------------------
 
 TEST(ByteFaults, DeterministicGivenSeed) {

@@ -5,9 +5,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
 
 #include "channel/csi_synthesis.hpp"
 #include "common/angles.hpp"
+#include "common/rng.hpp"
+#include "common/spsc_queue.hpp"
 #include "csi/sanitize.hpp"
 #include "localize/spotfi_localizer.hpp"
 #include "music/estimators.hpp"
@@ -255,6 +260,98 @@ TEST_P(QuantizationSweep, RelativeErrorBounded) {
 
 INSTANTIATE_TEST_SUITE_P(Levels, QuantizationSweep,
                          ::testing::Values(-20.0, -40.0, -60.0, -80.0));
+
+// --- SpscQueue: FIFO across many ring laps, monotone high-water ---
+//
+// The ring's cursors are *indices*, bounded in [0, slots_.size()) by
+// next_index — they wrap with the ring, not with std::size_t, so integer
+// overflow is impossible by construction. What CAN go wrong is the ring
+// wrap itself (head/tail lapping the storage, the full-vs-empty
+// distinction at next(tail) == head) and the producer-side high-water
+// bookkeeping. These sweeps hammer exactly those.
+
+class SpscWrapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpscWrapSweep, FifoSurvivesThousandsOfRingLaps) {
+  const std::size_t capacity = GetParam();
+  SpscQueue<std::uint64_t> queue(capacity);
+  Rng rng(1234 + capacity);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::size_t occupancy = 0;  // shadow model of the queue depth
+  constexpr std::size_t kOps = 100'000;
+  for (std::size_t op = 0; op < kOps; ++op) {
+    if (rng.uniform() < 0.55) {
+      const bool pushed = queue.try_push(std::uint64_t{next_push});
+      // Full and empty must match the shadow model exactly.
+      ASSERT_EQ(pushed, occupancy < capacity);
+      if (pushed) {
+        ++next_push;
+        ++occupancy;
+      }
+    } else {
+      const auto popped = queue.try_pop();
+      ASSERT_EQ(popped.has_value(), occupancy > 0);
+      if (popped) {
+        // FIFO: values come back in exactly the order they went in,
+        // however many times the ring has lapped its storage.
+        ASSERT_EQ(*popped, next_pop);
+        ++next_pop;
+        --occupancy;
+      }
+    }
+    ASSERT_EQ(queue.size(), occupancy);
+    ASSERT_LE(queue.high_water(), capacity);
+  }
+  // With ~55k pushes through a <=7-slot ring, the cursors lapped the
+  // storage thousands of times.
+  EXPECT_GT(next_pop, 10 * capacity);
+  EXPECT_LE(queue.high_water(), capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpscWrapSweep,
+                         ::testing::Values(1, 2, 3, 7));
+
+TEST(SpscQueueProperty, RacingProducerConsumerKeepsFifoAndMonotoneHighWater) {
+  constexpr std::size_t kCapacity = 8;
+  constexpr std::uint64_t kItems = 50'000;
+  SpscQueue<std::uint64_t> queue(kCapacity);
+
+  std::thread producer([&] {
+    for (std::uint64_t v = 0; v < kItems;) {
+      if (queue.try_push(std::uint64_t{v})) {
+        ++v;
+      } else {
+        std::this_thread::yield();  // full: let the consumer catch up
+      }
+    }
+  });
+
+  // Consumer on this thread: FIFO means the popped sequence is exactly
+  // 0..kItems-1 even while the producer races.
+  std::uint64_t expected = 0;
+  std::size_t sampled_high_water = 0;
+  while (expected < kItems) {
+    if (const auto popped = queue.try_pop()) {
+      ASSERT_EQ(*popped, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+    if ((expected & 0x3ff) == 0) {
+      // high_water is monotone and bounded even when read mid-flight
+      // from a thread that is neither producer nor consumer-only.
+      const std::size_t hw = queue.high_water();
+      ASSERT_GE(hw, sampled_high_water);
+      ASSERT_LE(hw, kCapacity);
+      sampled_high_water = hw;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_LE(queue.high_water(), kCapacity);
+  EXPECT_GE(queue.high_water(), 1u);
+}
 
 }  // namespace
 }  // namespace spotfi

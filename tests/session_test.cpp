@@ -317,31 +317,17 @@ TEST(SessionDeadline, UnmeetableDeadlineShedsTheRoundUpFront) {
   }
 }
 
-/// Advances by a fixed step on every read: a round "measures" exactly
-/// one step between its start and end stamps, which makes the
-/// deadline-miss and cost-model-feedback paths deterministic.
-class SteppingClock final : public Clock {
- public:
-  explicit SteppingClock(double step_s) : step_s_(step_s) {}
-  [[nodiscard]] double now_s() const override {
-    return static_cast<double>(
-               reads_.fetch_add(1, std::memory_order_relaxed)) *
-           step_s_;
-  }
-
- private:
-  double step_s_;
-  mutable std::atomic<std::uint64_t> reads_{0};
-};
-
 TEST(SessionDeadline, MeasuredOverrunCountsAsMissAndRetrainsTheModel) {
   constexpr std::size_t kGroup = 4;
   Feed feed(kGroup);
   SessionConfig cfg = base_session(feed, kGroup);
   cfg.overload.round_deadline_s = 0.5;
   cfg.overload.seed_cost_s = {0.1, 0.05, 0.02, 0.01};  // all look affordable
-  // Every round measures 1 s of wall clock — double the budget.
-  SteppingClock clock(1.0);
+  // Auto-advance: every clock sample steps time by 1 s, so each round
+  // "measures" exactly one step between its start and end stamps —
+  // double the budget, deterministically.
+  FakeClock clock(0.0);
+  clock.set_auto_advance(1.0);
   SessionManagerConfig mgr_cfg;
   mgr_cfg.num_threads = 1;
   mgr_cfg.clock = &clock;
@@ -377,6 +363,52 @@ TEST(SessionDeadline, MeasuredOverrunCountsAsMissAndRetrainsTheModel) {
   stats = manager.session_stats(id);
   EXPECT_EQ(stats.deadline_limited_rounds, 1u);
   EXPECT_EQ(stats.rounds_degraded, 1u);
+}
+
+// --- FakeClock scheduling helpers (the machinery the deadline tests
+// above and the transport chaos harness lean on) ---
+
+TEST(FakeClockSchedule, CallbacksFireInTimeOrderAtTheirOwnTimestamps) {
+  FakeClock clock(0.0);
+  std::vector<std::pair<double, double>> fired;  // (scheduled at, now seen)
+  clock.schedule(3.0, [&] { fired.emplace_back(3.0, clock.now_s()); });
+  clock.schedule(1.0, [&] { fired.emplace_back(1.0, clock.now_s()); });
+  clock.schedule(2.0, [&] { fired.emplace_back(2.0, clock.now_s()); });
+
+  clock.advance_to(2.5);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<double, double>{1.0, 1.0}));
+  EXPECT_EQ(fired[1], (std::pair<double, double>{2.0, 2.0}));
+  EXPECT_DOUBLE_EQ(clock.now_s(), 2.5);
+
+  clock.advance(1.0);  // 2.5 -> 3.5 crosses the 3.0 callback
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[2], (std::pair<double, double>{3.0, 3.0}));
+  EXPECT_DOUBLE_EQ(clock.now_s(), 3.5);
+}
+
+TEST(FakeClockSchedule, CallbacksMayScheduleWithinTheTraversedSpan) {
+  FakeClock clock(0.0);
+  std::vector<double> fired;
+  clock.schedule(1.0, [&] {
+    fired.push_back(clock.now_s());
+    clock.schedule(1.5, [&] { fired.push_back(clock.now_s()); });
+  });
+  clock.advance_to(2.0);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired[1], 1.5);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 2.0);
+}
+
+TEST(FakeClockSchedule, AutoAdvanceStepsPerReadAndDisables) {
+  FakeClock clock(0.0);
+  clock.set_auto_advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 0.0);  // post-increment semantics
+  EXPECT_DOUBLE_EQ(clock.now_s(), 0.5);
+  clock.set_auto_advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 1.0);
+  EXPECT_DOUBLE_EQ(clock.now_s(), 1.0);
 }
 
 // --- stats folding across sessions ---

@@ -1,0 +1,441 @@
+// Chaos harness for the ingest transport: sweeps per-class fault grids
+// and scheduled-disconnect schedules over the deterministic link, and
+// asserts the reliability invariants the protocol promises —
+//
+//   * no acked frame is ever lost, none is delivered twice, and
+//     delivery order is capture order;
+//   * TransportStats partition exactly on both sides
+//     (sent == acked + pending + failed, received == delivered +
+//     duplicates + out_of_window + corrupt + buffered);
+//   * when delivery completes, localization fixes are byte-identical to
+//     the direct offer() path;
+//   * all of it also holds with connections racing on real threads
+//     (the TSan target of this binary).
+//
+// Every scenario is seeded; a failure prints the scenario and seed that
+// reproduce it. CI adds a per-commit seed via SPOTFI_CHAOS_SEED.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session_manager.hpp"
+#include "testbed/deployment.hpp"
+#include "testbed/experiment.hpp"
+#include "transport/transport.hpp"
+
+namespace spotfi {
+namespace {
+
+/// Payload whose timestamp encodes its identity (mark / 1000).
+CsiPacket marked_packet(std::uint64_t mark) {
+  CsiPacket p;
+  p.csi = CMatrix(1, 4);
+  for (std::size_t k = 0; k < 4; ++k) {
+    p.csi(0, k) = cplx(static_cast<double>(mark), static_cast<double>(k));
+  }
+  p.rssi_dbm = -42.0;
+  p.timestamp_s = 1e-3 * static_cast<double>(mark);
+  return p;
+}
+
+std::uint64_t mark_of(const CsiPacket& p) {
+  return static_cast<std::uint64_t>(std::llround(p.timestamp_s * 1000.0));
+}
+
+struct ChaosOutcome {
+  bool completed = false;  ///< quiesced before the horizon
+  TransportStats tx;
+  TransportStats rx;
+  LinkStats link;
+  std::vector<std::uint64_t> delivered_marks;  ///< sink arrival order
+};
+
+/// Feeds `n_frames` marked frames through one connection over `model`
+/// and runs the protocol until both endpoints quiesce.
+ChaosOutcome run_chaos(const LinkFaultModel& model, std::uint64_t seed,
+                       std::size_t n_frames) {
+  LinkSimulator link(model, seed);
+  TransportConfig cfg;
+  cfg.seed = seed ^ 0x9e3779b97f4a7c15ULL;
+  cfg.rto_initial_s = 0.1;
+  cfg.heartbeat_interval_s = 0.25;
+  cfg.liveness_timeout_s = 1.0;
+  ChaosOutcome out;
+  TransportSender sender(link, cfg);
+  TransportReceiver receiver(
+      link,
+      [&out](std::size_t /*ap_id*/, CsiPacket& p) {
+        out.delivered_marks.push_back(mark_of(p));
+        p = CsiPacket{};
+        return true;
+      },
+      cfg);
+
+  std::uint64_t next = 1;
+  const double dt = 0.005;
+  for (double t = 0.0; t < 180.0; t += dt) {
+    if (next <= n_frames) {
+      CsiPacket p = marked_packet(next);
+      // Window-full refusals simply retry next step — backpressure.
+      if (sender.send(0, p, t).has_value()) ++next;
+    }
+    sender.tick(t);
+    receiver.tick(t);
+    if (next > n_frames && sender.quiescent() && receiver.quiescent()) {
+      out.completed = true;
+      break;
+    }
+  }
+  out.tx = sender.stats();
+  out.rx = receiver.stats();
+  out.link = link.stats();
+  return out;
+}
+
+/// The invariants every completed chaos run must satisfy.
+void check_outcome(const ChaosOutcome& out, std::size_t n_frames) {
+  ASSERT_TRUE(out.completed) << "transport failed to quiesce";
+  // Exactly once, in order: the delivered marks are exactly 1..n.
+  ASSERT_EQ(out.delivered_marks.size(), n_frames);
+  for (std::uint64_t m = 1; m <= n_frames; ++m) {
+    ASSERT_EQ(out.delivered_marks[m - 1], m) << "delivery order broken";
+  }
+  // Sender partition: everything accepted was acked, nothing hangs.
+  EXPECT_EQ(out.tx.sent, n_frames);
+  EXPECT_EQ(out.tx.acked, n_frames);
+  EXPECT_EQ(out.tx.pending, 0u);
+  EXPECT_EQ(out.tx.failed, 0u);
+  EXPECT_EQ(out.tx.sent, out.tx.acked + out.tx.pending + out.tx.failed);
+  // Receiver partition: every arrival classified exactly once.
+  EXPECT_EQ(out.rx.delivered, n_frames);
+  EXPECT_EQ(out.rx.buffered, 0u);
+  EXPECT_EQ(out.rx.received, out.rx.delivered + out.rx.duplicates +
+                                 out.rx.out_of_window + out.rx.corrupt +
+                                 out.rx.buffered);
+}
+
+const std::uint64_t kSeeds[] = {1, 2, 3};
+
+TEST(TransportChaos, PerClassFaultGridsDeliverExactlyOnce) {
+  struct Scenario {
+    std::string name;
+    LinkFaultModel model;
+  };
+  std::vector<Scenario> scenarios;
+  for (const double p : {0.02, 0.10}) {
+    LinkFaultModel m;
+    m.delay_s = 0.01;
+    m.jitter_s = 0.02;
+    m.drop_prob = p;
+    scenarios.push_back({"drop@" + std::to_string(p), m});
+    m.drop_prob = 0.0;
+    m.duplicate_prob = p;
+    scenarios.push_back({"duplicate@" + std::to_string(p), m});
+    m.duplicate_prob = 0.0;
+    m.reorder_prob = p;
+    m.reorder_extra_s = 0.08;
+    scenarios.push_back({"reorder@" + std::to_string(p), m});
+    m.reorder_prob = 0.0;
+    m.corrupt_prob = p;
+    scenarios.push_back({"corrupt@" + std::to_string(p), m});
+  }
+  {
+    LinkFaultModel m;  // every class at once, at the 10% ceiling
+    m.delay_s = 0.02;
+    m.jitter_s = 0.05;
+    m.drop_prob = 0.10;
+    m.duplicate_prob = 0.10;
+    m.reorder_prob = 0.10;
+    m.reorder_extra_s = 0.10;
+    m.corrupt_prob = 0.10;
+    scenarios.push_back({"all@0.10", m});
+  }
+
+  for (const std::uint64_t seed : kSeeds) {
+    for (const Scenario& s : scenarios) {
+      SCOPED_TRACE("scenario=" + s.name + " seed=" + std::to_string(seed));
+      check_outcome(run_chaos(s.model, seed, 100), 100);
+    }
+  }
+}
+
+TEST(TransportChaos, DisconnectSchedulesSurviveWithExactlyOnceDelivery) {
+  LinkFaultModel m;
+  m.delay_s = 0.01;
+  m.jitter_s = 0.03;
+  m.drop_prob = 0.05;
+  m.duplicate_prob = 0.05;
+  // The first outage starts mid-transfer and outlasts the liveness
+  // timeout, forcing a real reconnect; the later ones exercise
+  // retransmission through shorter blackouts.
+  m.down_windows = {{0.2, 1.5}, {2.5, 2.9}, {4.0, 4.3}};
+  for (const std::uint64_t seed : kSeeds) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const ChaosOutcome out = run_chaos(m, seed, 100);
+    check_outcome(out, 100);
+    // The outages actually bit: the sender reconnected at least once
+    // and the link blackholed real traffic.
+    EXPECT_GE(out.tx.reconnects, 1u);
+    EXPECT_GE(out.link.disconnect_dropped, 1u);
+  }
+}
+
+// The per-commit seed from CI (SPOTFI_CHAOS_SEED), printed so a red run
+// can be replayed locally with the exact same scenario.
+TEST(TransportChaos, CommitSeedSweepDeliversExactlyOnce) {
+  std::uint64_t seed = 20260809;
+  if (const char* env = std::getenv("SPOTFI_CHAOS_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  std::cout << "[chaos] SPOTFI_CHAOS_SEED=" << seed << std::endl;
+  LinkFaultModel m;
+  m.delay_s = 0.02;
+  m.jitter_s = 0.05;
+  m.drop_prob = 0.10;
+  m.duplicate_prob = 0.10;
+  m.reorder_prob = 0.10;
+  m.reorder_extra_s = 0.10;
+  m.corrupt_prob = 0.10;
+  m.down_windows = {{1.5, 2.1}, {4.0, 4.4}};
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  check_outcome(run_chaos(m, seed, 100), 100);
+}
+
+// --- fixes byte-identical to the direct offer() path -----------------------
+
+TEST(TransportChaos, CompletedDeliveryYieldsByteIdenticalFixes) {
+  const LinkConfig kLink = LinkConfig::intel5300_40mhz();
+  constexpr std::size_t kGroup = 4;
+  ExperimentConfig ecfg;
+  ecfg.packets_per_group = kGroup;
+  ExperimentRunner runner(kLink, office_deployment(), ecfg);
+  Rng capture_rng(11);
+  const auto captures = runner.simulate_captures({6.0, 3.5}, capture_rng);
+
+  SessionConfig scfg;
+  scfg.streaming.group_size = kGroup;
+  scfg.streaming.server.localizer.area_min = runner.deployment().area_min;
+  scfg.streaming.server.localizer.area_max = runner.deployment().area_max;
+  for (const auto& c : captures) scfg.aps.push_back(c.pose);
+  scfg.seed = 77;
+  // Deep queue + pump-per-tick keeps occupancy far below every degrade
+  // rung, so both paths plan all rounds at full fidelity.
+  scfg.overload.queue_capacity = 512;
+
+  // Reference: the direct offer() path.
+  std::vector<LocationFix> direct;
+  {
+    SessionManagerConfig mgr_cfg;
+    mgr_cfg.num_threads = 1;
+    SessionManager manager(kLink, mgr_cfg);
+    const SessionId id = manager.open_session(scfg);
+    for (std::size_t p = 0; p < kGroup; ++p) {
+      for (std::size_t a = 0; a < captures.size(); ++a) {
+        ASSERT_TRUE(manager.offer(id, a, captures[a].packets[p]).admitted());
+        for (auto& fix : manager.pump(id)) direct.push_back(std::move(fix));
+      }
+    }
+    ASSERT_EQ(direct.size(), 1u);
+  }
+
+  // Same stream, but multiplexed over ONE lossy transport connection
+  // (both APs share the sequence space, so reliable in-order delivery
+  // preserves the exact total offer order the reference saw).
+  LinkFaultModel model;
+  model.delay_s = 0.01;
+  model.jitter_s = 0.02;
+  model.drop_prob = 0.05;
+  model.duplicate_prob = 0.05;
+  model.reorder_prob = 0.05;
+  model.reorder_extra_s = 0.05;
+  model.corrupt_prob = 0.05;
+  model.down_windows = {{0.8, 1.3}};
+  LinkSimulator link(model, /*seed=*/5);
+  TransportConfig tcfg;
+  tcfg.seed = 55;
+  tcfg.rto_initial_s = 0.1;
+  tcfg.liveness_timeout_s = 1.0;
+  tcfg.heartbeat_interval_s = 0.25;
+
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(scfg);
+  TransportSender sender(link, tcfg);
+  TransportReceiver receiver(link, make_session_sink(manager, id), tcfg);
+
+  std::vector<LocationFix> fixes;
+  std::size_t p = 0;
+  std::size_t a = 0;
+  bool fed_all = false;
+  bool completed = false;
+  const double dt = 0.005;
+  for (double t = 0.0; t < 120.0; t += dt) {
+    if (!fed_all) {
+      CsiPacket packet = captures[a].packets[p];
+      if (sender.send(a, packet, t).has_value()) {
+        if (++a == captures.size()) {
+          a = 0;
+          fed_all = ++p == kGroup;
+        }
+      }
+    }
+    sender.tick(t);
+    receiver.tick(t);
+    for (auto& fix : manager.pump(id)) fixes.push_back(std::move(fix));
+    if (fed_all && sender.quiescent() && receiver.quiescent()) {
+      completed = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(completed);
+
+  // Byte-identical localization: the lossy wire changed *when* packets
+  // arrived, never *what* the estimator computed.
+  ASSERT_EQ(fixes.size(), direct.size());
+  for (std::size_t i = 0; i < fixes.size(); ++i) {
+    EXPECT_EQ(fixes[i].raw.x, direct[i].raw.x);
+    EXPECT_EQ(fixes[i].raw.y, direct[i].raw.y);
+    EXPECT_EQ(fixes[i].tracked.x, direct[i].tracked.x);
+    EXPECT_EQ(fixes[i].tracked.y, direct[i].tracked.y);
+  }
+
+  // The cross-layer report ties the two stats layers together:
+  // transport delivered == session accepted, deferrals == sheds, and
+  // both partitions hold.
+  const SessionIngestStats report =
+      session_ingest_report(manager, id, {&sender}, {&receiver});
+  const std::size_t n_offered = kGroup * captures.size();
+  EXPECT_EQ(report.transport.delivered, n_offered);
+  EXPECT_EQ(report.session.accepted, report.transport.delivered);
+  EXPECT_EQ(report.session.shed_packets,
+            report.transport.backpressure_deferrals);
+  EXPECT_EQ(report.session.offered,
+            report.session.accepted + report.session.shed_packets);
+  EXPECT_EQ(report.transport.sent, n_offered);
+  EXPECT_EQ(report.transport.sent, report.transport.acked +
+                                       report.transport.pending +
+                                       report.transport.failed);
+  EXPECT_EQ(report.transport.pending, 0u);
+  EXPECT_EQ(report.transport.failed, 0u);
+}
+
+// --- racing connections on real threads (the TSan target) ------------------
+
+TEST(TransportChaos, RacingConnectionsKeepInvariantsUnderThreads) {
+  constexpr std::size_t kConnections = 2;
+  constexpr std::uint64_t kFrames = 300;
+
+  LinkFaultModel model;
+  model.delay_s = 0.002;
+  model.jitter_s = 0.004;
+  model.drop_prob = 0.05;
+  model.duplicate_prob = 0.05;
+  model.corrupt_prob = 0.05;
+
+  struct Connection {
+    std::unique_ptr<LinkSimulator> link;
+    std::unique_ptr<TransportSender> sender;
+    std::unique_ptr<TransportReceiver> receiver;
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> last_mark{0};
+    std::atomic<bool> order_ok{true};
+    std::atomic<bool> stop{false};
+  };
+  Connection conns[kConnections];
+  TransportConfig cfg;
+  cfg.rto_initial_s = 0.05;
+  cfg.heartbeat_interval_s = 0.2;
+  cfg.liveness_timeout_s = 5.0;  // sender/receiver clocks drift freely
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    cfg.seed = 100 + c;
+    conns[c].link = std::make_unique<LinkSimulator>(model, 10 + c);
+    conns[c].sender = std::make_unique<TransportSender>(*conns[c].link, cfg);
+    Connection* conn = &conns[c];
+    conns[c].receiver = std::make_unique<TransportReceiver>(
+        *conns[c].link,
+        [conn](std::size_t /*ap_id*/, CsiPacket& p) {
+          const std::uint64_t mark = mark_of(p);
+          // In-order exactly-once, checked from the consumer thread.
+          if (mark != conn->last_mark.load(std::memory_order_relaxed) + 1) {
+            conn->order_ok.store(false, std::memory_order_relaxed);
+          }
+          conn->last_mark.store(mark, std::memory_order_relaxed);
+          conn->delivered.fetch_add(1, std::memory_order_relaxed);
+          p = CsiPacket{};
+          return true;
+        },
+        cfg);
+  }
+
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    Connection* conn = &conns[c];
+    // Producer: one thread per connection drives send + sender.tick.
+    threads.emplace_back([conn] {
+      std::uint64_t next = 1;
+      double t = 0.0;
+      while (!conn->stop.load(std::memory_order_relaxed)) {
+        if (next <= kFrames) {
+          CsiPacket p = marked_packet(next);
+          if (conn->sender->send(0, p, t).has_value()) ++next;
+        }
+        conn->sender->tick(t);
+        t += 0.002;
+        std::this_thread::yield();
+      }
+    });
+    // Consumer: one thread per connection drives receiver.tick.
+    threads.emplace_back([conn] {
+      double t = 0.0;
+      while (!conn->stop.load(std::memory_order_relaxed)) {
+        conn->receiver->tick(t);
+        t += 0.002;
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  // Wait (bounded) for every connection to finish delivering.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  bool all_done = false;
+  while (!all_done && std::chrono::steady_clock::now() < deadline) {
+    all_done = true;
+    for (auto& conn : conns) {
+      all_done = all_done &&
+                 conn.delivered.load(std::memory_order_relaxed) >= kFrames;
+    }
+    std::this_thread::yield();
+  }
+  for (auto& conn : conns) conn.stop.store(true, std::memory_order_relaxed);
+  for (auto& th : threads) th.join();
+
+  for (std::size_t c = 0; c < kConnections; ++c) {
+    SCOPED_TRACE("connection=" + std::to_string(c));
+    ASSERT_TRUE(all_done) << "delivery did not complete in 60s";
+    EXPECT_TRUE(conns[c].order_ok.load());
+    EXPECT_EQ(conns[c].delivered.load(), kFrames);
+    // Quiesced threads → stats are safe to read and must partition.
+    const TransportStats tx = conns[c].sender->stats();
+    const TransportStats rx = conns[c].receiver->stats();
+    EXPECT_EQ(tx.sent, kFrames);
+    EXPECT_EQ(tx.sent, tx.acked + tx.pending + tx.failed);
+    EXPECT_EQ(tx.failed, 0u);
+    EXPECT_EQ(rx.delivered, kFrames);
+    EXPECT_EQ(rx.received, rx.delivered + rx.duplicates + rx.out_of_window +
+                               rx.corrupt + rx.buffered);
+  }
+}
+
+}  // namespace
+}  // namespace spotfi
