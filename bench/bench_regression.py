@@ -19,7 +19,8 @@ The zero-allocation contract is machine-independent, so it is gated
 exactly: the steady-state packet benches (`BM_PacketEstimate_Workspace*`)
 and the session-layer admission bench (`BM_SessionAdmit_Steady*`) must
 report 0 allocs/packet — shedding under overload must never touch the
-heap. Group-stage benches (`BM_GroupProcess_*`) are exempt — their
+heap — as must the journal-append bench (`BM_JournalAppend_Steady*`),
+whose preallocated record buffer keeps durability off the allocator. Group-stage benches (`BM_GroupProcess_*`) are exempt — their
 counters intentionally report the constant per-group bookkeeping
 amortized over the group size, which is small but nonzero. The session
 throughput benches (`BM_SessionRounds/*`) participate in the normalized
@@ -35,6 +36,21 @@ import json
 import sys
 
 
+def require(entry, key, path):
+    """Fetch a required key from a benchmark entry with a clean error.
+
+    A hand-edited or truncated BENCH_*.json used to surface as a raw
+    KeyError traceback; name the offending key and file instead.
+    """
+    try:
+        return entry[key]
+    except (KeyError, TypeError):
+        name = entry.get("name", "<unnamed>") if isinstance(entry, dict) \
+            else "<malformed>"
+        sys.exit(f"bench_regression: benchmark entry {name!r} in {path} "
+                 f"is missing required key {key!r}")
+
+
 def load_entries(path):
     with open(path) as f:
         raw = json.load(f)
@@ -43,7 +59,7 @@ def load_entries(path):
     entries = {}
     for suite in raw.get("suites", {}).values():
         for b in suite:
-            entries[b["name"]] = b
+            entries[require(b, "name", path)] = b
     return entries, bool(raw.get("smoke"))
 
 
@@ -69,8 +85,8 @@ def main():
         if args.reference not in entries:
             sys.exit(f"bench_regression: reference {args.reference} "
                      f"missing from {name}")
-    ref_base = base[args.reference]["real_time_ns"]
-    ref_cand = cand[args.reference]["real_time_ns"]
+    ref_base = require(base[args.reference], "real_time_ns", args.baseline)
+    ref_cand = require(cand[args.reference], "real_time_ns", args.candidate)
     if ref_base <= 0 or ref_cand <= 0:
         sys.exit("bench_regression: non-positive reference timing")
 
@@ -87,8 +103,8 @@ def main():
         if name not in cand:
             print(f"  RETIRED  {name} (no candidate, not gated)")
             continue
-        norm_base = base[name]["real_time_ns"] / ref_base
-        norm_cand = cand[name]["real_time_ns"] / ref_cand
+        norm_base = require(base[name], "real_time_ns", args.baseline) / ref_base
+        norm_cand = require(cand[name], "real_time_ns", args.candidate) / ref_cand
         change = norm_cand / norm_base - 1.0
         tag = "ok"
         if change > args.threshold:
@@ -102,7 +118,7 @@ def main():
     # BM_GroupProcess_Workspace reports the per-group bookkeeping
     # constant amortized over group size (nonzero by design).
     zero_alloc_patterns = ("PacketEstimate_Workspace", "SessionAdmit_Steady",
-                           "TransportDeliver_Steady")
+                           "TransportDeliver_Steady", "JournalAppend_Steady")
     for name, entry in sorted(cand.items()):
         if (any(p in name for p in zero_alloc_patterns)
                 and "allocs_per_packet" in entry):

@@ -47,15 +47,19 @@ trap 'rm -rf "${TMP}"' EXIT
 "${BUILD_DIR}/bench/perf_transport" \
   --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
   > "${TMP}/perf_transport.json"
+"${BUILD_DIR}/bench/perf_durability" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  > "${TMP}/perf_durability.json"
 
 python3 - "${TMP}/perf_music.json" "${TMP}/perf_pipeline.json" \
   "${TMP}/perf_memory.json" "${TMP}/perf_sessions.json" \
-  "${TMP}/perf_transport.json" "${OUT}" "${MODE}" <<'PY'
+  "${TMP}/perf_transport.json" "${TMP}/perf_durability.json" \
+  "${OUT}" "${MODE}" <<'PY'
 import json
 import sys
 
 (music_path, pipeline_path, memory_path, sessions_path, transport_path,
- out_path, mode) = sys.argv[1:8]
+ durability_path, out_path, mode) = sys.argv[1:9]
 
 merged = {
     "schema": "spotfi-bench-v1",
@@ -66,7 +70,8 @@ for name, path in (("perf_music", music_path),
                    ("perf_pipeline", pipeline_path),
                    ("perf_memory", memory_path),
                    ("perf_sessions", sessions_path),
-                   ("perf_transport", transport_path)):
+                   ("perf_transport", transport_path),
+                   ("perf_durability", durability_path)):
     with open(path) as f:
         raw = json.load(f)
     merged.setdefault("context", raw.get("context", {}))

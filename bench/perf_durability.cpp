@@ -1,0 +1,136 @@
+// Durability-layer benchmarks (DESIGN.md §14): steady-state journal
+// appends on the accepted-packet path, plus the zero-allocation
+// contract on that path.
+//
+// BM_JournalAppend_Steady is the allocation gate: once the WalWriter's
+// reused record buffer has reached its working size, staging a packet
+// record (encode straight into the buffer) and committing it (frame,
+// checksum, write) must not touch the heap — the durable sink sits on
+// the ingest hot path and must not hand the allocator a per-packet
+// cost. bench_regression.py fails the build if the allocs_per_packet
+// counter ever reads nonzero.
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "durability/wal.hpp"
+
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+std::atomic<std::size_t> g_allocated_bytes{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_allocated_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+// Same spurious-warning suppression as perf_memory.cpp: our operator
+// new hands out malloc'd memory, so free() is the matching deallocator.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace spotfi;
+
+/// An Intel 5300-shaped packet: 3 antennas x 30 subcarriers, the wire
+/// payload every accepted ingest packet journals.
+CsiPacket bench_packet() {
+  CsiPacket p;
+  p.csi = CMatrix(3, 30);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 30; ++j) {
+      p.csi(i, j) = cplx(static_cast<double>(i + 1), static_cast<double>(j));
+    }
+  }
+  p.rssi_dbm = -42.0;
+  p.timestamp_s = 0.125;
+  return p;
+}
+
+/// One packet record per iteration through the staged hot path: encode
+/// into the writer's reused buffer, frame, checksum, write. The file
+/// grows, but the in-memory footprint is the one preallocated buffer.
+void BM_JournalAppend_Steady(benchmark::State& state) {
+  char tmpl[] = "/tmp/spotfi-bench-wal-XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    state.SkipWithError("mkdtemp failed");
+    return;
+  }
+  const std::string path = std::string(dir) + "/journal.wal";
+  {
+    WalWriter writer(path);
+    if (!writer.ok()) {
+      state.SkipWithError("journal open failed");
+    } else {
+      const CsiPacket packet = bench_packet();
+      std::uint64_t index = 0;
+
+      // Warm up: grow the record buffer to its working size.
+      for (int i = 0; i < 64; ++i) {
+        ++index;
+        ByteWriter w = writer.stage();
+        encode_wal_packet(w, /*session=*/1, index, /*ap_id=*/2,
+                          /*receiver_id=*/7, /*seq=*/index, packet);
+        (void)writer.commit_staged(WalRecordType::kPacket);
+      }
+
+      const std::size_t allocs = g_allocations.load();
+      const std::size_t bytes = g_allocated_bytes.load();
+      for (auto _ : state) {
+        ++index;
+        ByteWriter w = writer.stage();
+        encode_wal_packet(w, /*session=*/1, index, /*ap_id=*/2,
+                          /*receiver_id=*/7, /*seq=*/index, packet);
+        benchmark::DoNotOptimize(writer.commit_staged(WalRecordType::kPacket));
+      }
+      // Snapshot both deltas before touching the counter map — inserting
+      // the first counter allocates and would pollute the second reading.
+      const double d_allocs =
+          static_cast<double>(g_allocations.load() - allocs);
+      const double d_bytes =
+          static_cast<double>(g_allocated_bytes.load() - bytes);
+      const double n = static_cast<double>(state.iterations());
+      state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+      state.counters["allocs_per_packet"] = benchmark::Counter(d_allocs / n);
+      state.counters["bytes_per_packet"] = benchmark::Counter(d_bytes / n);
+      state.counters["journal_bytes"] =
+          benchmark::Counter(static_cast<double>(writer.committed_bytes()));
+    }
+  }
+  std::remove(path.c_str());
+  rmdir(dir);
+}
+BENCHMARK(BM_JournalAppend_Steady);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -11,7 +11,14 @@
 // TransportStats and the localization error — demonstrating that a flaky
 // network changes *when* packets arrive, never *what* gets computed.
 //
-//   ./flaky_uplink [seed] [duration_s]
+//   ./flaky_uplink [seed] [duration_s] [loss_prob] [jitter_s] [delay_s]
+//                  [link_seed]
+//
+// The link parameters default to the classic drill (5% loss, 50 ms
+// jitter, 5 ms delay, link_seed = seed + 10), so a chaos-test failure
+// printed with a seed replays from this binary verbatim:
+//
+//   ./flaky_uplink 1 8 0.05 0.05 0.005 <SPOTFI_CHAOS_SEED>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -55,6 +62,13 @@ void print_stats(const char* label, const TransportStats& tx,
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 7) {
+    std::fprintf(stderr,
+                 "usage: %s [seed] [duration_s] [loss_prob] [jitter_s] "
+                 "[delay_s] [link_seed]\n",
+                 argv[0]);
+    return 1;
+  }
   const std::uint64_t seed =
       argc >= 2 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
   const double duration_s = argc >= 3 ? std::atof(argv[2]) : 8.0;
@@ -63,6 +77,21 @@ int main(int argc, char** argv) {
                  argc >= 3 ? argv[2] : "?");
     return 1;
   }
+  const double loss_prob = argc >= 4 ? std::atof(argv[3]) : 0.05;
+  if (loss_prob < 0.0 || loss_prob > 0.5) {
+    std::fprintf(stderr, "loss_prob must be in [0, 0.5] (got %s)\n", argv[3]);
+    return 1;
+  }
+  const double jitter_s = argc >= 5 ? std::atof(argv[4]) : 0.050;
+  const double delay_s = argc >= 6 ? std::atof(argv[5]) : 0.005;
+  if (jitter_s < 0.0 || delay_s < 0.0) {
+    std::fprintf(stderr, "jitter_s and delay_s must be >= 0\n");
+    return 1;
+  }
+  // A chaos failure prints the link seed that produced it; passing it
+  // here replays the same fault schedule through the example.
+  const std::uint64_t link_seed =
+      argc >= 7 ? static_cast<std::uint64_t>(std::atoll(argv[6])) : seed + 10;
 
   const LinkConfig link_cfg = LinkConfig::intel5300_40mhz();
   Deployment deployment = office_deployment();
@@ -105,11 +134,11 @@ int main(int argc, char** argv) {
   std::vector<Uplink> uplinks(captures.size());
   for (std::size_t a = 0; a < captures.size(); ++a) {
     LinkFaultModel model;
-    model.delay_s = 0.005;
-    model.jitter_s = 0.050;
-    model.drop_prob = 0.05;
+    model.delay_s = delay_s;
+    model.jitter_s = jitter_s;
+    model.drop_prob = loss_prob;
     if (a == 0) model.down_windows = {{outage_begin, outage_end}};
-    uplinks[a].link = std::make_unique<LinkSimulator>(model, seed + 10 + a);
+    uplinks[a].link = std::make_unique<LinkSimulator>(model, link_seed + a);
     tcfg.seed = seed + 20 + a;
     uplinks[a].sender =
         std::make_unique<TransportSender>(*uplinks[a].link, tcfg);
@@ -117,10 +146,13 @@ int main(int argc, char** argv) {
         *uplinks[a].link, make_session_sink(manager, session), tcfg);
   }
 
-  std::printf("flaky uplink — 2 APs, %.1f s stream, seed=%llu\n",
-              duration_s, static_cast<unsigned long long>(seed));
-  std::printf("links: 5%% loss, 50 ms jitter; AP 0 hard-down in "
-              "[%.1f, %.1f) s\n\n",
+  std::printf("flaky uplink — 2 APs, %.1f s stream, seed=%llu, "
+              "link_seed=%llu\n",
+              duration_s, static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(link_seed));
+  std::printf("links: %.1f%% loss, %.0f ms jitter, %.0f ms delay; "
+              "AP 0 hard-down in [%.1f, %.1f) s\n\n",
+              loss_prob * 100.0, jitter_s * 1000.0, delay_s * 1000.0,
               outage_begin, outage_end);
 
   std::vector<double> errors;

@@ -277,6 +277,33 @@ std::vector<std::uint8_t> corrupt_trace_log(
                        /*tamper_off=*/8, /*tamper_len=*/1, plan, rng, stats);
 }
 
+std::vector<std::uint8_t> corrupt_wal_log(std::span<const std::uint8_t> log,
+                                          const ByteFaultPlan& plan, Rng& rng,
+                                          ByteFaultStats* stats) {
+  constexpr std::size_t kHeaderSize = 12;  // 8B magic + u32 version
+  constexpr std::size_t kFrameSize = 13;   // u32 len + u8 type + u64 checksum
+  SPOTFI_EXPECTS(log.size() >= kHeaderSize,
+                 "corrupt_wal_log: input shorter than the journal header");
+  std::vector<std::pair<std::size_t, std::size_t>> frames;
+  std::size_t off = kHeaderSize;
+  while (off < log.size()) {
+    SPOTFI_EXPECTS(off + kFrameSize <= log.size(),
+                   "corrupt_wal_log: input journal has a partial frame");
+    std::size_t payload_len = 0;
+    for (int i = 0; i < 4; ++i) {
+      payload_len |= static_cast<std::size_t>(log[off + i]) << (8 * i);
+    }
+    SPOTFI_EXPECTS(off + kFrameSize + payload_len <= log.size(),
+                   "corrupt_wal_log: input journal is not well-formed");
+    frames.emplace_back(off, kFrameSize + payload_len);
+    off += kFrameSize + payload_len;
+  }
+  // Tamper the little-endian u32 length prefix — the field the WAL
+  // scanner trusts for framing.
+  return corrupt_spans(log, frames, /*preamble=*/kHeaderSize,
+                       /*tamper_off=*/0, /*tamper_len=*/4, plan, rng, stats);
+}
+
 const char* to_string(NumericalFaultKind kind) {
   switch (kind) {
     case NumericalFaultKind::kRankCollapse: return "rank-collapse";

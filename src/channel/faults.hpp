@@ -193,6 +193,16 @@ struct ByteFaultStats {
     std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
     ByteFaultStats* stats = nullptr);
 
+/// Corrupts a well-formed durability journal (as produced by WalWriter;
+/// see durability/wal.hpp). The 12-byte file header is left intact — a
+/// damaged header discards the whole journal by design
+/// (DurabilityErrorKind::kBadFileHeader) and is exercised separately;
+/// record spans are derived from the length-prefix framing, and the
+/// tamper fault clobbers that length field.
+[[nodiscard]] std::vector<std::uint8_t> corrupt_wal_log(
+    std::span<const std::uint8_t> log, const ByteFaultPlan& plan, Rng& rng,
+    ByteFaultStats* stats = nullptr);
+
 // ---------------------------------------------------------------------------
 // Numerical fault injection — degenerate *values*, not damaged structure.
 // Where FaultInjector models operational failures and the byte faults

@@ -86,4 +86,18 @@ Rng Rng::fork() {
   return Rng(a ^ rotl(b, 31));
 }
 
+RngState Rng::state() const {
+  RngState state;
+  for (std::size_t i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.have_cached_normal = have_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::restore(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  have_cached_normal_ = state.have_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace spotfi

@@ -7,9 +7,19 @@
 // because their output is implementation-defined).
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace spotfi {
+
+/// Complete generator state, exportable for durability snapshots. A
+/// restored generator reproduces the exact draw sequence the original
+/// would have produced, including the cached second Box-Muller normal.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  bool have_cached_normal = false;
+  double cached_normal = 0.0;
+};
 
 /// xoshiro256++ with SplitMix64 seeding. Satisfies
 /// std::uniform_random_bit_generator.
@@ -42,6 +52,10 @@ class Rng {
   /// Derives an independent stream; useful to give each AP / each packet
   /// its own generator without correlation.
   [[nodiscard]] Rng fork();
+
+  /// Snapshot/restore of the full generator state (durability).
+  [[nodiscard]] RngState state() const;
+  void restore(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -87,6 +87,13 @@ struct OverloadConfig {
   std::array<double, kShedLevelCount> seed_cost_s{};
 };
 
+/// EWMA state of a RoundCostModel, exportable for durability snapshots.
+/// The alpha weight comes from the config and is not part of the state.
+struct RoundCostState {
+  std::array<double, kShedLevelCount> cost_s{};
+  std::array<bool, kShedLevelCount> seen{};
+};
+
 /// EWMA of measured round cost per fidelity level. Feeds deadline
 /// planning: "can a full-fidelity round still finish in time, or must
 /// this one enter the chain lower?" Single-threaded by contract (one
@@ -101,6 +108,15 @@ class RoundCostModel {
   /// Current estimate for one round at `level` [s].
   [[nodiscard]] double estimate_s(ShedLevel level) const {
     return cost_s_[static_cast<std::size_t>(level)];
+  }
+
+  /// Snapshot/restore of the learned estimates (durability).
+  [[nodiscard]] RoundCostState export_state() const {
+    return RoundCostState{cost_s_, seen_};
+  }
+  void restore_state(const RoundCostState& state) {
+    cost_s_ = state.cost_s;
+    seen_ = state.seen;
   }
 
  private:

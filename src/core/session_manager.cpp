@@ -49,6 +49,15 @@ struct SessionManager::Session {
   std::atomic<std::uint64_t> deadline_misses{0};
   std::atomic<std::uint64_t> fixes{0};
   std::atomic<std::uint64_t> failed_rounds{0};
+  // Durability marks (DESIGN.md §14): how much of the accepted input
+  // has been applied through the localizer, and how many durable round
+  // ordinals have been handed out.
+  std::atomic<std::uint64_t> applied_packets{0};
+  std::atomic<std::uint64_t> applied_polls{0};
+  std::atomic<std::uint64_t> emitted_fixes{0};
+  /// queue_high_water recovered from a snapshot: the queue itself
+  /// restarts empty, so the witness carries over as a floor.
+  std::size_t high_water_floor = 0;
 
   /// The plan of the round currently firing, written by the planner
   /// closure and read back by the pump right after push() returns.
@@ -62,7 +71,7 @@ struct SessionManager::Session {
     s.degraded_admissions =
         degraded_admissions.load(std::memory_order_relaxed);
     s.shed_packets = shed_packets.load(std::memory_order_relaxed);
-    s.queue_high_water = queue.high_water();
+    s.queue_high_water = std::max(queue.high_water(), high_water_floor);
     s.queue_capacity = queue.capacity();
     s.rounds_full = rounds_full.load(std::memory_order_relaxed);
     s.rounds_degraded = rounds_degraded.load(std::memory_order_relaxed);
@@ -86,6 +95,11 @@ struct SessionManager::Session {
     const double t0 = clock.now_s();
     auto fix = localizer.push(item.ap_id, std::move(item.packet), rng);
     const double dt = clock.now_s() - t0;
+    applied_packets.fetch_add(1, std::memory_order_relaxed);
+    if (fix) {
+      fix->durable_round_index =
+          emitted_fixes.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
 
     const bool round_shed = localizer.shed_rounds() != shed_before;
     const bool round_failed = localizer.failed_rounds() != failed_before;
@@ -116,6 +130,32 @@ struct SessionManager::Session {
     if (fix) fixes.fetch_add(1, std::memory_order_relaxed);
     return fix;
   }
+
+  /// Restores a previously exported durable state (quiesced contract).
+  void restore(SessionDurableState state) {
+    offered.store(state.stats.offered, std::memory_order_relaxed);
+    accepted.store(state.stats.accepted, std::memory_order_relaxed);
+    degraded_admissions.store(state.stats.degraded_admissions,
+                              std::memory_order_relaxed);
+    shed_packets.store(state.stats.shed_packets, std::memory_order_relaxed);
+    high_water_floor = state.stats.queue_high_water;
+    rounds_full.store(state.stats.rounds_full, std::memory_order_relaxed);
+    rounds_degraded.store(state.stats.rounds_degraded,
+                          std::memory_order_relaxed);
+    rounds_shed.store(state.stats.rounds_shed, std::memory_order_relaxed);
+    deadline_limited_rounds.store(state.stats.deadline_limited_rounds,
+                                  std::memory_order_relaxed);
+    deadline_misses.store(state.stats.deadline_misses,
+                          std::memory_order_relaxed);
+    fixes.store(state.stats.fixes, std::memory_order_relaxed);
+    failed_rounds.store(state.stats.failed_rounds, std::memory_order_relaxed);
+    applied_packets.store(state.applied_packets, std::memory_order_relaxed);
+    applied_polls.store(state.applied_polls, std::memory_order_relaxed);
+    emitted_fixes.store(state.emitted_fixes, std::memory_order_relaxed);
+    rng.restore(state.rng);
+    cost.restore_state(state.cost);
+    localizer.restore_state(std::move(state.streaming));
+  }
 };
 
 SessionManager::SessionManager(LinkConfig link, SessionManagerConfig config)
@@ -128,7 +168,8 @@ SessionManager::SessionManager(LinkConfig link, SessionManagerConfig config)
 
 SessionManager::~SessionManager() = default;
 
-SessionId SessionManager::open_session(const SessionConfig& config) {
+std::shared_ptr<SessionManager::Session> SessionManager::make_session(
+    const SessionConfig& config) const {
   SPOTFI_EXPECTS(config.aps.size() >= 2,
                  "a session needs at least two APs");
   StreamingConfig streaming = config.streaming;
@@ -150,8 +191,13 @@ SessionId SessionManager::open_session(const SessionConfig& config) {
         raw->last_plan = raw->policy.plan_round(raw->queue.size(), raw->cost);
         return raw->last_plan;
       });
+  return session;
+}
 
+SessionId SessionManager::open_session(const SessionConfig& config) {
+  auto session = make_session(config);
   const std::lock_guard<std::mutex> lock(mutex_);
+  reap_draining_locked();
   session->id = next_id_++;
   sessions_.push_back(std::move(session));
   return sessions_.back()->id;
@@ -159,15 +205,34 @@ SessionId SessionManager::open_session(const SessionConfig& config) {
 
 void SessionManager::close_session(SessionId id) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto it =
-      std::find_if(sessions_.begin(), sessions_.end(),
-                   [id](const auto& s) { return s->id == id; });
-  if (it == sessions_.end()) {
+  if (id == 0 || id >= next_id_) {
     throw ContractViolation("close_session: unknown session id " +
                             std::to_string(id));
   }
-  fold_stats(retired_, (*it)->snapshot());
-  sessions_.erase(it);
+  const auto it =
+      std::find_if(sessions_.begin(), sessions_.end(),
+                   [id](const auto& s) { return s->id == id; });
+  if (it != sessions_.end()) {
+    // A racing final pump() may still hold a reference; move the session
+    // to the draining list and retire its stats only once that
+    // reference drops, so late round counters are never lost.
+    draining_.push_back(std::move(*it));
+    sessions_.erase(it);
+  }
+  // else: the id was issued but is already closed — idempotent no-op.
+  reap_draining_locked();
+}
+
+void SessionManager::reap_draining_locked() {
+  auto it = draining_.begin();
+  while (it != draining_.end()) {
+    if (it->use_count() == 1) {
+      fold_stats(retired_, (*it)->snapshot());
+      it = draining_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::shared_ptr<SessionManager::Session> SessionManager::find(
@@ -233,6 +298,11 @@ std::optional<LocationFix> SessionManager::poll(SessionId id, double now_s) {
   const double t0 = clock_->now_s();
   auto fix = session->localizer.poll(now_s, session->rng);
   const double dt = clock_->now_s() - t0;
+  session->applied_polls.fetch_add(1, std::memory_order_relaxed);
+  if (fix) {
+    fix->durable_round_index =
+        session->emitted_fixes.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   if (session->localizer.shed_rounds() != shed_before) {
     session->rounds_shed.fetch_add(1, std::memory_order_relaxed);
   } else if (session->localizer.failed_rounds() != failed_before) {
@@ -275,6 +345,13 @@ SessionStats SessionManager::global_stats() const {
   for (const auto& session : sessions_) {
     fold_stats(total, session->snapshot());
   }
+  // Closed sessions whose final pump() has not let go yet: their
+  // counters are final-or-growing, never folded into retired_ until the
+  // last reference drops, so counting their live snapshot here keeps
+  // the global totals exact at every instant.
+  for (const auto& session : draining_) {
+    fold_stats(total, session->snapshot());
+  }
   return total;
 }
 
@@ -285,6 +362,105 @@ const StreamingLocalizer& SessionManager::localizer(SessionId id) const {
 std::size_t SessionManager::session_count() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+std::vector<SessionId> SessionManager::session_ids() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionId> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& session : sessions_) ids.push_back(session->id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+SessionId SessionManager::next_session_id() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+void SessionManager::advance_session_ids(SessionId next) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_id_ = std::max(next_id_, next);
+}
+
+SessionStats SessionManager::retired_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SessionStats total = retired_;
+  for (const auto& session : draining_) {
+    fold_stats(total, session->snapshot());
+  }
+  return total;
+}
+
+void SessionManager::restore_retired_stats(const SessionStats& retired) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  retired_ = retired;
+}
+
+void SessionManager::reopen_session(SessionId id, const SessionConfig& config) {
+  SPOTFI_EXPECTS(id != 0, "reopen_session: id 0 is never issued");
+  auto session = make_session(config);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  reap_draining_locked();
+  const bool live =
+      std::any_of(sessions_.begin(), sessions_.end(),
+                  [id](const auto& s) { return s->id == id; }) ||
+      std::any_of(draining_.begin(), draining_.end(),
+                  [id](const auto& s) { return s->id == id; });
+  SPOTFI_EXPECTS(!live, "reopen_session: id collides with a live session");
+  session->id = id;
+  sessions_.push_back(std::move(session));
+  // Ids issued by any previous incarnation stay burned forever.
+  next_id_ = std::max(next_id_, id + 1);
+}
+
+SessionDurableState SessionManager::export_session_state(SessionId id) const {
+  const auto session = find(id);
+  SessionDurableState out;
+  out.id = session->id;
+  out.stats = session->snapshot();
+  out.applied_packets =
+      session->applied_packets.load(std::memory_order_relaxed);
+  out.applied_polls = session->applied_polls.load(std::memory_order_relaxed);
+  out.emitted_fixes = session->emitted_fixes.load(std::memory_order_relaxed);
+  out.rng = session->rng.state();
+  out.cost = session->cost.export_state();
+  out.streaming = session->localizer.export_state();
+  return out;
+}
+
+void SessionManager::restore_session_state(SessionId id,
+                                           SessionDurableState state) {
+  SPOTFI_EXPECTS(state.id == id,
+                 "restore_session_state: state belongs to another session");
+  find(id)->restore(std::move(state));
+}
+
+std::optional<LocationFix> SessionManager::replay_packet(
+    SessionId id, std::size_t ap_id, CsiPacket packet, bool count_admission) {
+  const auto session = find(id);
+  if (count_admission) {
+    session->offered.fetch_add(1, std::memory_order_relaxed);
+    session->accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+  IngestItem item;
+  item.ap_id = ap_id;
+  item.packet = std::move(packet);
+  const double deadline_s = session->policy.config().round_deadline_s;
+  return session->run_item(std::move(item), *clock_, deadline_s);
+}
+
+std::optional<LocationFix> SessionManager::replay_poll(SessionId id,
+                                                       double now_s) {
+  return poll(id, now_s);
+}
+
+std::uint64_t SessionManager::applied_packets(SessionId id) const {
+  return find(id)->applied_packets.load(std::memory_order_relaxed);
+}
+
+std::uint64_t SessionManager::applied_polls(SessionId id) const {
+  return find(id)->applied_polls.load(std::memory_order_relaxed);
 }
 
 void SessionManager::fold_stats(SessionStats& into, const SessionStats& from) {

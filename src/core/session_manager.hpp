@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
 #include "common/spsc_queue.hpp"
 #include "core/streaming.hpp"
 
@@ -104,6 +105,26 @@ struct SessionStats {
   std::uint64_t failed_rounds = 0;
 };
 
+/// Complete durable state of one session: everything beyond its
+/// SessionConfig that the next localization round depends on. Exported
+/// under quiescence (no concurrent offer/pump) for durability snapshots
+/// and restored byte-exactly on recovery — a restored session fed the
+/// same remaining packet sequence produces byte-identical fixes.
+struct SessionDurableState {
+  SessionId id = 0;
+  SessionStats stats;
+  /// Accepted packets already pushed through the localizer (the replay
+  /// skip mark: journal records at or below it are in this state).
+  std::uint64_t applied_packets = 0;
+  /// Timer polls already applied, same skip semantics.
+  std::uint64_t applied_polls = 0;
+  /// Durable round ordinals handed out (LocationFix::durable_round_index).
+  std::uint64_t emitted_fixes = 0;
+  RngState rng;
+  RoundCostState cost;
+  StreamingState streaming;
+};
+
 struct SessionManagerConfig {
   /// Lanes of concurrency for the shared pool: 0 = hardware
   /// concurrency, 1 = serial (no pool). SPOTFI_THREADS overrides.
@@ -127,8 +148,12 @@ class SessionManager {
   /// for the lifetime of the manager (never reused).
   [[nodiscard]] SessionId open_session(const SessionConfig& config);
 
-  /// Retires a session; its counters fold into the global totals. The
-  /// caller must have quiesced the session's producer and pump first.
+  /// Retires a session; its counters fold into the global totals once
+  /// every outstanding reference (e.g. a racing final pump()) drops.
+  /// Idempotent: closing an id that was already closed is a no-op, so a
+  /// close that races another close (or a recovery that re-closes a
+  /// journaled close) retires the stats exactly once. Closing an id the
+  /// manager never issued still throws ContractViolation.
   void close_session(SessionId id);
 
   /// Producer side: offers one packet to `session`'s ingest queue and
@@ -174,10 +199,62 @@ class SessionManager {
   /// The shared pool (null when concurrency resolved to 1).
   [[nodiscard]] std::shared_ptr<ThreadPool> pool() const { return pool_; }
 
+  // -- durability / recovery support (DESIGN.md §14) -------------------
+  // All of these share the snapshot contract: no concurrent offer/pump
+  // on the sessions involved.
+
+  /// Live session ids, ascending.
+  [[nodiscard]] std::vector<SessionId> session_ids() const;
+  /// The id the next open_session() would return.
+  [[nodiscard]] SessionId next_session_id() const;
+  /// Raises the id horizon so recovered managers never reuse an id that
+  /// a previous incarnation issued. Never lowers it.
+  void advance_session_ids(SessionId next);
+  /// Aggregated counters of already-closed sessions (for snapshots).
+  [[nodiscard]] SessionStats retired_stats() const;
+  /// Seeds the closed-session aggregate on recovery.
+  void restore_retired_stats(const SessionStats& retired);
+
+  /// Recovery-only variant of open_session(): recreates a session under
+  /// the id a previous incarnation issued (must not collide with a live
+  /// session) and advances the id horizon past it.
+  void reopen_session(SessionId id, const SessionConfig& config);
+
+  /// Exports everything `id`'s next round depends on (see
+  /// SessionDurableState). Quiesced sessions only.
+  [[nodiscard]] SessionDurableState export_session_state(SessionId id) const;
+  /// Restores a previously exported state into `id` (same config and AP
+  /// registrations as at export time).
+  void restore_session_state(SessionId id, SessionDurableState state);
+
+  /// Replays one journaled accepted packet straight through `id`'s
+  /// localizer — the recovery path around the ingest queue — with full
+  /// round accounting, as if it had been offered and pumped. Returns
+  /// the fix if the packet's round fired. `count_admission` re-counts
+  /// the packet as offered+accepted; recovery passes false for packets
+  /// whose admission is already inside the restored snapshot counters
+  /// (accepted before the snapshot, applied after).
+  [[nodiscard]] std::optional<LocationFix> replay_packet(
+      SessionId id, std::size_t ap_id, CsiPacket packet,
+      bool count_admission = true);
+  /// Replays one journaled timer poll (see poll()).
+  [[nodiscard]] std::optional<LocationFix> replay_poll(SessionId id,
+                                                       double now_s);
+  /// Packets applied through `id`'s localizer so far (the durable replay
+  /// mark; a resuming direct feeder skips this many accepted packets).
+  [[nodiscard]] std::uint64_t applied_packets(SessionId id) const;
+  /// Timer polls applied to `id` so far (the poll-ordinal counterpart).
+  [[nodiscard]] std::uint64_t applied_polls(SessionId id) const;
+
  private:
   struct Session;
 
   [[nodiscard]] std::shared_ptr<Session> find(SessionId id) const;
+  [[nodiscard]] std::shared_ptr<Session> make_session(
+      const SessionConfig& config) const;
+  /// Folds the stats of drained closed sessions (no outstanding
+  /// references) into retired_. Caller holds mutex_.
+  void reap_draining_locked();
   static void fold_stats(SessionStats& into, const SessionStats& from);
 
   LinkConfig link_;
@@ -185,8 +262,11 @@ class SessionManager {
   const Clock* clock_;
   std::shared_ptr<ThreadPool> pool_;
 
-  mutable std::mutex mutex_;  ///< guards sessions_/next_id_/retired_
+  mutable std::mutex mutex_;  ///< guards sessions_/draining_/next_id_/retired_
   std::vector<std::shared_ptr<Session>> sessions_;
+  /// Closed sessions still referenced by an in-flight pump()/offer();
+  /// their stats fold into retired_ when the last reference drops.
+  std::vector<std::shared_ptr<Session>> draining_;
   SessionId next_id_ = 1;
   /// Aggregated counters of closed sessions.
   SessionStats retired_{};

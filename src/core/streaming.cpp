@@ -308,4 +308,58 @@ std::optional<LocationFix> StreamingLocalizer::fire_round(
   return fix;
 }
 
+StreamingState StreamingLocalizer::export_state() const {
+  StreamingState out;
+  out.aps.reserve(buffers_.size());
+  for (const ApBuffer& buffer : buffers_) {
+    ApBufferState ap;
+    ap.health = buffer.state;
+    ap.packets.assign(buffer.packets.begin(), buffer.packets.end());
+    out.aps.push_back(std::move(ap));
+  }
+  out.tracker = tracker_.export_state();
+  out.ingest = ingest_report_;
+  out.rejected = rejected_;
+  out.shed_rounds = shed_rounds_;
+  out.failed_rounds = failed_rounds_;
+  out.fix_count = fix_count_;
+  out.fidelity = fidelity_;
+  out.now_s = now_s_;
+  out.has_stream_start = stream_start_s_.has_value();
+  out.stream_start_s = stream_start_s_.value_or(0.0);
+  out.has_armed_since = armed_since_s_.has_value();
+  out.armed_since_s = armed_since_s_.value_or(0.0);
+  out.last_fix_time_s = last_fix_time_s_;
+  return out;
+}
+
+void StreamingLocalizer::restore_state(StreamingState state) {
+  SPOTFI_EXPECTS(state.aps.size() == buffers_.size(),
+                 "restore_state: AP count does not match this deployment");
+  for (std::size_t a = 0; a < buffers_.size(); ++a) {
+    ApBuffer& buffer = buffers_[a];
+    buffer.state = state.aps[a].health;
+    buffer.packets.assign(
+        std::make_move_iterator(state.aps[a].packets.begin()),
+        std::make_move_iterator(state.aps[a].packets.end()));
+  }
+  tracker_.restore_state(state.tracker);
+  ingest_report_ = state.ingest;
+  rejected_ = state.rejected;
+  shed_rounds_ = state.shed_rounds;
+  failed_rounds_ = state.failed_rounds;
+  fix_count_ = state.fix_count;
+  fidelity_ = state.fidelity;
+  now_s_ = state.now_s;
+  stream_start_s_ = state.has_stream_start
+                        ? std::optional<double>(state.stream_start_s)
+                        : std::nullopt;
+  armed_since_s_ = state.has_armed_since
+                       ? std::optional<double>(state.armed_since_s)
+                       : std::nullopt;
+  last_fix_time_s_ = state.last_fix_time_s;
+  last_failure_.reset();
+  last_shed_.reset();
+}
+
 }  // namespace spotfi

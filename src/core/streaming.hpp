@@ -104,6 +104,40 @@ struct LocationFix {
   std::vector<std::size_t> aps_used;
   /// Human-readable degradation reasons (empty = clean round).
   std::vector<std::string> reasons;
+  /// Monotone per-session round ordinal, assigned by the session layer
+  /// (1-based; 0 for fixes from an unmanaged localizer). Survives crash
+  /// recovery, so consumers dedup re-emitted fixes by this index.
+  std::uint64_t durable_round_index = 0;
+};
+
+/// Serializable state of one AP's stream (durability snapshots).
+struct ApBufferState {
+  ApHealthState health;
+  /// Buffered packets awaiting a round, oldest first.
+  std::vector<CsiPacket> packets;
+};
+
+/// Complete dynamic state of a StreamingLocalizer, exportable under
+/// quiescence and restorable into a localizer built from the same
+/// LinkConfig/StreamingConfig and AP registrations. A restored localizer
+/// fed the same packet sequence produces byte-identical fixes. The
+/// last_failure()/last_shed() diagnostics strings are intentionally not
+/// part of the durable state.
+struct StreamingState {
+  std::vector<ApBufferState> aps;
+  TrackerState tracker;
+  IngestReport ingest;
+  std::size_t rejected = 0;
+  std::size_t shed_rounds = 0;
+  std::size_t failed_rounds = 0;
+  std::size_t fix_count = 0;
+  ShedLevel fidelity = ShedLevel::kFull;
+  double now_s = -std::numeric_limits<double>::infinity();
+  bool has_stream_start = false;
+  double stream_start_s = 0.0;
+  bool has_armed_since = false;
+  double armed_since_s = 0.0;
+  double last_fix_time_s = -std::numeric_limits<double>::infinity();
 };
 
 /// Decides what happens to one about-to-fire round: the fidelity rung it
@@ -185,6 +219,13 @@ class StreamingLocalizer {
   [[nodiscard]] const std::optional<RoundFailure>& last_shed() const {
     return last_shed_;
   }
+
+  /// Snapshot/restore of the full dynamic state (durability). Restore
+  /// requires the same AP registrations (count checked); the installed
+  /// planner and the cached server variants are configuration, not
+  /// state, and are untouched.
+  [[nodiscard]] StreamingState export_state() const;
+  void restore_state(StreamingState state);
 
  private:
   struct ApBuffer {

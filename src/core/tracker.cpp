@@ -104,6 +104,29 @@ Vec2 LocationTracker::update(Vec2 fix, double t_s) {
   return position();
 }
 
+TrackerState LocationTracker::export_state() const {
+  TrackerState out;
+  out.initialized = initialized_;
+  out.last_rejected = last_rejected_;
+  out.last_t = last_t_;
+  for (std::size_t i = 0; i < 4; ++i) out.state[i] = state_[i];
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) out.cov[i * 4 + j] = cov_(i, j);
+  }
+  return out;
+}
+
+void LocationTracker::restore_state(const TrackerState& state) {
+  initialized_ = state.initialized;
+  last_rejected_ = state.last_rejected;
+  last_t_ = state.last_t;
+  state_.assign(state.state.begin(), state.state.end());
+  cov_ = RMatrix(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) cov_(i, j) = state.cov[i * 4 + j];
+  }
+}
+
 Vec2 LocationTracker::predict(double t_s) const {
   SPOTFI_EXPECTS(initialized_, "tracker has no fixes yet");
   SPOTFI_EXPECTS(t_s >= last_t_, "cannot predict into the past");

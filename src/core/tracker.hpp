@@ -8,6 +8,7 @@
 // direct-path pick at several APs).
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "geom/vec2.hpp"
@@ -27,6 +28,17 @@ struct TrackerConfig {
   double gate_nis = 13.8;
 };
 
+/// Complete filter state for durability snapshots. export_state() /
+/// restore_state() round-trip bit-exactly, so a restored tracker
+/// continues the track the original would have produced.
+struct TrackerState {
+  bool initialized = false;
+  bool last_rejected = false;
+  double last_t = 0.0;
+  std::array<double, 4> state{};  ///< x, y, vx, vy
+  std::array<double, 16> cov{};   ///< row-major 4x4 covariance
+};
+
 class LocationTracker {
  public:
   explicit LocationTracker(TrackerConfig config = {});
@@ -43,6 +55,11 @@ class LocationTracker {
   [[nodiscard]] Vec2 velocity() const;
   /// Whether the previous update() call rejected its fix via the gate.
   [[nodiscard]] bool last_fix_rejected() const { return last_rejected_; }
+
+  /// Snapshot/restore of the full filter state (durability). The config
+  /// is not part of the state; restore into a same-configured tracker.
+  [[nodiscard]] TrackerState export_state() const;
+  void restore_state(const TrackerState& state);
 
  private:
   void predict_in_place(double dt);

@@ -1,0 +1,153 @@
+// Binary codec for the durability subsystem (DESIGN.md §14).
+//
+// Journal records and snapshots must round-trip the session state
+// *bit-exactly* — a recovered localizer continues the very double it
+// left off at — so every scalar is written as its exact bit pattern
+// (doubles via bit_cast, explicit little-endian byte order), never
+// through text formatting. The writer appends into a caller-owned
+// buffer that the WAL reuses across appends, so the steady accepted-
+// packet path allocates nothing once the buffer has grown to its
+// working size (bench/perf_durability.cpp gates this).
+//
+// The reader is fail-soft in the PR-2 ingest style: reads past the end
+// of the payload latch a failure flag instead of throwing, and the
+// caller checks ok() once at the end. Checksums are verified before
+// decoding, so a latched failure means a version/logic mismatch, not
+// random corruption — the caller treats it as a bad record.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "channel/csi_synthesis.hpp"
+#include "core/session_manager.hpp"
+#include "transport/transport.hpp"
+
+namespace spotfi {
+
+/// FNV-1a over a byte span — the same construction packet_checksum()
+/// uses on payload bit patterns, here applied to serialized records.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::span<const std::uint8_t> bytes,
+    std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Appends little-endian scalars to a caller-owned byte vector. The
+/// vector is the reuse point: clear() it between records and its
+/// capacity survives, so steady-state appends never allocate.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v) {
+    out_->push_back(static_cast<std::uint8_t>(v));
+    out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian reads over a record payload. Overruns
+/// latch fail() and return zeros; check ok() after decoding.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return bytes_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(bytes_[pos_++]) << (8 * i));
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+
+  /// True when every read so far stayed in bounds.
+  [[nodiscard]] bool ok() const { return ok_; }
+  /// True when the whole payload was consumed cleanly.
+  [[nodiscard]] bool done() const { return ok_ && pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- aggregate codecs -------------------------------------------------------
+// One write_/read_ pair per durable aggregate; readers return garbage on
+// a latched failure (callers check ByteReader::ok()).
+
+void write_packet(ByteWriter& w, const CsiPacket& packet);
+[[nodiscard]] CsiPacket read_packet(ByteReader& r);
+
+void write_session_stats(ByteWriter& w, const SessionStats& stats);
+[[nodiscard]] SessionStats read_session_stats(ByteReader& r);
+
+void write_transport_stats(ByteWriter& w, const TransportStats& stats);
+[[nodiscard]] TransportStats read_transport_stats(ByteReader& r);
+
+void write_ingest_report(ByteWriter& w, const IngestReport& report);
+[[nodiscard]] IngestReport read_ingest_report(ByteReader& r);
+
+void write_session_state(ByteWriter& w, const SessionDurableState& state);
+[[nodiscard]] SessionDurableState read_session_state(ByteReader& r);
+
+void write_receiver_state(ByteWriter& w, const ReceiverRecoveryState& state);
+[[nodiscard]] ReceiverRecoveryState read_receiver_state(ByteReader& r);
+
+}  // namespace spotfi

@@ -1,0 +1,58 @@
+#include "durability/crash.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace spotfi {
+
+const char* to_string(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kJournalAppendStart: return "journal-append-start";
+    case CrashPoint::kJournalAppendTorn: return "journal-append-torn";
+    case CrashPoint::kJournalAppendDone: return "journal-append-done";
+    case CrashPoint::kSnapshotBegin: return "snapshot-begin";
+    case CrashPoint::kSnapshotTorn: return "snapshot-torn";
+    case CrashPoint::kSnapshotWritten: return "snapshot-written";
+    case CrashPoint::kSnapshotPublished: return "snapshot-published";
+    case CrashPoint::kRecoveryTruncate: return "recovery-truncate";
+  }
+  return "unknown";
+}
+
+CrashInjected::CrashInjected(CrashPoint point)
+    : std::runtime_error(std::string("injected crash at ") +
+                         to_string(point)),
+      point_(point) {}
+
+void CrashInjector::arm(CrashPoint point, std::uint64_t nth_visit,
+                        std::uint64_t seed) {
+  armed_ = true;
+  point_ = point;
+  nth_ = nth_visit;
+  seed_ = seed;
+}
+
+bool CrashInjector::due(CrashPoint point) const {
+  return armed_ && point_ == point &&
+         visits_[static_cast<std::size_t>(point)] == nth_;
+}
+
+void CrashInjector::reach(CrashPoint point) {
+  ++visits_[static_cast<std::size_t>(point)];
+  if (due(point)) throw CrashInjected(point);
+}
+
+std::optional<std::size_t> CrashInjector::reach_torn(
+    CrashPoint point, std::size_t pending_bytes) {
+  ++visits_[static_cast<std::size_t>(point)];
+  if (!due(point)) return std::nullopt;
+  if (pending_bytes == 0) return 0;
+  // Seed the prefix from (seed, point, visit) so two torn points armed
+  // from the same base seed still tear differently.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL *
+                   (static_cast<std::uint64_t>(point) + 1)));
+  return static_cast<std::size_t>(rng.uniform_index(pending_bytes));
+}
+
+}  // namespace spotfi

@@ -1,0 +1,264 @@
+#include "durability/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "durability/codec.hpp"
+
+namespace spotfi {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::array<std::uint8_t, 8> kSnapMagic = {'S', 'P', 'F', 'I',
+                                                    'S', 'N', 'A', 'P'};
+constexpr std::size_t kSnapHeaderBytes = 20;  // magic + version + checksum
+
+std::string snapshot_name(std::uint64_t seq) {
+  // Zero-padded so lexicographic file order matches seq order.
+  char digits[21];
+  std::snprintf(digits, sizeof digits, "%020llu",
+                static_cast<unsigned long long>(seq));
+  return std::string("snapshot-") + digits + ".snap";
+}
+
+/// Parses "snapshot-<seq>.snap"; nullopt for anything else.
+std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
+  constexpr const char* kPrefix = "snapshot-";
+  constexpr const char* kSuffix = ".snap";
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) {
+    return std::nullopt;
+  }
+  if (name.rfind(kPrefix, 0) != 0) return std::nullopt;
+  if (!name.ends_with(kSuffix)) return std::nullopt;
+  const char* first = name.data() + std::strlen(kPrefix);
+  const char* last = name.data() + name.size() - std::strlen(kSuffix);
+  std::uint64_t seq = 0;
+  const auto [ptr, ec] = std::from_chars(first, last, seq);
+  if (ec != std::errc{} || ptr != last) return std::nullopt;
+  return seq;
+}
+
+void encode_snapshot(ByteWriter& w, const SnapshotData& data) {
+  w.u64(data.seq);
+  w.u64(data.next_session_id);
+  write_session_stats(w, data.retired);
+  w.u32(static_cast<std::uint32_t>(data.sessions.size()));
+  for (const SessionDurableState& session : data.sessions) {
+    write_session_state(w, session);
+  }
+  w.u32(static_cast<std::uint32_t>(data.receivers.size()));
+  for (const SnapshotData::ReceiverEntry& entry : data.receivers) {
+    w.u64(entry.receiver_id);
+    write_receiver_state(w, entry.state);
+  }
+}
+
+std::optional<SnapshotData> decode_snapshot(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  SnapshotData data;
+  data.seq = r.u64();
+  data.next_session_id = r.u64();
+  data.retired = read_session_stats(r);
+  const std::uint32_t n_sessions = r.u32();
+  if (!r.ok()) return std::nullopt;
+  data.sessions.reserve(n_sessions);
+  for (std::uint32_t i = 0; i < n_sessions && r.ok(); ++i) {
+    data.sessions.push_back(read_session_state(r));
+  }
+  const std::uint32_t n_receivers = r.u32();
+  if (!r.ok()) return std::nullopt;
+  data.receivers.reserve(n_receivers);
+  for (std::uint32_t i = 0; i < n_receivers && r.ok(); ++i) {
+    SnapshotData::ReceiverEntry entry;
+    entry.receiver_id = r.u64();
+    entry.state = read_receiver_state(r);
+    data.receivers.push_back(std::move(entry));
+  }
+  if (!r.done()) return std::nullopt;
+  return data;
+}
+
+void store_u32_at(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void store_u64_at(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t load_u32_at(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_u64_at(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Expected<std::string, DurabilityError> write_snapshot(const std::string& dir,
+                                                      const SnapshotData& data,
+                                                      std::size_t keep,
+                                                      CrashInjector* crash) {
+  if (crash != nullptr) crash->reach(CrashPoint::kSnapshotBegin);
+
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "create snapshot dir failed", 0};
+  }
+
+  std::vector<std::uint8_t> bytes(kSnapHeaderBytes, 0);
+  {
+    ByteWriter w(bytes);
+    encode_snapshot(w, data);
+  }
+  std::memcpy(bytes.data(), kSnapMagic.data(), kSnapMagic.size());
+  store_u32_at(bytes.data() + 8, kSnapshotVersion);
+  store_u64_at(bytes.data() + 12,
+               fnv1a64({bytes.data() + kSnapHeaderBytes,
+                        bytes.size() - kSnapHeaderBytes}));
+
+  const fs::path final_path = fs::path(dir) / snapshot_name(data.seq);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+
+  const int fd = ::open(tmp_path.c_str(),
+                        O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "open snapshot temp failed", 0};
+  }
+
+  std::size_t to_write = bytes.size();
+  bool torn = false;
+  if (crash != nullptr) {
+    const auto cut = crash->reach_torn(CrashPoint::kSnapshotTorn, bytes.size());
+    if (cut.has_value()) {
+      to_write = *cut;
+      torn = true;
+    }
+  }
+
+  std::size_t done = 0;
+  while (done < to_write) {
+    const ssize_t n = ::pwrite(fd, bytes.data() + done, to_write - done,
+                               static_cast<off_t>(done));
+    if (n <= 0) {
+      ::close(fd);
+      fs::remove(tmp_path, ec);
+      return DurabilityError{DurabilityErrorKind::kIoError,
+                             "snapshot write failed", done};
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (torn) throw CrashInjected(CrashPoint::kSnapshotTorn);
+
+  if (crash != nullptr) crash->reach(CrashPoint::kSnapshotWritten);
+
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "snapshot publish rename failed", 0};
+  }
+
+  if (crash != nullptr) crash->reach(CrashPoint::kSnapshotPublished);
+
+  // Prune: keep the newest `keep` published snapshots, sweep the rest
+  // plus any stray temp files from earlier crashes.
+  std::vector<std::pair<std::uint64_t, fs::path>> published;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (const auto seq = parse_snapshot_name(name); seq.has_value()) {
+      published.emplace_back(*seq, entry.path());
+    } else if (name.ends_with(".tmp")) {
+      std::error_code ignore;
+      fs::remove(entry.path(), ignore);
+    }
+  }
+  std::sort(published.begin(), published.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (std::size_t i = keep; i < published.size(); ++i) {
+    std::error_code ignore;
+    fs::remove(published[i].second, ignore);
+  }
+
+  return final_path.string();
+}
+
+SnapshotLoadResult load_latest_snapshot(const std::string& dir) {
+  SnapshotLoadResult result;
+  std::error_code ec;
+  std::vector<std::pair<std::uint64_t, fs::path>> published;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const auto seq = parse_snapshot_name(entry.path().filename().string());
+    if (seq.has_value()) published.emplace_back(*seq, entry.path());
+  }
+  if (ec) return result;  // missing dir: fresh start
+  std::sort(published.begin(), published.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (!published.empty()) result.max_seq_seen = published.front().first;
+
+  for (const auto& [seq, path] : published) {
+    std::vector<std::uint8_t> bytes;
+    {
+      const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) {
+        ++result.discarded;
+        continue;
+      }
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        bytes.resize(static_cast<std::size_t>(st.st_size));
+      }
+      std::size_t done = 0;
+      while (done < bytes.size()) {
+        const ssize_t n = ::pread(fd, bytes.data() + done, bytes.size() - done,
+                                  static_cast<off_t>(done));
+        if (n <= 0) {
+          bytes.resize(done);
+          break;
+        }
+        done += static_cast<std::size_t>(n);
+      }
+      ::close(fd);
+    }
+    if (bytes.size() < kSnapHeaderBytes ||
+        std::memcmp(bytes.data(), kSnapMagic.data(), kSnapMagic.size()) != 0 ||
+        load_u32_at(bytes.data() + 8) != kSnapshotVersion ||
+        load_u64_at(bytes.data() + 12) !=
+            fnv1a64({bytes.data() + kSnapHeaderBytes,
+                     bytes.size() - kSnapHeaderBytes})) {
+      ++result.discarded;
+      continue;
+    }
+    auto data = decode_snapshot(
+        {bytes.data() + kSnapHeaderBytes, bytes.size() - kSnapHeaderBytes});
+    if (!data.has_value()) {
+      ++result.discarded;
+      continue;
+    }
+    result.data = std::move(data);
+    return result;
+  }
+  return result;
+}
+
+}  // namespace spotfi

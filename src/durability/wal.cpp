@@ -1,0 +1,474 @@
+#include "durability/wal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace spotfi {
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kWalMagic = {'S', 'P', 'F', 'I',
+                                                   'W', 'A', 'L', '\0'};
+
+std::uint64_t frame_checksum(WalRecordType type,
+                             std::span<const std::uint8_t> payload) {
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
+  const std::uint64_t seeded = fnv1a64({&type_byte, 1});
+  return fnv1a64(payload, seeded);
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void store_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+bool valid_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(WalRecordType::kSessionOpen) &&
+         type <= static_cast<std::uint8_t>(WalRecordType::kSessionClose);
+}
+
+}  // namespace
+
+const char* to_string(DurabilityErrorKind kind) {
+  switch (kind) {
+    case DurabilityErrorKind::kIoError: return "io-error";
+    case DurabilityErrorKind::kBadFileHeader: return "bad-file-header";
+    case DurabilityErrorKind::kTornRecord: return "torn-record";
+    case DurabilityErrorKind::kBadLength: return "bad-length";
+    case DurabilityErrorKind::kBadChecksum: return "bad-checksum";
+    case DurabilityErrorKind::kBadPayload: return "bad-payload";
+  }
+  return "unknown";
+}
+
+const char* to_string(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kSessionOpen: return "session-open";
+    case WalRecordType::kPacket: return "packet";
+    case WalRecordType::kFix: return "fix";
+    case WalRecordType::kPoll: return "poll";
+    case WalRecordType::kSessionClose: return "session-close";
+  }
+  return "unknown";
+}
+
+std::uint64_t fix_digest(const LocationFix& fix) {
+  std::array<std::uint8_t, 41> bytes{};
+  store_u64(bytes.data() + 0, std::bit_cast<std::uint64_t>(fix.raw.x));
+  store_u64(bytes.data() + 8, std::bit_cast<std::uint64_t>(fix.raw.y));
+  store_u64(bytes.data() + 16, std::bit_cast<std::uint64_t>(fix.tracked.x));
+  store_u64(bytes.data() + 24, std::bit_cast<std::uint64_t>(fix.tracked.y));
+  store_u64(bytes.data() + 32, std::bit_cast<std::uint64_t>(fix.time_s));
+  bytes[40] = fix.degraded ? 1 : 0;
+  return fnv1a64(bytes);
+}
+
+// -- writer -----------------------------------------------------------------
+
+WalWriter::WalWriter(std::string path, CrashInjector* crash,
+                     WalIoFailurePlan io)
+    : path_(std::move(path)), crash_(crash), io_(io) {
+  buf_.reserve(4096);
+  fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    open_error_ = DurabilityError{DurabilityErrorKind::kIoError,
+                                  "open journal failed", 0};
+    return;
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    open_error_ = DurabilityError{DurabilityErrorKind::kIoError,
+                                  "stat journal failed", 0};
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (size >= kWalHeaderBytes) {
+    // Resuming an existing journal; recovery already truncated any torn
+    // tail, so the whole file is the committed prefix.
+    committed_ = size;
+    return;
+  }
+  // Fresh (or header-torn) journal: start over with a clean header. The
+  // header write bypasses the I/O failure plan — a disk that cannot hold
+  // twelve bytes fails the very first append instead.
+  if (::ftruncate(fd_, 0) != 0) {
+    open_error_ = DurabilityError{DurabilityErrorKind::kIoError,
+                                  "truncate journal failed", 0};
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  std::array<std::uint8_t, kWalHeaderBytes> header{};
+  std::memcpy(header.data(), kWalMagic.data(), kWalMagic.size());
+  store_u32(header.data() + 8, kWalVersion);
+  std::size_t done = 0;
+  while (done < header.size()) {
+    const ssize_t n = ::pwrite(fd_, header.data() + done, header.size() - done,
+                               static_cast<off_t>(done));
+    if (n <= 0) {
+      open_error_ = DurabilityError{DurabilityErrorKind::kIoError,
+                                    "write journal header failed", done};
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  committed_ = kWalHeaderBytes;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ByteWriter WalWriter::begin_record() {
+  buf_.clear();
+  buf_.resize(kWalFrameBytes);  // len + type + checksum, patched in commit()
+  return ByteWriter(buf_);
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::commit(WalRecordType type) {
+  if (fd_ < 0) {
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "journal not open", 0};
+  }
+  const std::size_t payload_len = buf_.size() - kWalFrameBytes;
+  if (payload_len > kWalMaxPayload) {
+    return DurabilityError{DurabilityErrorKind::kBadLength,
+                           "record payload over cap", committed_};
+  }
+  store_u32(buf_.data(), static_cast<std::uint32_t>(payload_len));
+  buf_[4] = static_cast<std::uint8_t>(type);
+  store_u64(buf_.data() + 5,
+            frame_checksum(type, {buf_.data() + kWalFrameBytes, payload_len}));
+
+  if (crash_ != nullptr) crash_->reach(CrashPoint::kJournalAppendStart);
+
+  // The simulated disk: ENOSPC after fail_after_bytes, short writes
+  // capped at short_write_bytes, and an armed torn-crash that cuts the
+  // append after a seeded prefix. All paths go through the same loop so
+  // the resume logic is exercised by every plan.
+  std::size_t to_write = buf_.size();
+  bool torn = false;
+  if (crash_ != nullptr) {
+    const auto cut = crash_->reach_torn(CrashPoint::kJournalAppendTorn,
+                                        buf_.size());
+    if (cut.has_value()) {
+      to_write = *cut;
+      torn = true;
+    }
+  }
+
+  std::size_t done = 0;
+  std::optional<DurabilityError> io_error;
+  while (done < to_write) {
+    std::size_t chunk = to_write - done;
+    if (io_.short_write_bytes > 0 && chunk > io_.short_write_bytes) {
+      chunk = io_.short_write_bytes;
+    }
+    if (io_.fail_after_bytes > 0) {
+      const std::uint64_t used = committed_ + done;
+      const std::uint64_t room =
+          io_.fail_after_bytes > used ? io_.fail_after_bytes - used : 0;
+      if (chunk > room) chunk = static_cast<std::size_t>(room);
+      if (chunk == 0) {
+        io_error = DurabilityError{DurabilityErrorKind::kIoError,
+                                   "no space on journal device",
+                                   committed_ + done};
+        break;
+      }
+    }
+    const ssize_t n = ::pwrite(fd_, buf_.data() + done, chunk,
+                               static_cast<off_t>(committed_ + done));
+    if (n <= 0) {
+      io_error = DurabilityError{DurabilityErrorKind::kIoError,
+                                 "journal write failed", committed_ + done};
+      break;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+
+  if (torn) throw CrashInjected(CrashPoint::kJournalAppendTorn);
+
+  if (io_error.has_value()) {
+    // Roll the partial append back so the on-disk journal stays a whole
+    // number of records; the caller decides whether to keep running
+    // without durability (journal_failures) or stop.
+    (void)::ftruncate(fd_, static_cast<off_t>(committed_));
+    return *io_error;
+  }
+
+  if (crash_ != nullptr) crash_->reach(CrashPoint::kJournalAppendDone);
+  committed_ += buf_.size();
+  return committed_;
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::append_open(
+    const WalSessionOpen& record) {
+  ByteWriter w = begin_record();
+  encode_wal_open(w, record);
+  return commit(WalRecordType::kSessionOpen);
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::append_close(
+    const WalSessionClose& record) {
+  ByteWriter w = begin_record();
+  encode_wal_close(w, record);
+  return commit(WalRecordType::kSessionClose);
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::append_packet(
+    const WalPacket& record) {
+  ByteWriter w = begin_record();
+  encode_wal_packet(w, record);
+  return commit(WalRecordType::kPacket);
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::append_fix(
+    const WalFix& record) {
+  ByteWriter w = begin_record();
+  encode_wal_fix(w, record);
+  return commit(WalRecordType::kFix);
+}
+
+Expected<std::uint64_t, DurabilityError> WalWriter::append_poll(
+    const WalPoll& record) {
+  ByteWriter w = begin_record();
+  encode_wal_poll(w, record);
+  return commit(WalRecordType::kPoll);
+}
+
+// -- scanner ----------------------------------------------------------------
+
+WalScan scan_wal(const std::string& path) {
+  WalScan scan;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno != ENOENT) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kIoError,
+                                        "open journal failed", 0};
+    }
+    return scan;  // missing journal == valid empty journal
+  }
+  std::vector<std::uint8_t> bytes;
+  {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      bytes.resize(static_cast<std::size_t>(st.st_size));
+    }
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::pread(fd, bytes.data() + done, bytes.size() - done,
+                                static_cast<off_t>(done));
+      if (n <= 0) {
+        bytes.resize(done);
+        break;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+  }
+  ::close(fd);
+  scan.file_bytes = bytes.size();
+
+  if (bytes.size() < kWalHeaderBytes ||
+      std::memcmp(bytes.data(), kWalMagic.data(), kWalMagic.size()) != 0 ||
+      load_u32(bytes.data() + 8) != kWalVersion) {
+    if (!bytes.empty()) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kBadFileHeader,
+                                        "journal header invalid", 0};
+    }
+    return scan;  // valid_bytes stays 0: rewrite from scratch
+  }
+
+  std::size_t offset = kWalHeaderBytes;
+  scan.valid_bytes = offset;
+  while (offset < bytes.size()) {
+    const std::size_t remaining = bytes.size() - offset;
+    if (remaining < kWalFrameBytes) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kTornRecord,
+                                        "partial frame at tail", offset};
+      break;
+    }
+    const std::uint32_t len = load_u32(bytes.data() + offset);
+    if (len > kWalMaxPayload) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kBadLength,
+                                        "length field over cap", offset};
+      break;
+    }
+    if (kWalFrameBytes + static_cast<std::size_t>(len) > remaining) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kTornRecord,
+                                        "record cut off at tail", offset};
+      break;
+    }
+    const std::uint8_t type_byte = bytes[offset + 4];
+    const std::uint64_t stored = load_u64(bytes.data() + offset + 5);
+    const std::uint8_t* payload = bytes.data() + offset + kWalFrameBytes;
+    if (!valid_type(type_byte) ||
+        stored != frame_checksum(static_cast<WalRecordType>(type_byte),
+                                 {payload, len})) {
+      scan.tail_error = DurabilityError{DurabilityErrorKind::kBadChecksum,
+                                        "record checksum mismatch", offset};
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(type_byte);
+    record.offset = offset;
+    record.payload.assign(payload, payload + len);
+    scan.records.push_back(std::move(record));
+    offset += kWalFrameBytes + len;
+    scan.valid_bytes = offset;
+  }
+  return scan;
+}
+
+Expected<std::uint64_t, DurabilityError> truncate_wal(
+    const std::string& path, std::uint64_t valid_bytes, CrashInjector* crash) {
+  if (crash != nullptr) crash->reach(CrashPoint::kRecoveryTruncate);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT && valid_bytes == 0) return std::uint64_t{0};
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "open journal for truncate failed", 0};
+  }
+  const int rc = ::ftruncate(fd, static_cast<off_t>(valid_bytes));
+  ::close(fd);
+  if (rc != 0) {
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "truncate journal failed", valid_bytes};
+  }
+  return valid_bytes;
+}
+
+// -- payload codecs ---------------------------------------------------------
+
+void encode_wal_open(ByteWriter& w, const WalSessionOpen& record) {
+  w.u64(record.session);
+}
+
+void encode_wal_close(ByteWriter& w, const WalSessionClose& record) {
+  w.u64(record.session);
+}
+
+void encode_wal_packet(ByteWriter& w, const WalPacket& record) {
+  encode_wal_packet(w, record.session, record.index, record.ap_id,
+                    record.receiver_id, record.seq, record.packet);
+}
+
+void encode_wal_packet(ByteWriter& w, SessionId session, std::uint64_t index,
+                       std::size_t ap_id, std::uint64_t receiver_id,
+                       std::uint64_t seq, const CsiPacket& packet) {
+  w.u64(session);
+  w.u64(index);
+  w.u64(ap_id);
+  w.u64(receiver_id);
+  w.u64(seq);
+  write_packet(w, packet);
+}
+
+void encode_wal_fix(ByteWriter& w, const WalFix& record) {
+  w.u64(record.session);
+  w.u64(record.index);
+  w.u64(record.digest);
+  w.f64(record.time_s);
+  w.boolean(record.degraded);
+  w.f64(record.raw.x);
+  w.f64(record.raw.y);
+  w.f64(record.tracked.x);
+  w.f64(record.tracked.y);
+}
+
+void encode_wal_poll(ByteWriter& w, const WalPoll& record) {
+  w.u64(record.session);
+  w.u64(record.index);
+  w.f64(record.now_s);
+}
+
+namespace {
+constexpr DurabilityError bad_payload(const char* detail) {
+  return DurabilityError{DurabilityErrorKind::kBadPayload, detail, 0};
+}
+}  // namespace
+
+Expected<WalSessionOpen, DurabilityError> decode_wal_open(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  WalSessionOpen record;
+  record.session = r.u64();
+  if (!r.done()) return bad_payload("session-open payload malformed");
+  return record;
+}
+
+Expected<WalSessionClose, DurabilityError> decode_wal_close(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  WalSessionClose record;
+  record.session = r.u64();
+  if (!r.done()) return bad_payload("session-close payload malformed");
+  return record;
+}
+
+Expected<WalPacket, DurabilityError> decode_wal_packet(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  WalPacket record;
+  record.session = r.u64();
+  record.index = r.u64();
+  record.ap_id = static_cast<std::size_t>(r.u64());
+  record.receiver_id = r.u64();
+  record.seq = r.u64();
+  record.packet = read_packet(r);
+  if (!r.done()) return bad_payload("packet payload malformed");
+  return record;
+}
+
+Expected<WalFix, DurabilityError> decode_wal_fix(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  WalFix record;
+  record.session = r.u64();
+  record.index = r.u64();
+  record.digest = r.u64();
+  record.time_s = r.f64();
+  record.degraded = r.boolean();
+  record.raw.x = r.f64();
+  record.raw.y = r.f64();
+  record.tracked.x = r.f64();
+  record.tracked.y = r.f64();
+  if (!r.done()) return bad_payload("fix payload malformed");
+  return record;
+}
+
+Expected<WalPoll, DurabilityError> decode_wal_poll(
+    std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  WalPoll record;
+  record.session = r.u64();
+  record.index = r.u64();
+  record.now_s = r.f64();
+  if (!r.done()) return bad_payload("poll payload malformed");
+  return record;
+}
+
+}  // namespace spotfi

@@ -1,0 +1,260 @@
+// Append-only write-ahead journal of accepted work (DESIGN.md §14).
+//
+// Every packet the session layer accepts, every timer poll, every fix it
+// emits, and every session open/close is appended as one checksummed,
+// length-prefixed record before the effect is acknowledged upstream.
+// Recovery replays the journal suffix after the latest snapshot through
+// the deterministic pipeline, which regenerates the exact fixes the
+// crashed process had emitted.
+//
+// File layout:
+//
+//   [8B magic "SPFIWAL\0"][u32 version]
+//   record*:  [u32 payload_len][u8 type][u64 fnv1a(type || payload)][payload]
+//
+// The journal is torn-tail tolerant in the PR-2 ingest style: a crash
+// mid-append leaves a partial (or checksum-bad) final record, scanning
+// stops at the first bad byte and reports the valid prefix, and recovery
+// truncates the tail instead of replaying it. A record is visible iff it
+// is complete — there is no state in which half a record replays.
+//
+// Failure taxonomy mirrors IngestError/TransportError: every refusal or
+// abandoned byte is an enumerable DurabilityError, never silent loss.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "durability/codec.hpp"
+#include "durability/crash.hpp"
+
+namespace spotfi {
+
+inline constexpr std::uint32_t kWalVersion = 1;
+inline constexpr std::size_t kWalHeaderBytes = 12;   // magic + version
+inline constexpr std::size_t kWalFrameBytes = 13;    // len + type + checksum
+/// Per-record payload cap — generous for CSI packets, tight enough that
+/// a corrupted length field can never drive a giant allocation.
+inline constexpr std::uint32_t kWalMaxPayload = 1u << 28;
+
+/// Why a durability operation refused or stopped. `detail` is a static
+/// string; `offset` is the file offset involved (0 when not positional).
+enum class DurabilityErrorKind : std::uint8_t {
+  kIoError,        ///< open/read/write/rename/truncate failed (incl. ENOSPC)
+  kBadFileHeader,  ///< magic/version mismatch or file shorter than a header
+  kTornRecord,     ///< partial record at the tail (crash mid-append)
+  kBadLength,      ///< length field exceeds the payload cap
+  kBadChecksum,    ///< complete record whose checksum does not match
+  kBadPayload,     ///< checksum ok but the payload does not decode
+};
+
+inline constexpr std::size_t kDurabilityErrorKindCount = 6;
+
+[[nodiscard]] const char* to_string(DurabilityErrorKind kind);
+
+struct DurabilityError {
+  DurabilityErrorKind kind = DurabilityErrorKind::kIoError;
+  const char* detail = "";
+  std::uint64_t offset = 0;
+};
+
+/// Journal record types. Values are on-disk format; never renumber.
+enum class WalRecordType : std::uint8_t {
+  kSessionOpen = 1,
+  kPacket = 2,
+  kFix = 3,
+  kPoll = 4,
+  kSessionClose = 5,
+};
+
+[[nodiscard]] const char* to_string(WalRecordType type);
+
+// -- record payloads --------------------------------------------------------
+
+struct WalSessionOpen {
+  SessionId session = 0;
+};
+
+struct WalSessionClose {
+  SessionId session = 0;
+};
+
+/// One accepted packet. `index` is the session's 1-based accepted
+/// ordinal (the replay skip mark against SessionStats::accepted).
+/// `receiver_id`/`seq` bind the packet to the transport delivery that
+/// carried it, so recovery can recompute each receiver's cumulative-ack
+/// mark; both 0 for packets fed directly (no transport).
+struct WalPacket {
+  SessionId session = 0;
+  std::uint64_t index = 0;
+  std::size_t ap_id = 0;
+  std::uint64_t receiver_id = 0;
+  std::uint64_t seq = 0;
+  CsiPacket packet;
+};
+
+/// One emitted fix: its durable output values plus their digest. Replay
+/// regenerates post-snapshot fixes from the deterministic pipeline and
+/// checks them against the journaled digest (the byte-identical witness,
+/// RecoveryReport::fix_mismatches); fixes already *inside* the restored
+/// snapshot are re-emitted straight from the journaled values — a crash
+/// between snapshot publish and the caller consuming pump()'s return
+/// must not lose the fix, and the journal is never compacted, so every
+/// fix ever journaled stays reconstructible.
+struct WalFix {
+  SessionId session = 0;
+  std::uint64_t index = 0;  ///< LocationFix::durable_round_index
+  std::uint64_t digest = 0;
+  double time_s = 0.0;
+  bool degraded = false;
+  Vec2 raw;
+  Vec2 tracked;
+};
+
+/// One applied timer poll. `index` is the session's 1-based poll
+/// ordinal (skip mark against the snapshot's applied_polls).
+struct WalPoll {
+  SessionId session = 0;
+  std::uint64_t index = 0;
+  double now_s = 0.0;
+};
+
+/// Position-independent digest of a fix's durable outputs.
+[[nodiscard]] std::uint64_t fix_digest(const LocationFix& fix);
+
+// -- writer -----------------------------------------------------------------
+
+/// Injectable write-side I/O faults, swept by the CI ENOSPC matrix.
+struct WalIoFailurePlan {
+  /// Total journal bytes (header included) the "disk" accepts before
+  /// write() reports ENOSPC. 0 = unlimited.
+  std::uint64_t fail_after_bytes = 0;
+  /// When > 0, each write() call transfers at most this many bytes — a
+  /// short write — exercising the writer's resume loop.
+  std::size_t short_write_bytes = 0;
+};
+
+/// Appends framed records to the journal file. Single-threaded, like
+/// the transport endpoints. The record buffer is preallocated and
+/// reused, so steady-state appends perform no heap allocation once the
+/// buffer reaches its working size (bench gates BM_JournalAppend_Steady).
+///
+/// A failed append (ENOSPC, I/O error) truncates the file back to the
+/// last committed record, so the journal on disk is always well-formed:
+/// an append either commits whole or leaves no trace. Crash injection
+/// (torn appends) deliberately violates this — that is what recovery's
+/// tail truncation is for.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) the journal at `path` and positions at
+  /// the end of `valid_bytes` — recovery passes the scanned valid
+  /// prefix; a fresh journal writes the header. `crash` may be null.
+  WalWriter(std::string path, CrashInjector* crash = nullptr,
+            WalIoFailurePlan io = {});
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// True when the file opened and the header is in place.
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  [[nodiscard]] const std::optional<DurabilityError>& open_error() const {
+    return open_error_;
+  }
+  /// Bytes committed to the journal (header + whole records).
+  [[nodiscard]] std::uint64_t committed_bytes() const { return committed_; }
+
+  /// Two-phase append for the hot packet path: stage() hands out a
+  /// ByteWriter over the reused record buffer so the caller can encode
+  /// straight from a packet it is about to move into the ingest queue,
+  /// and commit_staged() frames and writes it only once admission
+  /// succeeded. A staged record that is never committed costs nothing.
+  [[nodiscard]] ByteWriter stage() { return begin_record(); }
+  Expected<std::uint64_t, DurabilityError> commit_staged(WalRecordType type) {
+    return commit(type);
+  }
+
+  Expected<std::uint64_t, DurabilityError> append_open(
+      const WalSessionOpen& record);
+  Expected<std::uint64_t, DurabilityError> append_close(
+      const WalSessionClose& record);
+  Expected<std::uint64_t, DurabilityError> append_packet(
+      const WalPacket& record);
+  Expected<std::uint64_t, DurabilityError> append_fix(const WalFix& record);
+  Expected<std::uint64_t, DurabilityError> append_poll(const WalPoll& record);
+
+ private:
+  /// Frames buf_ (payload already encoded past the frame prefix) and
+  /// writes it; returns the new committed size.
+  Expected<std::uint64_t, DurabilityError> commit(WalRecordType type);
+  /// ByteWriter positioned after a frame-sized placeholder in buf_.
+  [[nodiscard]] ByteWriter begin_record();
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t committed_ = 0;
+  std::vector<std::uint8_t> buf_;  ///< reused frame+payload buffer
+  CrashInjector* crash_;
+  WalIoFailurePlan io_;
+  std::optional<DurabilityError> open_error_;
+};
+
+// -- scanner ----------------------------------------------------------------
+
+/// One decoded journal frame (payload still encoded).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPacket;
+  std::uint64_t offset = 0;  ///< file offset of the frame start
+  std::vector<std::uint8_t> payload;
+};
+
+struct WalScan {
+  std::vector<WalRecord> records;
+  /// Header plus every whole, checksum-good record — the prefix a
+  /// recovering writer resumes behind (everything past it is torn).
+  std::uint64_t valid_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  /// Why the scan stopped before the end of the file, if it did.
+  std::optional<DurabilityError> tail_error;
+};
+
+/// Scans the journal, stopping at the first torn/corrupt byte. A
+/// missing file is a valid empty journal (fresh start), not an error.
+[[nodiscard]] WalScan scan_wal(const std::string& path);
+
+/// Truncates the journal to its valid prefix (discarding a torn tail).
+/// Reaches CrashPoint::kRecoveryTruncate first — a crash *during*
+/// recovery leaves the torn tail in place for the next recovery.
+Expected<std::uint64_t, DurabilityError> truncate_wal(
+    const std::string& path, std::uint64_t valid_bytes,
+    CrashInjector* crash = nullptr);
+
+// -- payload codecs ---------------------------------------------------------
+
+void encode_wal_open(ByteWriter& w, const WalSessionOpen& record);
+void encode_wal_close(ByteWriter& w, const WalSessionClose& record);
+void encode_wal_packet(ByteWriter& w, const WalPacket& record);
+/// Field-wise variant for the staged hot path (no WalPacket aggregate,
+/// so the CsiPacket is never copied).
+void encode_wal_packet(ByteWriter& w, SessionId session, std::uint64_t index,
+                       std::size_t ap_id, std::uint64_t receiver_id,
+                       std::uint64_t seq, const CsiPacket& packet);
+void encode_wal_fix(ByteWriter& w, const WalFix& record);
+void encode_wal_poll(ByteWriter& w, const WalPoll& record);
+
+[[nodiscard]] Expected<WalSessionOpen, DurabilityError> decode_wal_open(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<WalSessionClose, DurabilityError> decode_wal_close(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<WalPacket, DurabilityError> decode_wal_packet(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<WalFix, DurabilityError> decode_wal_fix(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] Expected<WalPoll, DurabilityError> decode_wal_poll(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace spotfi

@@ -324,7 +324,10 @@ bool TransportReceiver::drain() {
   while (true) {
     RecvSlot& slot = window_[next_expected_ % window_.size()];
     if (!slot.occupied || slot.seq != next_expected_) break;
-    if (!sink_(slot.ap_id, slot.packet)) {
+    delivering_seq_ = slot.seq;
+    const bool consumed = sink_(slot.ap_id, slot.packet);
+    delivering_seq_ = 0;
+    if (!consumed) {
       // Session backpressure: the packet stays in the slot (the sink
       // left it intact), the cumulative ack stalls here, and the
       // sender's window freezes — flow control end to end.
@@ -412,6 +415,60 @@ TransportStats TransportReceiver::stats() const {
   TransportStats s = stats_;
   s.buffered = buffered_;
   return s;
+}
+
+ReceiverRecoveryState TransportReceiver::export_recovery_state() const {
+  ReceiverRecoveryState out;
+  out.epoch = epoch_;
+  out.next_expected = next_expected_;
+  out.stats = stats();
+  out.stats.buffered = 0;  // derived from the window on restore
+  for (std::uint64_t seq = next_expected_;
+       seq < next_expected_ + window_.size(); ++seq) {
+    const RecvSlot& slot = window_[seq % window_.size()];
+    if (!slot.occupied || slot.seq != seq) continue;
+    ReceiverRecoveryState::BufferedFrame frame;
+    frame.seq = slot.seq;
+    frame.ap_id = slot.ap_id;
+    frame.packet = slot.packet;
+    out.window.push_back(std::move(frame));
+  }
+  return out;
+}
+
+void TransportReceiver::restore_recovery_state(ReceiverRecoveryState state,
+                                               std::uint64_t next_expected) {
+  SPOTFI_EXPECTS(stats_.received == 0 && next_expected_ == 1,
+                 "restore_recovery_state: receiver has already seen traffic");
+  SPOTFI_EXPECTS(next_expected >= state.next_expected,
+                 "restore_recovery_state: delivery mark cannot move back");
+  epoch_ = state.epoch;
+  stats_ = state.stats;
+  // Everything in [state.next_expected, next_expected) was delivered to
+  // the session after the snapshot (the journal proves it). Frames that
+  // were parked in the snapshot window are already counted received;
+  // frames that arrived after the snapshot are not — account for both
+  // so the receiver partition stays exact across the restore.
+  for (std::uint64_t seq = state.next_expected; seq < next_expected; ++seq) {
+    const bool was_buffered =
+        std::any_of(state.window.begin(), state.window.end(),
+                    [seq](const auto& f) { return f.seq == seq; });
+    if (!was_buffered) ++stats_.received;
+    ++stats_.delivered;
+  }
+  next_expected_ = next_expected;
+  buffered_ = 0;
+  for (ReceiverRecoveryState::BufferedFrame& frame : state.window) {
+    if (frame.seq < next_expected_) continue;  // overtaken by the mark
+    SPOTFI_EXPECTS(frame.seq < next_expected_ + window_.size(),
+                   "restore_recovery_state: frame beyond the reorder window");
+    RecvSlot& slot = window_[frame.seq % window_.size()];
+    slot.occupied = true;
+    slot.seq = frame.seq;
+    slot.ap_id = frame.ap_id;
+    slot.packet = std::move(frame.packet);
+    ++buffered_;
+  }
 }
 
 }  // namespace spotfi

@@ -268,6 +268,26 @@ class TransportSender {
   TransportStats stats_;
 };
 
+/// Complete durable state of a TransportReceiver: the connection epoch,
+/// the cumulative delivery mark, the counters, and the out-of-order
+/// frames parked in the reorder window. Snapshotting this (and
+/// journaling accepted packets with their transport seq) is what lets a
+/// recovered receiver resume from the exact ack it last advertised — a
+/// reconnecting sender retransmits only the unacked suffix and never
+/// redelivers into a recovered session (DESIGN.md §14).
+struct ReceiverRecoveryState {
+  std::uint32_t epoch = 0;
+  std::uint64_t next_expected = 1;
+  TransportStats stats;
+  struct BufferedFrame {
+    std::uint64_t seq = 0;
+    std::size_t ap_id = 0;
+    CsiPacket packet;
+  };
+  /// Frames buffered ahead of the delivery mark, ascending seq.
+  std::vector<BufferedFrame> window;
+};
+
 /// The server-side endpoint: verifies, dedups, reorders, acks, and
 /// delivers exactly once into the sink.
 class TransportReceiver {
@@ -294,6 +314,28 @@ class TransportReceiver {
   [[nodiscard]] bool quiescent() const { return buffered_ == 0; }
   [[nodiscard]] TransportStats stats() const;
 
+  /// Sequence number of the frame currently being handed to the sink —
+  /// valid only inside the sink callback (0 otherwise). Durable sinks
+  /// journal it with the accepted packet so recovery can recompute the
+  /// delivery mark (DESIGN.md §14).
+  [[nodiscard]] std::uint64_t delivering_seq() const {
+    return delivering_seq_;
+  }
+
+  /// Snapshot of the full receiver state for durability (quiesced
+  /// contract: no concurrent tick()).
+  [[nodiscard]] ReceiverRecoveryState export_recovery_state() const;
+  /// Restores a snapshot into a freshly constructed receiver (nothing
+  /// received yet), advancing the delivery mark to `next_expected`
+  /// (>= state.next_expected) for deliveries the journal proves happened
+  /// after the snapshot. Window frames overtaken by the recovered mark
+  /// are counted delivered; post-snapshot deliveries of frames that
+  /// never reached the snapshot window are counted received+delivered —
+  /// the received == delivered + duplicates + out_of_window + corrupt +
+  /// buffered partition stays exact across the restore.
+  void restore_recovery_state(ReceiverRecoveryState state,
+                              std::uint64_t next_expected);
+
  private:
   struct RecvSlot {
     bool occupied = false;
@@ -314,6 +356,7 @@ class TransportReceiver {
   std::vector<RecvSlot> window_;
   std::vector<TransportFrame> rx_buf_;  ///< reused uplink poll buffer
   std::size_t buffered_ = 0;
+  std::uint64_t delivering_seq_ = 0;  ///< set around the sink callback
   TransportStats stats_;
 };
 

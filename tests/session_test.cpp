@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -443,6 +444,50 @@ TEST(SessionStatsFold, CloseRetiresCountersIntoGlobalTotals) {
   EXPECT_EQ(global.accepted, 8u);
   EXPECT_EQ(global.shed_packets, 4u);
   EXPECT_THROW((void)manager.session_stats(a), ContractViolation);
+}
+
+TEST(SessionStatsFold, CloseRacingFinalPumpRetiresExactlyOnce) {
+  // A consumer thread pumps while the session closes under it: whichever
+  // side wins, the session's counters must fold into the global totals
+  // exactly once, and re-closing the already-closed id stays a no-op.
+  Feed feed(2);
+  SessionConfig cfg = base_session(feed, 1000);  // rounds never fire
+  SessionManagerConfig mgr_cfg;
+  mgr_cfg.num_threads = 1;
+  SessionManager manager(kLink, mgr_cfg);
+  const SessionId id = manager.open_session(cfg);
+  constexpr std::size_t kOffers = 8;
+  for (std::size_t i = 0; i < kOffers; ++i) {
+    ASSERT_TRUE(manager.offer(id, 0, feed.captures[0].packets[0]).admitted());
+  }
+
+  std::atomic<bool> go{false};
+  std::thread pumper([&] {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    // The pump may land before, during, or after the close; a closed id
+    // throws, which simply ends the race.
+    try {
+      for (int i = 0; i < 64; ++i) (void)manager.pump(id);
+    } catch (const ContractViolation&) {
+    }
+  });
+  go.store(true, std::memory_order_release);
+  manager.close_session(id);
+  pumper.join();
+
+  // Exactly-once retirement: the offered/accepted counters appear once
+  // in the global aggregate, no matter how the race resolved.
+  SessionStats global = manager.global_stats();
+  EXPECT_EQ(global.offered, kOffers);
+  EXPECT_EQ(global.accepted, kOffers);
+  EXPECT_EQ(manager.session_count(), 0u);
+  // Idempotent close: a second (and third) close of the same id is a
+  // no-op, never a double retirement.
+  manager.close_session(id);
+  manager.close_session(id);
+  global = manager.global_stats();
+  EXPECT_EQ(global.offered, kOffers);
+  EXPECT_EQ(global.accepted, kOffers);
 }
 
 }  // namespace
