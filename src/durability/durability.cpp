@@ -59,11 +59,13 @@ RecoveryReport DurableSessionManager::recover(const SessionConfigFn& config_of) 
   std::unordered_map<SessionId, SkipMarks> marks;
   std::unordered_set<SessionId> live;
   SessionId snapshot_horizon = 1;
+  std::uint64_t scan_from = 0;
 
   if (loaded.data.has_value()) {
     SnapshotData& snap = *loaded.data;
     report.snapshot_loaded = true;
     report.snapshot_seq = snap.seq;
+    scan_from = snap.journal_bytes;
     snapshot_horizon = snap.next_session_id;
     manager_.advance_session_ids(snap.next_session_id);
     manager_.restore_retired_stats(snap.retired);
@@ -88,10 +90,13 @@ RecoveryReport DurableSessionManager::recover(const SessionConfigFn& config_of) 
     }
   }
 
-  // 2. Scan the journal and cut off the torn tail before replaying —
-  //    nothing past the first bad byte is ever applied.
+  // 2. Scan the journal — from the snapshot's scan mark, so scan cost
+  //    and memory are bounded by the journal written since it — and cut
+  //    off the torn tail before replaying: nothing past the first bad
+  //    byte is ever applied.
   const std::string path = journal_path();
-  WalScan scan = scan_wal(path);
+  WalScan scan = scan_wal(path, scan_from);
+  report.journal_bytes_skipped = scan.skipped_bytes;
   report.tail_error = scan.tail_error;
   bool journal_usable = true;
   if (scan.file_bytes > scan.valid_bytes) {
@@ -207,8 +212,8 @@ RecoveryReport DurableSessionManager::recover(const SessionConfigFn& config_of) 
   if (journal_usable) {
     std::error_code ec;
     std::filesystem::create_directories(config_.dir, ec);
-    auto writer =
-        std::make_unique<WalWriter>(path, config_.crash, config_.io);
+    auto writer = std::make_unique<WalWriter>(path, config_.crash, config_.io,
+                                              config_.fsync);
     if (writer->ok()) {
       wal_ = std::move(writer);
     } else {
@@ -241,12 +246,15 @@ void DurableSessionManager::close_session(SessionId id) {
   }
   const std::lock_guard<std::mutex> lock(wal_mutex_);
   SPOTFI_EXPECTS(recovered_, "durable manager used before recover()");
-  manager_.close_session(id);
+  // Journal before effect, like packets: a crash between the two then
+  // replays the close (idempotent) instead of resurrecting a session
+  // whose caller already observed the close complete.
   if (wal_ != nullptr) {
     note_append(wal_->append_close({id}));
   } else {
     ++journal_failures_;
   }
+  manager_.close_session(id);
 }
 
 AdmissionVerdict DurableSessionManager::offer(SessionId id, std::size_t ap_id,
@@ -276,10 +284,18 @@ AdmissionVerdict DurableSessionManager::offer(SessionId id, std::size_t ap_id,
 
 std::vector<LocationFix> DurableSessionManager::pump(SessionId id) {
   if (!config_.enabled) return manager_.pump(id);
-  std::vector<LocationFix> fixes = manager_.pump(id);
+  // The lock spans the manager pump too (like poll): a cadence snapshot
+  // on another session's thread reads *this* session's state, so the
+  // pump must not mutate it concurrently.
   const std::lock_guard<std::mutex> lock(wal_mutex_);
   SPOTFI_EXPECTS(recovered_, "durable manager used before recover()");
+  const std::uint64_t batch_start = wal_ != nullptr ? wal_->committed_bytes() : 0;
+  std::vector<LocationFix> fixes = manager_.pump(id);
   for (const LocationFix& fix : fixes) journal_fix(id, fix);
+  // Cadence only after the whole batch is journaled: a snapshot taken
+  // mid-batch would cover fixes whose records are not yet appended, and
+  // a crash right after publish would lose them for good.
+  maybe_snapshot_locked(batch_start);
   return fixes;
 }
 
@@ -288,6 +304,7 @@ std::optional<LocationFix> DurableSessionManager::poll(SessionId id,
   if (!config_.enabled) return manager_.poll(id, now_s);
   const std::lock_guard<std::mutex> lock(wal_mutex_);
   SPOTFI_EXPECTS(recovered_, "durable manager used before recover()");
+  const std::uint64_t batch_start = wal_ != nullptr ? wal_->committed_bytes() : 0;
   std::optional<LocationFix> fix = manager_.poll(id, now_s);
   const std::uint64_t index = manager_.applied_polls(id);
   if (wal_ != nullptr) {
@@ -296,6 +313,7 @@ std::optional<LocationFix> DurableSessionManager::poll(SessionId id,
     ++journal_failures_;
   }
   if (fix.has_value()) journal_fix(id, *fix);
+  maybe_snapshot_locked(batch_start);
   return fix;
 }
 
@@ -362,24 +380,32 @@ void DurableSessionManager::journal_fix(SessionId id, const LocationFix& fix) {
     ++journal_failures_;
   }
   ++fixes_since_snapshot_;
-  if (config_.snapshot_every_fixes > 0 &&
-      fixes_since_snapshot_ >= config_.snapshot_every_fixes) {
-    fixes_since_snapshot_ = 0;
-    const auto result = snapshot_locked();
-    if (!result.has_value()) ++journal_failures_;
+}
+
+void DurableSessionManager::maybe_snapshot_locked(
+    std::uint64_t batch_start_bytes) {
+  if (config_.snapshot_every_fixes == 0 ||
+      fixes_since_snapshot_ < config_.snapshot_every_fixes) {
+    return;
   }
+  fixes_since_snapshot_ = 0;
+  const auto result = snapshot_locked(batch_start_bytes);
+  if (!result.has_value()) ++journal_failures_;
 }
 
 Expected<std::string, DurabilityError> DurableSessionManager::snapshot() {
   const std::lock_guard<std::mutex> lock(wal_mutex_);
   SPOTFI_EXPECTS(config_.enabled, "snapshot() requires durability enabled");
   SPOTFI_EXPECTS(recovered_, "durable manager used before recover()");
-  return snapshot_locked();
+  // Quiesced: no batch is in flight, so the scan mark is the journal tip.
+  return snapshot_locked(wal_ != nullptr ? wal_->committed_bytes() : 0);
 }
 
-Expected<std::string, DurabilityError> DurableSessionManager::snapshot_locked() {
+Expected<std::string, DurabilityError> DurableSessionManager::snapshot_locked(
+    std::uint64_t journal_mark) {
   SnapshotData data;
   data.seq = ++snapshot_seq_;
+  data.journal_bytes = journal_mark;
   data.next_session_id = manager_.next_session_id();
   data.retired = manager_.retired_stats();
   for (const SessionId id : manager_.session_ids()) {
@@ -395,8 +421,9 @@ Expected<std::string, DurabilityError> DurableSessionManager::snapshot_locked() 
             [](const auto& a, const auto& b) {
               return a.receiver_id < b.receiver_id;
             });
-  const auto result = write_snapshot(config_.dir, data,
-                                     config_.snapshots_to_keep, config_.crash);
+  const auto result =
+      write_snapshot(config_.dir, data, config_.snapshots_to_keep,
+                     config_.crash, config_.fsync);
   if (result.has_value()) ++snapshots_written_;
   return result;
 }

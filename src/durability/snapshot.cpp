@@ -50,6 +50,7 @@ std::optional<std::uint64_t> parse_snapshot_name(const std::string& name) {
 
 void encode_snapshot(ByteWriter& w, const SnapshotData& data) {
   w.u64(data.seq);
+  w.u64(data.journal_bytes);
   w.u64(data.next_session_id);
   write_session_stats(w, data.retired);
   w.u32(static_cast<std::uint32_t>(data.sessions.size()));
@@ -68,6 +69,7 @@ std::optional<SnapshotData> decode_snapshot(
   ByteReader r(payload);
   SnapshotData data;
   data.seq = r.u64();
+  data.journal_bytes = r.u64();
   data.next_session_id = r.u64();
   data.retired = read_session_stats(r);
   const std::uint32_t n_sessions = r.u32();
@@ -114,7 +116,8 @@ std::uint64_t load_u64_at(const std::uint8_t* p) {
 Expected<std::string, DurabilityError> write_snapshot(const std::string& dir,
                                                       const SnapshotData& data,
                                                       std::size_t keep,
-                                                      CrashInjector* crash) {
+                                                      CrashInjector* crash,
+                                                      bool fsync) {
   if (crash != nullptr) crash->reach(CrashPoint::kSnapshotBegin);
 
   std::error_code ec;
@@ -167,6 +170,12 @@ Expected<std::string, DurabilityError> write_snapshot(const std::string& dir,
     }
     done += static_cast<std::size_t>(n);
   }
+  if (fsync && !torn && ::fsync(fd) != 0) {
+    ::close(fd);
+    fs::remove(tmp_path, ec);
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "snapshot fsync failed", done};
+  }
   ::close(fd);
   if (torn) throw CrashInjected(CrashPoint::kSnapshotTorn);
 
@@ -177,6 +186,14 @@ Expected<std::string, DurabilityError> write_snapshot(const std::string& dir,
     fs::remove(tmp_path, ec);
     return DurabilityError{DurabilityErrorKind::kIoError,
                            "snapshot publish rename failed", 0};
+  }
+  if (fsync) {
+    // Make the rename itself durable: sync the directory entry.
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
   }
 
   if (crash != nullptr) crash->reach(CrashPoint::kSnapshotPublished);

@@ -27,13 +27,22 @@
 
 namespace spotfi {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Everything a cold process needs to rebuild the session layer.
 struct SnapshotData {
   /// Monotone snapshot ordinal (also the file name), strictly above any
   /// snapshot the previous incarnation published.
   std::uint64_t seq = 0;
+  /// Journal committed-bytes mark where recovery starts scanning:
+  /// records below it are inside this snapshot's state, so the scan
+  /// (and its memory) is bounded by the journal written since the
+  /// snapshot, not since deployment. A cadence snapshot records the
+  /// mark at the *head* of the pump()/poll() batch that tripped it, so
+  /// the batch's own fix records stay inside the scanned suffix and can
+  /// be re-emitted after a crash between publish and the caller
+  /// consuming the batch. 0 = full scan.
+  std::uint64_t journal_bytes = 0;
   /// SessionManager id horizon at capture time.
   SessionId next_session_id = 1;
   /// Closed-session aggregate at capture time.
@@ -48,10 +57,13 @@ struct SnapshotData {
 
 /// Serializes `data` into `dir` as snapshot-<seq>.snap via temp + rename
 /// and prunes to the newest `keep` snapshots (stray .tmp files are swept
-/// too). Returns the published path.
+/// too). Returns the published path. `fsync` additionally syncs the
+/// temp file before the rename and the directory after it, extending
+/// the publish guarantee from process crashes to power loss
+/// (DurabilityConfig::fsync).
 Expected<std::string, DurabilityError> write_snapshot(
     const std::string& dir, const SnapshotData& data, std::size_t keep,
-    CrashInjector* crash = nullptr);
+    CrashInjector* crash = nullptr, bool fsync = false);
 
 struct SnapshotLoadResult {
   /// The newest snapshot that verified and decoded; nullopt = none

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <cstring>
@@ -86,8 +87,11 @@ std::uint64_t fix_digest(const LocationFix& fix) {
 // -- writer -----------------------------------------------------------------
 
 WalWriter::WalWriter(std::string path, CrashInjector* crash,
-                     WalIoFailurePlan io)
-    : path_(std::move(path)), crash_(crash), io_(io) {
+                     WalIoFailurePlan io, bool fsync_on_commit)
+    : path_(std::move(path)),
+      crash_(crash),
+      io_(io),
+      fsync_on_commit_(fsync_on_commit) {
   buf_.reserve(4096);
   fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   if (fd_ < 0) {
@@ -220,6 +224,15 @@ Expected<std::uint64_t, DurabilityError> WalWriter::commit(WalRecordType type) {
     return *io_error;
   }
 
+  if (fsync_on_commit_ && ::fdatasync(fd_) != 0) {
+    // The record reached the page cache but not stable storage: roll it
+    // back so "committed" keeps meaning power-loss-durable under the
+    // fsync contract, and count it as a failed append.
+    (void)::ftruncate(fd_, static_cast<off_t>(committed_));
+    return DurabilityError{DurabilityErrorKind::kIoError,
+                           "journal fdatasync failed", committed_};
+  }
+
   if (crash_ != nullptr) crash_->reach(CrashPoint::kJournalAppendDone);
   committed_ += buf_.size();
   return committed_;
@@ -262,7 +275,7 @@ Expected<std::uint64_t, DurabilityError> WalWriter::append_poll(
 
 // -- scanner ----------------------------------------------------------------
 
-WalScan scan_wal(const std::string& path) {
+WalScan scan_wal(const std::string& path, std::uint64_t start_offset) {
   WalScan scan;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
@@ -272,16 +285,55 @@ WalScan scan_wal(const std::string& path) {
     }
     return scan;  // missing journal == valid empty journal
   }
-  std::vector<std::uint8_t> bytes;
+  std::uint64_t size = 0;
   {
     struct stat st{};
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
-      bytes.resize(static_cast<std::size_t>(st.st_size));
+      size = static_cast<std::uint64_t>(st.st_size);
     }
+  }
+  scan.file_bytes = size;
+  if (size == 0) {
+    ::close(fd);
+    return scan;
+  }
+
+  // The header is always read and validated, bounded scan or not.
+  std::array<std::uint8_t, kWalHeaderBytes> header{};
+  std::size_t header_got = 0;
+  const std::size_t header_want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(size, header.size()));
+  while (header_got < header_want) {
+    const ssize_t n = ::pread(fd, header.data() + header_got,
+                              header_want - header_got,
+                              static_cast<off_t>(header_got));
+    if (n <= 0) break;
+    header_got += static_cast<std::size_t>(n);
+  }
+  if (header_got < kWalHeaderBytes ||
+      std::memcmp(header.data(), kWalMagic.data(), kWalMagic.size()) != 0 ||
+      load_u32(header.data() + 8) != kWalVersion) {
+    ::close(fd);
+    scan.tail_error = DurabilityError{DurabilityErrorKind::kBadFileHeader,
+                                      "journal header invalid", 0};
+    return scan;  // valid_bytes stays 0: rewrite from scratch
+  }
+
+  // A snapshot-recorded offset bounds the scan to the suffix; an offset
+  // outside the file (journal wiped underneath the snapshot) degrades
+  // to a full scan.
+  std::uint64_t begin = kWalHeaderBytes;
+  if (start_offset > kWalHeaderBytes && start_offset <= size) {
+    begin = start_offset;
+    scan.skipped_bytes = start_offset - kWalHeaderBytes;
+  }
+
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size - begin));
+  {
     std::size_t done = 0;
     while (done < bytes.size()) {
       const ssize_t n = ::pread(fd, bytes.data() + done, bytes.size() - done,
-                                static_cast<off_t>(done));
+                                static_cast<off_t>(begin + done));
       if (n <= 0) {
         bytes.resize(done);
         break;
@@ -290,36 +342,26 @@ WalScan scan_wal(const std::string& path) {
     }
   }
   ::close(fd);
-  scan.file_bytes = bytes.size();
 
-  if (bytes.size() < kWalHeaderBytes ||
-      std::memcmp(bytes.data(), kWalMagic.data(), kWalMagic.size()) != 0 ||
-      load_u32(bytes.data() + 8) != kWalVersion) {
-    if (!bytes.empty()) {
-      scan.tail_error = DurabilityError{DurabilityErrorKind::kBadFileHeader,
-                                        "journal header invalid", 0};
-    }
-    return scan;  // valid_bytes stays 0: rewrite from scratch
-  }
-
-  std::size_t offset = kWalHeaderBytes;
-  scan.valid_bytes = offset;
+  std::size_t offset = 0;  // into the suffix buffer; file offset = begin + it
+  scan.valid_bytes = begin;
   while (offset < bytes.size()) {
+    const std::uint64_t file_offset = begin + offset;
     const std::size_t remaining = bytes.size() - offset;
     if (remaining < kWalFrameBytes) {
       scan.tail_error = DurabilityError{DurabilityErrorKind::kTornRecord,
-                                        "partial frame at tail", offset};
+                                        "partial frame at tail", file_offset};
       break;
     }
     const std::uint32_t len = load_u32(bytes.data() + offset);
     if (len > kWalMaxPayload) {
       scan.tail_error = DurabilityError{DurabilityErrorKind::kBadLength,
-                                        "length field over cap", offset};
+                                        "length field over cap", file_offset};
       break;
     }
     if (kWalFrameBytes + static_cast<std::size_t>(len) > remaining) {
       scan.tail_error = DurabilityError{DurabilityErrorKind::kTornRecord,
-                                        "record cut off at tail", offset};
+                                        "record cut off at tail", file_offset};
       break;
     }
     const std::uint8_t type_byte = bytes[offset + 4];
@@ -329,16 +371,17 @@ WalScan scan_wal(const std::string& path) {
         stored != frame_checksum(static_cast<WalRecordType>(type_byte),
                                  {payload, len})) {
       scan.tail_error = DurabilityError{DurabilityErrorKind::kBadChecksum,
-                                        "record checksum mismatch", offset};
+                                        "record checksum mismatch",
+                                        file_offset};
       break;
     }
     WalRecord record;
     record.type = static_cast<WalRecordType>(type_byte);
-    record.offset = offset;
+    record.offset = file_offset;
     record.payload.assign(payload, payload + len);
     scan.records.push_back(std::move(record));
     offset += kWalFrameBytes + len;
-    scan.valid_bytes = offset;
+    scan.valid_bytes = begin + offset;
   }
   return scan;
 }

@@ -103,8 +103,10 @@ struct WalPacket {
 /// RecoveryReport::fix_mismatches); fixes already *inside* the restored
 /// snapshot are re-emitted straight from the journaled values — a crash
 /// between snapshot publish and the caller consuming pump()'s return
-/// must not lose the fix, and the journal is never compacted, so every
-/// fix ever journaled stays reconstructible.
+/// must not lose the fix. A cadence snapshot records its journal scan
+/// mark at the *head* of the emitting batch (SnapshotData::journal_bytes),
+/// so every fix record of that batch stays inside the scanned suffix
+/// and remains reconstructible.
 struct WalFix {
   SessionId session = 0;
   std::uint64_t index = 0;  ///< LocationFix::durable_round_index
@@ -153,8 +155,11 @@ class WalWriter {
   /// Opens (creating if needed) the journal at `path` and positions at
   /// the end of `valid_bytes` — recovery passes the scanned valid
   /// prefix; a fresh journal writes the header. `crash` may be null.
+  /// `fsync_on_commit` fdatasyncs after every committed record,
+  /// extending the durability scope from process crashes to power loss
+  /// (DurabilityConfig::fsync).
   WalWriter(std::string path, CrashInjector* crash = nullptr,
-            WalIoFailurePlan io = {});
+            WalIoFailurePlan io = {}, bool fsync_on_commit = false);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -200,6 +205,7 @@ class WalWriter {
   std::vector<std::uint8_t> buf_;  ///< reused frame+payload buffer
   CrashInjector* crash_;
   WalIoFailurePlan io_;
+  bool fsync_on_commit_ = false;
   std::optional<DurabilityError> open_error_;
 };
 
@@ -216,15 +222,29 @@ struct WalScan {
   std::vector<WalRecord> records;
   /// Header plus every whole, checksum-good record — the prefix a
   /// recovering writer resumes behind (everything past it is torn).
+  /// When the scan started at an offset, records below it are *assumed*
+  /// valid (they were committed before the covering snapshot) and
+  /// counted here without being read.
   std::uint64_t valid_bytes = 0;
   std::uint64_t file_bytes = 0;
+  /// Bytes below the start offset that were never read (0 on a full
+  /// scan) — the snapshot-bounded part of the journal.
+  std::uint64_t skipped_bytes = 0;
   /// Why the scan stopped before the end of the file, if it did.
   std::optional<DurabilityError> tail_error;
 };
 
 /// Scans the journal, stopping at the first torn/corrupt byte. A
 /// missing file is a valid empty journal (fresh start), not an error.
-[[nodiscard]] WalScan scan_wal(const std::string& path);
+/// `start_offset` (a committed-bytes mark recorded in a snapshot)
+/// bounds the scan: only the suffix past it is read or materialized,
+/// so recovery cost is proportional to the journal written since the
+/// snapshot, not since deployment. An offset that does not land inside
+/// the file (journal wiped or recreated underneath the snapshot) falls
+/// back to a full scan — replay skip marks make the extra records
+/// harmless.
+[[nodiscard]] WalScan scan_wal(const std::string& path,
+                               std::uint64_t start_offset = 0);
 
 /// Truncates the journal to its valid prefix (discarding a torn tail).
 /// Reaches CrashPoint::kRecoveryTruncate first — a crash *during*

@@ -337,6 +337,34 @@ TEST(Wal, BadHeaderDiscardsWholeFileAndRecoversByRewrite) {
   ASSERT_EQ(again.records.size(), 1u);
 }
 
+TEST(Wal, ScanFromOffsetReadsOnlyTheSuffix) {
+  TempDir dir;
+  const std::size_t n = write_small_journal(dir.wal(), 3);
+  const WalScan full = scan_wal(dir.wal());
+  ASSERT_EQ(full.records.size(), n);
+  EXPECT_EQ(full.skipped_bytes, 0u);
+  // Resume at the third record's frame, as recovery does from a
+  // snapshot's scan mark: records below it are counted valid unread.
+  const std::uint64_t mark = full.records[2].offset;
+  const WalScan suffix = scan_wal(dir.wal(), mark);
+  EXPECT_FALSE(suffix.tail_error.has_value());
+  ASSERT_EQ(suffix.records.size(), n - 2);
+  EXPECT_EQ(suffix.skipped_bytes, mark - kWalHeaderBytes);
+  EXPECT_EQ(suffix.records.front().offset, mark);
+  EXPECT_EQ(suffix.valid_bytes, full.valid_bytes);
+  EXPECT_EQ(suffix.records.back().type, WalRecordType::kSessionClose);
+  // A mark at the exact tail scans an empty suffix, not an error.
+  const WalScan at_tip = scan_wal(dir.wal(), full.file_bytes);
+  EXPECT_FALSE(at_tip.tail_error.has_value());
+  EXPECT_EQ(at_tip.records.size(), 0u);
+  EXPECT_EQ(at_tip.valid_bytes, full.file_bytes);
+  // A mark past the end (journal wiped/recreated underneath an old
+  // snapshot) degrades to a full scan rather than trusting it.
+  const WalScan fallback = scan_wal(dir.wal(), full.file_bytes + 1000);
+  EXPECT_EQ(fallback.records.size(), n);
+  EXPECT_EQ(fallback.skipped_bytes, 0u);
+}
+
 TEST(Wal, EnospcAppendFailsCleanAndLeavesWholeRecords) {
   TempDir dir;
   WalIoFailurePlan io;
@@ -697,8 +725,10 @@ TEST(DurableSession, SnapshotBoundsReplayAndResumesMidStream) {
   EXPECT_TRUE(report.snapshot_loaded);
   EXPECT_EQ(report.fix_mismatches, 0u);
   // The snapshot bounded the replay: strictly fewer packets replayed
-  // than were accepted in total.
+  // than were accepted in total — and the scan itself, which started at
+  // the snapshot's journal mark instead of re-reading the whole file.
   EXPECT_LT(report.packets_replayed, half);
+  EXPECT_GT(report.journal_bytes_skipped, 0u);
   for (const auto& [sid, fix] : report.recovered_fixes) note_fix(fixes, fix);
   drive_direct(dm2, fixes);
   expect_same_fixes(fixes, golden.fixes);
@@ -797,6 +827,83 @@ TEST(DurableSession, SessionIdsNeverReusedAndRetirementExactlyOnceAcrossRecovery
   dm2.close_session(second);
   dm2.close_session(second);
   EXPECT_EQ(dm2.manager().global_stats().accepted, global.accepted);
+}
+
+TEST(DurableSession, FsyncOptInPreservesTheRecoveryContract) {
+  const GoldenRun& golden = golden_run();
+  const Feed& feed = shared_feed();
+  const std::size_t naps = feed.captures.size();
+  const std::size_t half = (kPacketsPerAp * naps) / 2;
+  TempDir dir;
+  DurabilityConfig cfg = durable_config(dir.path, nullptr);
+  cfg.fsync = true;
+  FixesByRound fixes;
+  {
+    DurableSessionManager dm(kLink, serial_manager(), cfg);
+    (void)dm.recover(shared_config_of());
+    const SessionId id = ensure_session(dm);
+    for (std::size_t i = 0; i < half; ++i) {
+      ASSERT_TRUE(
+          dm.offer(id, i % naps, feed.captures[i % naps].packets[i / naps])
+              .admitted());
+      for (const LocationFix& fix : dm.pump(id)) note_fix(fixes, fix);
+    }
+    EXPECT_EQ(dm.journal_failures(), 0u);
+    EXPECT_GE(dm.snapshots_written(), 1u);
+  }
+  DurableSessionManager dm2(kLink, serial_manager(), cfg);
+  const RecoveryReport report = dm2.recover(shared_config_of());
+  EXPECT_EQ(report.fix_mismatches, 0u);
+  for (const auto& [sid, fix] : report.recovered_fixes) note_fix(fixes, fix);
+  drive_direct(dm2, fixes);
+  expect_same_fixes(fixes, golden.fixes);
+}
+
+/// Two sessions pumped from two threads while every fix trips a cadence
+/// snapshot (which reads *both* sessions' state): the journal mutex
+/// must serialize the snapshot against the other thread's in-flight
+/// pump. TSan in the CI crash-recovery job is the real assertion here.
+TEST(DurableSession, CrossThreadPumpsSerializeAgainstCadenceSnapshots) {
+  const GoldenRun& golden = golden_run();
+  const Feed& feed = shared_feed();
+  TempDir dir;
+  DurableSessionManager dm(kLink, serial_manager(),
+                           durable_config(dir.path, nullptr));
+  (void)dm.recover(shared_config_of());
+  const SessionId a = dm.open_session(base_session(feed, kGroup));
+  const SessionId b = dm.open_session(base_session(feed, kGroup));
+  const std::size_t naps = feed.captures.size();
+  auto drive = [&](SessionId id, std::vector<LocationFix>& out, bool& ok) {
+    ok = true;
+    for (std::uint64_t i = 0; i < kPacketsPerAp * naps; ++i) {
+      const std::size_t p = static_cast<std::size_t>(i) / naps;
+      const std::size_t ap = static_cast<std::size_t>(i) % naps;
+      if (!dm.offer(id, ap, feed.captures[ap].packets[p]).admitted()) {
+        ok = false;  // gtest assertions are not thread-safe; flag instead
+        return;
+      }
+      for (LocationFix& fix : dm.pump(id)) out.push_back(std::move(fix));
+    }
+  };
+  std::vector<LocationFix> fixes_a;
+  std::vector<LocationFix> fixes_b;
+  bool ok_a = false;
+  bool ok_b = false;
+  std::thread ta([&] { drive(a, fixes_a, ok_a); });
+  std::thread tb([&] { drive(b, fixes_b, ok_b); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(ok_a);
+  ASSERT_TRUE(ok_b);
+  EXPECT_EQ(dm.journal_failures(), 0u);
+  // Each session ran the golden workload independently; interleaved
+  // journaling and snapshots must not perturb either fix stream.
+  FixesByRound by_round_a;
+  FixesByRound by_round_b;
+  for (const LocationFix& fix : fixes_a) note_fix(by_round_a, fix);
+  for (const LocationFix& fix : fixes_b) note_fix(by_round_b, fix);
+  expect_same_fixes(by_round_a, golden.fixes);
+  expect_same_fixes(by_round_b, golden.fixes);
 }
 
 // --- the kill-point sweep ---------------------------------------------------
@@ -937,6 +1044,137 @@ TEST(DurableCrash, CrashDuringRecoveryTruncateIsItselfRecoverable) {
   for (const auto& [sid, fix] : report.recovered_fixes) note_fix(fixes, fix);
   drive_direct(dm, fixes);
   expect_same_fixes(fixes, golden.fixes);
+}
+
+/// Regression for a lost-fix window: a pump() batch with more than one
+/// fix used to trip the cadence snapshot on the *first* fix — after the
+/// manager had already advanced emitted_fixes for the whole batch but
+/// before the later fixes' records were appended. A crash right after
+/// kSnapshotPublished then lost those fixes for good: replay skipped
+/// their generating packets (inside the snapshot) and no journaled
+/// values existed to re-emit. The cadence now fires once per batch,
+/// after every fix of the batch is in the journal.
+TEST(DurableCrash, MultiFixPumpBatchSurvivesSnapshotPublishCrash) {
+  const Feed& feed = shared_feed();
+  const std::size_t naps = feed.captures.size();
+  const std::size_t total = kPacketsPerAp * naps;
+  // Reference: offer everything, then a single pump that emits the
+  // whole multi-fix batch, then the timer poll.
+  FixesByRound want;
+  {
+    TempDir dir;
+    DurableSessionManager dm(kLink, serial_manager(),
+                             durable_config(dir.path, nullptr));
+    (void)dm.recover(shared_config_of());
+    const SessionId id = dm.open_session(base_session(feed, kGroup));
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_TRUE(
+          dm.offer(id, i % naps, feed.captures[i % naps].packets[i / naps])
+              .admitted());
+    }
+    const std::vector<LocationFix> batch = dm.pump(id);
+    ASSERT_GE(batch.size(), 2u) << "workload must emit a multi-fix batch";
+    for (const LocationFix& fix : batch) note_fix(want, fix);
+    if (const auto fix = dm.poll(id, kPollTime)) note_fix(want, *fix);
+  }
+  for (const std::uint64_t seed : sweep_seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    TempDir dir;
+    CrashInjector inj;
+    inj.arm(CrashPoint::kSnapshotPublished, 1, seed);
+    FixesByRound fixes;
+    {
+      DurableSessionManager dm(kLink, serial_manager(),
+                               durable_config(dir.path, &inj));
+      (void)dm.recover(shared_config_of());
+      const SessionId id = dm.open_session(base_session(feed, kGroup));
+      for (std::size_t i = 0; i < total; ++i) {
+        ASSERT_TRUE(
+            dm.offer(id, i % naps, feed.captures[i % naps].packets[i / naps])
+                .admitted());
+      }
+      // The batch's cadence snapshot publishes, then the "process" dies
+      // before pump() returns — the caller never sees a single fix.
+      EXPECT_THROW((void)dm.pump(id), CrashInjected);
+    }
+    inj.disarm();
+    DurableSessionManager dm(kLink, serial_manager(),
+                             durable_config(dir.path, &inj));
+    const RecoveryReport report = dm.recover(shared_config_of());
+    EXPECT_EQ(report.fix_mismatches, 0u);
+    // Every fix of the batch must come back from the journal: the
+    // snapshot covered them all, so recovery re-emits all of them.
+    for (const auto& [sid, fix] : report.recovered_fixes) {
+      note_fix(fixes, fix);
+    }
+    const SessionId id = ensure_session(dm);
+    if (dm.manager().applied_polls(id) == 0) {
+      if (const auto fix = dm.poll(id, kPollTime)) note_fix(fixes, *fix);
+    }
+    expect_same_fixes(fixes, want);
+  }
+}
+
+/// The close record hits the journal before the in-memory close, same
+/// journal-before-effect ordering as packets: whichever side of the
+/// append the crash lands on, recovery and the caller agree.
+TEST(DurableCrash, CloseJournalsBeforeTheInMemoryEffect) {
+  const Feed& feed = shared_feed();
+  // (a) Crash before any close byte reaches the journal: the caller
+  // never observed the close complete, so the session survives
+  // recovery and a retried close works.
+  {
+    TempDir dir;
+    CrashInjector inj;
+    DurabilityConfig cfg = durable_config(dir.path, &inj);
+    cfg.snapshot_every_fixes = 0;
+    SessionId id = 0;
+    {
+      DurableSessionManager dm(kLink, serial_manager(), cfg);
+      (void)dm.recover(shared_config_of());
+      id = dm.open_session(base_session(feed, kGroup));
+      ASSERT_TRUE(dm.offer(id, 0, feed.captures[0].packets[0]).admitted());
+      inj.arm(CrashPoint::kJournalAppendStart,
+              inj.visits(CrashPoint::kJournalAppendStart) + 1, 3);
+      EXPECT_THROW(dm.close_session(id), CrashInjected);
+    }
+    inj.disarm();
+    DurabilityConfig cfg2 = durable_config(dir.path, nullptr);
+    cfg2.snapshot_every_fixes = 0;
+    DurableSessionManager dm2(kLink, serial_manager(), cfg2);
+    (void)dm2.recover(shared_config_of());
+    const auto ids = dm2.manager().session_ids();
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids.front(), id);
+    dm2.close_session(id);
+    EXPECT_TRUE(dm2.manager().session_ids().empty());
+  }
+  // (b) Crash after the close record is durable but before the
+  // in-memory close applied: recovery replays the close — a session
+  // whose close the journal recorded is never resurrected — and the
+  // stats retire exactly once.
+  {
+    TempDir dir;
+    CrashInjector inj;
+    DurabilityConfig cfg = durable_config(dir.path, &inj);
+    cfg.snapshot_every_fixes = 0;
+    {
+      DurableSessionManager dm(kLink, serial_manager(), cfg);
+      (void)dm.recover(shared_config_of());
+      const SessionId id = dm.open_session(base_session(feed, kGroup));
+      ASSERT_TRUE(dm.offer(id, 0, feed.captures[0].packets[0]).admitted());
+      inj.arm(CrashPoint::kJournalAppendDone,
+              inj.visits(CrashPoint::kJournalAppendDone) + 1, 3);
+      EXPECT_THROW(dm.close_session(id), CrashInjected);
+    }
+    inj.disarm();
+    DurabilityConfig cfg2 = durable_config(dir.path, nullptr);
+    cfg2.snapshot_every_fixes = 0;
+    DurableSessionManager dm2(kLink, serial_manager(), cfg2);
+    (void)dm2.recover(shared_config_of());
+    EXPECT_TRUE(dm2.manager().session_ids().empty());
+    EXPECT_EQ(dm2.manager().global_stats().accepted, 1u);
+  }
 }
 
 // --- crash + transport reconnect -------------------------------------------
