@@ -29,11 +29,38 @@ throughput benches (`BM_SessionRounds/*`) participate in the normalized
 Usage:
     bench_regression.py <baseline.json> <candidate.json>
         [--threshold 0.15] [--reference BM_MatMul30]
+    bench_regression.py <candidate.json>               # newest BENCH_*.json
+    bench_regression.py --baseline <path> <candidate.json>
+
+The baseline may be named three ways: positionally (first of two
+paths), via --baseline (reads naturally in scripts), or omitted
+entirely — in which case the highest-numbered checked-in BENCH_<N>.json
+next to the repo root is used, so a local before/after comparison of a
+refactor is just `bench_regression.py my_run.json`.
 """
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
+
+
+def default_baseline():
+    """The highest-numbered checked-in BENCH_<N>.json (repo root)."""
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    best = None
+    best_n = -1
+    for path in glob.glob(os.path.join(root, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if m and int(m.group(1)) > best_n:
+            best_n = int(m.group(1))
+            best = path
+    if best is None:
+        sys.exit("bench_regression: no checked-in BENCH_<N>.json found; "
+                 "name a baseline explicitly (positionally or --baseline)")
+    return best
 
 
 def require(entry, key, path):
@@ -64,14 +91,33 @@ def load_entries(path):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="+", metavar="json",
+                    help="<baseline> <candidate>, or just <candidate> "
+                         "(baseline defaults to the newest BENCH_<N>.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="explicit baseline snapshot path (overrides the "
+                         "checked-in BENCH_<N>.json convention)")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="maximum tolerated normalized slowdown (0.15 = 15%%)")
     ap.add_argument("--reference", default="BM_MatMul30",
                     help="kernel used to normalize out machine speed")
     args = ap.parse_args()
+
+    if len(args.paths) == 2:
+        if args.baseline is not None:
+            sys.exit("bench_regression: --baseline conflicts with naming "
+                     "two positional paths")
+        args.baseline, args.candidate = args.paths
+    elif len(args.paths) == 1:
+        args.candidate = args.paths[0]
+        if args.baseline is None:
+            args.baseline = default_baseline()
+            print(f"baseline defaulted to {args.baseline}")
+    else:
+        sys.exit("bench_regression: expected <candidate> or "
+                 "<baseline> <candidate>")
 
     base, base_smoke = load_entries(args.baseline)
     cand, cand_smoke = load_entries(args.candidate)

@@ -10,7 +10,11 @@
 // with one global value.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/parallel.hpp"
+#include "core/session_manager.hpp"
+#include "pipeline/stages.hpp"
 #include "testbed/experiment.hpp"
 
 namespace {
@@ -82,6 +86,177 @@ void BM_FullRound6Aps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullRound6Aps)->ArgName("threads")->Arg(1)->Arg(2)->Arg(4)->Arg(6);
+
+// --- stage-level benches (DESIGN.md §15) -------------------------------
+// One number per pipeline stage, through the same Stage::run_into
+// boundary the pipeline drives, so the eig-vs-sweep cost split the
+// ROADMAP items 1-2 target is visible stage by stage — not just in the
+// end-to-end group numbers above.
+
+void BM_Stage_Sanitize(benchmark::State& state) {
+  auto& f = fixture();
+  const SanitizeStage sanitize(f.link, true);
+  const CsiPacket& packet = f.captures[0].packets[0];
+  Workspace ws;
+  StageContext ctx;
+  ctx.ws = &ws;
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    benchmark::DoNotOptimize(
+        sanitize.run_into(ctx, ConstCMatrixView(packet.csi)));
+  }
+}
+BENCHMARK(BM_Stage_Sanitize);
+
+void BM_Stage_Subspace(benchmark::State& state) {
+  // Smoothing + eigendecomposition + noise-subspace split (smoothing is
+  // folded into the subspace phase, matching the telemetry buckets).
+  auto& f = fixture();
+  const JointMusicEstimator est(f.link, JointMusicConfig{});
+  const SmoothingStage smooth(est);
+  const SubspaceStage subspace(est);
+  const CsiPacket& packet = f.captures[0].packets[0];
+  Workspace ws;
+  StageContext ctx;
+  ctx.ws = &ws;
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    const CMatrixView x = smooth.run_into(ctx, ConstCMatrixView(packet.csi));
+    benchmark::DoNotOptimize(subspace.run_into(ctx, ConstCMatrixView(x)));
+  }
+}
+BENCHMARK(BM_Stage_Subspace);
+
+void BM_Stage_Spectrum(benchmark::State& state) {
+  // The grid sweep alone: subspaces are computed once into an enclosing
+  // frame, each iteration sweeps the pseudospectrum and extracts peaks.
+  auto& f = fixture();
+  const JointMusicEstimator est(f.link, JointMusicConfig{});
+  const SmoothingStage smooth(est);
+  const SubspaceStage subspace(est);
+  const SpectrumStage spectrum(est);
+  const CsiPacket& packet = f.captures[0].packets[0];
+  Workspace ws;
+  StageContext ctx;
+  ctx.ws = &ws;
+  Workspace::Frame outer(ws);
+  const CMatrixView x = smooth.run_into(ctx, ConstCMatrixView(packet.csi));
+  const SubspacesRef sub = subspace.run_into(ctx, ConstCMatrixView(x));
+  std::vector<PathEstimate> out(est.config().max_paths);
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    benchmark::DoNotOptimize(spectrum.run_into(ctx, SpectrumIn{sub, out}));
+  }
+}
+BENCHMARK(BM_Stage_Spectrum);
+
+void BM_Stage_Cluster(benchmark::State& state) {
+  // Clustering + direct-path selection over one group's pooled
+  // estimates (the kCluster telemetry bucket end to end).
+  auto& f = fixture();
+  const JointMusicEstimator est(f.link, JointMusicConfig{});
+  const std::size_t max_paths = est.config().max_paths;
+  Workspace ws;
+  std::vector<PathEstimate> pooled;
+  {
+    Workspace::Frame frame(ws);
+    std::vector<PathEstimate> slots(max_paths);
+    for (const auto& packet : f.captures[0].packets) {
+      const std::size_t n =
+          est.estimate_into(ConstCMatrixView(packet.csi), ws, slots);
+      pooled.insert(pooled.end(), slots.begin(),
+                    slots.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  const ClusterStage cluster(f.link, DirectPathConfig{});
+  const DirectPathStage direct_path;
+  Rng rng(21);
+  StageContext ctx;
+  ctx.ws = &ws;
+  ctx.rng = &rng;
+  const std::size_t n_packets = f.captures[0].packets.size();
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    const auto clusters =
+        cluster.run_into(ctx, ClusterIn{pooled, n_packets});
+    benchmark::DoNotOptimize(direct_path.run_into(
+        ctx, DirectPathIn{clusters, &f.captures[0].pose, -40.0}));
+  }
+}
+BENCHMARK(BM_Stage_Cluster);
+
+void BM_Stage_Localize(benchmark::State& state) {
+  auto& f = fixture();
+  LocalizerConfig cfg;
+  cfg.area_min = f.runner.deployment().area_min;
+  cfg.area_max = f.runner.deployment().area_max;
+  const SpotFiLocalizer localizer(cfg);
+  const LocalizeStage localize(localizer);
+  Workspace ws;
+  StageContext ctx;
+  ctx.ws = &ws;
+  for (auto _ : state) {
+    Workspace::Frame frame(ws);
+    benchmark::DoNotOptimize(localize.run_into(
+        ctx, std::span<const ApObservation>(f.observations)));
+  }
+}
+BENCHMARK(BM_Stage_Localize);
+
+// --- cross-session batch scheduling ------------------------------------
+
+/// pump_all() over N tenants with one full group queued each: every
+/// iteration gathers N prepared rounds into one shared batch (steering
+/// tables interned process-wide, arenas reused across tenants) and
+/// executes it on the manager's pool. Same workload shape as
+/// perf_sessions' BM_SessionRounds (3 APs, group of 2, ESPRIT rung), so
+/// the two series read side by side as batched vs per-session pumping.
+void BM_BatchedPump(benchmark::State& state) {
+  const auto n_sessions = static_cast<std::size_t>(state.range(0));
+  auto& f = fixture();
+  constexpr std::size_t kGroup = 2;
+  constexpr std::size_t kAps = 3;
+
+  SessionManager manager(f.link);
+  std::vector<SessionId> ids;
+  ids.reserve(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    SessionConfig cfg;
+    cfg.streaming.group_size = kGroup;
+    cfg.streaming.server.localizer.area_min = f.runner.deployment().area_min;
+    cfg.streaming.server.localizer.area_max = f.runner.deployment().area_max;
+    cfg.streaming.server.ap.fallback.entry_stage =
+        entry_stage_for(ShedLevel::kEsprit);
+    for (std::size_t a = 0; a < kAps; ++a) {
+      cfg.aps.push_back(f.captures[a].pose);
+    }
+    cfg.overload.queue_capacity = 2 * kAps * kGroup;
+    cfg.seed = 100 + s;
+    ids.push_back(manager.open_session(cfg));
+  }
+
+  std::size_t rounds = 0;
+  for (auto _ : state) {
+    for (const SessionId id : ids) {
+      for (std::size_t a = 0; a < kAps; ++a) {
+        for (std::size_t p = 0; p < kGroup; ++p) {
+          benchmark::DoNotOptimize(
+              manager.offer(id, a, f.captures[a].packets[p]));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(manager.pump_all());
+    rounds += n_sessions;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rounds));
+  state.counters["sessions"] =
+      benchmark::Counter(static_cast<double>(n_sessions));
+}
+BENCHMARK(BM_BatchedPump)
+    ->ArgName("sessions")
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ChannelSynthesis(benchmark::State& state) {
   auto& f = fixture();

@@ -1,8 +1,10 @@
 #include "core/ap_processor.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "common/parallel.hpp"
+#include "csi/sanitize.hpp"
 
 namespace spotfi {
 namespace {
@@ -24,100 +26,6 @@ JointMusicConfig relaxed_music(JointMusicConfig cfg) {
   return cfg;
 }
 
-/// The scratch arena of the calling thread for work dispatched through
-/// `config.pool` (a worker's lane arena, or the caller's process-wide
-/// one). Serial runs use the process-wide arena directly.
-Workspace& group_workspace(const ApProcessorConfig& config) {
-  return config.pool != nullptr ? config.pool->workspace()
-                                : thread_workspace();
-}
-
-/// Shared per-group pipeline: sanitize -> estimate per packet -> pool ->
-/// cluster -> select. `estimate` is the front end under test, with the
-/// arena calling convention (csi view + workspace in, estimates out;
-/// at most `max_paths` of them). Packets are independent until the
-/// pooling step, so the sanitize+estimate stage fans out over
-/// config.pool when one is set; per-packet outputs are slotted by index
-/// into one group-wide buffer and folded in packet order (estimates,
-/// RSSI sum, and numerics counters alike), so the pooled result is
-/// byte-identical to the serial loop's.
-///
-/// Allocation discipline: the group allocates its slot buffers and the
-/// result vectors once; every per-packet buffer is frame-scoped arena
-/// scratch, so a warmed steady-state packet never touches the heap.
-/// `ws_peak_out` (when set) receives the largest single-frame footprint
-/// seen while processing the group.
-template <typename EstimateFn>
-ApResult run_group(std::span<const CsiPacket> packets, const LinkConfig& link,
-                   const ArrayPose& pose, const ApProcessorConfig& config,
-                   Rng& rng, std::size_t max_paths, EstimateFn&& estimate,
-                   std::size_t* ws_peak_out = nullptr) {
-  struct PacketOutput {
-    std::size_t count = 0;
-    std::size_t ws_peak_bytes = 0;
-    NumericsCounters numerics;
-  };
-  std::vector<PacketOutput> outputs(packets.size());
-  std::vector<PathEstimate> slots(packets.size() * max_paths);
-  const auto estimate_packet = [&](std::size_t i) {
-    // Detached: counters travel home in the task output and are merged
-    // by the dispatching thread below, never through the thread-local
-    // scope stack (which a pool worker does not share with the caller).
-    NumericsScope scope{kDetachedScope};
-    Workspace& ws = group_workspace(config);
-    Workspace::Frame frame(ws);
-    const CsiPacket& packet = packets[i];
-    ConstCMatrixView csi(packet.csi);
-    if (config.sanitize) csi = sanitize_tof(csi, link, ws);
-    outputs[i].count = estimate(
-        csi, ws,
-        std::span<PathEstimate>(slots).subspan(i * max_paths, max_paths));
-    outputs[i].numerics = scope.counters();
-    outputs[i].ws_peak_bytes = frame.peak_bytes();
-  };
-  if (config.pool != nullptr) {
-    config.pool->parallel_for(packets.size(), estimate_packet);
-  } else {
-    for (std::size_t i = 0; i < packets.size(); ++i) estimate_packet(i);
-  }
-
-  ApResult result;
-  double rssi_sum = 0.0;
-  std::size_t total = 0;
-  std::size_t ws_peak = 0;
-  for (const auto& out : outputs) total += out.count;
-  result.pooled_estimates.reserve(total);
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    const auto packet_slots =
-        std::span<const PathEstimate>(slots).subspan(i * max_paths,
-                                                     outputs[i].count);
-    result.pooled_estimates.insert(result.pooled_estimates.end(),
-                                   packet_slots.begin(), packet_slots.end());
-    count_numerics(outputs[i].numerics);
-    rssi_sum += packets[i].rssi_dbm;
-    ws_peak = std::max(ws_peak, outputs[i].ws_peak_bytes);
-  }
-  SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
-                 "super-resolution produced no path estimates");
-
-  {
-    Workspace& ws = group_workspace(config);
-    Workspace::Frame frame(ws);
-    result.clusters =
-        cluster_path_estimates(result.pooled_estimates, link, packets.size(),
-                               rng, config.direct_path, ws);
-    ws_peak = std::max(ws_peak, frame.peak_bytes());
-  }
-  if (ws_peak_out != nullptr) *ws_peak_out = ws_peak;
-  const std::size_t pick = select_spotfi(result.clusters);
-  result.observation.pose = pose;
-  result.observation.direct_aoa_rad = result.clusters[pick].mean_aoa_rad;
-  result.observation.likelihood = result.clusters[pick].likelihood;
-  result.observation.rssi_dbm =
-      rssi_sum / static_cast<double>(packets.size());
-  return result;
-}
-
 }  // namespace
 
 const char* to_string(ApStage stage) {
@@ -137,7 +45,22 @@ ApProcessor::ApProcessor(LinkConfig link, ArrayPose pose,
       pose_(pose),
       config_(std::move(config)),
       music_(link_, config_.music),
-      esprit_(link_, config_.esprit) {}
+      esprit_(link_, config_.esprit),
+      sanitize_stage_(link_, config_.sanitize),
+      music_stage_(music_),
+      esprit_stage_(esprit_),
+      cluster_stage_(link_, config_.direct_path),
+      direct_path_stage_() {}
+
+EstimationPipeline ApProcessor::make_pipeline(
+    const PacketEstimateStage& estimate) const {
+  EstimationPipeline::Stages stages;
+  stages.sanitize = &sanitize_stage_;
+  stages.estimate = &estimate;
+  stages.cluster = &cluster_stage_;
+  stages.direct_path = &direct_path_stage_;
+  return EstimationPipeline(stages, config_.pool);
+}
 
 ApResult ApProcessor::process(std::span<const CsiPacket> packets,
                               Rng& rng) const {
@@ -151,19 +74,15 @@ ApResult ApProcessor::process(std::span<const CsiPacket> packets,
     packets = screened;
   }
 
-  return config_.front_end == FrontEnd::kMusic
-             ? run_group(packets, link_, pose_, config_, rng,
-                         config_.music.max_paths,
-                         [this](ConstCMatrixView csi, Workspace& ws,
-                                std::span<PathEstimate> out) {
-                           return music_.estimate_into(csi, ws, out);
-                         })
-             : run_group(packets, link_, pose_, config_, rng,
-                         config_.esprit.max_paths,
-                         [this](ConstCMatrixView csi, Workspace& ws,
-                                std::span<PathEstimate> out) {
-                           return esprit_.estimate_into(csi, ws, out);
-                         });
+  const PacketEstimateStage& estimate =
+      config_.front_end == FrontEnd::kMusic
+          ? static_cast<const PacketEstimateStage&>(music_stage_)
+          : static_cast<const PacketEstimateStage&>(esprit_stage_);
+  const EstimationPipeline pipeline = make_pipeline(estimate);
+  SpanPacketSource source(packets);
+  StageContext ctx;
+  ctx.rng = &rng;
+  return pipeline.run_group(ctx, source, pose_);
 }
 
 std::size_t ApProcessor::max_paths() const {
@@ -177,11 +96,13 @@ std::size_t ApProcessor::estimate_packet(const CsiPacket& packet,
   SPOTFI_EXPECTS(out.size() >= max_paths(),
                  "estimate_packet output span below max_paths()");
   Workspace::Frame frame(ws);
-  ConstCMatrixView csi(packet.csi);
-  if (config_.sanitize) csi = sanitize_tof(csi, link_, ws);
+  StageContext ctx;
+  ctx.ws = &ws;
+  const ConstCMatrixView csi =
+      sanitize_stage_.run_into(ctx, ConstCMatrixView(packet.csi));
   return config_.front_end == FrontEnd::kMusic
-             ? music_.estimate_into(csi, ws, out)
-             : esprit_.estimate_into(csi, ws, out);
+             ? music_stage_.run_into(ctx, csi, out)
+             : esprit_stage_.run_into(ctx, csi, out);
 }
 
 ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
@@ -211,9 +132,19 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
   const QualityConfig quality = config_.quality.value_or(QualityConfig{});
   const std::vector<CsiPacket> screened = screen_group(packets, quality);
 
-  auto attempt = [&](ApStage stage, auto&& stage_fn) {
+  // One fallback rung = one pipeline run with a substituted estimate
+  // stage; the orchestration below only decides WHICH stage runs, never
+  // HOW a group is processed.
+  auto attempt = [&](ApStage stage, const PacketEstimateStage& estimate) {
     try {
-      ApResult candidate = stage_fn();
+      out.stage_breakdown = StageBreakdown{};
+      const EstimationPipeline pipeline = make_pipeline(estimate);
+      SpanPacketSource source(screened);
+      StageContext ctx;
+      ctx.rng = &rng;
+      ctx.breakdown = &out.stage_breakdown;
+      ApResult candidate =
+          pipeline.run_group(ctx, source, pose_, &out.workspace_peak_bytes);
       // An estimator can "succeed" on corrupt input by propagating NaNs
       // into the observation; that counts as a stage failure.
       const ApObservation& obs = candidate.observation;
@@ -246,52 +177,41 @@ ApOutcome ApProcessor::process_robust(std::span<const CsiPacket> packets,
   };
 
   if (!screened.empty()) {
-    const std::span<const CsiPacket> group(screened);
     const bool primary_is_music = config_.front_end == FrontEnd::kMusic;
-    if (stage_allowed(ApStage::kPrimary) &&
-        attempt(ApStage::kPrimary, [&] {
-          return run_group(
-              group, link_, pose_, config_, rng, max_paths(),
-              [&](ConstCMatrixView csi, Workspace& ws,
-                  std::span<PathEstimate> dst) {
-                return primary_is_music ? music_.estimate_into(csi, ws, dst)
-                                        : esprit_.estimate_into(csi, ws, dst);
-              },
-              &out.workspace_peak_bytes);
-        })) {
-      return finish();
-    }
-    if (stage_allowed(ApStage::kRelaxedMusic)) {
-      const JointMusicEstimator relaxed(link_, relaxed_music(config_.music));
-      if (attempt(ApStage::kRelaxedMusic, [&] {
-            return run_group(
-                group, link_, pose_, config_, rng,
-                relaxed.config().max_paths,
-                [&](ConstCMatrixView csi, Workspace& ws,
-                    std::span<PathEstimate> dst) {
-                  return relaxed.estimate_into(csi, ws, dst);
-                },
-                &out.workspace_peak_bytes);
-          })) {
-        return finish();
+    // Lazily built on first use: the relaxed rung needs its own
+    // (coarser-grid) estimator, which most groups never reach.
+    std::optional<JointMusicEstimator> relaxed;
+    std::optional<MusicEstimateStage> relaxed_stage;
+    const auto rung_stage =
+        [&](ApStage stage) -> const PacketEstimateStage* {
+      switch (stage) {
+        case ApStage::kPrimary:
+          return primary_is_music
+                     ? static_cast<const PacketEstimateStage*>(&music_stage_)
+                     : static_cast<const PacketEstimateStage*>(&esprit_stage_);
+        case ApStage::kRelaxedMusic:
+          if (!relaxed) {
+            relaxed.emplace(link_, relaxed_music(config_.music));
+            relaxed_stage.emplace(*relaxed);
+          }
+          return &*relaxed_stage;
+        case ApStage::kEsprit:
+          // Retrying ESPRIT after an ESPRIT-primary failure is
+          // redundant — unless the ladder *enters* at ESPRIT, in which
+          // case it is the requested estimator, not a retry.
+          if (!primary_is_music && entry != ApStage::kEsprit) return nullptr;
+          return &esprit_stage_;
+        default:
+          return nullptr;
       }
-    }
-    // Retrying ESPRIT after an ESPRIT-primary failure is redundant —
-    // unless the ladder *enters* at ESPRIT, in which case it is the
-    // requested estimator, not a retry.
-    if (stage_allowed(ApStage::kEsprit) &&
-        (primary_is_music || entry == ApStage::kEsprit)) {
-      if (attempt(ApStage::kEsprit, [&] {
-            return run_group(
-                group, link_, pose_, config_, rng, config_.esprit.max_paths,
-                [&](ConstCMatrixView csi, Workspace& ws,
-                    std::span<PathEstimate> dst) {
-                  return esprit_.estimate_into(csi, ws, dst);
-                },
-                &out.workspace_peak_bytes);
-          })) {
-        return finish();
-      }
+    };
+    constexpr ApStage kLadder[] = {ApStage::kPrimary, ApStage::kRelaxedMusic,
+                                   ApStage::kEsprit};
+    for (const ApStage stage : kLadder) {
+      if (!stage_allowed(stage)) continue;
+      const PacketEstimateStage* estimate = rung_stage(stage);
+      if (estimate == nullptr) continue;
+      if (attempt(stage, *estimate)) return finish();
     }
   } else {
     out.note = "quality screen rejected every packet in the group";

@@ -12,12 +12,9 @@
 #include <vector>
 
 #include "channel/csi_synthesis.hpp"
-#include "core/direct_path.hpp"
 #include "csi/quality.hpp"
-#include "csi/sanitize.hpp"
 #include "linalg/numerics.hpp"
-#include "localize/observation.hpp"
-#include "music/esprit.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace spotfi {
 
@@ -84,17 +81,6 @@ struct ApProcessorConfig {
   ThreadPool* pool = nullptr;
 };
 
-/// Everything the per-AP stage produces; the server consumes
-/// `observation`, the diagnostics and benches use the rest.
-struct ApResult {
-  /// Clusters sorted by likelihood (descending).
-  std::vector<ClusterSummary> clusters;
-  /// Pooled per-packet estimates (Fig. 5(c) scatter).
-  std::vector<PathEstimate> pooled_estimates;
-  /// The selected direct path as a fusion-ready observation.
-  ApObservation observation;
-};
-
 /// Exception-free per-AP result: the server's fault-tolerant path calls
 /// process_robust and inspects `stage`/`usable` instead of catching.
 struct ApOutcome {
@@ -115,6 +101,13 @@ struct ApOutcome {
   /// the per-group memory footprint of the winning stage. Capacity
   /// regressions (a config change blowing up the arena) surface here.
   std::size_t workspace_peak_bytes = 0;
+  /// Per-stage wall time and arena footprint of the winning fallback
+  /// rung's pipeline run (or the last rung attempted, when the chain
+  /// fell through to RSSI/failed). Times sum over the group's packets;
+  /// peaks are per-phase maxima across packets. This is the per-round
+  /// eig-vs-sweep cost split ROADMAP items 1-2 need in production, not
+  /// just in microbenches.
+  StageBreakdown stage_breakdown;
 };
 
 class ApProcessor {
@@ -156,11 +149,24 @@ class ApProcessor {
   [[nodiscard]] const LinkConfig& link() const { return link_; }
 
  private:
+  /// The stage set for one fallback rung: the shared sanitize/cluster/
+  /// direct-path stages around `estimate`, composed into a pipeline over
+  /// config_.pool.
+  [[nodiscard]] EstimationPipeline make_pipeline(
+      const PacketEstimateStage& estimate) const;
+
   LinkConfig link_;
   ArrayPose pose_;
   ApProcessorConfig config_;
   JointMusicEstimator music_;
   JointEspritEstimator esprit_;
+  // Immutable stage instances (stage.hpp contract); the fallback ladder
+  // substitutes which estimate stage the pipeline runs.
+  SanitizeStage sanitize_stage_;
+  MusicEstimateStage music_stage_;
+  EspritEstimateStage esprit_stage_;
+  ClusterStage cluster_stage_;
+  DirectPathStage direct_path_stage_;
 };
 
 }  // namespace spotfi

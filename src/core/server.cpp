@@ -83,15 +83,26 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     return RoundError{"need at least two AP captures", 0};
   }
 
+  // Fork one Rng stream per AP *before* dispatch, in capture order (see
+  // localize()): results are a pure function of (captures, seed).
+  std::vector<Rng> streams;
+  streams.reserve(captures.size());
+  for (std::size_t i = 0; i < captures.size(); ++i) {
+    streams.push_back(rng.fork());
+  }
+  return try_localize_forked(captures, streams);
+}
+
+Expected<LocalizationRound, RoundError> SpotFiServer::try_localize_forked(
+    std::span<const ApCapture> captures, std::span<Rng> streams) const {
+  SPOTFI_EXPECTS(streams.size() == captures.size() && captures.size() >= 2,
+                 "try_localize_forked needs one forked stream per capture");
+
   // Per-AP stage: same deterministic fan-out as localize(), but through
   // the robust fallback chain. Each AP's numerics counters ride home in
   // its ApOutcome (process_robust collects into a detached scope), and
   // are merged into the round scope below in capture order.
   const std::size_t n = captures.size();
-  std::vector<Rng> streams;
-  streams.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) streams.push_back(rng.fork());
-
   const ApProcessorConfig ap_cfg = ap_config();
   std::vector<ApOutcome> outcomes(n);
   for_each_ap(n, [&](std::size_t i) {
@@ -129,6 +140,7 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     count_numerics(outcome.numerics);
     round.workspace_peak_bytes =
         std::max(round.workspace_peak_bytes, outcome.workspace_peak_bytes);
+    round.stage_breakdown.merge(outcome.stage_breakdown);
     round.ap_stages.push_back(outcome.stage);
     if (outcome.stage != ApStage::kPrimary) {
       round.degraded = true;
@@ -154,9 +166,18 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
     return RoundError{"fewer than two usable AP observations", usable.size()};
   }
 
+  // The fusion solves run through the localize stage so the round's
+  // kLocalize telemetry bucket covers the primary solve and every LOO
+  // re-solve alike.
   const SpotFiLocalizer localizer(config_.localizer);
+  const LocalizeStage localize_stage(localizer);
+  StageContext fusion_ctx;
+  fusion_ctx.ws = &ws;
+  fusion_ctx.breakdown = &round.stage_breakdown;
+  fusion_ctx.frame = &fusion_frame;
   try {
-    round.location = localizer.locate(usable, ws);
+    round.location = localize_stage.run_into(
+        fusion_ctx, std::span<const ApObservation>(usable));
   } catch (const std::exception& e) {
     return RoundError{std::string("localizer: ") + e.what(), usable.size()};
   }
@@ -184,8 +205,13 @@ Expected<LocalizationRound, RoundError> SpotFiServer::try_localize(
         for (std::size_t j = 0; j < usable.size(); ++j) {
           if (j != drop) subset[fill++] = usable[j];
         }
+        StageContext loo_ctx;
+        loo_ctx.ws = &ws;
+        loo_ctx.breakdown = &round.stage_breakdown;
+        loo_ctx.frame = &loo_frame;
         try {
-          const LocationEstimate est = localizer.locate(subset, ws);
+          const LocationEstimate est = localize_stage.run_into(
+              loo_ctx, std::span<const ApObservation>(subset));
           const double miss = std::abs(
               wrap_pi(usable[drop].pose.apparent_aoa_of(est.position) -
                       usable[drop].direct_aoa_rad));

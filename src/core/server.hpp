@@ -106,6 +106,12 @@ struct LocalizationRound {
   /// a shed-degraded round records the ladder rung that produced it
   /// (every AP entered the fallback chain at that rung's stage).
   ShedLevel fidelity = ShedLevel::kFull;
+  /// Per-stage cost split of the round (try_localize only): every AP's
+  /// ApOutcome::stage_breakdown folded in capture order (times sum;
+  /// arena peaks take the max, since APs share the lane arenas), plus
+  /// the fusion stage's own kLocalize bucket (primary solve + LOO
+  /// re-solves).
+  StageBreakdown stage_breakdown;
 };
 
 /// Why a fault-tolerant round produced no location.
@@ -131,6 +137,15 @@ class SpotFiServer {
   /// instead of an exception.
   [[nodiscard]] Expected<LocalizationRound, RoundError> try_localize(
       std::span<const ApCapture> captures, Rng& rng) const;
+
+  /// try_localize with the per-AP Rng streams already forked (one per
+  /// capture, in capture order). This is the batching entry point: the
+  /// session layer forks streams at round-preparation time (fixing the
+  /// deterministic order) and executes rounds later — possibly
+  /// concurrently with other sessions' rounds — with identical results.
+  /// Requires streams.size() == captures.size() >= 2.
+  [[nodiscard]] Expected<LocalizationRound, RoundError> try_localize_forked(
+      std::span<const ApCapture> captures, std::span<Rng> streams) const;
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const LinkConfig& link() const { return link_; }

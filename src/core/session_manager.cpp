@@ -131,6 +131,61 @@ struct SessionManager::Session {
     return fix;
   }
 
+  /// The preparation half of run_item(), for the batched pump_all()
+  /// path: runs the planner and ingest through push_deferred() and does
+  /// every piece of accounting that is decided at preparation time
+  /// (applied mark, shed and deadline-limited counters). Returns the
+  /// prepared round when one is ready to execute. Pump-thread-only.
+  [[nodiscard]] std::optional<PendingRound> prepare_item(IngestItem&& item) {
+    const std::uint64_t shed_before = localizer.shed_rounds();
+    last_plan = RoundPlan{};
+    auto pending =
+        localizer.push_deferred(item.ap_id, std::move(item.packet), rng);
+    applied_packets.fetch_add(1, std::memory_order_relaxed);
+    const bool round_shed = localizer.shed_rounds() != shed_before;
+    if (!pending && !round_shed) return std::nullopt;  // no round planned
+    if (last_plan.deadline_limited) {
+      deadline_limited_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (round_shed) {
+      rounds_shed.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    return pending;
+  }
+
+  /// The completion half of run_item(): finishes an executed round and
+  /// does the post-execution accounting (cost-model feedback, fidelity
+  /// and deadline-miss counters, durable fix ordinal). `dt` is the
+  /// measured execution cost, `deadline_s` the session's round deadline.
+  /// Pump-thread-only, in preparation order.
+  [[nodiscard]] std::optional<LocationFix> complete_prepared(
+      PendingRound&& pending, double dt, double deadline_s) {
+    const std::uint64_t failed_before = localizer.failed_rounds();
+    const ShedLevel level = pending.level;
+    auto fix = localizer.complete_round(std::move(pending));
+    if (fix) {
+      fix->durable_round_index =
+          emitted_fixes.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    // The round actually ran: fold its measured cost back into the
+    // model so the next deadline decision sees it.
+    cost.observe(level, dt);
+    if (level == ShedLevel::kFull) {
+      rounds_full.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rounds_degraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (deadline_s > 0.0 && dt > deadline_s) {
+      deadline_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (localizer.failed_rounds() != failed_before) {
+      failed_rounds.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fix) fixes.fetch_add(1, std::memory_order_relaxed);
+    return fix;
+  }
+
   /// Restores a previously exported durable state (quiesced contract).
   void restore(SessionDurableState state) {
     offered.store(state.stats.offered, std::memory_order_relaxed);
@@ -325,11 +380,57 @@ std::size_t SessionManager::pump_all() {
     const std::lock_guard<std::mutex> lock(mutex_);
     live = sessions_;
   }
-  std::size_t total = 0;
+
+  /// One prepared round waiting in the shared batch. The shared_ptr
+  /// keeps the session alive across the three phases even if a racing
+  /// close_session() retires it mid-batch.
+  struct BatchedRound {
+    std::shared_ptr<Session> session;
+    PendingRound round;
+    double deadline_s = 0.0;
+    double dt = 0.0;
+  };
+
+  // Phase 1 — prepare, serially in id order: drain every queue through
+  // the planner, popping captures and forking Rng streams on this
+  // thread. Everything order-sensitive happens here, so phases 2 and 3
+  // cannot perturb any session's deterministic stream.
+  std::vector<BatchedRound> batch;
   for (const auto& session : live) {
     const double deadline_s = session->policy.config().round_deadline_s;
     while (auto item = session->queue.try_pop()) {
-      if (session->run_item(std::move(*item), *clock_, deadline_s)) ++total;
+      if (auto pending = session->prepare_item(std::move(*item))) {
+        batch.push_back(
+            BatchedRound{session, std::move(*pending), deadline_s, 0.0});
+      }
+    }
+  }
+
+  // Phase 2 — execute the shared batch: each prepared round is a
+  // self-contained pure function of its captures and forked streams, so
+  // rounds from different tenants (or several rounds of one tenant) run
+  // concurrently on the pool, sharing its lane arenas and the process-
+  // wide steering-table cache.
+  const auto execute = [&](std::size_t i) {
+    BatchedRound& r = batch[i];
+    const double t0 = clock_->now_s();
+    r.session->localizer.execute_round(r.round);
+    r.dt = clock_->now_s() - t0;
+  };
+  if (pool_ && batch.size() > 1) {
+    pool_->parallel_for(batch.size(), execute);
+    batched_rounds_.fetch_add(batch.size(), std::memory_order_relaxed);
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) execute(i);
+  }
+
+  // Phase 3 — complete, serially in preparation order: fix assembly,
+  // tracker updates, cost-model feedback, and durable fix ordinals land
+  // exactly as the per-session pump() sequence would have produced them.
+  std::size_t total = 0;
+  for (BatchedRound& r : batch) {
+    if (r.session->complete_prepared(std::move(r.round), r.dt, r.deadline_s)) {
+      ++total;
     }
   }
   return total;

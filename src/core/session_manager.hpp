@@ -35,6 +35,7 @@
 // with both sides.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -181,10 +182,31 @@ class SessionManager {
   /// deadline rounds for stalled tenants. Returns the fix if one fired.
   [[nodiscard]] std::optional<LocationFix> poll(SessionId id, double now_s);
 
-  /// pump() over every live session (in id order); returns the total
-  /// number of fixes fired. For single-threaded drivers and benches —
-  /// multi-threaded deployments pump sessions from their own threads.
+  /// Drains every live session (in id order) through the cross-session
+  /// batch scheduler and returns the total number of fixes fired.
+  /// Round lifecycle splits in three: every queue is drained serially on
+  /// the calling thread, *preparing* rounds (planner decision, capture
+  /// pop, Rng fork — everything order-sensitive); the prepared rounds
+  /// from all tenants are then *executed* as one shared batch across the
+  /// pool (pipeline runs amortize the interned steering tables and reuse
+  /// the same per-lane arenas regardless of which session a round came
+  /// from); finally each round *completes* serially, in preparation
+  /// order (fix assembly, tracker update, counters). Because streams are
+  /// forked at preparation time and execution is a pure function of the
+  /// prepared round, every fix is byte-identical to what per-session
+  /// pump() calls in id order would have produced. The one observable
+  /// difference: round costs feed the deadline cost model at completion,
+  /// so planner decisions *within* a batch see cost data that is one
+  /// batch staler than the strictly serial path (irrelevant while
+  /// round_deadline_s is unset).
   std::size_t pump_all();
+
+  /// Rounds that executed inside a multi-round pump_all() batch on the
+  /// shared pool (the cross-session batching witness; serial drains and
+  /// single-round batches don't count).
+  [[nodiscard]] std::uint64_t batched_rounds() const {
+    return batched_rounds_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] SessionStats session_stats(SessionId id) const;
   /// Sum over live sessions plus everything closed sessions retired.
@@ -270,6 +292,8 @@ class SessionManager {
   SessionId next_id_ = 1;
   /// Aggregated counters of closed sessions.
   SessionStats retired_{};
+  /// Rounds executed inside multi-round pump_all() batches.
+  std::atomic<std::uint64_t> batched_rounds_{0};
 };
 
 }  // namespace spotfi

@@ -96,9 +96,7 @@ void StreamingLocalizer::update_health(double now_s) {
   }
 }
 
-std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
-                                                    CsiPacket packet,
-                                                    Rng& rng) {
+void StreamingLocalizer::ingest_packet(std::size_t ap_id, CsiPacket packet) {
   if (ap_id >= buffers_.size()) {
     throw ContractViolation(
         "StreamingLocalizer::push: unknown AP id " + std::to_string(ap_id) +
@@ -131,7 +129,30 @@ std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
 
   age_out(now_s_);
   update_health(now_s_);
-  return maybe_fire(now_s_, rng);
+}
+
+std::optional<LocationFix> StreamingLocalizer::push(std::size_t ap_id,
+                                                    CsiPacket packet,
+                                                    Rng& rng) {
+  auto pending = push_deferred(ap_id, std::move(packet), rng);
+  if (!pending) return std::nullopt;
+  execute_round(*pending);
+  return complete_round(std::move(*pending));
+}
+
+std::optional<PendingRound> StreamingLocalizer::push_deferred(
+    std::size_t ap_id, CsiPacket packet, Rng& rng) {
+  ingest_packet(ap_id, std::move(packet));
+  return maybe_prepare(now_s_, rng);
+}
+
+std::optional<PendingRound> StreamingLocalizer::poll_deferred(double now_s,
+                                                              Rng& rng) {
+  if (buffers_.size() < 2) return std::nullopt;
+  now_s_ = std::max(now_s_, now_s);
+  age_out(now_s_);
+  update_health(now_s_);
+  return maybe_prepare(now_s_, rng);
 }
 
 std::vector<LocationFix> StreamingLocalizer::ingest(std::size_t ap_id,
@@ -170,15 +191,14 @@ void StreamingLocalizer::note_ingest(const IngestReport& report) {
 }
 
 std::optional<LocationFix> StreamingLocalizer::poll(double now_s, Rng& rng) {
-  if (buffers_.size() < 2) return std::nullopt;
-  now_s_ = std::max(now_s_, now_s);
-  age_out(now_s_);
-  update_health(now_s_);
-  return maybe_fire(now_s_, rng);
+  auto pending = poll_deferred(now_s, rng);
+  if (!pending) return std::nullopt;
+  execute_round(*pending);
+  return complete_round(std::move(*pending));
 }
 
-std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
-                                                          Rng& rng) {
+std::optional<PendingRound> StreamingLocalizer::maybe_prepare(double now_s,
+                                                              Rng& rng) {
   const DegradationConfig& d = config_.degradation;
 
   std::vector<std::size_t> ready;   // full group buffered
@@ -201,7 +221,7 @@ std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
   // AP has a full group.
   if (ready.size() == buffers_.size()) {
     armed_since_s_.reset();
-    return fire_round(ready, /*deadline_round=*/false, now_s, rng);
+    return prepare_round(ready, /*deadline_round=*/false, now_s, rng);
   }
   if (!d.enabled) return std::nullopt;
 
@@ -210,7 +230,7 @@ std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
   // contribute their packets.
   if (live >= 2 && live_ready == live && ready.size() >= d.min_quorum) {
     armed_since_s_.reset();
-    return fire_round(usable, /*deadline_round=*/true, now_s, rng);
+    return prepare_round(usable, /*deadline_round=*/true, now_s, rng);
   }
 
   // Deadline path: a quorum of full groups is waiting on stragglers.
@@ -218,7 +238,7 @@ std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
     if (!armed_since_s_) armed_since_s_ = now_s;
     if (now_s - *armed_since_s_ >= d.round_deadline_s) {
       armed_since_s_.reset();
-      return fire_round(usable, /*deadline_round=*/true, now_s, rng);
+      return prepare_round(usable, /*deadline_round=*/true, now_s, rng);
     }
   } else {
     armed_since_s_.reset();
@@ -226,30 +246,32 @@ std::optional<LocationFix> StreamingLocalizer::maybe_fire(double now_s,
   return std::nullopt;
 }
 
-std::optional<LocationFix> StreamingLocalizer::fire_round(
+std::optional<PendingRound> StreamingLocalizer::prepare_round(
     const std::vector<std::size_t>& ap_ids, bool deadline_round, double now_s,
     Rng& rng) {
-  std::vector<ApCapture> captures;
-  captures.reserve(ap_ids.size());
-  double latest_t = -std::numeric_limits<double>::infinity();
+  PendingRound pending;
+  pending.ap_ids = ap_ids;
+  pending.deadline_round = deadline_round;
+  pending.now_s = now_s;
+  pending.captures.reserve(ap_ids.size());
   for (const std::size_t a : ap_ids) {
     auto& b = buffers_[a];
     ApCapture capture;
     capture.pose = b.pose;
     const std::size_t take = std::min(b.packets.size(), config_.group_size);
     for (std::size_t i = 0; i < take; ++i) {
-      latest_t = std::max(latest_t, b.packets.front().timestamp_s);
+      pending.latest_t =
+          std::max(pending.latest_t, b.packets.front().timestamp_s);
       capture.packets.push_back(std::move(b.packets.front()));
       b.packets.pop_front();
     }
-    captures.push_back(std::move(capture));
+    pending.captures.push_back(std::move(capture));
   }
 
   // Overload planning happens *after* the captures are popped: a shed
   // round still drains its backlog (that is the point of shedding), it
   // just never reaches the estimator.
-  ShedLevel level = fidelity_;
-  const char* plan_reason = "";
+  pending.level = fidelity_;
   if (planner_) {
     const RoundPlan plan = planner_(ap_ids.size(), now_s);
     if (!plan.run) {
@@ -258,52 +280,80 @@ std::optional<LocationFix> StreamingLocalizer::fire_round(
           RoundFailure{std::string("round shed: ") + plan.reason, now_s};
       return std::nullopt;
     }
-    level = plan.level;
-    plan_reason = plan.reason;
+    pending.level = plan.level;
+    pending.plan_reason = plan.reason;
   }
 
-  const SpotFiServer& server = server_for(level);
-  auto outcome = server.try_localize(captures, rng);
+  // Resolve (and lazily build) the fidelity variant now, on the owning
+  // thread: execution may happen concurrently with other rounds.
+  pending.server = &server_for(pending.level);
+
+  // Fork the per-capture streams in capture order, mirroring
+  // try_localize exactly: a <2-capture round fails without consuming
+  // any randomness there, so none may be consumed here either.
+  if (pending.captures.size() >= 2) {
+    pending.streams.reserve(pending.captures.size());
+    for (std::size_t i = 0; i < pending.captures.size(); ++i) {
+      pending.streams.push_back(rng.fork());
+    }
+  }
+  return pending;
+}
+
+void StreamingLocalizer::execute_round(PendingRound& round) const {
+  if (round.captures.size() < 2) {
+    round.outcome.emplace(RoundError{"need at least two AP captures", 0});
+    return;
+  }
+  round.outcome.emplace(
+      round.server->try_localize_forked(round.captures, round.streams));
+}
+
+std::optional<LocationFix> StreamingLocalizer::complete_round(
+    PendingRound pending) {
+  SPOTFI_EXPECTS(pending.outcome.has_value(),
+                 "complete_round requires an executed round");
+  auto& outcome = *pending.outcome;
   if (!outcome) {
     ++failed_rounds_;
-    last_failure_ = RoundFailure{outcome.error().reason, now_s};
+    last_failure_ = RoundFailure{outcome.error().reason, pending.now_s};
     return std::nullopt;
   }
 
   LocationFix fix;
   fix.round = std::move(outcome).value();
-  fix.round.fidelity = level;
+  fix.round.fidelity = pending.level;
   fix.raw = fix.round.location.position;
-  fix.time_s = latest_t;
-  fix.aps_used = ap_ids;
-  fix.degraded = deadline_round || fix.round.degraded ||
-                 level != ShedLevel::kFull;
+  fix.time_s = pending.latest_t;
+  fix.aps_used = pending.ap_ids;
+  fix.degraded = pending.deadline_round || fix.round.degraded ||
+                 pending.level != ShedLevel::kFull;
   fix.reasons = fix.round.notes;
-  if (level != ShedLevel::kFull) {
+  if (pending.level != ShedLevel::kFull) {
     std::string reason = std::string("overload: round ran at ") +
-                         to_string(level) + " fidelity";
-    if (plan_reason[0] != '\0') {
-      reason += std::string(" (") + plan_reason + ")";
+                         to_string(pending.level) + " fidelity";
+    if (pending.plan_reason[0] != '\0') {
+      reason += std::string(" (") + pending.plan_reason + ")";
     }
     fix.reasons.insert(fix.reasons.begin(), std::move(reason));
   }
-  if (deadline_round) {
-    fix.reasons.insert(fix.reasons.begin(),
-                       "deadline round: " + std::to_string(ap_ids.size()) +
-                           " of " + std::to_string(buffers_.size()) +
-                           " APs contributed");
+  if (pending.deadline_round) {
+    fix.reasons.insert(
+        fix.reasons.begin(),
+        "deadline round: " + std::to_string(pending.ap_ids.size()) + " of " +
+            std::to_string(buffers_.size()) + " APs contributed");
   }
   // The tracker requires monotone time; reordered/stale feeds can fire a
   // round whose newest packet is older than the previous fix.
-  if (config_.track && latest_t > last_fix_time_s_) {
-    fix.tracked = tracker_.update(fix.raw, latest_t);
+  if (config_.track && pending.latest_t > last_fix_time_s_) {
+    fix.tracked = tracker_.update(fix.raw, pending.latest_t);
   } else {
     fix.tracked = fix.raw;
     if (config_.track) {
       fix.reasons.push_back("tracker skipped: non-monotone fix time");
     }
   }
-  last_fix_time_s_ = std::max(last_fix_time_s_, latest_t);
+  last_fix_time_s_ = std::max(last_fix_time_s_, pending.latest_t);
   ++fix_count_;
   return fix;
 }

@@ -147,6 +147,36 @@ struct StreamingState {
 /// captures are popped, so even a shed round drains its packet backlog.
 using RoundPlanner = std::function<RoundPlan(std::size_t n_aps, double now_s)>;
 
+/// A localization round that has been *prepared* (captures popped,
+/// overload plan applied, per-AP Rng streams forked in capture order,
+/// server variant resolved) but not yet executed. Splitting the round
+/// lifecycle into prepare -> execute -> complete is what enables
+/// cross-session batching: preparation and completion touch localizer
+/// state and must run on the owning thread, while execute_round() is
+/// const and self-contained, so the session layer can gather prepared
+/// rounds from many tenants and execute them as one shared batch on the
+/// pool. Because the streams were forked at preparation time, the fix
+/// is byte-identical no matter where or when execution happens.
+struct PendingRound {
+  std::vector<ApCapture> captures;
+  /// One forked stream per capture; empty when captures.size() < 2
+  /// (the round will fail without consuming randomness, exactly like
+  /// the inline path).
+  std::vector<Rng> streams;
+  std::vector<std::size_t> ap_ids;
+  /// The fidelity variant resolved at preparation time (lazy variant
+  /// construction is not thread-safe, execution may be concurrent).
+  const SpotFiServer* server = nullptr;
+  ShedLevel level = ShedLevel::kFull;
+  const char* plan_reason = "";
+  bool deadline_round = false;
+  double now_s = 0.0;
+  /// Newest packet timestamp in the round's captures (the fix time).
+  double latest_t = -std::numeric_limits<double>::infinity();
+  /// Filled by execute_round().
+  std::optional<Expected<LocalizationRound, RoundError>> outcome;
+};
+
 class StreamingLocalizer {
  public:
   StreamingLocalizer(LinkConfig link, StreamingConfig config = {});
@@ -170,6 +200,29 @@ class StreamingLocalizer {
   /// updates AP health, and fires a deadline round if one is due. Useful
   /// when every remaining AP went silent at once.
   [[nodiscard]] std::optional<LocationFix> poll(double now_s, Rng& rng);
+
+  /// Deferred-execution flavor of push(): identical ingest and firing
+  /// logic, but when a round becomes due it is returned *prepared*
+  /// instead of executed. The caller must pass it through
+  /// execute_round() and then complete_round() (in preparation order
+  /// per localizer) to obtain the fix; push() is exactly this
+  /// composition. Returns nullopt when no round fired or the planner
+  /// shed it (sheds are accounted internally, as in push()).
+  [[nodiscard]] std::optional<PendingRound> push_deferred(std::size_t ap_id,
+                                                         CsiPacket packet,
+                                                         Rng& rng);
+  /// Deferred-execution flavor of poll().
+  [[nodiscard]] std::optional<PendingRound> poll_deferred(double now_s,
+                                                          Rng& rng);
+  /// Runs a prepared round's estimation + fusion into round.outcome.
+  /// Const and state-free: safe to run on any thread, concurrently with
+  /// other rounds (including this localizer's — the captures and
+  /// streams are owned by the PendingRound).
+  void execute_round(PendingRound& round) const;
+  /// Folds an executed round back into localizer state (tracker,
+  /// counters, diagnostics) and assembles the fix. Must run on the
+  /// owning thread, in preparation order.
+  [[nodiscard]] std::optional<LocationFix> complete_round(PendingRound round);
 
   /// Replays a capture file from `reader` as AP `ap_id`'s packet stream:
   /// records decode fail-soft, every good packet is pushed, and the
@@ -236,10 +289,16 @@ class StreamingLocalizer {
 
   void age_out(double now_s);
   void update_health(double now_s);
-  /// Fires a round if one is due at `now_s`; nullopt otherwise (also on
-  /// round failure, which is recorded instead).
-  [[nodiscard]] std::optional<LocationFix> maybe_fire(double now_s, Rng& rng);
-  [[nodiscard]] std::optional<LocationFix> fire_round(
+  /// The packet-acceptance half of push(): screening, buffering, health
+  /// and stream-time updates — everything up to round firing.
+  void ingest_packet(std::size_t ap_id, CsiPacket packet);
+  /// Prepares a round if one is due at `now_s`; nullopt otherwise (also
+  /// when the planner sheds it, which is recorded instead).
+  [[nodiscard]] std::optional<PendingRound> maybe_prepare(double now_s,
+                                                          Rng& rng);
+  /// Pops the captures, applies the overload plan, forks the streams,
+  /// and resolves the server variant. Nullopt = shed.
+  [[nodiscard]] std::optional<PendingRound> prepare_round(
       const std::vector<std::size_t>& ap_ids, bool deadline_round,
       double now_s, Rng& rng);
   /// The cached server variant for one fidelity rung. kFull is built at

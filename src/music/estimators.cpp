@@ -3,48 +3,9 @@
 #include <cmath>
 
 #include "music/steering.hpp"
+#include "music/steering_cache.hpp"
 
 namespace spotfi {
-namespace {
-
-RVector linspace_grid(double lo, double hi, double step) {
-  SPOTFI_EXPECTS(step > 0.0 && hi > lo, "invalid grid parameters");
-  // A range that is an exact multiple of the step must include the
-  // endpoint on every platform. (hi - lo) / step carries rounding error
-  // proportional to its own magnitude, so the snap-to-integer tolerance
-  // must be relative: a fixed 1e-9 absolute slack either misses an exact
-  // multiple computed a few ulps low or swallows a genuine sub-step
-  // shortfall, and the grid gains/drops its endpoint depending on libm.
-  const double ratio = (hi - lo) / step;
-  const double nearest = std::round(ratio);
-  const double tol =
-      64.0 * std::numeric_limits<double>::epsilon() * std::max(1.0, ratio);
-  const auto count =
-      std::abs(ratio - nearest) <= tol
-          ? static_cast<std::size_t>(nearest) + 1
-          : static_cast<std::size_t>(std::floor(ratio)) + 1;
-  RVector g;
-  g.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    g.push_back(lo + static_cast<double>(i) * step);
-  }
-  return g;
-}
-
-/// Flattens steering vectors for every grid point into one row-major
-/// table: row i holds steer(grid[i]).
-template <typename SteerFn>
-CVector steering_table(const RVector& grid, std::size_t len, SteerFn&& steer) {
-  CVector table;
-  table.reserve(grid.size() * len);
-  for (const double x : grid) {
-    const CVector v = steer(x);
-    table.insert(table.end(), v.begin(), v.end());
-  }
-  return table;
-}
-
-}  // namespace
 
 JointMusicEstimator::JointMusicEstimator(LinkConfig link,
                                          JointMusicConfig config)
@@ -66,24 +27,20 @@ JointMusicEstimator::JointMusicEstimator(LinkConfig link,
     tof_max_s_ = config_.tof_max_s;
     tof_wraps_ = (tof_max_s_ - tof_min_s_) >= period - 2.0 * config_.tof_step_s;
   }
-  aoa_grid_ = linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
-                            config_.aoa_step_rad);
-  tof_grid_ = linspace_grid(tof_min_s_, tof_max_s_, config_.tof_step_s);
-  ant_steering_ =
-      steering_table(aoa_grid_, config_.smoothing.ant_len, [&](double aoa) {
-        return aoa_steering(aoa, config_.smoothing.ant_len, link_);
-      });
-  sub_steering_ =
-      steering_table(tof_grid_, config_.smoothing.sub_len, [&](double tof) {
-        return tof_steering(tof, config_.smoothing.sub_len, link_);
-      });
+  aoa_axis_ = SteeringTableCache::get(
+      SteeringTableCache::Axis::kAoa, config_.aoa_min_rad, config_.aoa_max_rad,
+      config_.aoa_step_rad, config_.smoothing.ant_len, link_);
+  tof_axis_ = SteeringTableCache::get(SteeringTableCache::Axis::kTof,
+                                      tof_min_s_, tof_max_s_,
+                                      config_.tof_step_s,
+                                      config_.smoothing.sub_len, link_);
 }
 
 void JointMusicEstimator::spectrum_values(ConstCMatrixView noise,
                                           Workspace& ws,
                                           RMatrixView values) const {
-  const std::size_t n_aoa = aoa_grid_.size();
-  const std::size_t n_tof = tof_grid_.size();
+  const std::size_t n_aoa = aoa_axis_->grid.size();
+  const std::size_t n_tof = tof_axis_->grid.size();
   const std::size_t n_noise = noise.cols();
   const std::size_t ant_len = config_.smoothing.ant_len;
   const std::size_t sub_len = config_.smoothing.sub_len;
@@ -100,7 +57,7 @@ void JointMusicEstimator::spectrum_values(ConstCMatrixView noise,
   Workspace::Frame frame(ws);
   const std::span<cplx> g = ws.take<cplx>(n_tof * n_noise * ant_len);
   for (std::size_t ti = 0; ti < n_tof; ++ti) {
-    const cplx* sub_vec = &sub_steering_[ti * sub_len];
+    const cplx* sub_vec = &tof_axis_->steering[ti * sub_len];
     for (std::size_t e = 0; e < n_noise; ++e) {
       for (std::size_t a = 0; a < ant_len; ++a) {
         cplx acc{};
@@ -113,7 +70,7 @@ void JointMusicEstimator::spectrum_values(ConstCMatrixView noise,
   }
 
   for (std::size_t ai = 0; ai < n_aoa; ++ai) {
-    const cplx* ant_vec = &ant_steering_[ai * ant_len];
+    const cplx* ant_vec = &aoa_axis_->steering[ai * ant_len];
     for (std::size_t ti = 0; ti < n_tof; ++ti) {
       double denom = 0.0;
       const cplx* gt = &g[ti * n_noise * ant_len];
@@ -132,9 +89,9 @@ void JointMusicEstimator::spectrum_values(ConstCMatrixView noise,
 AoaTofSpectrum JointMusicEstimator::spectrum_from_subspace(
     const Subspaces& sub) const {
   AoaTofSpectrum sp;
-  sp.aoa_grid_rad = aoa_grid_;
-  sp.tof_grid_s = tof_grid_;
-  sp.values = RMatrix(aoa_grid_.size(), tof_grid_.size());
+  sp.aoa_grid_rad = aoa_axis_->grid;
+  sp.tof_grid_s = tof_axis_->grid;
+  sp.values = RMatrix(sp.aoa_grid_rad.size(), sp.tof_grid_s.size());
   spectrum_values(ConstCMatrixView(sub.noise), thread_workspace(),
                   sp.values.view());
   return sp;
@@ -148,19 +105,24 @@ AoaTofSpectrum JointMusicEstimator::spectrum(const CMatrix& csi) const {
   return spectrum_from_subspace(noise_subspace(x, config_.subspace));
 }
 
-std::size_t JointMusicEstimator::estimate_into(
-    ConstCMatrixView csi, Workspace& ws, std::span<PathEstimate> out) const {
+CMatrixView JointMusicEstimator::stage_smooth(ConstCMatrixView csi,
+                                              Workspace& ws) const {
   SPOTFI_EXPECTS(csi.rows() == link_.n_antennas &&
                      csi.cols() == link_.n_subcarriers,
                  "CSI shape disagrees with the link config");
-  SPOTFI_EXPECTS(out.size() >= config_.max_paths,
-                 "estimate_into output span smaller than max_paths");
-  Workspace::Frame frame(ws);
-  const CMatrixView x = smoothed_csi(csi, ws, config_.smoothing);
-  const SubspacesRef sub =
-      noise_subspace(ConstCMatrixView(x), config_.subspace, ws);
-  const RMatrixView values =
-      workspace_matrix<double>(ws, aoa_grid_.size(), tof_grid_.size());
+  return smoothed_csi(csi, ws, config_.smoothing);
+}
+
+SubspacesRef JointMusicEstimator::stage_subspace(ConstCMatrixView smoothed,
+                                                 Workspace& ws) const {
+  return noise_subspace(smoothed, config_.subspace, ws);
+}
+
+std::size_t JointMusicEstimator::stage_spectrum(
+    const SubspacesRef& sub, Workspace& ws,
+    std::span<PathEstimate> out) const {
+  const RMatrixView values = workspace_matrix<double>(
+      ws, aoa_axis_->grid.size(), tof_axis_->grid.size());
   spectrum_values(sub.noise, ws, values);
 
   std::span<const GridPeak> peaks = find_peaks_2d(
@@ -168,8 +130,10 @@ std::size_t JointMusicEstimator::estimate_into(
       config_.max_paths + (config_.exclude_aoa_edges ? config_.max_paths : 0),
       config_.min_relative_peak, ws);
 
-  const std::size_t n_tof = tof_grid_.size();
-  const std::size_t last = aoa_grid_.size() - 1;
+  const RVector& aoa_grid = aoa_axis_->grid;
+  const RVector& tof_grid = tof_axis_->grid;
+  const std::size_t n_tof = tof_grid.size();
+  const std::size_t last = aoa_grid.size() - 1;
   std::size_t n_out = 0;
   for (const GridPeak& pk : peaks) {
     // Same surviving set as the value path's erase_if + resize: skip edge
@@ -181,7 +145,7 @@ std::size_t JointMusicEstimator::estimate_into(
     double di = 0.0;
     double dj = 0.0;
     if (config_.refine_peaks) {
-      if (pk.i > 0 && pk.i + 1 < aoa_grid_.size()) {
+      if (pk.i > 0 && pk.i + 1 < aoa_grid.size()) {
         di = parabolic_offset(values(pk.i - 1, pk.j), values(pk.i, pk.j),
                               values(pk.i + 1, pk.j));
       }
@@ -194,11 +158,21 @@ std::size_t JointMusicEstimator::estimate_into(
                               values(pk.i, jp));
       }
     }
-    est.aoa_rad = aoa_grid_[pk.i] + di * config_.aoa_step_rad;
-    est.tof_s = tof_grid_[pk.j] + dj * config_.tof_step_s;
+    est.aoa_rad = aoa_grid[pk.i] + di * config_.aoa_step_rad;
+    est.tof_s = tof_grid[pk.j] + dj * config_.tof_step_s;
     out[n_out++] = est;
   }
   return n_out;
+}
+
+std::size_t JointMusicEstimator::estimate_into(
+    ConstCMatrixView csi, Workspace& ws, std::span<PathEstimate> out) const {
+  SPOTFI_EXPECTS(out.size() >= config_.max_paths,
+                 "estimate_into output span smaller than max_paths");
+  Workspace::Frame frame(ws);
+  const CMatrixView x = stage_smooth(csi, ws);
+  const SubspacesRef sub = stage_subspace(ConstCMatrixView(x), ws);
+  return stage_spectrum(sub, ws, out);
 }
 
 std::vector<PathEstimate> JointMusicEstimator::estimate(
@@ -216,11 +190,9 @@ MusicAoaEstimator::MusicAoaEstimator(LinkConfig link, MusicAoaConfig config)
                  "smoothing subarray exceeds the antenna count");
   ant_len_ = config_.smoothing_ant_len == 0 ? link_.n_antennas
                                             : config_.smoothing_ant_len;
-  aoa_grid_ = linspace_grid(config_.aoa_min_rad, config_.aoa_max_rad,
-                            config_.aoa_step_rad);
-  ant_steering_ = steering_table(aoa_grid_, ant_len_, [&](double aoa) {
-    return aoa_steering(aoa, ant_len_, link_);
-  });
+  aoa_axis_ = SteeringTableCache::get(
+      SteeringTableCache::Axis::kAoa, config_.aoa_min_rad, config_.aoa_max_rad,
+      config_.aoa_step_rad, ant_len_, link_);
 }
 
 AoaSpectrum MusicAoaEstimator::spectrum(const CMatrix& csi) const {
@@ -236,11 +208,11 @@ AoaSpectrum MusicAoaEstimator::spectrum(const CMatrix& csi) const {
   const Subspaces sub = noise_subspace(x, sub_cfg);
 
   AoaSpectrum sp;
-  sp.aoa_grid_rad = aoa_grid_;
+  sp.aoa_grid_rad = aoa_axis_->grid;
   sp.values.resize(sp.aoa_grid_rad.size());
   const std::size_t n_noise = sub.noise.cols();
   for (std::size_t ai = 0; ai < sp.aoa_grid_rad.size(); ++ai) {
-    const cplx* a = &ant_steering_[ai * ant_len];
+    const cplx* a = &aoa_axis_->steering[ai * ant_len];
     double denom = 0.0;
     for (std::size_t e = 0; e < n_noise; ++e) {
       cplx proj{};

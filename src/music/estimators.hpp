@@ -14,11 +14,13 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/constants.hpp"
 #include "csi/smoothing.hpp"
 #include "music/peaks.hpp"
+#include "music/steering_cache.hpp"
 #include "music/subspace.hpp"
 
 namespace spotfi {
@@ -89,10 +91,28 @@ class JointMusicEstimator {
   /// The pseudospectrum (for inspection / the spectrum_explorer example).
   [[nodiscard]] AoaTofSpectrum spectrum(const CMatrix& csi) const;
 
+  // -- piecewise stage entry points (src/pipeline wraps these as typed
+  // stages; estimate_into composes exactly these three, so the staged
+  // and monolithic paths are one code path and bit-identical) ----------
+
+  /// Smoothed-CSI construction (Fig. 4) on the caller's arena. The
+  /// returned view lives until the enclosing frame closes.
+  [[nodiscard]] CMatrixView stage_smooth(ConstCMatrixView csi,
+                                         Workspace& ws) const;
+  /// Noise-subspace split of a smoothed matrix (Algorithm 2, line 5).
+  [[nodiscard]] SubspacesRef stage_subspace(ConstCMatrixView smoothed,
+                                            Workspace& ws) const;
+  /// Pseudospectrum sweep + peak extraction: writes at most
+  /// config().max_paths estimates into `out`, returns the count. The
+  /// spectrum grid and peak list are arena scratch.
+  [[nodiscard]] std::size_t stage_spectrum(const SubspacesRef& sub,
+                                           Workspace& ws,
+                                           std::span<PathEstimate> out) const;
+
   [[nodiscard]] const JointMusicConfig& config() const { return config_; }
   [[nodiscard]] const LinkConfig& link() const { return link_; }
-  [[nodiscard]] const RVector& aoa_grid() const { return aoa_grid_; }
-  [[nodiscard]] const RVector& tof_grid() const { return tof_grid_; }
+  [[nodiscard]] const RVector& aoa_grid() const { return aoa_axis_->grid; }
+  [[nodiscard]] const RVector& tof_grid() const { return tof_axis_->grid; }
   /// True when the ToF grid spans the full unambiguous period (grid wraps).
   [[nodiscard]] bool tof_axis_wraps() const { return tof_wraps_; }
 
@@ -111,15 +131,16 @@ class JointMusicEstimator {
   double tof_max_s_ = 0.0;
   bool tof_wraps_ = false;
   // The grids are fixed at construction, so the steering vectors the
-  // spectrum sweep needs are too. Precomputing them once (flat,
+  // spectrum sweep needs are too. Precomputing them (flat,
   // row-per-grid-point tables) turns the per-packet sweep into pure
   // inner products — no trig/cexp inside estimate() — and makes the
   // estimator safely shareable across threads (all state is immutable
-  // after construction).
-  RVector aoa_grid_;
-  RVector tof_grid_;
-  CVector ant_steering_;  ///< aoa_grid_.size() x smoothing.ant_len, row-major
-  CVector sub_steering_;  ///< tof_grid_.size() x smoothing.sub_len, row-major
+  // after construction). The tables are interned in the process-wide
+  // SteeringTableCache, so the thousands of estimators a streaming
+  // deployment constructs (per AP, per round, per session variant)
+  // share one copy instead of recomputing ~80 KiB of trig each.
+  std::shared_ptr<const SteeringAxisTable> aoa_axis_;
+  std::shared_ptr<const SteeringAxisTable> tof_axis_;
 };
 
 struct MusicAoaConfig {
@@ -145,17 +166,17 @@ class MusicAoaEstimator {
   [[nodiscard]] AoaSpectrum spectrum(const CMatrix& csi) const;
 
   [[nodiscard]] const MusicAoaConfig& config() const { return config_; }
-  [[nodiscard]] const RVector& aoa_grid() const { return aoa_grid_; }
+  [[nodiscard]] const RVector& aoa_grid() const { return aoa_axis_->grid; }
 
  private:
   LinkConfig link_;
   MusicAoaConfig config_;
   /// Cached grid and steering table (see JointMusicEstimator): the
   /// subarray length is resolved at construction, so the steering matrix
-  /// is fixed for the estimator's lifetime.
+  /// is fixed for the estimator's lifetime. Interned in the process-wide
+  /// SteeringTableCache like the joint estimator's axes.
   std::size_t ant_len_ = 0;
-  RVector aoa_grid_;
-  CVector ant_steering_;  ///< aoa_grid_.size() x ant_len_, row-major
+  std::shared_ptr<const SteeringAxisTable> aoa_axis_;
 };
 
 }  // namespace spotfi

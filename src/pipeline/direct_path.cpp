@@ -1,4 +1,4 @@
-#include "core/direct_path.hpp"
+#include "pipeline/direct_path.hpp"
 
 #include <algorithm>
 #include <cmath>

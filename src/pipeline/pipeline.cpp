@@ -1,0 +1,106 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/parallel.hpp"
+#include "linalg/numerics.hpp"
+
+namespace spotfi {
+
+ApResult EstimationPipeline::run_group(StageContext& ctx,
+                                       PacketSource& source,
+                                       const ArrayPose& pose,
+                                       std::size_t* ws_peak_out) const {
+  struct PacketOutput {
+    std::size_t count = 0;
+    std::size_t ws_peak_bytes = 0;
+    NumericsCounters numerics;
+    StageBreakdown breakdown;
+  };
+
+  // Pull the whole group up front: the per-packet fan-out needs random
+  // access, and a group is small (the paper uses 10-40 packets).
+  std::vector<const CsiPacket*> packets;
+  packets.reserve(source.remaining());
+  while (const CsiPacket* p = source.next()) packets.push_back(p);
+  SPOTFI_EXPECTS(!packets.empty(), "need at least one packet");
+
+  const std::size_t max_paths = stages_.estimate->max_paths();
+  std::vector<PacketOutput> outputs(packets.size());
+  std::vector<PathEstimate> slots(packets.size() * max_paths);
+  const auto estimate_packet = [&](std::size_t i) {
+    // Detached: counters travel home in the task output and are merged
+    // by the dispatching thread below, never through the thread-local
+    // scope stack (which a pool worker does not share with the caller).
+    NumericsScope scope{kDetachedScope};
+    Workspace& ws =
+        pool_ != nullptr ? pool_->workspace() : thread_workspace();
+    Workspace::Frame frame(ws);
+    StageContext pctx;
+    pctx.ws = &ws;
+    pctx.breakdown = ctx.breakdown != nullptr ? &outputs[i].breakdown : nullptr;
+    pctx.frame = &frame;
+    pctx.deadline_s = ctx.deadline_s;
+    const ConstCMatrixView csi = stages_.sanitize->run_into(
+        pctx, ConstCMatrixView(packets[i]->csi));
+    outputs[i].count = stages_.estimate->run_into(
+        pctx, csi,
+        std::span<PathEstimate>(slots).subspan(i * max_paths, max_paths));
+    outputs[i].numerics = scope.counters();
+    outputs[i].ws_peak_bytes = frame.peak_bytes();
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(packets.size(), estimate_packet);
+  } else {
+    for (std::size_t i = 0; i < packets.size(); ++i) estimate_packet(i);
+  }
+
+  ApResult result;
+  double rssi_sum = 0.0;
+  std::size_t total = 0;
+  std::size_t ws_peak = 0;
+  for (const auto& out : outputs) total += out.count;
+  result.pooled_estimates.reserve(total);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto packet_slots =
+        std::span<const PathEstimate>(slots).subspan(i * max_paths,
+                                                     outputs[i].count);
+    result.pooled_estimates.insert(result.pooled_estimates.end(),
+                                   packet_slots.begin(), packet_slots.end());
+    count_numerics(outputs[i].numerics);
+    if (ctx.breakdown != nullptr) ctx.breakdown->merge(outputs[i].breakdown);
+    rssi_sum += packets[i]->rssi_dbm;
+    ws_peak = std::max(ws_peak, outputs[i].ws_peak_bytes);
+  }
+  SPOTFI_EXPECTS(!result.pooled_estimates.empty(),
+                 "super-resolution produced no path estimates");
+
+  {
+    Workspace& ws =
+        pool_ != nullptr ? pool_->workspace() : thread_workspace();
+    Workspace::Frame frame(ws);
+    StageContext gctx;
+    gctx.ws = &ws;
+    gctx.rng = ctx.rng;
+    gctx.breakdown = ctx.breakdown;
+    gctx.frame = &frame;
+    gctx.deadline_s = ctx.deadline_s;
+    result.clusters = stages_.cluster->run_into(
+        gctx, ClusterIn{result.pooled_estimates, packets.size()});
+    ws_peak = std::max(ws_peak, frame.peak_bytes());
+  }
+  if (ws_peak_out != nullptr) *ws_peak_out = ws_peak;
+
+  StageContext sctx;  // select is frame-free: no arena, no peak meter
+  sctx.ws = ctx.ws;
+  sctx.breakdown = ctx.breakdown;
+  sctx.deadline_s = ctx.deadline_s;
+  DirectPathIn select_in;
+  select_in.clusters = result.clusters;
+  select_in.pose = &pose;
+  select_in.rssi_dbm = rssi_sum / static_cast<double>(packets.size());
+  result.observation = stages_.direct_path->run_into(sctx, select_in);
+  return result;
+}
+
+}  // namespace spotfi

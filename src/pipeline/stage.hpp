@@ -1,0 +1,166 @@
+// Typed estimation stages (ROADMAP: the pull-based stage pipeline).
+//
+// Every step of SpotFi's estimation — sanitize, smoothing, subspace,
+// spectrum, cluster, direct-path, localize — is wrapped as a
+// Stage<In, Out> running over the PR-5 Workspace arenas. The stage
+// boundary is what lets the open ROADMAP items land independently: an
+// iterative eigensolver replaces the subspace stage, a coarse-to-fine
+// SIMD sweep replaces the spectrum stage, and the PR-1 fallback ladder
+// plus the PR-6 shed levels become *stage substitutions* (which
+// estimate stage runs) instead of ad-hoc branches.
+//
+// Stage contract (DESIGN.md §15):
+//  - Stages are immutable after construction and shareable across
+//    threads; all mutable state flows through the StageContext.
+//  - A stage allocates its OUTPUT into the caller's open arena frame
+//    (ctx.ws) and never opens a frame around it — outputs must outlive
+//    the stage call. Internal scratch may use nested frames freely.
+//  - Randomness comes only from ctx.rng (a stream forked by the caller
+//    in deterministic order), never from ambient state.
+//  - Telemetry is opt-in: when ctx.breakdown is null a stage performs
+//    no clock reads and no accounting — the hot path stays untouched.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/workspace.hpp"
+
+namespace spotfi {
+
+class Rng;
+
+/// Telemetry buckets for the stage breakdown. Smoothing is folded into
+/// kSubspace (the two always run back-to-back and smoothing is ~free
+/// next to the eigendecomposition), matching the ROADMAP items-1/2
+/// cost split the breakdown exists to measure.
+enum class StagePhase : std::uint8_t {
+  kSanitize = 0,
+  kSubspace,
+  kSpectrum,
+  kCluster,
+  kLocalize,
+};
+
+inline constexpr std::size_t kStagePhaseCount = 5;
+
+[[nodiscard]] const char* to_string(StagePhase phase);
+
+/// Per-phase wall time and arena footprint of one unit of work (a
+/// packet, a group, a round — whatever the producer metered).
+struct StageBreakdown {
+  std::array<double, kStagePhaseCount> seconds{};
+  std::array<std::size_t, kStagePhaseCount> workspace_peak_bytes{};
+
+  /// Folds another breakdown in: times accumulate; workspace peaks take
+  /// the max, because sibling units (packets in a group, APs in a
+  /// round) reuse the same arenas rather than holding them at once.
+  void merge(const StageBreakdown& other) {
+    for (std::size_t i = 0; i < kStagePhaseCount; ++i) {
+      seconds[i] += other.seconds[i];
+      workspace_peak_bytes[i] =
+          workspace_peak_bytes[i] > other.workspace_peak_bytes[i]
+              ? workspace_peak_bytes[i]
+              : other.workspace_peak_bytes[i];
+    }
+  }
+
+  [[nodiscard]] bool any() const {
+    for (std::size_t i = 0; i < kStagePhaseCount; ++i) {
+      if (seconds[i] != 0.0 || workspace_peak_bytes[i] != 0) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double total_seconds() const {
+    double t = 0.0;
+    for (const double s : seconds) t += s;
+    return t;
+  }
+};
+
+/// Everything a stage invocation may touch beyond its typed input. The
+/// caller owns every pointee; a stage never stores the context.
+struct StageContext {
+  /// Arena the stage's output is allocated from. Required.
+  Workspace* ws = nullptr;
+  /// Deterministic random stream for this unit of work (forked by the
+  /// orchestrator in capture order). Null for stages that are
+  /// randomness-free.
+  Rng* rng = nullptr;
+  /// Telemetry sink; null disables all metering (and its clock reads).
+  StageBreakdown* breakdown = nullptr;
+  /// The innermost frame enclosing the stage outputs, used to meter
+  /// per-phase arena peaks. Only consulted when breakdown is set.
+  const Workspace::Frame* frame = nullptr;
+  /// Remaining wall-clock budget for the enclosing round; 0 = no
+  /// deadline. Stages may use it to pick cheaper strategies (the shed
+  /// ladder already does this one level up via stage substitution).
+  double deadline_s = 0.0;
+};
+
+/// Monotonic time for stage metering. Deliberately NOT the session
+/// Clock: sessions run on FakeClock in tests, where every now_s() read
+/// advances time — telemetry reads would perturb deadline logic.
+[[nodiscard]] double stage_now_s();
+
+/// RAII meter around one stage invocation: accumulates wall time and
+/// the enclosing frame's peak growth into breakdown[phase]. A no-op
+/// (no clock reads) when ctx carries no breakdown sink.
+///
+/// The peak delta is valid at stage boundaries: any nested frame a
+/// kernel opened has closed by then, folding its peak into the
+/// enclosing frame (common/workspace.hpp), so the delta captures the
+/// stage's full footprint including scratch.
+class StageMeter {
+ public:
+  StageMeter(const StageContext& ctx, StagePhase phase)
+      : breakdown_(ctx.breakdown), frame_(ctx.frame), phase_(phase) {
+    if (breakdown_ == nullptr) return;
+    t0_ = stage_now_s();
+    peak0_ = frame_ != nullptr ? frame_->peak_bytes() : 0;
+  }
+
+  StageMeter(const StageMeter&) = delete;
+  StageMeter& operator=(const StageMeter&) = delete;
+
+  ~StageMeter() {
+    if (breakdown_ == nullptr) return;
+    const auto i = static_cast<std::size_t>(phase_);
+    breakdown_->seconds[i] += stage_now_s() - t0_;
+    if (frame_ != nullptr) {
+      const std::size_t peak = frame_->peak_bytes();
+      breakdown_->workspace_peak_bytes[i] += peak > peak0_ ? peak - peak0_ : 0;
+    }
+  }
+
+ private:
+  StageBreakdown* breakdown_;
+  const Workspace::Frame* frame_;
+  StagePhase phase_;
+  double t0_ = 0.0;
+  std::size_t peak0_ = 0;
+};
+
+/// A typed estimation stage. run_into() meters the invocation (when the
+/// context asks for it) around the virtual do_run(); subclasses
+/// implement do_run() under the contract at the top of this header.
+template <typename In, typename Out>
+class Stage {
+ public:
+  virtual ~Stage() = default;
+
+  [[nodiscard]] Out run_into(StageContext& ctx, const In& in) const {
+    StageMeter meter(ctx, phase());
+    return do_run(ctx, in);
+  }
+
+  [[nodiscard]] virtual StagePhase phase() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ private:
+  [[nodiscard]] virtual Out do_run(StageContext& ctx, const In& in) const = 0;
+};
+
+}  // namespace spotfi

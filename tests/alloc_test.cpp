@@ -21,6 +21,7 @@
 #include "common/workspace.hpp"
 #include "core/ap_processor.hpp"
 #include "geom/floorplan.hpp"
+#include "pipeline/stages.hpp"
 
 // --- counting allocator -----------------------------------------------
 
@@ -169,6 +170,45 @@ TEST(ZeroAlloc, ArenaHighWaterMarkIsPinned) {
   EXPECT_LT(stats.high_water_bytes, 4u * 1024u * 1024u)
       << "per-packet arena footprint exploded: " << stats.high_water_bytes;
   EXPECT_EQ(stats.used_bytes, 0u);  // frames rewound cleanly
+}
+
+TEST(ZeroAlloc, StagedPacketPathAllocatesNothing) {
+  // The same contract through the typed stage interfaces directly
+  // (DESIGN.md §15): sanitize -> smoothing -> subspace -> spectrum as
+  // individual Stage::run_into calls, WITH the telemetry sink armed —
+  // neither the virtual-dispatch boundary nor the StageMeter may touch
+  // the heap after warm-up.
+  const auto packets = synthesize_group(4);
+  const JointMusicEstimator est(kLink, JointMusicConfig{});
+  const SanitizeStage sanitize(kLink, true);
+  const MusicEstimateStage music(est);
+
+  Workspace ws;
+  std::vector<PathEstimate> out(est.config().max_paths);
+  StageBreakdown breakdown;
+
+  auto run_packet = [&](const CsiPacket& packet) {
+    Workspace::Frame frame(ws);
+    StageContext ctx;
+    ctx.ws = &ws;
+    ctx.breakdown = &breakdown;
+    ctx.frame = &frame;
+    const ConstCMatrixView csi =
+        sanitize.run_into(ctx, ConstCMatrixView(packet.csi));
+    return music.run_into(ctx, csi, out);
+  };
+
+  (void)run_packet(packets[0]);
+  ws.reset();
+  (void)run_packet(packets[1]);
+
+  const std::size_t before = allocations();
+  for (const auto& packet : packets) {
+    EXPECT_GT(run_packet(packet), 0u);
+  }
+  EXPECT_EQ(allocations() - before, 0u)
+      << "the staged estimation path touched the heap after warm-up";
+  EXPECT_TRUE(breakdown.any());
 }
 
 TEST(ZeroAlloc, WorkspacePeakTelemetryRidesApOutcome) {
